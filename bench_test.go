@@ -1,0 +1,180 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at a
+// reduced (but statistically meaningful) duration per iteration and
+// reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction harness. cmd/dbo-bench prints the same
+// experiments at full scale in the paper's row format.
+package dbo_test
+
+import (
+	"testing"
+
+	"dbo/internal/exchange"
+	"dbo/internal/experiment"
+	"dbo/internal/sim"
+)
+
+// benchOpts shrinks experiments so a -bench sweep stays tractable while
+// preserving the shapes (≥ thousands of trades per run).
+func benchOpts(seed uint64) experiment.Opts {
+	return experiment.Opts{Seed: seed, Duration: 50 * sim.Millisecond}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var r *experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.Table2(benchOpts(1))
+	}
+	b.ReportMetric(100*r.Rows[0].Fairness, "direct_fair_%")
+	b.ReportMetric(r.Rows[2].Latency.Avg.Micros(), "dbo_avg_µs")
+	b.ReportMetric(r.Rows[2].Latency.P999.Micros(), "dbo_p999_µs")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	var r *experiment.TableResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.Table3(benchOpts(1))
+	}
+	b.ReportMetric(100*r.Rows[0].Fairness, "direct_fair_%")
+	b.ReportMetric(100*r.Rows[2].Fairness, "dbo_fair_%")
+	b.ReportMetric(r.Rows[2].Latency.P999.Micros(), "dbo_p999_µs")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	var r *experiment.Table4Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Table4(benchOpts(1))
+	}
+	b.ReportMetric(r.DBO[0], "dbo_fair_rt10_15")
+	b.ReportMetric(r.DBO[len(r.DBO)-1], "dbo_fair_rt35_40")
+	b.ReportMetric(r.Direct[0], "direct_fair_rt10_15")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	var r *experiment.Figure2Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure2(benchOpts(2))
+	}
+	b.ReportMetric(100*r.CloudExFairness, "cloudex_fair_%")
+	b.ReportMetric(float64(r.CloudExOverruns), "cloudex_overruns")
+	b.ReportMetric(100*r.DBOFairness, "dbo_fair_%")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	var r *experiment.Figure7Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure7(experiment.Opts{Seed: 3})
+	}
+	b.ReportMetric(r.DrainSlope, "drain_slope")
+	b.ReportMetric(r.Kappa/(1+r.Kappa), "theory_slope")
+	b.ReportMetric(float64(r.PeakQueue), "peak_queue")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	var r *experiment.Figure10Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure10(benchOpts(4))
+	}
+	_ = r
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	var r *experiment.Figure11Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure11(experiment.Opts{Seed: 5})
+	}
+	b.ReportMetric(r.Stats.Mean.Micros(), "rtt_mean_µs")
+	b.ReportMetric(r.Stats.Max.Micros(), "rtt_max_µs")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	var r *experiment.Figure12Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure12(experiment.Opts{Seed: 6, Duration: 20 * sim.Millisecond})
+	}
+	b.ReportMetric(r.DBOMean[0], "dbo_avg_n10_µs")
+	b.ReportMetric(r.DBOMean[len(r.DBOMean)-1], "dbo_avg_n90_µs")
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	var r *experiment.Figure13Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure13(experiment.Opts{Seed: 7, Duration: 20 * sim.Millisecond})
+	}
+	last := r.Points[len(r.Points)-1]
+	b.ReportMetric(100*last.Fairness, "dbo60_fair_%")
+	b.ReportMetric(last.Mean, "dbo60_avg_µs")
+}
+
+func BenchmarkAblationTau(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.AblationTau(experiment.Opts{Seed: 8, Duration: 20 * sim.Millisecond})
+	}
+}
+
+func BenchmarkAblationKappa(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.AblationKappa(experiment.Opts{Seed: 9, Duration: 20 * sim.Millisecond})
+	}
+}
+
+func BenchmarkAblationStraggler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.AblationStraggler(experiment.Opts{Seed: 10, Duration: 20 * sim.Millisecond})
+	}
+}
+
+func BenchmarkAblationShards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.AblationShards(experiment.Opts{Seed: 11, Duration: 15 * sim.Millisecond})
+	}
+}
+
+func BenchmarkExtensionSync(b *testing.B) {
+	var r *experiment.SyncAssistResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.AblationSync(experiment.Opts{Seed: 12, Duration: 30 * sim.Millisecond})
+	}
+	b.ReportMetric(r.PlainFairness, "plain_fair")
+	b.ReportMetric(r.AssistedFairness, "assisted_fair")
+}
+
+func BenchmarkExtensionExternal(b *testing.B) {
+	var r *experiment.ExternalResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.ExternalStreams(experiment.Opts{Seed: 13, Duration: 30 * sim.Millisecond})
+	}
+	b.ReportMetric(r.BypassFairness, "bypass_fair")
+	b.ReportMetric(r.SerializedFairness, "serialized_fair")
+}
+
+func BenchmarkExtensionPnL(b *testing.B) {
+	var r *experiment.PnLResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.SpeedPnL(experiment.Opts{Seed: 14, Duration: 30 * sim.Millisecond})
+	}
+	b.ReportMetric(100*r.FastestWinsDirect, "direct_fastest_wins_%")
+	b.ReportMetric(100*r.FastestWinsDBO, "dbo_fastest_wins_%")
+}
+
+// BenchmarkSimulatorThroughput measures raw harness speed: simulated
+// trades processed per second of wall time (useful when sizing longer
+// reproductions).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	trades := 0
+	for i := 0; i < b.N; i++ {
+		r := exchange.Run(exchange.Config{
+			Scheme:   exchange.DBO,
+			Seed:     uint64(i),
+			N:        10,
+			Duration: 20 * sim.Millisecond,
+			Warmup:   2 * sim.Millisecond,
+			Drain:    10 * sim.Millisecond,
+		})
+		trades += r.Trades
+	}
+	b.ReportMetric(float64(trades)/b.Elapsed().Seconds(), "trades/s")
+}

@@ -1,0 +1,65 @@
+// Command dbo-audit produces and verifies exchange audit logs.
+//
+//	dbo-audit -record log.bin -ms 100        # simulate a DBO run, record it
+//	dbo-audit -verify log.bin                 # independently verify a log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbo"
+	"dbo/internal/exchange"
+	"dbo/internal/replay"
+	"dbo/internal/sim"
+)
+
+func main() {
+	record := flag.String("record", "", "run a DBO simulation and write its audit log here")
+	verify := flag.String("verify", "", "verify an audit log")
+	seed := flag.Uint64("seed", 1, "simulation seed (with -record)")
+	ms := flag.Int64("ms", 100, "simulated milliseconds (with -record)")
+	n := flag.Int("n", 5, "participants (with -record)")
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r := exchange.Run(exchange.Config{
+			Scheme:   exchange.DBO,
+			Seed:     *seed,
+			N:        *n,
+			Duration: sim.Time(*ms) * dbo.Millisecond,
+			Audit:    f,
+		})
+		fmt.Printf("recorded %d data points, %d trades (fairness %.4f) to %s\n",
+			r.DataPoints, r.Trades, r.Fairness, *record)
+	case *verify != "":
+		f, err := os.Open(*verify)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rep, err := replay.Verify(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("log verified: %d generations, %d receives, %d forwards, %d unforwarded\n",
+			rep.Gens, rep.Recvs, rep.Forwards, rep.Unforwarded)
+		fmt.Println("invariants held: delivery-clock order, no fabrication, no duplication, no tag tampering, monotone participant clocks")
+	default:
+		fmt.Fprintln(os.Stderr, "pass -record <file> or -verify <file>")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

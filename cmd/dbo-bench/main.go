@@ -1,0 +1,86 @@
+// Command dbo-bench regenerates the paper's tables and figures (and the
+// DESIGN.md ablations) and prints them in the paper's row format.
+//
+// Usage:
+//
+//	dbo-bench [-exp all|table2|table3|table4|fig2|fig7|fig10|fig11|fig12|fig13|tau|kappa|straggler|shards]
+//	          [-seed N] [-ms simulated-milliseconds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dbo/internal/experiment"
+	"dbo/internal/sim"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(experiment.Opts, io.Writer)
+}
+
+var runners = []runner{
+	{"table2", "bare-metal fairness & latency", func(o experiment.Opts, w io.Writer) { experiment.Table2(o).Render(w) }},
+	{"table3", "cloud fairness & latency", func(o experiment.Opts, w io.Writer) { experiment.Table3(o).Render(w) }},
+	{"table4", "fairness for RT > δ", func(o experiment.Opts, w io.Writer) { experiment.Table4(o).Render(w) }},
+	{"fig2", "CloudEx spike timeline", func(o experiment.Opts, w io.Writer) { experiment.Figure2(o).Render(w) }},
+	{"fig7", "batching+pacing drain", func(o experiment.Opts, w io.Writer) { experiment.Figure7(o).Render(w) }},
+	{"fig10", "latency CDFs per DBO config", func(o experiment.Opts, w io.Writer) { experiment.Figure10(o).Render(w) }},
+	{"fig11", "network trace", func(o experiment.Opts, w io.Writer) { experiment.Figure11(o).Render(w) }},
+	{"fig12", "latency vs #participants", func(o experiment.Opts, w io.Writer) { experiment.Figure12(o).Render(w) }},
+	{"fig13", "CloudEx vs DBO frontier", func(o experiment.Opts, w io.Writer) { experiment.Figure13(o).Render(w) }},
+	{"tau", "ablation: heartbeat period", func(o experiment.Opts, w io.Writer) { experiment.AblationTau(o).Render(w) }},
+	{"kappa", "ablation: pacing gain", func(o experiment.Opts, w io.Writer) { experiment.AblationKappa(o).Render(w) }},
+	{"straggler", "ablation: straggler mitigation", func(o experiment.Opts, w io.Writer) { experiment.AblationStraggler(o).Render(w) }},
+	{"shards", "ablation: OB sharding", func(o experiment.Opts, w io.Writer) { experiment.AblationShards(o).Render(w) }},
+	{"sync", "extension: sync-assisted slow trades", func(o experiment.Opts, w io.Writer) { experiment.AblationSync(o).Render(w) }},
+	{"external", "extension: external data streams", func(o experiment.Opts, w io.Writer) { experiment.ExternalStreams(o).Render(w) }},
+	{"pnl", "extension: who wins the races", func(o experiment.Opts, w io.Writer) { experiment.SpeedPnL(o).Render(w) }},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all'); one of: "+names())
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	ms := flag.Int64("ms", 0, "override simulated duration in milliseconds (0 = experiment default)")
+	flag.Parse()
+
+	opts := experiment.Opts{Seed: *seed, Duration: sim.Time(*ms) * sim.Millisecond}
+	selected := strings.Split(*exp, ",")
+	any := false
+	for _, r := range runners {
+		if *exp != "all" && !contains(selected, r.name) {
+			continue
+		}
+		any = true
+		start := time.Now()
+		r.run(opts, os.Stdout)
+		fmt.Printf("  [%s: %s in %v]\n\n", r.name, r.desc, time.Since(start).Round(time.Millisecond))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *exp, names())
+		os.Exit(2)
+	}
+}
+
+func names() string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.name
+	}
+	return strings.Join(out, "|")
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

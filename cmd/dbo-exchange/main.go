@@ -1,0 +1,90 @@
+// Command dbo-exchange runs a live central exchange server: market data
+// generator, DBO ordering buffer, and matching engine over UDP.
+//
+// Start the participants first (cmd/dbo-mp) so their addresses are
+// known, then:
+//
+//	dbo-exchange -listen 127.0.0.1:7000 -mps 1=127.0.0.1:7001,2=127.0.0.1:7002 \
+//	             -tick 1ms -ticks 1000 -delta 500us -tau 500us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dbo"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "UDP listen address")
+	mps := flag.String("mps", "", "comma-separated id=host:port participant endpoints")
+	tick := flag.Duration("tick", time.Millisecond, "market data interval")
+	ticks := flag.Int("ticks", 1000, "number of data points to generate")
+	delta := flag.Duration("delta", 500*time.Microsecond, "δ pacing gap")
+	kappa := flag.Float64("kappa", 0.25, "κ batching gain")
+	tau := flag.Duration("tau", 500*time.Microsecond, "τ heartbeat/maintenance period")
+	straggler := flag.Duration("straggler", 0, "straggler RTT threshold (0 = off)")
+	flag.Parse()
+
+	var addrs []dbo.ParticipantAddr
+	for _, part := range strings.Split(*mps, ",") {
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad -mps entry %q (want id=host:port)\n", part)
+			os.Exit(2)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad participant id %q: %v\n", id, err)
+			os.Exit(2)
+		}
+		addrs = append(addrs, dbo.ParticipantAddr{ID: dbo.ParticipantID(n), Addr: addr})
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "no participants: pass -mps 1=host:port,...")
+		os.Exit(2)
+	}
+
+	ex, err := dbo.NewExchange(dbo.ExchangeConfig{
+		Listen:       *listen,
+		TickInterval: *tick,
+		Ticks:        *ticks,
+		Delta:        *delta,
+		Kappa:        *kappa,
+		Tau:          *tau,
+		StragglerRTT: *straggler,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("CES listening on %s (udp) / %s (tcp reverse path), %d participants, %d ticks every %v\n",
+		ex.Addr(), ex.TCPAddr(), len(addrs), *ticks, *tick)
+	if err := ex.Start(addrs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer ex.Stop()
+
+	// Run until data generation plus a drain period has elapsed, then
+	// report.
+	total := time.Duration(*ticks)**tick + time.Second
+	time.Sleep(total)
+	trades := ex.Forwarded()
+	fmt.Printf("forwarded %d trades to the matching engine, %d executions\n",
+		len(trades), ex.Executions())
+	perMP := map[dbo.ParticipantID]int{}
+	for _, t := range trades {
+		perMP[t.MP]++
+	}
+	for _, a := range addrs {
+		fmt.Printf("  MP %d: %d trades\n", a.ID, perMP[a.ID])
+	}
+}

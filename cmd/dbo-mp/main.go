@@ -1,0 +1,74 @@
+// Command dbo-mp runs a live market participant with its co-located
+// release buffer: it receives the paced market data stream, reacts
+// after a configurable response time, and submits delivery-clock-tagged
+// trades to the exchange.
+//
+//	dbo-mp -id 1 -listen 127.0.0.1:7001 -ces 127.0.0.1:7000 \
+//	       -delta 500us -tau 500us -rt 200us -prob 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"time"
+
+	"dbo"
+)
+
+func main() {
+	id := flag.Int("id", 1, "participant id")
+	listen := flag.String("listen", "127.0.0.1:7001", "RB ingress UDP address")
+	ces := flag.String("ces", "127.0.0.1:7000", "exchange UDP address")
+	cesTCP := flag.String("ces-tcp", "", "exchange TCP address (use the reliable reverse path)")
+	delta := flag.Duration("delta", 500*time.Microsecond, "δ pacing gap (must match the CES)")
+	tau := flag.Duration("tau", 500*time.Microsecond, "τ heartbeat period")
+	rt := flag.Duration("rt", 200*time.Microsecond, "base response time")
+	jitter := flag.Duration("jitter", 100*time.Microsecond, "uniform response jitter")
+	prob := flag.Float64("prob", 1.0, "probability of trading per data point")
+	seed := flag.Uint64("seed", 0, "strategy seed (0 = participant id)")
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = uint64(*id)
+	}
+	rng := rand.New(rand.NewPCG(*seed, *seed^0xbeef))
+	strategy := func(dp dbo.DataPoint) (bool, time.Duration, dbo.Side, int64, int64) {
+		if rng.Float64() >= *prob {
+			return false, 0, dbo.Buy, 0, 0
+		}
+		d := *rt
+		if *jitter > 0 {
+			d += time.Duration(rng.Int64N(int64(*jitter)))
+		}
+		side := dbo.Buy
+		if rng.IntN(2) == 1 {
+			side = dbo.Sell
+		}
+		return true, d, side, dp.Price, 1
+	}
+
+	mp, err := dbo.NewParticipant(dbo.ParticipantConfig{
+		ID:       dbo.ParticipantID(*id),
+		Listen:   *listen,
+		CES:      *ces,
+		CESTCP:   *cesTCP,
+		Delta:    *delta,
+		Tau:      *tau,
+		Strategy: strategy,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer mp.Stop()
+	fmt.Printf("MP %d listening on %s, trading towards %s (rt %v±%v)\n",
+		*id, mp.Addr(), *ces, *rt, *jitter)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+}

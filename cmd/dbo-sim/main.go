@@ -1,0 +1,99 @@
+// Command dbo-sim runs one configurable simulation and prints its
+// fairness/latency outcome.
+//
+// Example:
+//
+//	dbo-sim -scheme dbo -n 10 -ms 200 -delta 20 -kappa 0.25 -tau 20
+//	dbo-sim -scheme cloudex -c1 60 -c2 60
+//	dbo-sim -scheme direct -env lab -n 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbo"
+)
+
+func main() {
+	scheme := flag.String("scheme", "dbo", "direct|dbo|cloudex|fba|libra")
+	env := flag.String("env", "cloud", "cloud|lab network trace")
+	n := flag.Int("n", 10, "number of market participants")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	ms := flag.Int64("ms", 200, "simulated duration in milliseconds")
+	delta := flag.Int64("delta", 20, "DBO δ in µs")
+	kappa := flag.Float64("kappa", 0.25, "DBO pacing gain κ")
+	tau := flag.Int64("tau", 20, "DBO heartbeat period τ in µs")
+	straggler := flag.Int64("straggler", 0, "straggler RTT threshold in µs (0 = off)")
+	shards := flag.Int("shards", 1, "ordering buffer shards")
+	c1 := flag.Int64("c1", 60, "CloudEx one-way data threshold in µs")
+	c2 := flag.Int64("c2", 60, "CloudEx one-way trade threshold in µs")
+	loss := flag.Float64("loss", 0, "i.i.d. packet loss rate")
+	drift := flag.Bool("drift", false, "give RBs drifting unsynchronized clocks")
+	rtmin := flag.Int64("rtmin", 5, "min response time in µs")
+	rtmax := flag.Int64("rtmax", 20, "max response time in µs")
+	flag.Parse()
+
+	var sch dbo.Scheme
+	switch *scheme {
+	case "direct":
+		sch = dbo.Direct
+	case "dbo":
+		sch = dbo.DBO
+	case "cloudex":
+		sch = dbo.CloudEx
+	case "fba":
+		sch = dbo.FBA
+	case "libra":
+		sch = dbo.Libra
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	cfg := dbo.SimConfig{
+		Scheme:       sch,
+		Seed:         *seed,
+		N:            *n,
+		Duration:     dbo.Time(*ms) * dbo.Millisecond,
+		Delta:        dbo.Time(*delta) * dbo.Microsecond,
+		Kappa:        *kappa,
+		Tau:          dbo.Time(*tau) * dbo.Microsecond,
+		StragglerRTT: dbo.Time(*straggler) * dbo.Microsecond,
+		OBShards:     *shards,
+		C1:           dbo.Time(*c1) * dbo.Microsecond,
+		C2:           dbo.Time(*c2) * dbo.Microsecond,
+		LossRate:     *loss,
+		ClockDrift:   *drift,
+		RTMin:        dbo.Time(*rtmin) * dbo.Microsecond,
+		RTMax:        dbo.Time(*rtmax) * dbo.Microsecond,
+	}
+	if *env == "lab" {
+		cfg.Trace = dbo.LabTrace(*seed)
+		cfg.Skew = dbo.DefaultSkew(*n, 0.14)
+	}
+
+	r := dbo.Simulate(cfg)
+	fmt.Printf("scheme      %s (%d MPs, seed %d, %dms)\n", r.Scheme, *n, *seed, *ms)
+	fmt.Printf("fairness    %.4f (%d/%d competing pairs)\n", r.Fairness, r.FairRatio.Correct, r.FairRatio.Total)
+	fmt.Printf("latency     %s\n", r.Latency)
+	fmt.Printf("max-rtt     %s (Theorem 3 bound)\n", r.MaxRTT)
+	fmt.Printf("trades      %d scored over %d races; %d lost; %d data points\n", r.Trades, r.Races, r.Lost, r.DataPoints)
+	fmt.Printf("executions  %d fills\n", r.Executions)
+	if r.StragglerEvents > 0 {
+		fmt.Printf("stragglers  %d mitigation events\n", r.StragglerEvents)
+	}
+	if r.CloudExOverruns > 0 {
+		fmt.Printf("overruns    %d CloudEx threshold overruns\n", r.CloudExOverruns)
+	}
+	if r.DroppedPackets > 0 {
+		fmt.Printf("loss        %d packets dropped, %d retransmission requests\n", r.DroppedPackets, r.RetxRequests)
+	}
+	if len(r.Violations) > 0 {
+		fmt.Printf("violations  (first %d)\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Printf("  race %d: MP%d (RT %v) behind MP%d (RT %v)\n",
+				v.Trigger, v.Faster.MP, v.Faster.RT, v.Slower.MP, v.Slower.RT)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command dbo-trace generates, summarizes, and converts the synthetic
+// network RTT traces that drive the simulations.
+//
+//	dbo-trace -env cloud -seed 1 -ms 2000 -o trace.csv   # generate
+//	dbo-trace -summarize trace.csv                        # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbo/internal/sim"
+	"dbo/internal/stats"
+	"dbo/internal/trace"
+)
+
+func main() {
+	env := flag.String("env", "cloud", "cloud|lab preset")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	ms := flag.Int64("ms", 2000, "trace length in milliseconds")
+	out := flag.String("o", "", "write CSV to this file (default stdout)")
+	summarize := flag.String("summarize", "", "read a CSV trace and print statistics instead of generating")
+	flag.Parse()
+
+	if *summarize != "" {
+		f, err := os.Open(*summarize)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(f)
+		if err != nil {
+			fatal(err)
+		}
+		describe(tr)
+		return
+	}
+
+	var g trace.Generator
+	switch *env {
+	case "cloud":
+		g = trace.Cloud(*seed)
+	case "lab":
+		g = trace.Lab(*seed)
+	default:
+		fatal(fmt.Errorf("unknown env %q", *env))
+	}
+	g.Length = sim.Time(*ms) * sim.Millisecond
+	tr := g.Generate()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(tr.RTT), *out)
+		describe(tr)
+	}
+}
+
+func describe(tr *trace.Trace) {
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "duration %.0fms, step %v\n",
+		float64(tr.Duration())/float64(sim.Millisecond), tr.Step)
+	fmt.Fprintf(os.Stderr, "RTT mean %.1fµs p50 %.1fµs p99 %.1fµs p999 %.1fµs max %.1fµs\n",
+		s.Mean.Micros(), s.P50.Micros(), s.P99.Micros(), s.P999.Micros(), s.Max.Micros())
+	h := stats.NewHistogram(0, tr.Duration(), 72)
+	for i, v := range tr.RTT {
+		at := sim.Time(i) * tr.Step
+		for k := sim.Time(0); k < v; k += 20 * sim.Microsecond {
+			h.Add(at)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rtt/time %s\n", h.Sparkline())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

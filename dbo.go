@@ -1,0 +1,136 @@
+// Package dbo is a from-scratch reproduction of "DBO: Fairness for
+// Cloud-Hosted Financial Exchanges" (SIGCOMM 2023): Delivery Based
+// Ordering for speed-race trades on networks with unpredictable,
+// unbounded latency and no clock synchronization.
+//
+// # Architecture
+//
+// The library has two execution modes over one core:
+//
+//   - Simulation (Simulate): a deterministic discrete-event harness
+//     with virtual-nanosecond time, trace-driven network latency, and
+//     the paper's full evaluation workload. All tables and figures are
+//     regenerated on this mode (see internal/experiment and
+//     bench_test.go).
+//   - Live (NewExchange / NewParticipant): the same DBO components over
+//     real UDP sockets, one event loop per node, genuinely
+//     unsynchronized clocks — the cloud deployment of §5.
+//
+// The core pieces, usable through the simulation and live façades:
+//
+//   - delivery clocks ⟨last delivered point, locally measured elapsed⟩
+//     tagging every trade (§4.1.1),
+//   - CES-side batching into (1+κ)·δ windows plus RB-side pacing with a
+//     minimum inter-batch gap of δ (§4.1.2),
+//   - an ordering buffer that releases trades in delivery-clock order
+//     once every participant's heartbeat watermark has passed (§4.1.3),
+//     with straggler mitigation (§4.2.1) and sharded scaling (§5.2),
+//   - a price-time-priority matching engine that DBO leaves unmodified,
+//   - baselines: Direct/FCFS, CloudEx (perfect clock sync), frequent
+//     batch auctions, and Libra, and
+//   - the pairwise response-time fairness metric of §6.1.
+package dbo
+
+import (
+	"dbo/internal/exchange"
+	"dbo/internal/market"
+	"dbo/internal/node"
+	"dbo/internal/sim"
+	"dbo/internal/trace"
+)
+
+// Scheme selects an ordering mechanism for simulation.
+type Scheme = exchange.Scheme
+
+// Available schemes.
+const (
+	Direct  = exchange.Direct
+	DBO     = exchange.DBO
+	CloudEx = exchange.CloudEx
+	FBA     = exchange.FBA
+	Libra   = exchange.Libra
+)
+
+// SimConfig configures one simulated deployment and workload; zero
+// values take the paper's defaults (δ=20µs, κ=0.25, τ=20µs, 40µs tick,
+// 10 MPs, cloud trace).
+type SimConfig = exchange.Config
+
+// SimResult is a scored simulation run.
+type SimResult = exchange.Result
+
+// Hooks are optional simulation taps.
+type Hooks = exchange.Hooks
+
+// Simulate runs one deterministic simulation.
+func Simulate(cfg SimConfig) *SimResult { return exchange.Run(cfg) }
+
+// DefaultSkew spreads n static latency multipliers over [1−s, 1+s],
+// modelling non-equidistant cloud paths.
+func DefaultSkew(n int, s float64) []float64 { return exchange.DefaultSkew(n, s) }
+
+// Time is virtual (or node-local) time in nanoseconds.
+type Time = sim.Time
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Domain types shared by both modes.
+type (
+	// ParticipantID identifies a market participant.
+	ParticipantID = market.ParticipantID
+	// PointID identifies a market data point.
+	PointID = market.PointID
+	// DeliveryClock is the paper's logical clock tuple.
+	DeliveryClock = market.DeliveryClock
+	// Trade is an order tagged and sequenced by the system.
+	Trade = market.Trade
+	// DataPoint is one market data update.
+	DataPoint = market.DataPoint
+	// Side is an order side.
+	Side = market.Side
+)
+
+// Order sides.
+const (
+	Buy  = market.Buy
+	Sell = market.Sell
+)
+
+// Trace is a network RTT series; CloudTrace and LabTrace synthesize the
+// paper's two environments deterministically from a seed.
+type Trace = trace.Trace
+
+// CloudTrace synthesizes a public-cloud RTT trace (Figure 11 shape).
+func CloudTrace(seed uint64) *Trace { return trace.Cloud(seed).Generate() }
+
+// LabTrace synthesizes a bare-metal testbed RTT trace (Table 2 shape).
+func LabTrace(seed uint64) *Trace { return trace.Lab(seed).Generate() }
+
+// Live deployment (§5) over UDP.
+type (
+	// ExchangeConfig configures a live CES node.
+	ExchangeConfig = node.CESConfig
+	// Exchange is a running CES (ordering buffer + matching engine).
+	Exchange = node.CES
+	// ParticipantConfig configures a live MP node (with co-located RB).
+	ParticipantConfig = node.MPConfig
+	// Participant is a running MP node.
+	Participant = node.MP
+	// ParticipantAddr names an MP endpoint for the CES.
+	ParticipantAddr = node.MPAddr
+	// Strategy decides an MP's reaction to market data.
+	Strategy = node.Strategy
+)
+
+// NewExchange binds a live CES socket; call its Start with the
+// participant addresses once they are known.
+func NewExchange(cfg ExchangeConfig) (*Exchange, error) { return node.NewCES(cfg) }
+
+// NewParticipant starts a live MP node.
+func NewParticipant(cfg ParticipantConfig) (*Participant, error) { return node.StartMP(cfg) }

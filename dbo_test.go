@@ -1,0 +1,80 @@
+package dbo_test
+
+import (
+	"testing"
+	"time"
+
+	"dbo"
+)
+
+func TestSimulateFacade(t *testing.T) {
+	r := dbo.Simulate(dbo.SimConfig{
+		Scheme:   dbo.DBO,
+		Seed:     1,
+		N:        3,
+		Duration: 20 * dbo.Millisecond,
+		Warmup:   2 * dbo.Millisecond,
+		Drain:    20 * dbo.Millisecond,
+	})
+	if r.Fairness != 1 {
+		t.Fatalf("fairness = %v", r.Fairness)
+	}
+	if r.Trades == 0 {
+		t.Fatal("no trades")
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	if dbo.CloudTrace(1).Summarize().Mean <= dbo.LabTrace(1).Summarize().Mean {
+		t.Fatal("cloud trace should be slower than lab trace")
+	}
+}
+
+func TestDeliveryClockFacade(t *testing.T) {
+	a := dbo.DeliveryClock{Point: 1, Elapsed: 5}
+	b := dbo.DeliveryClock{Point: 1, Elapsed: 6}
+	if !a.Less(b) {
+		t.Fatal("Less broken through facade")
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live test needs real time")
+	}
+	ex, err := dbo.NewExchange(dbo.ExchangeConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 10 * time.Millisecond,
+		Ticks:        5,
+		Delta:        2 * time.Millisecond,
+		Tau:          time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := dbo.NewParticipant(dbo.ParticipantConfig{
+		ID:     1,
+		Listen: "127.0.0.1:0",
+		CES:    ex.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Tau:    time.Millisecond,
+		Strategy: func(dp dbo.DataPoint) (bool, time.Duration, dbo.Side, int64, int64) {
+			return true, time.Millisecond, dbo.Buy, dp.Price, 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Stop()
+	if err := ex.Start([]dbo.ParticipantAddr{{ID: 1, Addr: mp.Addr().String()}}); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(ex.Forwarded()) < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("forwarded %d of 5", len(ex.Forwarded()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,50 @@
+// Cloudsim: every ordering scheme on the same trace-driven cloud
+// deployment — Direct, CloudEx (two thresholds), FBA, Libra, and DBO —
+// reproducing the fairness/latency landscape of §6.
+package main
+
+import (
+	"fmt"
+
+	"dbo"
+)
+
+func main() {
+	tr := dbo.CloudTrace(3)
+	fmt.Printf("network: synthetic cloud trace, RTT %v\n\n", tr.Summarize().Mean)
+
+	type row struct {
+		name string
+		cfg  dbo.SimConfig
+	}
+	base := dbo.SimConfig{
+		Seed:     3,
+		N:        10,
+		Trace:    tr,
+		Duration: 150 * dbo.Millisecond,
+	}
+	mk := func(name string, mut func(*dbo.SimConfig)) row {
+		cfg := base
+		mut(&cfg)
+		return row{name, cfg}
+	}
+	rows := []row{
+		mk("direct", func(c *dbo.SimConfig) { c.Scheme = dbo.Direct }),
+		mk("cloudex-60", func(c *dbo.SimConfig) { c.Scheme = dbo.CloudEx; c.C1 = 60 * dbo.Microsecond; c.C2 = c.C1 }),
+		mk("cloudex-300", func(c *dbo.SimConfig) { c.Scheme = dbo.CloudEx; c.C1 = 300 * dbo.Microsecond; c.C2 = c.C1 }),
+		mk("fba-1ms", func(c *dbo.SimConfig) { c.Scheme = dbo.FBA }),
+		mk("libra-50us", func(c *dbo.SimConfig) { c.Scheme = dbo.Libra }),
+		mk("dbo", func(c *dbo.SimConfig) { c.Scheme = dbo.DBO }),
+	}
+
+	fmt.Printf("%-12s %10s %12s %12s %12s\n", "scheme", "fairness", "avg", "p99", "p999")
+	for _, r := range rows {
+		res := dbo.Simulate(r.cfg)
+		fmt.Printf("%-12s %9.2f%% %12v %12v %12v\n", r.name,
+			100*res.Fairness, res.Latency.Avg, res.Latency.P99, res.Latency.P999)
+	}
+	fmt.Println()
+	fmt.Println("Reading: CloudEx only reaches fairness with thresholds paid on every")
+	fmt.Println("trade; FBA is fair-by-lottery at auction-interval latency; DBO is")
+	fmt.Println("guaranteed fair at a small premium over the raw network.")
+}

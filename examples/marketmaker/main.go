@@ -1,0 +1,131 @@
+// Marketmaker: a live loopback deployment where the participants run
+// real (if simple) strategies on top of the participant-side substrates:
+//
+//   - MP 1 is a market maker: it reconstructs the top of book from the
+//     delivered data stream (internal/book) and quotes around its mid;
+//   - MP 2 is a taker: it watches the same reconstruction and crosses
+//     the spread whenever the book's imbalance signal fires.
+//
+// Both see the *same paced stream* through their release buffers, and
+// their orders are sequenced by delivery clock — the fair playground
+// the paper promises, demonstrated with the actual trading loop
+// (market data → book view → decision → tagged order → matching engine
+// → execution reports) closed end to end over UDP.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dbo"
+	"dbo/internal/book"
+	"dbo/internal/wire"
+)
+
+func main() {
+	ex, err := dbo.NewExchange(dbo.ExchangeConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 10 * time.Millisecond,
+		Ticks:        40,
+		Delta:        2 * time.Millisecond,
+		Tau:          time.Millisecond,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer ex.Stop()
+
+	// MP 1 — the market maker. Its strategy alternates sides, always
+	// pricing off its reconstructed book view rather than the raw tick.
+	mmBook := book.NewBuilder()
+	mmFills := 0
+	side := dbo.Buy
+	mm, err := dbo.NewParticipant(dbo.ParticipantConfig{
+		ID: 1, Listen: "127.0.0.1:0", CES: ex.Addr().String(),
+		CESTCP: ex.TCPAddr().String(), // reliable reverse path
+		Delta:  2 * time.Millisecond, Tau: time.Millisecond,
+		OnExec: func(e wire.Exec) { mmFills++ },
+		Strategy: func(dp dbo.DataPoint) (bool, time.Duration, dbo.Side, int64, int64) {
+			v := mmBook.Apply(dp, dbo.Time(time.Now().UnixNano()))
+			if !v.Valid() {
+				return false, 0, dbo.Buy, 0, 0
+			}
+			side = 1 - side // quote both sides alternately
+			price := v.Mid2() / 2
+			if side == dbo.Buy {
+				price-- // inside the spread
+			} else {
+				price++
+			}
+			return true, 300 * time.Microsecond, side, price, 2
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer mm.Stop()
+
+	// MP 2 — the taker: lifts the maker when the book looks one-sided.
+	tkBook := book.NewBuilder()
+	tkFills := 0
+	tk, err := dbo.NewParticipant(dbo.ParticipantConfig{
+		ID: 2, Listen: "127.0.0.1:0", CES: ex.Addr().String(),
+		CESTCP: ex.TCPAddr().String(),
+		Delta:  2 * time.Millisecond, Tau: time.Millisecond,
+		OnExec: func(e wire.Exec) { tkFills++ },
+		Strategy: func(dp dbo.DataPoint) (bool, time.Duration, dbo.Side, int64, int64) {
+			v := tkBook.Apply(dp, dbo.Time(time.Now().UnixNano()))
+			if !v.Valid() {
+				return false, 0, dbo.Buy, 0, 0
+			}
+			imb := v.Imbalance()
+			switch {
+			case imb > 0.2: // bid-heavy: buy aggressively at the ask
+				return true, 500 * time.Microsecond, dbo.Buy, v.Ask, 1
+			case imb < -0.2:
+				return true, 500 * time.Microsecond, dbo.Sell, v.Bid, 1
+			}
+			return false, 0, dbo.Buy, 0, 0
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer tk.Stop()
+
+	if err := ex.Start([]dbo.ParticipantAddr{
+		{ID: 1, Addr: mm.Addr().String()},
+		{ID: 2, Addr: tk.Addr().String()},
+	}); err != nil {
+		fail(err)
+	}
+	fmt.Printf("exchange %s — maker MP1 and taker MP2 trading for ~0.5s\n", ex.Addr())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(ex.Forwarded()) >= 30 && ex.Executions() > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond) // let final exec reports land
+
+	trades := ex.Forwarded()
+	perMP := map[dbo.ParticipantID]int{}
+	for _, t := range trades {
+		perMP[t.MP]++
+	}
+	fmt.Printf("orders sequenced: %d (maker %d, taker %d)\n", len(trades), perMP[1], perMP[2])
+	fmt.Printf("matching engine fills: %d\n", ex.Executions())
+	fmt.Printf("execution reports delivered: maker %d, taker %d\n", mmFills, tkFills)
+	if v := mmBook.View(1); v != nil && v.Valid() {
+		fmt.Printf("maker's final book view: bid %d×%d / ask %d×%d (spread %d)\n",
+			v.Bid, v.BidSize, v.Ask, v.AskSize, v.Spread())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

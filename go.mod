@@ -1,0 +1,3 @@
+module dbo
+
+go 1.23

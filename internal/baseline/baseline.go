@@ -1,0 +1,223 @@
+// Package baseline implements the comparison schemes of §2.1 and §6:
+//
+//   - Direct delivery: no release or ordering buffer; market data and
+//     trades incur raw network latency and the CES sequences trades
+//     first-come-first-served. This is the paper's baseline row in
+//     Tables 2 and 3.
+//   - CloudEx: clock-synchronization based equalization. Market data
+//     generated at t is released at t+C1 by every release buffer; a
+//     trade submitted at t is forwarded to the ME at t+C2, in
+//     submission-time order. We model *perfect* clock synchronization,
+//     exactly as the paper does ("We only report results for CloudEx in
+//     simulation where we assume perfectly synchronized clocks", §6.1),
+//     so any unfairness measured is inherent to the approach, not to
+//     sync error. When latency spikes past a threshold, data (or a
+//     trade) is handled late — an overrun, CloudEx's fundamental
+//     failure mode (Figure 2).
+//   - FBA (Frequent Batch Auctions [11]): trades are collected into
+//     fixed windows and executed with equal priority (uniform random
+//     order within the batch), eliminating speed races at the cost of
+//     interval-sized latency.
+//   - Libra [19]: each incoming trade is held for an i.i.d. random
+//     delay in [0, W), randomizing priority among near-simultaneous
+//     arrivals; fairness is stochastic when latency variability is
+//     bounded by W.
+package baseline
+
+import (
+	"math/rand/v2"
+
+	"dbo/internal/core"
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// FCFS is the on-premise sequencer: trades are forwarded to the ME in
+// arrival order. With direct delivery this is the Direct scheme's
+// ordering half.
+type FCFS struct {
+	Sched   core.Scheduler
+	Forward func(t *market.Trade)
+	n       int
+}
+
+// OnTrade forwards immediately, stamping order and time.
+func (f *FCFS) OnTrade(t *market.Trade) {
+	t.Forwarded = f.Sched.Now()
+	t.FinalPos = f.n
+	f.n++
+	f.Forward(t)
+}
+
+// Forwarded reports the number of trades sequenced.
+func (f *FCFS) Forwarded() int { return f.n }
+
+// DirectRelease delivers every market data point to the MP the moment
+// it arrives — the Direct scheme's delivery half.
+type DirectRelease struct {
+	Deliver func(b *market.Batch)
+}
+
+// OnData wraps the point in a single-point batch and delivers it.
+func (d *DirectRelease) OnData(dp market.DataPoint) {
+	d.Deliver(&market.Batch{ID: dp.Batch, Points: []market.DataPoint{dp}})
+}
+
+// CloudExRelease is the CloudEx release buffer under perfect clock
+// synchronization: point x is delivered at exactly G(x)+C1, or
+// immediately on arrival if the network already blew the threshold.
+type CloudExRelease struct {
+	C1      sim.Time
+	Sched   core.Scheduler
+	Deliver func(b *market.Batch)
+
+	lastDelivery sim.Time
+	// Overruns counts points that arrived after their release deadline —
+	// each is a potential fairness violation (Figure 2).
+	Overruns int
+}
+
+// OnData schedules (or performs) the equalized delivery.
+func (c *CloudExRelease) OnData(dp market.DataPoint) {
+	target := dp.Gen + c.C1
+	now := c.Sched.Now()
+	if target < now {
+		c.Overruns++
+		target = now
+	}
+	if target < c.lastDelivery {
+		target = c.lastDelivery // in-order delivery to the MP
+	}
+	c.lastDelivery = target
+	b := &market.Batch{ID: dp.Batch, Points: []market.DataPoint{dp}}
+	if target == now {
+		c.Deliver(b)
+		return
+	}
+	c.Sched.At(target, func() { c.Deliver(b) })
+}
+
+// CloudExOrder is the CloudEx ordering buffer under perfect clock
+// synchronization: a trade submitted at S is forwarded at S+C2 in
+// submission order; trades arriving after their deadline are forwarded
+// immediately (an overrun, potentially out of order).
+type CloudExOrder struct {
+	C2      sim.Time
+	Sched   core.Scheduler
+	Forward func(t *market.Trade)
+
+	n        int
+	Overruns int
+}
+
+// OnTrade schedules (or performs) the equalized forwarding. Because C2
+// is a constant, deadline order equals submission order, so scheduling
+// each trade at its own deadline forwards buffered trades fairly.
+func (c *CloudExOrder) OnTrade(t *market.Trade) {
+	target := t.Submitted + c.C2
+	now := c.Sched.Now()
+	if target <= now {
+		if target < now {
+			c.Overruns++
+		}
+		c.emit(t)
+		return
+	}
+	c.Sched.At(target, func() { c.emit(t) })
+}
+
+func (c *CloudExOrder) emit(t *market.Trade) {
+	t.Forwarded = c.Sched.Now()
+	t.FinalPos = c.n
+	c.n++
+	c.Forward(t)
+}
+
+// FBA implements frequent batch auctions: trades are collected per
+// interval and flushed at each boundary in uniformly random order
+// (equal priority within a batch).
+type FBA struct {
+	Interval sim.Time
+	Sched    core.Scheduler
+	Forward  func(t *market.Trade)
+	Rng      *rand.Rand
+
+	buf     []*market.Trade
+	n       int
+	started bool
+	stopped bool
+	Batches int
+}
+
+// Start begins the auction cadence.
+func (f *FBA) Start() {
+	if f.started {
+		return
+	}
+	if f.Interval <= 0 {
+		panic("baseline: FBA needs a positive interval")
+	}
+	f.started = true
+	var tick func()
+	tick = func() {
+		if f.stopped {
+			return
+		}
+		f.flush()
+		f.Sched.At(f.Sched.Now()+f.Interval, tick)
+	}
+	f.Sched.At(f.Sched.Now()+f.Interval, tick)
+}
+
+// Stop halts the cadence after flushing what is buffered.
+func (f *FBA) Stop() {
+	f.flush()
+	f.stopped = true
+}
+
+// OnTrade buffers a trade for the current auction window.
+func (f *FBA) OnTrade(t *market.Trade) { f.buf = append(f.buf, t) }
+
+// Pending reports trades awaiting the next auction.
+func (f *FBA) Pending() int { return len(f.buf) }
+
+func (f *FBA) flush() {
+	if len(f.buf) == 0 {
+		return
+	}
+	f.Batches++
+	f.Rng.Shuffle(len(f.buf), func(i, j int) { f.buf[i], f.buf[j] = f.buf[j], f.buf[i] })
+	for _, t := range f.buf {
+		t.Forwarded = f.Sched.Now()
+		t.FinalPos = f.n
+		f.n++
+		f.Forward(t)
+	}
+	f.buf = f.buf[:0]
+}
+
+// Libra randomizes priorities by holding each trade for an i.i.d.
+// uniform delay in [0, Window); trades are then forwarded in
+// (arrival+delay) order via the scheduler.
+type Libra struct {
+	Window  sim.Time
+	Sched   core.Scheduler
+	Forward func(t *market.Trade)
+	Rng     *rand.Rand
+
+	n int
+}
+
+// OnTrade holds the trade for its random delay.
+func (l *Libra) OnTrade(t *market.Trade) {
+	if l.Window <= 0 {
+		panic("baseline: Libra needs a positive window")
+	}
+	delay := sim.Time(l.Rng.Int64N(int64(l.Window)))
+	l.Sched.At(l.Sched.Now()+delay, func() {
+		t.Forwarded = l.Sched.Now()
+		t.FinalPos = l.n
+		l.n++
+		l.Forward(t)
+	})
+}

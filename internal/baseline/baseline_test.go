@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func TestFCFSStampsArrivalOrder(t *testing.T) {
+	k := sim.NewKernel(1)
+	var out []*market.Trade
+	f := &FCFS{Sched: k, Forward: func(tr *market.Trade) { out = append(out, tr) }}
+	k.At(10, func() { f.OnTrade(&market.Trade{MP: 2, Seq: 1}) })
+	k.At(20, func() { f.OnTrade(&market.Trade{MP: 1, Seq: 1}) })
+	k.Run()
+	if len(out) != 2 || f.Forwarded() != 2 {
+		t.Fatalf("out = %d", len(out))
+	}
+	if out[0].MP != 2 || out[0].FinalPos != 0 || out[0].Forwarded != 10 {
+		t.Fatalf("first = %+v", out[0])
+	}
+	if out[1].FinalPos != 1 || out[1].Forwarded != 20 {
+		t.Fatalf("second = %+v", out[1])
+	}
+}
+
+func TestDirectReleaseImmediate(t *testing.T) {
+	var got []*market.Batch
+	d := &DirectRelease{Deliver: func(b *market.Batch) { got = append(got, b) }}
+	d.OnData(market.DataPoint{ID: 7, Batch: 3})
+	if len(got) != 1 || got[0].LastPoint() != 7 || got[0].ID != 3 {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestCloudExReleaseOnTimeDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	var at []sim.Time
+	c := &CloudExRelease{C1: 100, Sched: k, Deliver: func(*market.Batch) { at = append(at, k.Now()) }}
+	// Point generated at 0, arrives at 30 — held until G+C1 = 100.
+	k.At(30, func() { c.OnData(market.DataPoint{ID: 1, Gen: 0}) })
+	k.Run()
+	if len(at) != 1 || at[0] != 100 {
+		t.Fatalf("delivered at %v, want 100", at)
+	}
+	if c.Overruns != 0 {
+		t.Fatalf("overruns = %d", c.Overruns)
+	}
+}
+
+func TestCloudExReleaseOverrun(t *testing.T) {
+	k := sim.NewKernel(1)
+	var at []sim.Time
+	c := &CloudExRelease{C1: 100, Sched: k, Deliver: func(*market.Batch) { at = append(at, k.Now()) }}
+	// A latency spike: the point arrives after its deadline.
+	k.At(250, func() { c.OnData(market.DataPoint{ID: 1, Gen: 0}) })
+	k.Run()
+	if len(at) != 1 || at[0] != 250 {
+		t.Fatalf("delivered at %v, want immediate 250", at)
+	}
+	if c.Overruns != 1 {
+		t.Fatalf("overruns = %d", c.Overruns)
+	}
+}
+
+func TestCloudExReleaseInOrder(t *testing.T) {
+	k := sim.NewKernel(1)
+	var ids []market.PointID
+	c := &CloudExRelease{C1: 100, Sched: k, Deliver: func(b *market.Batch) { ids = append(ids, b.LastPoint()) }}
+	// Point 1 overruns (arrives 250 > deadline 100); point 2's deadline
+	// (140) has also passed by then; it must not overtake point 1.
+	k.At(250, func() {
+		c.OnData(market.DataPoint{ID: 1, Gen: 0})
+		c.OnData(market.DataPoint{ID: 2, Gen: 40})
+	})
+	k.Run()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("order = %v", ids)
+	}
+}
+
+func TestCloudExOrderEqualizesReversePath(t *testing.T) {
+	k := sim.NewKernel(1)
+	var out []*market.Trade
+	c := &CloudExOrder{C2: 100, Sched: k, Forward: func(tr *market.Trade) { out = append(out, tr) }}
+	// Trade B submitted at 5 but arrives at 90; trade A submitted at 10,
+	// arrives at 20. Deadlines: B 105, A 110 → B first despite A's
+	// earlier arrival (this is exactly what CloudEx's C2 buys you).
+	k.At(20, func() { c.OnTrade(&market.Trade{MP: 1, Seq: 1, Submitted: 10}) })
+	k.At(90, func() { c.OnTrade(&market.Trade{MP: 2, Seq: 1, Submitted: 5}) })
+	k.Run()
+	if len(out) != 2 || out[0].MP != 2 || out[1].MP != 1 {
+		t.Fatalf("order = %v, %v", out[0].MP, out[1].MP)
+	}
+	if out[0].Forwarded != 105 || out[1].Forwarded != 110 {
+		t.Fatalf("times = %v, %v", out[0].Forwarded, out[1].Forwarded)
+	}
+}
+
+func TestCloudExOrderOverrun(t *testing.T) {
+	k := sim.NewKernel(1)
+	var out []*market.Trade
+	c := &CloudExOrder{C2: 50, Sched: k, Forward: func(tr *market.Trade) { out = append(out, tr) }}
+	// Trade submitted at 0 arrives at 200 (spike): forwarded immediately.
+	k.At(200, func() { c.OnTrade(&market.Trade{MP: 1, Seq: 1, Submitted: 0}) })
+	k.Run()
+	if out[0].Forwarded != 200 || c.Overruns != 1 {
+		t.Fatalf("fwd=%v overruns=%d", out[0].Forwarded, c.Overruns)
+	}
+}
+
+func TestFBABatchesAndShuffles(t *testing.T) {
+	k := sim.NewKernel(1)
+	var out []*market.Trade
+	f := &FBA{Interval: 100, Sched: k, Rng: rand.New(rand.NewPCG(7, 7)),
+		Forward: func(tr *market.Trade) { out = append(out, tr) }}
+	k.At(0, func() { f.Start() })
+	for i := 0; i < 50; i++ {
+		i := i
+		k.At(sim.Time(i), func() { f.OnTrade(&market.Trade{MP: market.ParticipantID(i), Seq: 1}) })
+	}
+	k.At(150, func() { f.OnTrade(&market.Trade{MP: 99, Seq: 1}) })
+	k.At(300, func() { f.Stop() })
+	k.Run()
+	if len(out) != 51 {
+		t.Fatalf("out = %d", len(out))
+	}
+	// First 50 trades flush together at t=100.
+	for i := 0; i < 50; i++ {
+		if out[i].Forwarded != 100 {
+			t.Fatalf("trade %d forwarded at %v", i, out[i].Forwarded)
+		}
+	}
+	// Within the batch, order is randomized (not arrival order).
+	inOrder := true
+	for i := 0; i < 50; i++ {
+		if out[i].MP != market.ParticipantID(i) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("FBA did not shuffle within the batch")
+	}
+	// The straggler batch flushes at 200.
+	if out[50].MP != 99 || out[50].Forwarded != 200 {
+		t.Fatalf("late trade = %+v", out[50])
+	}
+	if f.Batches != 2 {
+		t.Fatalf("batches = %d", f.Batches)
+	}
+	// FinalPos dense and increasing.
+	for i, tr := range out {
+		if tr.FinalPos != i {
+			t.Fatalf("pos[%d] = %d", i, tr.FinalPos)
+		}
+	}
+}
+
+func TestFBAStartIdempotentAndValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := &FBA{Interval: 10, Sched: k, Rng: rand.New(rand.NewPCG(1, 1)), Forward: func(*market.Trade) {}}
+	f.Start()
+	f.Start() // no double cadence
+	k.At(35, func() { f.Stop() })
+	k.Run()
+	bad := &FBA{Sched: k, Rng: rand.New(rand.NewPCG(1, 1)), Forward: func(*market.Trade) {}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero interval")
+		}
+	}()
+	bad.Start()
+}
+
+func TestLibraRandomHold(t *testing.T) {
+	k := sim.NewKernel(1)
+	var out []*market.Trade
+	l := &Libra{Window: 100, Sched: k, Rng: rand.New(rand.NewPCG(3, 3)),
+		Forward: func(tr *market.Trade) { out = append(out, tr) }}
+	for i := 0; i < 200; i++ {
+		i := i
+		k.At(sim.Time(i), func() { l.OnTrade(&market.Trade{MP: market.ParticipantID(i), Seq: 1}) })
+	}
+	k.Run()
+	if len(out) != 200 {
+		t.Fatalf("out = %d", len(out))
+	}
+	reordered := false
+	for i := range out {
+		if out[i].MP != market.ParticipantID(i) {
+			reordered = true
+		}
+		if d := out[i].Forwarded - sim.Time(out[i].MP); d < 0 || d >= 100 {
+			t.Fatalf("hold delay %v out of window", d)
+		}
+	}
+	if !reordered {
+		t.Fatal("Libra never reordered anything")
+	}
+}
+
+func TestLibraZeroWindowPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	l := &Libra{Sched: k, Rng: rand.New(rand.NewPCG(1, 1)), Forward: func(*market.Trade) {}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	l.OnTrade(&market.Trade{})
+}

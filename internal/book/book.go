@@ -1,0 +1,103 @@
+// Package book reconstructs a participant's view of the top of book
+// from the delivered market data stream. Real HFT strategies trade off
+// such a locally maintained view; the examples and live strategies use
+// it instead of raw data points.
+package book
+
+import (
+	"fmt"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// View is one symbol's L1 state as seen by a participant.
+type View struct {
+	Symbol   uint32
+	Bid, Ask int64
+	BidSize  int64
+	AskSize  int64
+
+	LastPoint  market.PointID // newest data point applied
+	BidUpdated sim.Time       // local delivery time of the bid side
+	AskUpdated sim.Time
+	Updates    int
+
+	haveBid, haveAsk bool
+}
+
+// Apply folds one delivered data point into the view. Points must be
+// applied in delivery order; stale points (id ≤ LastPoint) are ignored
+// and reported, so retransmitted data never corrupts the view.
+func (v *View) Apply(dp market.DataPoint, deliveredAt sim.Time) (applied bool) {
+	if v.Updates > 0 && dp.ID <= v.LastPoint {
+		return false
+	}
+	if v.Updates == 0 {
+		v.Symbol = dp.Symbol
+	} else if dp.Symbol != v.Symbol {
+		panic(fmt.Sprintf("book: symbol mixup: %d into view of %d", dp.Symbol, v.Symbol))
+	}
+	if dp.BidSide {
+		v.Bid, v.BidSize, v.BidUpdated, v.haveBid = dp.Price, dp.Qty, deliveredAt, true
+	} else {
+		v.Ask, v.AskSize, v.AskUpdated, v.haveAsk = dp.Price, dp.Qty, deliveredAt, true
+	}
+	v.LastPoint = dp.ID
+	v.Updates++
+	return true
+}
+
+// Valid reports whether both sides have been seen.
+func (v *View) Valid() bool { return v.haveBid && v.haveAsk }
+
+// Mid2 returns twice the midprice (integral). Only meaningful when Valid.
+func (v *View) Mid2() int64 { return v.Bid + v.Ask }
+
+// Spread returns ask − bid. Only meaningful when Valid.
+func (v *View) Spread() int64 { return v.Ask - v.Bid }
+
+// Imbalance returns (bidSize − askSize) / (bidSize + askSize) in
+// [-1, 1] — a standard microstructure signal. Zero when sizes are zero.
+func (v *View) Imbalance() float64 {
+	total := v.BidSize + v.AskSize
+	if total == 0 {
+		return 0
+	}
+	return float64(v.BidSize-v.AskSize) / float64(total)
+}
+
+// Staleness returns how long ago (in local time) the older side was
+// refreshed — large values mean one side of the quote is stale.
+func (v *View) Staleness(now sim.Time) sim.Time {
+	oldest := v.BidUpdated
+	if v.AskUpdated < oldest {
+		oldest = v.AskUpdated
+	}
+	return now - oldest
+}
+
+// Builder maintains Views for multiple symbols.
+type Builder struct {
+	views map[uint32]*View
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{views: make(map[uint32]*View)} }
+
+// Apply routes a delivered point to its symbol's view.
+func (b *Builder) Apply(dp market.DataPoint, deliveredAt sim.Time) *View {
+	v, ok := b.views[dp.Symbol]
+	if !ok {
+		v = &View{}
+		b.views[dp.Symbol] = v
+	}
+	v.Apply(dp, deliveredAt)
+	return v
+}
+
+// View returns the view for a symbol (nil if never seen).
+func (b *Builder) View(symbol uint32) *View { return b.views[symbol] }
+
+// Symbols reports how many instruments have views.
+func (b *Builder) Symbols() int { return len(b.views) }

@@ -1,0 +1,131 @@
+package book
+
+import (
+	"testing"
+
+	"dbo/internal/feed"
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func bid(id market.PointID, price, qty int64) market.DataPoint {
+	return market.DataPoint{ID: id, Symbol: 1, Price: price, Qty: qty, BidSide: true}
+}
+
+func ask(id market.PointID, price, qty int64) market.DataPoint {
+	return market.DataPoint{ID: id, Symbol: 1, Price: price, Qty: qty}
+}
+
+func TestViewBuildsFromUpdates(t *testing.T) {
+	var v View
+	if v.Valid() {
+		t.Fatal("empty view valid")
+	}
+	v.Apply(bid(1, 99, 10), 100)
+	if v.Valid() {
+		t.Fatal("one-sided view valid")
+	}
+	v.Apply(ask(2, 101, 5), 200)
+	if !v.Valid() {
+		t.Fatal("two-sided view invalid")
+	}
+	if v.Mid2() != 200 || v.Spread() != 2 {
+		t.Fatalf("mid2=%d spread=%d", v.Mid2(), v.Spread())
+	}
+	if v.BidUpdated != 100 || v.AskUpdated != 200 {
+		t.Fatalf("timestamps %v/%v", v.BidUpdated, v.AskUpdated)
+	}
+	if v.Updates != 2 || v.LastPoint != 2 {
+		t.Fatalf("updates=%d last=%d", v.Updates, v.LastPoint)
+	}
+}
+
+func TestStaleAndDuplicatePointsIgnored(t *testing.T) {
+	var v View
+	v.Apply(bid(5, 100, 1), 10)
+	if v.Apply(bid(5, 200, 1), 20) {
+		t.Fatal("duplicate applied")
+	}
+	if v.Apply(bid(3, 300, 1), 30) {
+		t.Fatal("retransmitted stale point applied")
+	}
+	if v.Bid != 100 {
+		t.Fatalf("view corrupted: bid %d", v.Bid)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	var v View
+	v.Apply(bid(1, 99, 30), 0)
+	v.Apply(ask(2, 101, 10), 0)
+	if got := v.Imbalance(); got != 0.5 {
+		t.Fatalf("imbalance = %v", got)
+	}
+	empty := &View{}
+	if empty.Imbalance() != 0 {
+		t.Fatal("zero-size imbalance must be 0")
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	var v View
+	v.Apply(bid(1, 99, 1), 100)
+	v.Apply(ask(2, 101, 1), 500)
+	if got := v.Staleness(600); got != 500 {
+		t.Fatalf("staleness = %v (bid side last touched at 100)", got)
+	}
+}
+
+func TestSymbolMixupPanics(t *testing.T) {
+	var v View
+	v.Apply(bid(1, 99, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.Apply(market.DataPoint{ID: 2, Symbol: 9, Price: 1, Qty: 1}, 0)
+}
+
+func TestBuilderRoutesSymbols(t *testing.T) {
+	b := NewBuilder()
+	b.Apply(market.DataPoint{ID: 1, Symbol: 1, Price: 100, Qty: 1, BidSide: true}, 0)
+	b.Apply(market.DataPoint{ID: 2, Symbol: 2, Price: 200, Qty: 1, BidSide: true}, 0)
+	if b.Symbols() != 2 {
+		t.Fatalf("symbols = %d", b.Symbols())
+	}
+	if b.View(1).Bid != 100 || b.View(2).Bid != 200 {
+		t.Fatal("views mixed up")
+	}
+	if b.View(3) != nil {
+		t.Fatal("unknown symbol should be nil")
+	}
+}
+
+func TestViewTracksFeedGenerator(t *testing.T) {
+	// End-to-end with the feed substrate: applying every quote in order
+	// reproduces the generator's current book exactly.
+	g := feed.New(feed.Config{Seed: 9})
+	var v View
+	var lastQ feed.Quote
+	for i := 0; i < 10000; i++ {
+		q := g.Next()
+		lastQ = q
+		dp := market.DataPoint{
+			ID: market.PointID(i + 1), Symbol: q.Symbol,
+			BidSide: q.BidMoved,
+		}
+		if q.BidMoved {
+			dp.Price, dp.Qty = q.Bid, q.BidSize
+		} else {
+			dp.Price, dp.Qty = q.Ask, q.AskSize
+		}
+		v.Apply(dp, sim.Time(i))
+	}
+	if v.Bid != lastQ.Bid || v.Ask != lastQ.Ask {
+		t.Fatalf("view %d/%d vs feed %d/%d", v.Bid, v.Ask, lastQ.Bid, lastQ.Ask)
+	}
+	if v.Spread() < 1 {
+		t.Fatal("crossed reconstructed book")
+	}
+}

@@ -1,0 +1,91 @@
+// Package clock implements the logical timekeeping DBO relies on.
+//
+// DBO requires no clock synchronization (Challenge 1): every quantity a
+// release buffer measures is a *local* time interval — "how long since I
+// delivered the last batch". This package provides
+//
+//   - Local: a view of a component's local clock, including models with
+//     constant offset and drift rate so tests can verify DBO's guarantee
+//     is insensitive to unsynchronized clocks (the paper only assumes
+//     drift *rate* is negligible, §3 Assumptions), and
+//   - Delivery: the per-participant delivery-clock tracker maintained by
+//     a release buffer (§4.1.1, Figure 4).
+package clock
+
+import (
+	"fmt"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// Local is a component's local clock: it maps global (simulation or
+// wall) time to the component's own reading. DBO only ever subtracts two
+// readings of the same Local, so offsets cancel and only drift matters.
+type Local interface {
+	// Now returns the local reading at global time t.
+	Now(t sim.Time) sim.Time
+}
+
+// Perfect is a local clock identical to global time.
+type Perfect struct{}
+
+// Now implements Local.
+func (Perfect) Now(t sim.Time) sim.Time { return t }
+
+// Drifting is a local clock with a constant offset and a constant drift
+// rate: reading = Offset + t·(1+Rate). A Rate of 2e-4 models the paper's
+// cited worst-case drift of < 0.02% [Sundial].
+type Drifting struct {
+	Offset sim.Time
+	Rate   float64 // fractional frequency error, e.g. 2e-4 = 0.02%
+}
+
+// Now implements Local.
+func (d Drifting) Now(t sim.Time) sim.Time {
+	return d.Offset + t + sim.Time(float64(t)*d.Rate)
+}
+
+// Delivery tracks a participant's delivery clock. All times passed in
+// must come from the *same* Local clock; Delivery never compares
+// readings across components.
+type Delivery struct {
+	point    market.PointID
+	lastRead sim.Time // local time of the latest delivery
+	started  bool
+}
+
+// OnDeliver records that data up to (and including) point was delivered
+// at local time localNow. Points must be delivered in increasing order;
+// regressions indicate a reordering bug upstream and panic.
+func (d *Delivery) OnDeliver(localNow sim.Time, point market.PointID) {
+	if d.started && point <= d.point {
+		panic(fmt.Sprintf("clock: delivery clock regression: point %d after %d", point, d.point))
+	}
+	if d.started && localNow < d.lastRead {
+		panic(fmt.Sprintf("clock: local time regression: %v after %v", localNow, d.lastRead))
+	}
+	d.point = point
+	d.lastRead = localNow
+	d.started = true
+}
+
+// Read returns the delivery clock ⟨ld, now − D(ld)⟩ at local time
+// localNow. Before any delivery the clock reads ⟨0, localNow⟩ so that
+// pre-open trades still order by submission time.
+func (d *Delivery) Read(localNow sim.Time) market.DeliveryClock {
+	if !d.started {
+		return market.DeliveryClock{Point: 0, Elapsed: localNow}
+	}
+	e := localNow - d.lastRead
+	if e < 0 {
+		panic(fmt.Sprintf("clock: reading local time %v before last delivery %v", localNow, d.lastRead))
+	}
+	return market.DeliveryClock{Point: d.point, Elapsed: e}
+}
+
+// Point returns the latest delivered data point id (0 if none).
+func (d *Delivery) Point() market.PointID { return d.point }
+
+// LastDelivery returns the local time of the latest delivery.
+func (d *Delivery) LastDelivery() sim.Time { return d.lastRead }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// Batcher implements the CES side of batching (§4.1.2): market data is
+// split into batches, each covering a generation-time window of
+// (1+κ)·δ. The batch id of a point generated at time g is
+// ⌊g / ((1+κ)·δ)⌋ + 1, and the point is flagged Last when no later
+// point of the run falls inside the same window — the release buffers
+// deliver a batch the moment its Last point arrives.
+//
+// Because batch generation rate (one per (1+κ)·δ) is strictly slower
+// than the release buffers' dequeue rate limit (one per δ), RB queues
+// built up during latency spikes always drain (§4.2.1).
+type Batcher struct {
+	window sim.Time // (1+κ)·δ
+	nextID market.PointID
+	last   sim.Time // generation time of the previous point
+	seen   bool
+}
+
+// NewBatcher builds a batcher for horizon delta and pacing gain kappa.
+// Both follow the paper's constraints: δ > 0, κ > 0.
+func NewBatcher(delta sim.Time, kappa float64) *Batcher {
+	if delta <= 0 {
+		panic(fmt.Sprintf("core: delta must be positive, got %v", delta))
+	}
+	if kappa <= 0 {
+		panic(fmt.Sprintf("core: kappa must be positive, got %v", kappa))
+	}
+	w := sim.Time(float64(delta) * (1 + kappa))
+	return &Batcher{window: w}
+}
+
+// Window returns the batch window (1+κ)·δ.
+func (b *Batcher) Window() sim.Time { return b.window }
+
+// BatchOf returns the batch id for a generation time.
+func (b *Batcher) BatchOf(gen sim.Time) market.BatchID {
+	if gen < 0 {
+		panic("core: negative generation time")
+	}
+	return market.BatchID(gen/b.window) + 1
+}
+
+// Next assigns the next point id and batch for a data point generated at
+// gen, given the generation time of the following point (nextGen < 0
+// means "unknown/none": the point is conservatively not Last; use
+// CloseMarker to close the window explicitly). Generation times must be
+// non-decreasing.
+func (b *Batcher) Next(gen, nextGen sim.Time) (id market.PointID, batch market.BatchID, last bool) {
+	if b.seen && gen < b.last {
+		panic(fmt.Sprintf("core: generation time regressed: %v after %v", gen, b.last))
+	}
+	b.last = gen
+	b.seen = true
+	b.nextID++
+	batch = b.BatchOf(gen)
+	if nextGen >= 0 {
+		last = b.BatchOf(nextGen) > batch
+	}
+	return b.nextID, batch, last
+}
+
+// WindowEnd returns the generation-time end of a batch's window — when
+// a CloseMarker should be emitted for aperiodic feeds.
+func (b *Batcher) WindowEnd(batch market.BatchID) sim.Time {
+	return sim.Time(batch) * b.window
+}
+
+// CloseMarker is the control message a CES sends when a batch window
+// closes without a Last-flagged point (aperiodic generation or idle
+// markets). It tells the RB the batch is complete. Count lets the RB
+// detect lost points (Appendix D).
+type CloseMarker struct {
+	Batch market.BatchID
+	Final market.PointID // id of the batch's final point (0 = empty batch)
+	Count int            // number of points in the batch
+}

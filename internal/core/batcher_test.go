@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"dbo/internal/sim"
+)
+
+func TestBatcherWindow(t *testing.T) {
+	b := NewBatcher(20*sim.Microsecond, 0.25)
+	if b.Window() != 25*sim.Microsecond {
+		t.Fatalf("window = %v, want 25µs", b.Window())
+	}
+}
+
+func TestBatcherBatchOf(t *testing.T) {
+	b := NewBatcher(20*sim.Microsecond, 0.25) // window 25µs
+	cases := []struct {
+		gen  sim.Time
+		want uint64
+	}{
+		{0, 1}, {24999, 1}, {25000, 2}, {49999, 2}, {50000, 3},
+	}
+	for _, c := range cases {
+		if got := uint64(b.BatchOf(c.gen * sim.Nanosecond)); got != c.want {
+			t.Errorf("BatchOf(%d) = %d, want %d", c.gen, got, c.want)
+		}
+	}
+}
+
+func TestBatcherNextAssignsSequentialIDs(t *testing.T) {
+	b := NewBatcher(20*sim.Microsecond, 0.25)
+	id1, _, _ := b.Next(0, 40*sim.Microsecond)
+	id2, _, _ := b.Next(40*sim.Microsecond, 80*sim.Microsecond)
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("ids = %d, %d", id1, id2)
+	}
+}
+
+func TestBatcherLastFlag(t *testing.T) {
+	// Window 60µs, ticks every 40µs: points at 0 and 40 share batch 1
+	// (Figure 10's DBO(45,60) configuration), point at 80 starts batch 2.
+	b := NewBatcher(45*sim.Microsecond, 1.0/3.0)
+	if w := b.Window(); w != 60*sim.Microsecond {
+		t.Fatalf("window = %v", w)
+	}
+	_, batch1, last1 := b.Next(0, 40*sim.Microsecond)
+	_, batch2, last2 := b.Next(40*sim.Microsecond, 80*sim.Microsecond)
+	_, batch3, last3 := b.Next(80*sim.Microsecond, 120*sim.Microsecond)
+	if batch1 != 1 || last1 {
+		t.Errorf("point 1: batch %d last %v, want batch 1 not last", batch1, last1)
+	}
+	if batch2 != 1 || !last2 {
+		t.Errorf("point 2: batch %d last %v, want batch 1 last", batch2, last2)
+	}
+	// Batch 2 covers [60µs, 120µs): the point at 80µs is its only point,
+	// so it is Last (the next tick at 120µs opens batch 3).
+	if batch3 != 2 || !last3 {
+		t.Errorf("point 3: batch %d last %v, want batch 2 last", batch3, last3)
+	}
+}
+
+func TestBatcherUnknownNextGen(t *testing.T) {
+	b := NewBatcher(20*sim.Microsecond, 0.25)
+	_, _, last := b.Next(0, -1)
+	if last {
+		t.Error("unknown next gen must not mark Last")
+	}
+}
+
+func TestBatcherWindowEnd(t *testing.T) {
+	b := NewBatcher(20*sim.Microsecond, 0.25)
+	if got := b.WindowEnd(1); got != 25*sim.Microsecond {
+		t.Errorf("WindowEnd(1) = %v", got)
+	}
+	if got := b.WindowEnd(4); got != 100*sim.Microsecond {
+		t.Errorf("WindowEnd(4) = %v", got)
+	}
+}
+
+func TestBatcherPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero delta":     func() { NewBatcher(0, 0.25) },
+		"zero kappa":     func() { NewBatcher(20, 0) },
+		"negative gen":   func() { NewBatcher(20, 0.25).BatchOf(-1) },
+		"gen regression": func() { b := NewBatcher(20, 0.25); b.Next(100, -1); b.Next(50, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,11 @@
+// Package core implements Delivery Based Ordering (DBO), the paper's
+// primary contribution (§4): the CES-side batcher, the per-participant
+// release buffer with pacing and delivery-clock tagging, and the
+// ordering buffer with heartbeat-driven enforcement, straggler
+// mitigation, and sharded scaling.
+//
+// The components are deliberately transport-agnostic: they take a
+// Scheduler for timekeeping and callbacks for I/O, so the same code
+// runs inside the deterministic simulator (internal/exchange) and the
+// live UDP deployment (internal/node).
+package core

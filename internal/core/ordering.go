@@ -1,0 +1,213 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// tradeHeap orders trades by (delivery clock, participant, sequence).
+type tradeHeap []*market.Trade
+
+func ordKey(t *market.Trade) market.Ordering {
+	return market.Ordering{DC: t.DC, MP: t.MP, Seq: t.Seq}
+}
+
+func (h tradeHeap) Len() int           { return len(h) }
+func (h tradeHeap) Less(i, j int) bool { return ordKey(h[i]).Less(ordKey(h[j])) }
+func (h tradeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tradeHeap) Push(x any)        { *h = append(*h, x.(*market.Trade)) }
+func (h *tradeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// OrderingBufferConfig configures an ordering buffer.
+type OrderingBufferConfig struct {
+	// Participants whose watermarks gate trade release. For a sharded
+	// deployment these are shard ids instead of MP ids (§5.2).
+	Participants []market.ParticipantID
+
+	// Forward receives trades in final DBO order; the harness stamps
+	// F(i,a) and feeds the matching engine.
+	Forward func(t *market.Trade)
+
+	Sched Scheduler
+
+	// StragglerRTT enables straggler mitigation (§4.2.1) when positive:
+	// a participant whose tracked round trip exceeds the threshold — or
+	// from whom no heartbeat has arrived for that long — is excluded
+	// from the release gate until its latency recovers.
+	StragglerRTT sim.Time
+
+	// GenTime maps a data point to its generation time at the CES; the
+	// OB is colocated with the CES (§5.2), so this is local knowledge.
+	// Required for RTT tracking when StragglerRTT > 0.
+	GenTime func(p market.PointID) sim.Time
+}
+
+// OrderingBuffer implements §4.1.3: a priority queue of delivery-clock-
+// tagged trades released only once every (non-straggler) participant's
+// watermark strictly exceeds the head trade's clock.
+type OrderingBuffer struct {
+	cfg   OrderingBufferConfig
+	heap  tradeHeap
+	state map[market.ParticipantID]*mpState
+	start sim.Time
+
+	Forwarded int
+	// StragglerEvents counts activations of straggler mitigation.
+	StragglerEvents int
+}
+
+type mpState struct {
+	wm        market.DeliveryClock
+	lastHB    sim.Time // global arrival time of the latest heartbeat
+	hasHB     bool
+	straggler bool
+	rtt       sim.Time
+}
+
+// NewOrderingBuffer validates the config and returns an empty OB.
+func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
+	if len(cfg.Participants) == 0 {
+		panic("core: OB needs at least one participant")
+	}
+	if cfg.Forward == nil || cfg.Sched == nil {
+		panic("core: OB needs Forward and Sched")
+	}
+	if cfg.StragglerRTT > 0 && cfg.GenTime == nil {
+		panic("core: straggler mitigation needs GenTime")
+	}
+	ob := &OrderingBuffer{cfg: cfg, state: make(map[market.ParticipantID]*mpState, len(cfg.Participants))}
+	for _, p := range cfg.Participants {
+		if _, dup := ob.state[p]; dup {
+			panic(fmt.Sprintf("core: duplicate participant %d", p))
+		}
+		ob.state[p] = &mpState{}
+	}
+	ob.start = cfg.Sched.Now()
+	return ob
+}
+
+// OnTrade ingests a tagged trade. The trade itself also advances its
+// sender's watermark: in-order delivery plus clock monotonicity mean
+// the OB will never see an earlier clock from that participant again.
+func (ob *OrderingBuffer) OnTrade(t *market.Trade) {
+	heap.Push(&ob.heap, t)
+	if st, ok := ob.state[t.MP]; ok && st.wm.Less(t.DC) {
+		st.wm = t.DC
+	}
+	ob.drain()
+}
+
+// OnHeartbeat ingests a heartbeat: it advances the sender's watermark,
+// refreshes its liveness, and updates the straggler estimate.
+func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
+	st, ok := ob.state[h.MP]
+	if !ok {
+		return // unknown participant; ignore rather than corrupt state
+	}
+	now := ob.cfg.Sched.Now()
+	if st.wm.Less(h.DC) {
+		st.wm = h.DC
+	}
+	st.lastHB = now
+	st.hasHB = true
+	if ob.cfg.StragglerRTT > 0 && h.DC.Point > 0 {
+		// RTT ≈ (delivery latency of the latest point) + (heartbeat
+		// network latency): heartbeat arrival − G(point) − elapsed.
+		st.rtt = now - ob.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
+		ob.setStraggler(st, st.rtt > ob.cfg.StragglerRTT)
+	}
+	ob.drain()
+}
+
+// Tick performs periodic maintenance: heartbeat-timeout straggler
+// detection and a drain pass. Harnesses call it every τ (or on any
+// timer); it is idempotent.
+func (ob *OrderingBuffer) Tick() {
+	if ob.cfg.StragglerRTT > 0 {
+		now := ob.cfg.Sched.Now()
+		for _, st := range ob.state {
+			last := st.lastHB
+			if !st.hasHB {
+				last = ob.start
+			}
+			if now-last > ob.cfg.StragglerRTT {
+				ob.setStraggler(st, true)
+			}
+		}
+	}
+	ob.drain()
+}
+
+func (ob *OrderingBuffer) setStraggler(st *mpState, v bool) {
+	if v && !st.straggler {
+		ob.StragglerEvents++
+	}
+	st.straggler = v
+}
+
+// Queued reports trades currently held.
+func (ob *OrderingBuffer) Queued() int { return len(ob.heap) }
+
+// Stragglers lists participants currently excluded from the gate.
+func (ob *OrderingBuffer) Stragglers() []market.ParticipantID {
+	var out []market.ParticipantID
+	for p, st := range ob.state {
+		if st.straggler {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Watermark returns the current watermark of a participant.
+func (ob *OrderingBuffer) Watermark(p market.ParticipantID) (market.DeliveryClock, bool) {
+	st, ok := ob.state[p]
+	if !ok {
+		return market.DeliveryClock{}, false
+	}
+	return st.wm, true
+}
+
+// releasable reports whether a trade with clock dc can be forwarded:
+// every active participant's watermark must be *strictly* greater, so
+// no in-flight trade can still order ahead of (or tie with) it.
+func (ob *OrderingBuffer) releasable(dc market.DeliveryClock) bool {
+	for _, st := range ob.state {
+		if st.straggler {
+			continue
+		}
+		if !dc.Less(st.wm) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ob *OrderingBuffer) drain() {
+	for len(ob.heap) > 0 && ob.releasable(ob.heap[0].DC) {
+		t := heap.Pop(&ob.heap).(*market.Trade)
+		t.Forwarded = ob.cfg.Sched.Now()
+		t.FinalPos = ob.Forwarded
+		ob.Forwarded++
+		ob.cfg.Forward(t)
+	}
+}
+
+// Crash models an OB failure: all queued trades are dropped (the system
+// incurs unfairness, §4.2.1 "OB failure"). It returns the lost trades.
+func (ob *OrderingBuffer) Crash() []*market.Trade {
+	lost := make([]*market.Trade, len(ob.heap))
+	copy(lost, ob.heap)
+	ob.heap = ob.heap[:0]
+	return lost
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+type obFixture struct {
+	k   *sim.Kernel
+	ob  *OrderingBuffer
+	out []*market.Trade
+}
+
+func newOBFixture(parts []market.ParticipantID, straggler sim.Time, gen func(market.PointID) sim.Time) *obFixture {
+	f := &obFixture{k: sim.NewKernel(1)}
+	f.ob = NewOrderingBuffer(OrderingBufferConfig{
+		Participants: parts,
+		Forward:      func(t *market.Trade) { f.out = append(f.out, t) },
+		Sched:        f.k,
+		StragglerRTT: straggler,
+		GenTime:      gen,
+	})
+	return f
+}
+
+func dc(p market.PointID, e sim.Time) market.DeliveryClock {
+	return market.DeliveryClock{Point: p, Elapsed: e}
+}
+
+func trade(mp market.ParticipantID, seq market.TradeSeq, c market.DeliveryClock) *market.Trade {
+	return &market.Trade{MP: mp, Seq: seq, DC: c}
+}
+
+func hb(mp market.ParticipantID, c market.DeliveryClock) market.Heartbeat {
+	return market.Heartbeat{MP: mp, DC: c}
+}
+
+func TestOBHoldsUntilAllWatermarksPass(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
+	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
+	if len(f.out) != 0 {
+		t.Fatal("released before any heartbeat from MP 2")
+	}
+	// Equal watermark is not enough: MP 2 could still submit a tying trade.
+	f.ob.OnHeartbeat(hb(2, dc(1, 10)))
+	if len(f.out) != 0 {
+		t.Fatal("released on equal watermark; must be strictly greater")
+	}
+	f.ob.OnHeartbeat(hb(2, dc(1, 11)))
+	// Still blocked: the paper requires heartbeats from *all* the
+	// participants (§4.1.3), including the sender, whose own watermark
+	// equals the trade's tag.
+	if len(f.out) != 0 {
+		t.Fatal("released before the sender's own heartbeat passed")
+	}
+	f.ob.OnHeartbeat(hb(1, dc(1, 11)))
+	if len(f.out) != 1 {
+		t.Fatal("not released after all watermarks passed")
+	}
+}
+
+func TestOBOwnTradeAdvancesOwnWatermark(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
+	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
+	// MP 1 never sends a heartbeat, but its own trade set its watermark
+	// to ⟨1,10⟩; only MP 2's must pass.
+	f.ob.OnHeartbeat(hb(2, dc(2, 0)))
+	if len(f.out) != 0 {
+		t.Fatal("own watermark ⟨1,10⟩ is not strictly greater than the trade's own tag")
+	}
+	// A later trade from MP 1 advances its watermark past the first.
+	f.ob.OnTrade(trade(1, 2, dc(1, 20)))
+	if len(f.out) != 1 || f.out[0].Seq != 1 {
+		t.Fatalf("out = %v", f.out)
+	}
+}
+
+func TestOBReleasesInDCOrder(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1, 2, 3}, 0, nil)
+	// Trades arrive out of DC order (network reordering across MPs).
+	f.ob.OnTrade(trade(2, 1, dc(1, 15)))
+	f.ob.OnTrade(trade(1, 1, dc(1, 5)))
+	f.ob.OnTrade(trade(3, 1, dc(2, 1)))
+	for _, p := range []market.ParticipantID{1, 2, 3} {
+		f.ob.OnHeartbeat(hb(p, dc(3, 0)))
+	}
+	if len(f.out) != 3 {
+		t.Fatalf("forwarded %d", len(f.out))
+	}
+	if f.out[0].MP != 1 || f.out[1].MP != 2 || f.out[2].MP != 3 {
+		t.Fatalf("order = %v,%v,%v", f.out[0].MP, f.out[1].MP, f.out[2].MP)
+	}
+	// FinalPos and Forwarded stamps applied.
+	for i, tr := range f.out {
+		if tr.FinalPos != i {
+			t.Fatalf("FinalPos[%d] = %d", i, tr.FinalPos)
+		}
+	}
+	if f.ob.Forwarded != 3 {
+		t.Fatalf("Forwarded = %d", f.ob.Forwarded)
+	}
+}
+
+func TestOBEqualDCTieBreakByMPThenSeq(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
+	f.ob.OnTrade(trade(2, 1, dc(1, 10)))
+	f.ob.OnTrade(trade(1, 7, dc(1, 10)))
+	f.ob.OnTrade(trade(1, 3, dc(1, 10)))
+	f.ob.OnHeartbeat(hb(1, dc(9, 0)))
+	f.ob.OnHeartbeat(hb(2, dc(9, 0)))
+	want := []struct {
+		mp  market.ParticipantID
+		seq market.TradeSeq
+	}{{1, 3}, {1, 7}, {2, 1}}
+	for i, w := range want {
+		if f.out[i].MP != w.mp || f.out[i].Seq != w.seq {
+			t.Fatalf("out[%d] = %v,%v want %v", i, f.out[i].MP, f.out[i].Seq, w)
+		}
+	}
+}
+
+func TestOBUnknownParticipantHeartbeatIgnored(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1}, 0, nil)
+	f.ob.OnHeartbeat(hb(99, dc(5, 0))) // must not panic or create state
+	if _, ok := f.ob.Watermark(99); ok {
+		t.Fatal("unknown participant gained a watermark")
+	}
+}
+
+func TestOBQueuedAndWatermark(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
+	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
+	if f.ob.Queued() != 1 {
+		t.Fatalf("Queued = %d", f.ob.Queued())
+	}
+	wm, ok := f.ob.Watermark(1)
+	if !ok || wm != dc(1, 10) {
+		t.Fatalf("Watermark = %v %v", wm, ok)
+	}
+}
+
+func TestOBStragglerTimeout(t *testing.T) {
+	gen := func(market.PointID) sim.Time { return 0 }
+	f := newOBFixture([]market.ParticipantID{1, 2}, 100*sim.Microsecond, gen)
+	f.k.At(0, func() {
+		f.ob.OnTrade(trade(1, 1, dc(1, 10)))
+		f.ob.OnHeartbeat(hb(1, dc(1, 20)))
+	})
+	// MP 2 is silent. Before the timeout the trade is stuck.
+	f.k.At(50*sim.Microsecond, func() {
+		f.ob.Tick()
+		if len(f.out) != 0 {
+			t.Error("released before straggler timeout")
+		}
+	})
+	// MP 1 keeps beating (so only MP 2 times out).
+	f.k.At(140*sim.Microsecond, func() {
+		f.ob.OnHeartbeat(hb(1, dc(1, 80*sim.Microsecond)))
+	})
+	// After the timeout MP 2 is deemed a straggler and excluded.
+	f.k.At(150*sim.Microsecond, func() {
+		f.ob.Tick()
+		if len(f.out) != 1 {
+			t.Error("straggler not bypassed")
+		}
+	})
+	f.k.Run()
+	if got := f.ob.Stragglers(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("stragglers = %v", got)
+	}
+	if f.ob.StragglerEvents != 1 {
+		t.Fatalf("events = %d", f.ob.StragglerEvents)
+	}
+}
+
+func TestOBStragglerByRTTEstimateAndRecovery(t *testing.T) {
+	genAt := map[market.PointID]sim.Time{1: 0, 2: 1000 * sim.Microsecond}
+	gen := func(p market.PointID) sim.Time { return genAt[p] }
+	f := newOBFixture([]market.ParticipantID{1, 2}, 100*sim.Microsecond, gen)
+	// MP 2's heartbeat arrives with implied RTT 300µs > 100µs threshold:
+	// point 1 generated at 0, heartbeat at 300µs with 0 elapsed.
+	f.k.At(300*sim.Microsecond, func() {
+		f.ob.OnHeartbeat(hb(2, dc(1, 0)))
+	})
+	f.k.Run()
+	if got := f.ob.Stragglers(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("stragglers = %v", got)
+	}
+	// Recovery: point 2 generated at 1000µs, heartbeat at 1040µs with
+	// 20µs elapsed → RTT 20µs < threshold.
+	f.k.At(1040*sim.Microsecond, func() {
+		f.ob.OnHeartbeat(hb(2, dc(2, 20*sim.Microsecond)))
+	})
+	f.k.Run()
+	if got := f.ob.Stragglers(); len(got) != 0 {
+		t.Fatalf("straggler not re-admitted: %v", got)
+	}
+}
+
+func TestOBStragglerRejoinBlocksAgain(t *testing.T) {
+	gen := func(market.PointID) sim.Time { return 0 }
+	f := newOBFixture([]market.ParticipantID{1, 2}, 100*sim.Microsecond, gen)
+	f.k.At(200*sim.Microsecond, func() {
+		f.ob.Tick() // MP 1 and 2 both time out (no heartbeats at all)
+		f.ob.OnTrade(trade(1, 1, dc(1, 10)))
+	})
+	f.k.Run()
+	if len(f.out) != 1 {
+		t.Fatal("all-straggler OB must release immediately")
+	}
+	// MP 2 recovers: heartbeat at 210µs for point 1 (generated at 0)
+	// with 205µs elapsed → implied RTT 5µs < threshold → re-admitted,
+	// with watermark ⟨1, 205µs⟩.
+	f.k.At(210*sim.Microsecond, func() {
+		f.ob.OnHeartbeat(hb(2, dc(1, 205*sim.Microsecond)))
+	})
+	// A trade ordering beyond MP 2's watermark must block again.
+	f.k.At(220*sim.Microsecond, func() {
+		f.ob.OnTrade(trade(1, 2, dc(1, 300*sim.Microsecond)))
+	})
+	f.k.Run()
+	if len(f.out) != 1 {
+		t.Fatalf("out = %d; trade should block on rejoined MP 2", len(f.out))
+	}
+	if got := f.ob.Stragglers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("stragglers = %v, want only silent MP 1", got)
+	}
+}
+
+func TestOBCrashDropsQueue(t *testing.T) {
+	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
+	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
+	f.ob.OnTrade(trade(1, 2, dc(1, 20)))
+	lost := f.ob.Crash()
+	if len(lost) != 2 || f.ob.Queued() != 0 {
+		t.Fatalf("lost %d queued %d", len(lost), f.ob.Queued())
+	}
+	// Later watermark advances release nothing (trades are gone).
+	f.ob.OnHeartbeat(hb(1, dc(9, 0)))
+	f.ob.OnHeartbeat(hb(2, dc(9, 0)))
+	if len(f.out) != 0 {
+		t.Fatal("crashed trades reappeared")
+	}
+}
+
+func TestOBConfigPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	fwd := func(*market.Trade) {}
+	for name, fn := range map[string]func(){
+		"no participants": func() {
+			NewOrderingBuffer(OrderingBufferConfig{Forward: fwd, Sched: k})
+		},
+		"nil forward": func() {
+			NewOrderingBuffer(OrderingBufferConfig{Participants: []market.ParticipantID{1}, Sched: k})
+		},
+		"nil sched": func() {
+			NewOrderingBuffer(OrderingBufferConfig{Participants: []market.ParticipantID{1}, Forward: fwd})
+		},
+		"straggler without gentime": func() {
+			NewOrderingBuffer(OrderingBufferConfig{Participants: []market.ParticipantID{1}, Forward: fwd, Sched: k, StragglerRTT: 1})
+		},
+		"duplicate participant": func() {
+			NewOrderingBuffer(OrderingBufferConfig{Participants: []market.ParticipantID{1, 1}, Forward: fwd, Sched: k})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: with random trades and eventually-complete heartbeats, the
+// OB (a) forwards everything, (b) in exactly sorted Ordering, and (c)
+// never forwards a trade before every other participant's watermark
+// strictly exceeds it (safety, checked via a monotone release log).
+func TestPropertyOBSortsAndIsSafe(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		parts := []market.ParticipantID{1, 2, 3}
+		fix := newOBFixture(parts, 0, nil)
+		count := int(n)%60 + 1
+		var all []*market.Trade
+		seqs := map[market.ParticipantID]market.TradeSeq{}
+		// Per-MP monotone DCs (the RB guarantees monotone tags).
+		cur := map[market.ParticipantID]market.DeliveryClock{}
+		for i := 0; i < count; i++ {
+			mp := parts[rng.IntN(len(parts))]
+			c := cur[mp]
+			if rng.IntN(3) == 0 {
+				c.Point += market.PointID(rng.IntN(2) + 1)
+				c.Elapsed = sim.Time(rng.Int64N(50))
+			} else {
+				c.Elapsed += sim.Time(rng.Int64N(50) + 1)
+			}
+			cur[mp] = c
+			seqs[mp]++
+			tr := trade(mp, seqs[mp], c)
+			all = append(all, tr)
+			fix.ob.OnTrade(tr)
+			// Occasionally advance a random watermark. The heartbeat's
+			// clock is committed back to cur: a real RB's channel is
+			// in-order, so later trades never tag below an earlier
+			// heartbeat.
+			if rng.IntN(2) == 0 {
+				p := parts[rng.IntN(len(parts))]
+				hc := cur[p]
+				hc.Elapsed += sim.Time(rng.Int64N(100))
+				cur[p] = hc
+				fix.ob.OnHeartbeat(hb(p, hc))
+			}
+		}
+		// Final heartbeats past everything.
+		for _, p := range parts {
+			fix.ob.OnHeartbeat(hb(p, dc(1<<40, 0)))
+		}
+		if len(fix.out) != len(all) {
+			return false
+		}
+		sorted := slices.IsSortedFunc(fix.out, func(a, b *market.Trade) int {
+			if ordKey(a).Less(ordKey(b)) {
+				return -1
+			}
+			if ordKey(b).Less(ordKey(a)) {
+				return 1
+			}
+			return 0
+		})
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

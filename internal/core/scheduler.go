@@ -1,0 +1,14 @@
+package core
+
+import "dbo/internal/sim"
+
+// Scheduler is the minimal timekeeping surface the DBO components need:
+// read the current (global) time and schedule a callback. *sim.Kernel
+// implements it directly; the live deployment adapts real timers.
+type Scheduler interface {
+	Now() sim.Time
+	At(t sim.Time, fn func())
+}
+
+// after schedules fn d after now on s.
+func after(s Scheduler, d sim.Time, fn func()) { s.At(s.Now()+d, fn) }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// OBShard is one distributed ordering-buffer instance (§5.2 Scaling).
+// It absorbs the heartbeats of its member RBs, maintains the minimum of
+// their delivery clocks, and forwards to the master OB only (a) trades,
+// unchanged, and (b) a synthetic heartbeat whenever the shard minimum
+// advances. The master therefore processes O(shards) heartbeats instead
+// of O(participants).
+type OBShard struct {
+	cfg   ShardConfig
+	state map[market.ParticipantID]*mpState
+	last  market.DeliveryClock // last minimum emitted to the master
+	sent  bool
+	start sim.Time
+
+	// HeartbeatsIn counts member heartbeats absorbed; HeartbeatsOut
+	// counts synthetic heartbeats emitted to the master.
+	HeartbeatsIn, HeartbeatsOut int
+}
+
+// ShardConfig configures an OBShard.
+type ShardConfig struct {
+	ID      market.ParticipantID   // this shard's id in the master's space
+	Members []market.ParticipantID // RBs assigned to this shard
+	Sched   Scheduler
+
+	// Emit sends towards the master OB: *market.Trade (pass-through) or
+	// market.Heartbeat{MP: ID} carrying the shard minimum.
+	Emit func(v any)
+
+	// StragglerRTT / GenTime act exactly as in OrderingBufferConfig but
+	// scoped to this shard's members.
+	StragglerRTT sim.Time
+	GenTime      func(p market.PointID) sim.Time
+}
+
+// NewOBShard validates and builds a shard.
+func NewOBShard(cfg ShardConfig) *OBShard {
+	if len(cfg.Members) == 0 {
+		panic("core: shard needs members")
+	}
+	if cfg.Emit == nil || cfg.Sched == nil {
+		panic("core: shard needs Emit and Sched")
+	}
+	if cfg.StragglerRTT > 0 && cfg.GenTime == nil {
+		panic("core: straggler mitigation needs GenTime")
+	}
+	s := &OBShard{cfg: cfg, state: make(map[market.ParticipantID]*mpState, len(cfg.Members))}
+	for _, m := range cfg.Members {
+		if _, dup := s.state[m]; dup {
+			panic(fmt.Sprintf("core: duplicate member %d", m))
+		}
+		s.state[m] = &mpState{}
+	}
+	s.start = cfg.Sched.Now()
+	return s
+}
+
+// OnTrade forwards a member trade to the master, also treating its tag
+// as a watermark advance for the sender.
+func (s *OBShard) OnTrade(t *market.Trade) {
+	if st, ok := s.state[t.MP]; ok && st.wm.Less(t.DC) {
+		st.wm = t.DC
+	}
+	s.cfg.Emit(t)
+	s.maybeEmitMin()
+}
+
+// OnHeartbeat absorbs a member heartbeat.
+func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
+	st, ok := s.state[h.MP]
+	if !ok {
+		return
+	}
+	s.HeartbeatsIn++
+	now := s.cfg.Sched.Now()
+	if st.wm.Less(h.DC) {
+		st.wm = h.DC
+	}
+	st.lastHB = now
+	st.hasHB = true
+	if s.cfg.StragglerRTT > 0 && h.DC.Point > 0 {
+		st.rtt = now - s.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
+		st.straggler = st.rtt > s.cfg.StragglerRTT
+	}
+	s.maybeEmitMin()
+}
+
+// Tick performs straggler-timeout checks and re-evaluates the minimum.
+func (s *OBShard) Tick() {
+	if s.cfg.StragglerRTT > 0 {
+		now := s.cfg.Sched.Now()
+		for _, st := range s.state {
+			last := st.lastHB
+			if !st.hasHB {
+				last = s.start
+			}
+			if now-last > s.cfg.StragglerRTT {
+				st.straggler = true
+			}
+		}
+	}
+	s.maybeEmitMin()
+}
+
+// Min returns the shard's current minimum watermark over non-straggler
+// members (MaxDeliveryClock if all members are stragglers).
+func (s *OBShard) Min() market.DeliveryClock {
+	min := market.MaxDeliveryClock
+	for _, st := range s.state {
+		if st.straggler {
+			continue
+		}
+		if st.wm.Less(min) {
+			min = st.wm
+		}
+	}
+	return min
+}
+
+func (s *OBShard) maybeEmitMin() {
+	min := s.Min()
+	if s.sent && !s.last.Less(min) {
+		return // no advance
+	}
+	s.last = min
+	s.sent = true
+	s.HeartbeatsOut++
+	s.cfg.Emit(market.Heartbeat{MP: s.cfg.ID, DC: min, Sent: s.cfg.Sched.Now()})
+}
+
+// ShardedOB composes N shards with a master OrderingBuffer in-process
+// (the "different threads on multicore CPUs" deployment of §5.2). The
+// simulation harness can instead place each shard behind its own
+// network link by wiring OBShard and OrderingBuffer manually.
+type ShardedOB struct {
+	Master *OrderingBuffer
+	Shards []*OBShard
+	route  map[market.ParticipantID]*OBShard
+}
+
+// NewShardedOB distributes participants round-robin over numShards
+// shards feeding a master OB that forwards in final order.
+func NewShardedOB(participants []market.ParticipantID, numShards int, sched Scheduler,
+	forward func(*market.Trade), stragglerRTT sim.Time, genTime func(market.PointID) sim.Time) *ShardedOB {
+	if numShards <= 0 || numShards > len(participants) {
+		panic(fmt.Sprintf("core: numShards %d out of range for %d participants", numShards, len(participants)))
+	}
+	members := make([][]market.ParticipantID, numShards)
+	for i, p := range participants {
+		members[i%numShards] = append(members[i%numShards], p)
+	}
+	shardIDs := make([]market.ParticipantID, numShards)
+	for i := range shardIDs {
+		shardIDs[i] = market.ParticipantID(-(i + 1)) // negative ids: disjoint from MP space
+	}
+	master := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: shardIDs,
+		Forward:      forward,
+		Sched:        sched,
+	})
+	s := &ShardedOB{Master: master, route: make(map[market.ParticipantID]*OBShard, len(participants))}
+	for i := 0; i < numShards; i++ {
+		shard := NewOBShard(ShardConfig{
+			ID:      shardIDs[i],
+			Members: members[i],
+			Sched:   sched,
+			Emit: func(v any) {
+				switch m := v.(type) {
+				case *market.Trade:
+					master.OnTrade(m)
+				case market.Heartbeat:
+					master.OnHeartbeat(m)
+				}
+			},
+			StragglerRTT: stragglerRTT,
+			GenTime:      genTime,
+		})
+		s.Shards = append(s.Shards, shard)
+		for _, m := range members[i] {
+			s.route[m] = shard
+		}
+	}
+	return s
+}
+
+// OnTrade routes a trade to its participant's shard.
+func (s *ShardedOB) OnTrade(t *market.Trade) {
+	sh, ok := s.route[t.MP]
+	if !ok {
+		return
+	}
+	sh.OnTrade(t)
+}
+
+// OnHeartbeat routes a heartbeat to its participant's shard.
+func (s *ShardedOB) OnHeartbeat(h market.Heartbeat) {
+	sh, ok := s.route[h.MP]
+	if !ok {
+		return
+	}
+	sh.OnHeartbeat(h)
+}
+
+// Tick ticks every shard and the master.
+func (s *ShardedOB) Tick() {
+	for _, sh := range s.Shards {
+		sh.Tick()
+	}
+	s.Master.Tick()
+}

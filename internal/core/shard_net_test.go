@@ -1,0 +1,91 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/netsim"
+	"dbo/internal/sim"
+)
+
+// TestShardsBehindNetworkLinks deploys the §5.2 "standalone VMs"
+// variant: each OB shard sits behind its own network link to the
+// ME-colocated master. Watermarks arrive late and out of phase; the
+// final order must still be complete and delivery-clock sorted.
+func TestShardsBehindNetworkLinks(t *testing.T) {
+	k := sim.NewKernel(99)
+	var out []*market.Trade
+	shardIDs := []market.ParticipantID{-1, -2}
+	master := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: shardIDs,
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		Sched:        k,
+	})
+
+	// Two shards, each owning two RBs, each with a different-latency
+	// link to the master.
+	links := []*netsim.Link{
+		netsim.NewLink(k, netsim.Constant(30*sim.Microsecond), func(v any) { dispatch(master, v) }),
+		netsim.NewLink(k, netsim.Constant(90*sim.Microsecond), func(v any) { dispatch(master, v) }),
+	}
+	shards := []*OBShard{
+		NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1, 2}, Sched: k,
+			Emit: func(v any) { links[0].Send(v) }}),
+		NewOBShard(ShardConfig{ID: -2, Members: []market.ParticipantID{3, 4}, Sched: k,
+			Emit: func(v any) { links[1].Send(v) }}),
+	}
+	shardOf := map[market.ParticipantID]*OBShard{1: shards[0], 2: shards[0], 3: shards[1], 4: shards[1]}
+
+	// Drive a deterministic workload: per-MP monotone delivery clocks,
+	// interleaved trades and heartbeats over 2ms.
+	parts := []market.ParticipantID{1, 2, 3, 4}
+	sent := 0
+	for step := 0; step < 200; step++ {
+		at := sim.Time(step) * 10 * sim.Microsecond
+		mp := parts[step%len(parts)]
+		point := market.PointID(step/len(parts) + 1)
+		dcv := market.DeliveryClock{Point: point, Elapsed: sim.Time(step%7) * sim.Microsecond}
+		k.At(at, func() {
+			sh := shardOf[mp]
+			if point%2 == 0 {
+				sent++
+				sh.OnTrade(&market.Trade{MP: mp, Seq: market.TradeSeq(point), DC: dcv})
+			}
+			sh.OnHeartbeat(market.Heartbeat{MP: mp, DC: dcv, Sent: at})
+		})
+	}
+	// Closing heartbeats so everything drains.
+	k.At(3*sim.Millisecond, func() {
+		for _, mp := range parts {
+			shardOf[mp].OnHeartbeat(market.Heartbeat{MP: mp, DC: market.DeliveryClock{Point: 1 << 30}})
+		}
+	})
+	k.Run()
+
+	if len(out) != sent {
+		t.Fatalf("forwarded %d of %d trades", len(out), sent)
+	}
+	sorted := slices.IsSortedFunc(out, func(a, b *market.Trade) int {
+		ka, kb := ordKey(a), ordKey(b)
+		switch {
+		case ka.Less(kb):
+			return -1
+		case kb.Less(ka):
+			return 1
+		}
+		return 0
+	})
+	if !sorted {
+		t.Fatal("networked-shard output not in delivery-clock order")
+	}
+}
+
+func dispatch(ob *OrderingBuffer, v any) {
+	switch m := v.(type) {
+	case *market.Trade:
+		ob.OnTrade(m)
+	case market.Heartbeat:
+		ob.OnHeartbeat(m)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func TestShardFiltersHeartbeats(t *testing.T) {
+	k := sim.NewKernel(1)
+	var emitted []any
+	s := NewOBShard(ShardConfig{
+		ID:      -1,
+		Members: []market.ParticipantID{1, 2},
+		Sched:   k,
+		Emit:    func(v any) { emitted = append(emitted, v) },
+	})
+	// First heartbeat establishes a minimum (still ⟨0,0⟩ because MP 2
+	// has not reported).
+	s.OnHeartbeat(hb(1, dc(5, 0)))
+	// Repeated heartbeats from MP 1 do not advance min(1,2) → filtered.
+	s.OnHeartbeat(hb(1, dc(6, 0)))
+	s.OnHeartbeat(hb(1, dc(7, 0)))
+	s.OnHeartbeat(hb(2, dc(3, 0))) // min advances to ⟨3,0⟩ → emitted
+	if s.HeartbeatsIn != 4 {
+		t.Fatalf("in = %d", s.HeartbeatsIn)
+	}
+	var outs []market.Heartbeat
+	for _, v := range emitted {
+		if h, ok := v.(market.Heartbeat); ok {
+			outs = append(outs, h)
+		}
+	}
+	if len(outs) != 2 {
+		t.Fatalf("out = %d, want 2 (initial ⟨0,0⟩ + advance to ⟨3,0⟩)", len(outs))
+	}
+	last := outs[len(outs)-1]
+	if last.MP != -1 || last.DC != dc(3, 0) {
+		t.Fatalf("last = %+v", last)
+	}
+}
+
+func TestShardMinExcludesStragglers(t *testing.T) {
+	k := sim.NewKernel(1)
+	gen := func(market.PointID) sim.Time { return 0 }
+	s := NewOBShard(ShardConfig{
+		ID: -1, Members: []market.ParticipantID{1, 2}, Sched: k,
+		Emit: func(any) {}, StragglerRTT: 100 * sim.Microsecond, GenTime: gen,
+	})
+	k.At(10*sim.Microsecond, func() { s.OnHeartbeat(hb(1, dc(2, 5*sim.Microsecond))) })
+	// At 105µs MP 2 (silent since 0) is past the threshold but MP 1
+	// (last heartbeat 10µs ago × 95µs elapsed) is not.
+	k.At(105*sim.Microsecond, func() {
+		s.Tick()
+		if got := s.Min(); got != dc(2, 5*sim.Microsecond) {
+			t.Errorf("Min = %v", got)
+		}
+	})
+	k.Run()
+}
+
+func TestShardAllStragglersMinIsMax(t *testing.T) {
+	k := sim.NewKernel(1)
+	gen := func(market.PointID) sim.Time { return 0 }
+	s := NewOBShard(ShardConfig{
+		ID: -1, Members: []market.ParticipantID{1}, Sched: k,
+		Emit: func(any) {}, StragglerRTT: 10, GenTime: gen,
+	})
+	k.At(100, func() {
+		s.Tick()
+		if got := s.Min(); got != market.MaxDeliveryClock {
+			t.Errorf("Min = %v, want MaxDeliveryClock", got)
+		}
+	})
+	k.Run()
+}
+
+func TestShardPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	emit := func(any) {}
+	for name, fn := range map[string]func(){
+		"no members": func() { NewOBShard(ShardConfig{ID: -1, Sched: k, Emit: emit}) },
+		"nil emit": func() {
+			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1}, Sched: k})
+		},
+		"dup member": func() {
+			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1, 1}, Sched: k, Emit: emit})
+		},
+		"straggler no gentime": func() {
+			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1}, Sched: k, Emit: emit, StragglerRTT: 1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShardedOBInvalidShardCount(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewShardedOB([]market.ParticipantID{1, 2}, 3, k, func(*market.Trade) {}, 0, nil)
+}
+
+// runWorkload feeds an identical deterministic workload to any OB-like
+// sink and returns the forwarded trade keys in final order.
+func runWorkload(seed uint64, parts []market.ParticipantID,
+	onTrade func(*market.Trade), onHB func(market.Heartbeat)) {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	cur := map[market.ParticipantID]market.DeliveryClock{}
+	seqs := map[market.ParticipantID]market.TradeSeq{}
+	for i := 0; i < 200; i++ {
+		mp := parts[rng.IntN(len(parts))]
+		c := cur[mp]
+		if rng.IntN(3) == 0 {
+			c.Point++
+			c.Elapsed = sim.Time(rng.Int64N(40))
+		} else {
+			c.Elapsed += sim.Time(rng.Int64N(40) + 1)
+		}
+		cur[mp] = c
+		if rng.IntN(2) == 0 {
+			seqs[mp]++
+			onTrade(&market.Trade{MP: mp, Seq: seqs[mp], DC: c})
+		} else {
+			onHB(market.Heartbeat{MP: mp, DC: c})
+		}
+	}
+	for _, p := range parts {
+		onHB(market.Heartbeat{MP: p, DC: dc(1<<40, 0)})
+	}
+}
+
+// Property: a sharded OB forwards exactly the same final order as a
+// single OB (§5.2 equivalence).
+func TestPropertyShardedEquivalentToSingle(t *testing.T) {
+	f := func(seed uint64, shards8 uint8) bool {
+		parts := []market.ParticipantID{1, 2, 3, 4, 5, 6}
+		numShards := int(shards8)%len(parts) + 1
+
+		var single []market.TradeKey
+		k1 := sim.NewKernel(1)
+		ob := NewOrderingBuffer(OrderingBufferConfig{
+			Participants: parts,
+			Forward:      func(tr *market.Trade) { single = append(single, tr.Key()) },
+			Sched:        k1,
+		})
+		runWorkload(seed, parts, func(tr *market.Trade) { c := *tr; ob.OnTrade(&c) }, ob.OnHeartbeat)
+
+		var sharded []market.TradeKey
+		k2 := sim.NewKernel(1)
+		sob := NewShardedOB(parts, numShards, k2,
+			func(tr *market.Trade) { sharded = append(sharded, tr.Key()) }, 0, nil)
+		runWorkload(seed, parts, func(tr *market.Trade) { c := *tr; sob.OnTrade(&c) }, sob.OnHeartbeat)
+
+		if len(single) != len(sharded) {
+			return false
+		}
+		for i := range single {
+			if single[i] != sharded[i] {
+				return false
+			}
+		}
+		return len(single) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardedOBReducesMasterHeartbeatLoad(t *testing.T) {
+	parts := make([]market.ParticipantID, 32)
+	for i := range parts {
+		parts[i] = market.ParticipantID(i + 1)
+	}
+	k := sim.NewKernel(1)
+	sob := NewShardedOB(parts, 4, k, func(*market.Trade) {}, 0, nil)
+	runWorkload(42, parts, sob.OnTrade, sob.OnHeartbeat)
+	var in, out int
+	for _, s := range sob.Shards {
+		in += s.HeartbeatsIn
+		out += s.HeartbeatsOut
+	}
+	if in == 0 || out >= in {
+		t.Fatalf("heartbeats in=%d out=%d; sharding must filter", in, out)
+	}
+}

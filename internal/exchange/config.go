@@ -1,0 +1,194 @@
+package exchange
+
+import (
+	"fmt"
+	"io"
+
+	"dbo/internal/sim"
+	"dbo/internal/trace"
+)
+
+// Scheme selects the ordering mechanism under evaluation.
+type Scheme int
+
+const (
+	// Direct is the baseline: raw network delivery, FCFS sequencing.
+	Direct Scheme = iota
+	// DBO is delivery based ordering (the paper's system).
+	DBO
+	// CloudEx is threshold-based equalization with perfect clock sync.
+	CloudEx
+	// FBA is frequent batch auctions.
+	FBA
+	// Libra is randomized priority ordering.
+	Libra
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case DBO:
+		return "dbo"
+	case CloudEx:
+		return "cloudex"
+	case FBA:
+		return "fba"
+	case Libra:
+		return "libra"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Config describes one simulated deployment and workload. Zero values
+// take the defaults listed on each field.
+type Config struct {
+	Scheme Scheme
+	Seed   uint64
+
+	// Topology.
+	N     int          // number of market participants (default 10)
+	Trace *trace.Trace // base RTT trace (default trace.Cloud(Seed))
+	Skew  []float64    // per-MP static latency scale (default spread ±15%)
+
+	// Workload (§6.1 methodology).
+	TickInterval sim.Time // market data generation interval (default 40µs)
+	Duration     sim.Time // generation horizon (default 200ms)
+	Warmup       sim.Time // ignore trades triggered before this (default 5ms)
+	Drain        sim.Time // extra time for in-flight trades (default 50ms)
+	RTMin, RTMax sim.Time // response time U[min,max] (default 5–20µs)
+	TradeProb    float64  // per-MP per-tick trade probability (default 0.5)
+
+	// DBO parameters (§4.2.1 guidance; defaults δ=20µs, κ=0.25, τ=20µs).
+	Delta        sim.Time
+	Kappa        float64
+	Tau          sim.Time
+	StragglerRTT sim.Time // 0 disables straggler mitigation
+	OBShards     int      // ≤1 = single ordering buffer
+	SyncOffset   sim.Time // >0 enables §4.2.6 sync-assisted delivery
+
+	// CloudEx one-way thresholds (defaults 60µs each).
+	C1, C2 sim.Time
+
+	// FBA auction interval (default 1ms) and Libra window (default 50µs).
+	FBAInterval sim.Time
+	LibraWindow sim.Time
+
+	// Symbols is the number of instruments the CES publishes, round-
+	// robin across ticks (default 1). Trades follow their trigger's
+	// symbol into the matching engine.
+	Symbols int
+
+	// External data streams (§4.2.6 "External data streams"): every
+	// ExternalEvery-th tick also represents an external opportunity
+	// (e.g. a news event). When ExternalBypass is false the event is
+	// serialized into the market data super-stream and inherits DBO's
+	// guarantee; when true it reaches participants on a direct bypass
+	// path with participant-dependent latency (an internet feed), and
+	// the trades it triggers are ordered only by whatever the delivery
+	// clock happens to read.
+	ExternalEvery  int
+	ExternalBypass bool
+
+	// Fault/imperfection injection.
+	LossRate   float64 // i.i.d. packet loss on every link
+	ClockDrift bool    // give each RB an unsynchronized drifting clock
+
+	// Instrumentation.
+	CollectSamples bool      // keep raw per-trade latency samples (CDFs)
+	KeepTrades     bool      // retain the forwarded trade log in the Result
+	Audit          io.Writer // stream a replay.Recorder audit log here
+	Hooks          Hooks     // optional taps; zero value = no taps
+}
+
+// Hooks are optional experiment taps into the simulation.
+type Hooks struct {
+	// OnDeliver fires when market data reaches an MP (any scheme).
+	OnDeliver func(mp int, lastPoint uint64, at sim.Time)
+	// OnForward fires when a trade is forwarded to the matching engine.
+	OnForward func(mp int, forwarded sim.Time)
+	// OnScore fires for every scored (post-warmup) trade with its
+	// trigger generation time and end-to-end latency (Equation 8).
+	OnScore func(mp int, trigGen, latency sim.Time)
+}
+
+// withDefaults returns a copy with defaults applied.
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 10
+	}
+	if c.N < 1 {
+		panic("exchange: need at least one participant")
+	}
+	if c.Trace == nil {
+		c.Trace = trace.Cloud(c.Seed).Generate()
+	}
+	if c.Skew == nil {
+		// ±25% static path spread reproduces the paper's cloud testbed
+		// shape: Max-RTT avg ≈ 1.2× Direct avg and Direct fairness ≈ 58%.
+		c.Skew = DefaultSkew(c.N, 0.25)
+	}
+	if len(c.Skew) != c.N {
+		panic(fmt.Sprintf("exchange: len(Skew)=%d, want N=%d", len(c.Skew), c.N))
+	}
+	if c.TickInterval == 0 {
+		c.TickInterval = 40 * sim.Microsecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 200 * sim.Millisecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5 * sim.Millisecond
+	}
+	if c.Drain == 0 {
+		c.Drain = 50 * sim.Millisecond
+	}
+	if c.RTMin == 0 && c.RTMax == 0 {
+		c.RTMin, c.RTMax = 5*sim.Microsecond, 20*sim.Microsecond
+	}
+	if c.RTMax < c.RTMin {
+		panic("exchange: RTMax < RTMin")
+	}
+	if c.TradeProb == 0 {
+		c.TradeProb = 0.5
+	}
+	if c.Delta == 0 {
+		c.Delta = 20 * sim.Microsecond
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 0.25
+	}
+	if c.Tau == 0 {
+		c.Tau = 20 * sim.Microsecond
+	}
+	if c.C1 == 0 {
+		c.C1 = 60 * sim.Microsecond
+	}
+	if c.C2 == 0 {
+		c.C2 = 60 * sim.Microsecond
+	}
+	if c.FBAInterval == 0 {
+		c.FBAInterval = sim.Millisecond
+	}
+	if c.Symbols == 0 {
+		c.Symbols = 1
+	}
+	if c.LibraWindow == 0 {
+		c.LibraWindow = 50 * sim.Microsecond
+	}
+	return c
+}
+
+// DefaultSkew spreads N static latency multipliers evenly over
+// [1-spread, 1+spread] — the non-equidistant paths of a real cloud.
+func DefaultSkew(n int, spread float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if n == 1 {
+			out[i] = 1
+			continue
+		}
+		out[i] = 1 - spread + 2*spread*float64(i)/float64(n-1)
+	}
+	return out
+}

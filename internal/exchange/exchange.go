@@ -1,0 +1,615 @@
+// Package exchange wires a complete simulated deployment — CES with
+// matching engine, network star topology, release buffers, market
+// participants, and the ordering scheme under test — and runs the
+// paper's workload (§6.1) on it deterministically.
+package exchange
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dbo/internal/baseline"
+	"dbo/internal/clock"
+	"dbo/internal/core"
+	"dbo/internal/fairness"
+	"dbo/internal/feed"
+	"dbo/internal/lob"
+	"dbo/internal/market"
+	"dbo/internal/netsim"
+	"dbo/internal/replay"
+	"dbo/internal/sim"
+	"dbo/internal/stats"
+)
+
+// Result summarizes one run.
+type Result struct {
+	Scheme    Scheme
+	Fairness  float64     // §6.1 pairwise metric
+	FairRatio stats.Ratio // raw correct/total pair counts
+	Latency   stats.Summary
+	MaxRTT    stats.Summary // per-trade Theorem-3 lower bound
+
+	Trades     int // trades scored (post-warmup)
+	Lost       int // submitted but never forwarded
+	Races      int
+	DataPoints int
+	Executions int // fills produced by the matching engine
+
+	StragglerEvents  int
+	CloudExOverruns  int
+	RetxRequests     int
+	DroppedPackets   int
+	HeartbeatsSent   int
+	MasterHeartbeats int // heartbeats absorbed by (sharded) master OB
+
+	// External-stream races (§4.2.6): fairness over trades triggered by
+	// external events (1.0 when none were configured).
+	ExternalFairness float64
+	ExternalPairs    int
+
+	// Raw samples, only when Config.CollectSamples.
+	LatencySamples *stats.Latencies
+	MaxRTTSamples  *stats.Latencies
+
+	// TradeLog is the forwarded trades in final ME order, only when
+	// Config.KeepTrades.
+	TradeLog []*market.Trade
+
+	Violations []fairness.Violation // up to 16, for diagnostics
+}
+
+// slowPathDelay is the latency of the out-of-band retransmission path.
+const slowPathDelay = 500 * sim.Microsecond
+
+// Run executes the configured simulation and scores it.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	h := newHarness(cfg)
+	h.start()
+	h.k.RunUntil(cfg.Duration + cfg.Drain)
+	return h.score()
+}
+
+type harness struct {
+	cfg Config
+	k   *sim.Kernel
+
+	paths []*netsim.Path
+	slow  []*netsim.Link // out-of-band retransmission path per MP
+	mps   []*mpSim
+
+	// Scheme components (exactly one group is non-nil).
+	rbs      []*core.ReleaseBuffer
+	ob       *core.OrderingBuffer
+	shardOB  *core.ShardedOB
+	fcfs     *baseline.FCFS
+	cxRel    []*baseline.CloudExRelease
+	cxOrd    *baseline.CloudExOrder
+	fba      *baseline.FBA
+	libra    *baseline.Libra
+	directRl []*baseline.DirectRelease
+
+	engine  *lob.Engine
+	batcher *core.Batcher
+
+	genTimes  []sim.Time         // G(x) indexed by point id-1
+	genPoints []market.DataPoint // generated points for retransmission
+
+	// External opportunity stream (§4.2.6).
+	bypass   []*netsim.Link              // direct external feed per MP
+	extGen   map[market.PointID]sim.Time // generation time per external id
+	extIDs   map[market.PointID]bool     // serialized points that are external
+	extCount int
+
+	audit      *replay.Recorder
+	tracker    *fairness.Tracker
+	extTracker *fairness.Tracker
+	latency    stats.Latencies
+	maxRTT     stats.Latencies
+	submitted  map[market.TradeKey]*market.Trade
+	tradeLog   []*market.Trade
+	beats      int
+}
+
+// extBase offsets external pseudo-point ids away from market data ids.
+const extBase market.PointID = 1 << 40
+
+// externalEvent is the bypass-path message modelling an internet feed.
+type externalEvent struct {
+	ID    market.PointID
+	Price int64
+}
+
+type mpSim struct {
+	h     *harness
+	id    market.ParticipantID
+	idx   int
+	rng   *rand.Rand
+	seq   market.TradeSeq
+	local clock.Local
+}
+
+func newHarness(cfg Config) *harness {
+	h := &harness{
+		cfg:        cfg,
+		k:          sim.NewKernel(cfg.Seed),
+		engine:     lob.NewEngine(),
+		tracker:    fairness.NewTracker(),
+		extTracker: fairness.NewTracker(),
+		extGen:     make(map[market.PointID]sim.Time),
+		extIDs:     make(map[market.PointID]bool),
+		submitted:  make(map[market.TradeKey]*market.Trade),
+	}
+	if cfg.Audit != nil {
+		h.audit = replay.NewRecorder(cfg.Audit)
+	}
+	h.buildMPs()
+	h.buildNetwork()
+	h.buildScheme()
+	return h
+}
+
+func (h *harness) buildMPs() {
+	for i := 0; i < h.cfg.N; i++ {
+		var local clock.Local = clock.Perfect{}
+		if h.cfg.ClockDrift {
+			rng := h.k.SubRand(uint64(i) + 7000)
+			local = clock.Drifting{
+				Offset: sim.Time(rng.Int64N(int64(sim.Second))),
+				Rate:   (rng.Float64()*2 - 1) * 2e-4, // within ±0.02%
+			}
+		}
+		h.mps = append(h.mps, &mpSim{
+			h:     h,
+			id:    market.ParticipantID(i + 1),
+			idx:   i,
+			rng:   h.k.SubRand(uint64(i) + 1),
+			local: local,
+		})
+	}
+}
+
+func (h *harness) buildNetwork() {
+	fwdRecv := func(i int) func(v any) {
+		return func(v any) { h.onMarketData(i, v.(market.DataPoint)) }
+	}
+	revRecv := func(i int) func(v any) {
+		return func(v any) { h.onUpstream(v) }
+	}
+	h.paths = netsim.Star(h.k, netsim.StarConfig{
+		Base:     h.cfg.Trace,
+		N:        h.cfg.N,
+		Seed:     h.cfg.Seed ^ 0xfeed,
+		Skew:     h.cfg.Skew,
+		LossRate: h.cfg.LossRate,
+	}, fwdRecv, revRecv)
+	for i := 0; i < h.cfg.N; i++ {
+		i := i
+		h.slow = append(h.slow, netsim.NewLink(h.k, netsim.Constant(slowPathDelay),
+			func(v any) { h.onMarketData(i, v.(market.DataPoint)) }))
+	}
+	if h.cfg.ExternalEvery > 0 && h.cfg.ExternalBypass {
+		// Internet-grade external feed: ~1ms with strong per-participant
+		// static differences (the paper notes ms-scale variability for
+		// such streams, §4.2.6).
+		for i := 0; i < h.cfg.N; i++ {
+			i := i
+			lat := sim.Millisecond + sim.Time(i)*100*sim.Microsecond
+			h.bypass = append(h.bypass, netsim.NewLink(h.k, netsim.Constant(lat),
+				func(v any) { h.mps[i].onExternal(v.(externalEvent)) }))
+		}
+	}
+}
+
+func (h *harness) buildScheme() {
+	parts := make([]market.ParticipantID, h.cfg.N)
+	for i := range parts {
+		parts[i] = market.ParticipantID(i + 1)
+	}
+	genTime := func(p market.PointID) sim.Time {
+		if p == 0 || int(p) > len(h.genTimes) {
+			return 0
+		}
+		return h.genTimes[p-1]
+	}
+
+	switch h.cfg.Scheme {
+	case DBO:
+		h.batcher = core.NewBatcher(h.cfg.Delta, h.cfg.Kappa)
+		for i := 0; i < h.cfg.N; i++ {
+			i := i
+			h.rbs = append(h.rbs, core.NewReleaseBuffer(core.ReleaseBufferConfig{
+				MP:         parts[i],
+				Delta:      h.cfg.Delta,
+				Tau:        h.cfg.Tau,
+				SyncOffset: h.cfg.SyncOffset,
+				Sched:      h.k,
+				Local:      h.mps[i].local,
+				Deliver:    func(b *market.Batch) { h.mps[i].onBatch(b) },
+				Send:       func(v any) { h.countBeat(v); h.paths[i].Rev.Send(v) },
+			}))
+		}
+		if h.cfg.OBShards > 1 {
+			h.shardOB = core.NewShardedOB(parts, h.cfg.OBShards, h.k, h.onForward, h.cfg.StragglerRTT, genTime)
+		} else {
+			h.ob = core.NewOrderingBuffer(core.OrderingBufferConfig{
+				Participants: parts,
+				Forward:      h.onForward,
+				Sched:        h.k,
+				StragglerRTT: h.cfg.StragglerRTT,
+				GenTime:      genTime,
+			})
+		}
+	case Direct:
+		for i := 0; i < h.cfg.N; i++ {
+			i := i
+			h.directRl = append(h.directRl, &baseline.DirectRelease{
+				Deliver: func(b *market.Batch) { h.mps[i].onBatch(b) },
+			})
+		}
+		h.fcfs = &baseline.FCFS{Sched: h.k, Forward: h.onForward}
+	case CloudEx:
+		for i := 0; i < h.cfg.N; i++ {
+			i := i
+			h.cxRel = append(h.cxRel, &baseline.CloudExRelease{
+				C1: h.cfg.C1, Sched: h.k,
+				Deliver: func(b *market.Batch) { h.mps[i].onBatch(b) },
+			})
+		}
+		h.cxOrd = &baseline.CloudExOrder{C2: h.cfg.C2, Sched: h.k, Forward: h.onForward}
+	case FBA:
+		for i := 0; i < h.cfg.N; i++ {
+			i := i
+			h.directRl = append(h.directRl, &baseline.DirectRelease{
+				Deliver: func(b *market.Batch) { h.mps[i].onBatch(b) },
+			})
+		}
+		h.fba = &baseline.FBA{Interval: h.cfg.FBAInterval, Sched: h.k,
+			Forward: h.onForward, Rng: h.k.SubRand(0xfba)}
+	case Libra:
+		for i := 0; i < h.cfg.N; i++ {
+			i := i
+			h.directRl = append(h.directRl, &baseline.DirectRelease{
+				Deliver: func(b *market.Batch) { h.mps[i].onBatch(b) },
+			})
+		}
+		h.libra = &baseline.Libra{Window: h.cfg.LibraWindow, Sched: h.k,
+			Forward: h.onForward, Rng: h.k.SubRand(0x11b4)}
+	default:
+		panic("exchange: unknown scheme")
+	}
+}
+
+func (h *harness) countBeat(v any) {
+	if _, ok := v.(market.Heartbeat); ok {
+		h.beats++
+	}
+}
+
+// start schedules the CES tick loop and periodic OB maintenance.
+func (h *harness) start() {
+	quotes := feed.New(feed.Config{Seed: h.cfg.Seed ^ 0xfeed, Symbols: h.cfg.Symbols})
+	tickNo := 0
+	h.k.Every(0, h.cfg.TickInterval, func() bool {
+		gen := h.k.Now()
+		if gen >= h.cfg.Duration {
+			return false
+		}
+		q := quotes.Next()
+		price := q.Ask
+		qty := q.AskSize
+		if q.BidMoved {
+			price = q.Bid
+			qty = q.BidSize
+		}
+		nextGen := gen + h.cfg.TickInterval
+		dp := market.DataPoint{
+			Gen:     gen,
+			Symbol:  q.Symbol,
+			Price:   price,
+			Qty:     qty,
+			BidSide: q.BidMoved,
+		}
+		if h.batcher != nil {
+			id, batch, last := h.batcher.Next(gen, nextGen)
+			if nextGen >= h.cfg.Duration {
+				last = true // final point of the run closes its batch
+			}
+			dp.ID, dp.Batch, dp.Last = id, batch, last
+		} else {
+			dp.ID = market.PointID(len(h.genTimes) + 1)
+			dp.Batch = market.BatchID(dp.ID)
+			dp.Last = true
+		}
+		h.genTimes = append(h.genTimes, gen)
+		h.genPoints = append(h.genPoints, dp)
+		if h.audit != nil {
+			h.audit.Gen(gen, dp)
+		}
+		for _, p := range h.paths {
+			p.Fwd.Send(dp)
+		}
+		tickNo++
+		if h.cfg.ExternalEvery > 0 && tickNo%h.cfg.ExternalEvery == 0 {
+			if h.cfg.ExternalBypass {
+				// The event races to the MPs on its own path; DBO never
+				// sees it.
+				h.extCount++
+				ev := externalEvent{ID: extBase + market.PointID(h.extCount), Price: price}
+				h.extGen[ev.ID] = gen
+				for _, l := range h.bypass {
+					l.Send(ev)
+				}
+			} else {
+				// Serialized into the super-stream: this tick's data
+				// point *is* the external event.
+				h.extIDs[dp.ID] = true
+			}
+		}
+		return true
+	})
+
+	if h.rbs != nil {
+		for _, rb := range h.rbs {
+			rb.Start()
+		}
+		tick := h.cfg.Tau
+		h.k.Every(tick, tick, func() bool {
+			if h.ob != nil {
+				h.ob.Tick()
+			} else {
+				h.shardOB.Tick()
+			}
+			return h.k.Now() < h.cfg.Duration+h.cfg.Drain
+		})
+	}
+	if h.fba != nil {
+		h.fba.Start()
+	}
+}
+
+// onMarketData dispatches a point arriving at participant i's edge.
+func (h *harness) onMarketData(i int, dp market.DataPoint) {
+	switch {
+	case h.rbs != nil:
+		h.rbs[i].OnData(dp)
+	case h.cxRel != nil:
+		h.cxRel[i].OnData(dp)
+	default:
+		h.directRl[i].OnData(dp)
+	}
+}
+
+// onUpstream dispatches reverse-path traffic arriving at the CES.
+func (h *harness) onUpstream(v any) {
+	switch m := v.(type) {
+	case *market.Trade:
+		if h.audit != nil {
+			h.audit.Recv(h.k.Now(), m)
+		}
+		switch {
+		case h.ob != nil:
+			h.ob.OnTrade(m)
+		case h.shardOB != nil:
+			h.shardOB.OnTrade(m)
+		case h.fcfs != nil:
+			h.fcfs.OnTrade(m)
+		case h.cxOrd != nil:
+			h.cxOrd.OnTrade(m)
+		case h.fba != nil:
+			h.fba.OnTrade(m)
+		case h.libra != nil:
+			h.libra.OnTrade(m)
+		}
+	case market.Heartbeat:
+		if h.ob != nil {
+			h.ob.OnHeartbeat(m)
+		} else if h.shardOB != nil {
+			h.shardOB.OnHeartbeat(m)
+		}
+	case core.RetxRequest:
+		// Out-of-band repair on the slow path (Appendix D).
+		for id := m.From; id <= m.To; id++ {
+			if int(id) <= len(h.genPoints) {
+				h.slow[int(m.MP)-1].Send(h.genPoints[id-1])
+			}
+		}
+	}
+}
+
+// onBatch is the MP's reaction to delivered market data: for each point
+// it may start a speed trade, submitting after its response time.
+func (m *mpSim) onBatch(b *market.Batch) {
+	h := m.h
+	if h.cfg.Hooks.OnDeliver != nil {
+		h.cfg.Hooks.OnDeliver(m.idx, uint64(b.LastPoint()), h.k.Now())
+	}
+	for _, dp := range b.Points {
+		if m.rng.Float64() >= h.cfg.TradeProb {
+			continue
+		}
+		rt := m.drawRT()
+		dp := dp
+		h.k.At(h.k.Now()+rt, func() { m.submit(dp.ID, dp.Symbol, dp.Price, rt) })
+	}
+}
+
+// onExternal reacts to a bypass-path external event: the trade it
+// triggers is a speed race DBO knows nothing about (§4.2.6).
+func (m *mpSim) onExternal(ev externalEvent) {
+	h := m.h
+	if m.rng.Float64() >= h.cfg.TradeProb {
+		return
+	}
+	rt := m.drawRT()
+	h.k.At(h.k.Now()+rt, func() { m.submit(ev.ID, 1, ev.Price, rt) })
+}
+
+func (m *mpSim) drawRT() sim.Time {
+	rt := m.h.cfg.RTMin
+	if m.h.cfg.RTMax > m.h.cfg.RTMin {
+		rt += sim.Time(m.rng.Int64N(int64(m.h.cfg.RTMax - m.h.cfg.RTMin + 1)))
+	}
+	return rt
+}
+
+func (m *mpSim) submit(trigger market.PointID, symbol uint32, price int64, rt sim.Time) {
+	h := m.h
+	m.seq++
+	side := market.Buy
+	if m.rng.IntN(2) == 1 {
+		side = market.Sell
+	}
+	t := &market.Trade{
+		MP:        m.id,
+		Seq:       m.seq,
+		Symbol:    symbol,
+		Side:      side,
+		Price:     price,
+		Qty:       1,
+		Trigger:   trigger,
+		Submitted: h.k.Now(),
+		RT:        rt,
+	}
+	h.submitted[t.Key()] = t
+	if h.rbs != nil {
+		h.rbs[m.idx].OnTrade(t) // tags DC, sends via the reverse link
+	} else {
+		h.paths[m.idx].Rev.Send(t)
+	}
+}
+
+// onForward is the matching-engine ingress: the scheme has fixed the
+// trade's final position; execute it and score it.
+func (h *harness) onForward(t *market.Trade) {
+	if h.audit != nil {
+		h.audit.Forward(h.k.Now(), t)
+	}
+	side := lob.Buy
+	if t.Side == market.Sell {
+		side = lob.Sell
+	}
+	// The ME is unmodified (§3): it simply executes in arrival order.
+	_, _, err := h.engine.Submit(t.Symbol, int32(t.MP), side, t.Price, t.Qty)
+	if err != nil {
+		panic(err)
+	}
+	delete(h.submitted, t.Key())
+	if h.cfg.KeepTrades {
+		h.tradeLog = append(h.tradeLog, t)
+	}
+	if h.cfg.Hooks.OnForward != nil {
+		h.cfg.Hooks.OnForward(int(t.MP)-1, t.Forwarded)
+	}
+
+	trigGen, external := h.triggerGen(t.Trigger)
+	if trigGen < h.cfg.Warmup {
+		return
+	}
+	if external {
+		// Bypass-path races are scored separately; their "latency" is
+		// not comparable (the event never traversed the exchange).
+		h.extTracker.Record(t)
+		return
+	}
+	h.tracker.Record(t)
+	if h.extIDs[t.Trigger] {
+		h.extTracker.Record(t) // serialized external race
+	}
+	lat := t.Forwarded - trigGen - t.RT
+	h.latency.Add(lat)
+	h.maxRTT.Add(h.boundFor(trigGen, t.Submitted))
+	if h.cfg.Hooks.OnScore != nil {
+		h.cfg.Hooks.OnScore(int(t.MP)-1, trigGen, lat)
+	}
+}
+
+// triggerGen resolves a trigger id to its generation time, reporting
+// whether it was a bypass-path external event.
+func (h *harness) triggerGen(p market.PointID) (sim.Time, bool) {
+	if p >= extBase {
+		return h.extGen[p], true
+	}
+	return h.genTimes[p-1], false
+}
+
+// boundFor computes the Theorem-3 latency lower bound for a trade whose
+// trigger was generated at g and which was submitted at s: the maximum
+// over participants of (forward latency at g) + (reverse latency at s).
+func (h *harness) boundFor(g, s sim.Time) sim.Time {
+	var max sim.Time
+	for _, p := range h.paths {
+		if r := p.Fwd.LatencyAt(g) + p.Rev.LatencyAt(s); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+func (h *harness) score() *Result {
+	if h.audit != nil {
+		if err := h.audit.Close(); err != nil {
+			panic(fmt.Sprintf("exchange: audit log: %v", err))
+		}
+	}
+	r := &Result{
+		Scheme:     h.cfg.Scheme,
+		DataPoints: len(h.genTimes),
+		Executions: len(h.engine.Execs),
+	}
+	// Anything still un-forwarded was lost (network loss, OB stall, ...).
+	for _, t := range h.submitted {
+		trigGen, external := h.triggerGen(t.Trigger)
+		if trigGen < h.cfg.Warmup {
+			continue
+		}
+		r.Lost++
+		if external {
+			h.extTracker.RecordLost(t)
+		} else {
+			h.tracker.RecordLost(t)
+		}
+	}
+	r.Fairness = h.tracker.Fairness()
+	r.FairRatio = h.tracker.Ratio()
+	r.Latency = h.latency.Summarize()
+	r.MaxRTT = h.maxRTT.Summarize()
+	r.Trades = h.latency.N()
+	r.Races = h.tracker.Races()
+	r.Violations = h.tracker.Violations(16)
+	r.HeartbeatsSent = h.beats
+	r.ExternalFairness = h.extTracker.Fairness()
+	r.ExternalPairs = h.extTracker.Ratio().Total
+	r.TradeLog = h.tradeLog
+
+	if h.ob != nil {
+		r.StragglerEvents = h.ob.StragglerEvents
+	}
+	if h.shardOB != nil {
+		r.StragglerEvents = h.shardOB.Master.StragglerEvents
+		for _, s := range h.shardOB.Shards {
+			r.MasterHeartbeats += s.HeartbeatsOut
+		}
+	} else {
+		r.MasterHeartbeats = h.beats
+	}
+	for _, rel := range h.cxRel {
+		r.CloudExOverruns += rel.Overruns
+	}
+	if h.cxOrd != nil {
+		r.CloudExOverruns += h.cxOrd.Overruns
+	}
+	for _, rb := range h.rbs {
+		r.RetxRequests += rb.RetxRequested
+	}
+	for _, p := range h.paths {
+		_, d1 := p.Fwd.Stats()
+		_, d2 := p.Rev.Stats()
+		r.DroppedPackets += d1 + d2
+	}
+	if h.cfg.CollectSamples {
+		r.LatencySamples = &h.latency
+		r.MaxRTTSamples = &h.maxRTT
+	}
+	return r
+}

@@ -1,0 +1,146 @@
+package exchange
+
+import (
+	"bytes"
+	"testing"
+
+	"dbo/internal/replay"
+	"dbo/internal/sim"
+	"dbo/internal/trace"
+)
+
+func TestMultiSymbolRouting(t *testing.T) {
+	cfg := short(DBO, 20)
+	cfg.Symbols = 4
+	cfg.KeepTrades = true
+	r := Run(cfg)
+	if r.Fairness != 1 {
+		t.Fatalf("fairness = %v", r.Fairness)
+	}
+	seen := map[uint32]bool{}
+	for _, tr := range r.TradeLog {
+		seen[tr.Symbol] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("symbols traded = %d, want 4", len(seen))
+	}
+	if r.Executions == 0 {
+		t.Fatal("no executions across symbols")
+	}
+}
+
+func TestKeepTradesLog(t *testing.T) {
+	cfg := short(DBO, 21)
+	cfg.KeepTrades = true
+	r := Run(cfg)
+	if len(r.TradeLog) == 0 {
+		t.Fatal("empty trade log")
+	}
+	// The log is in final ME order: FinalPos strictly increasing.
+	for i := 1; i < len(r.TradeLog); i++ {
+		if r.TradeLog[i].FinalPos <= r.TradeLog[i-1].FinalPos {
+			t.Fatal("trade log out of ME order")
+		}
+	}
+	off := short(DBO, 21)
+	if got := Run(off); got.TradeLog != nil {
+		t.Fatal("trade log retained without KeepTrades")
+	}
+}
+
+func TestExternalSerializedIsFair(t *testing.T) {
+	cfg := short(DBO, 22)
+	cfg.ExternalEvery = 5
+	r := Run(cfg)
+	if r.ExternalPairs == 0 {
+		t.Fatal("no external races scored")
+	}
+	if r.ExternalFairness != 1 {
+		t.Fatalf("serialized external fairness = %v, want 1.0 (super-stream inherits LRTF)", r.ExternalFairness)
+	}
+	if r.Fairness != 1 {
+		t.Fatalf("market fairness = %v", r.Fairness)
+	}
+}
+
+func TestExternalBypassIsUnfair(t *testing.T) {
+	cfg := short(DBO, 22)
+	cfg.ExternalEvery = 5
+	cfg.ExternalBypass = true
+	r := Run(cfg)
+	if r.ExternalPairs == 0 {
+		t.Fatal("no external races scored")
+	}
+	// The bypass path has per-participant static latency differences
+	// DBO cannot see: fairness for those races must degrade while
+	// market data races stay perfect.
+	if r.ExternalFairness >= 0.99 {
+		t.Fatalf("bypass external fairness = %v; expected unfairness", r.ExternalFairness)
+	}
+	if r.Fairness != 1 {
+		t.Fatalf("market fairness = %v, must be unaffected", r.Fairness)
+	}
+}
+
+// jitteryTrace is a wigglier cloud: larger AR(1) innovations and weaker
+// correlation, so inter-delivery times differ more across participants
+// and plain DBO's RT>δ fairness (Table 4) degrades measurably.
+func jitteryTrace(seed uint64) *trace.Trace {
+	g := trace.Cloud(seed)
+	g.Jitter = 10 * sim.Microsecond
+	g.Corr = 0.6
+	g.Length = 500 * sim.Millisecond
+	return g.Generate()
+}
+
+func TestSyncOffsetImprovesSlowTradeFairness(t *testing.T) {
+	mk := func(sync sim.Time) Config {
+		cfg := short(DBO, 23)
+		cfg.Trace = jitteryTrace(23)
+		cfg.RTMin, cfg.RTMax = 60*sim.Microsecond, 80*sim.Microsecond // ≫ δ=20µs
+		cfg.SyncOffset = sync
+		return cfg
+	}
+	plain := Run(mk(0))
+	// Target comfortably above the skewed one-way latency (~35µs max).
+	synced := Run(mk(60 * sim.Microsecond))
+	if plain.Fairness >= 1 {
+		t.Skipf("plain DBO already perfect on this seed (%v); no headroom", plain.Fairness)
+	}
+	if synced.Fairness <= plain.Fairness {
+		t.Fatalf("sync-assisted fairness %v should beat plain %v for RT≫δ", synced.Fairness, plain.Fairness)
+	}
+	// The assist costs delivery latency.
+	if synced.Latency.Avg <= plain.Latency.Avg {
+		t.Fatalf("sync-assisted latency %v should exceed plain %v", synced.Latency.Avg, plain.Latency.Avg)
+	}
+}
+
+func TestSyncOffsetPreservesLRTF(t *testing.T) {
+	cfg := short(DBO, 24)
+	cfg.SyncOffset = 60 * sim.Microsecond
+	r := Run(cfg)
+	if r.Fairness != 1 {
+		t.Fatalf("LRTF must hold with sync assist: %v", r.Fairness)
+	}
+}
+
+func TestAuditLogVerifies(t *testing.T) {
+	var log bytes.Buffer
+	cfg := short(DBO, 25)
+	cfg.Audit = &log
+	r := Run(cfg)
+	if r.Fairness != 1 {
+		t.Fatalf("fairness = %v", r.Fairness)
+	}
+	rep, err := replay.Verify(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatalf("audit log failed verification: %v", err)
+	}
+	if rep.Forwards == 0 || rep.Gens != r.DataPoints {
+		t.Fatalf("report = %+v vs result dataPoints=%d", rep, r.DataPoints)
+	}
+	if rep.Unforwarded != 0 {
+		t.Fatalf("unforwarded = %d on a lossless run", rep.Unforwarded)
+	}
+}

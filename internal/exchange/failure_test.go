@@ -1,0 +1,172 @@
+package exchange
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbo/internal/sim"
+)
+
+// Failure-injection and whole-system property tests.
+
+func TestPropertyLRTFAcrossSeeds(t *testing.T) {
+	// The headline guarantee, end to end: for any seed (any trace slice
+	// assignment, any workload draw), DBO orders every competing pair
+	// of in-horizon trades by response time.
+	f := func(seed uint64) bool {
+		cfg := Config{
+			Scheme:   DBO,
+			Seed:     seed,
+			N:        4,
+			Duration: 15 * sim.Millisecond,
+			Warmup:   2 * sim.Millisecond,
+			Drain:    20 * sim.Millisecond,
+		}
+		r := Run(cfg)
+		return r.Fairness == 1 && r.Lost == 0 && r.FairRatio.Total > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLRTFUnderParameterVariation(t *testing.T) {
+	// LRTF must hold for any valid (δ, κ, τ) combination, not just the
+	// paper's defaults.
+	f := func(d, k, tu uint8) bool {
+		cfg := Config{
+			Scheme:   DBO,
+			Seed:     uint64(d)<<16 | uint64(k)<<8 | uint64(tu),
+			N:        3,
+			Duration: 12 * sim.Millisecond,
+			Warmup:   2 * sim.Millisecond,
+			Drain:    30 * sim.Millisecond,
+			Delta:    sim.Time(20+int(d)%60) * sim.Microsecond,
+			Kappa:    0.05 + float64(k%20)/20,
+			Tau:      sim.Time(5+int(tu)%60) * sim.Microsecond,
+			// Keep RT within the smallest possible horizon.
+			RTMin: 2 * sim.Microsecond,
+			RTMax: 18 * sim.Microsecond,
+		}
+		r := Run(cfg)
+		return r.Fairness == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRBCrashMidRun(t *testing.T) {
+	// One RB stops heartbeating mid-run (crash). With straggler
+	// mitigation the system keeps trading; the dead participant's
+	// trades stop, everyone else's fairness is unaffected.
+	cfg := short(DBO, 40)
+	cfg.N = 3
+	cfg.StragglerRTT = 500 * sim.Microsecond
+	r := runWithRBCrash(cfg, 1, 20*sim.Millisecond)
+	if r.StragglerEvents == 0 {
+		t.Fatal("crashed RB never marked straggler")
+	}
+	if r.Trades == 0 {
+		t.Fatal("system stalled after RB crash")
+	}
+	// Races not involving the dead MP stay perfectly ordered: check via
+	// overall fairness — pairs that include the crashed MP's never-
+	// submitted trades don't exist, and its pre-crash trades were fair.
+	if r.Fairness < 0.99 {
+		t.Fatalf("fairness after RB crash = %v", r.Fairness)
+	}
+}
+
+// runWithRBCrash runs a DBO config, stopping the victim's RB at the
+// given time.
+func runWithRBCrash(cfg Config, victim int, at sim.Time) *Result {
+	cfg = cfg.withDefaults()
+	h := newHarness(cfg)
+	h.start()
+	h.k.At(at, func() { h.rbs[victim].Stop() })
+	h.k.RunUntil(cfg.Duration + cfg.Drain)
+	return h.score()
+}
+
+func TestOBCrashLosesQueuedTradesOnly(t *testing.T) {
+	// §4.2.1 "OB failure": queued trades are lost (unfairness), but the
+	// system continues and later trades are ordered correctly.
+	cfg := short(DBO, 41)
+	cfg = cfg.withDefaults()
+	h := newHarness(cfg)
+	h.start()
+	var lost int
+	h.k.At(20*sim.Millisecond, func() { lost = len(h.ob.Crash()) })
+	h.k.RunUntil(cfg.Duration + cfg.Drain)
+	r := h.score()
+	if lost == 0 {
+		t.Skip("queue happened to be empty at crash time")
+	}
+	if r.Lost < lost {
+		t.Fatalf("score lost %d < crashed %d", r.Lost, lost)
+	}
+	// Unfairness is bounded by the crashed trades' pairs.
+	if r.Fairness == 1 {
+		t.Fatal("crash with queued trades should cost some fairness")
+	}
+	if r.Fairness < 0.9 {
+		t.Fatalf("crash cost too much fairness: %v", r.Fairness)
+	}
+}
+
+func TestHeavyLossStillConverges(t *testing.T) {
+	cfg := short(DBO, 42)
+	cfg.LossRate = 0.01 // 1% on every link — far beyond cloud reality
+	cfg.StragglerRTT = 2 * sim.Millisecond
+	r := Run(cfg)
+	if r.Trades == 0 {
+		t.Fatal("no trades survived")
+	}
+	if r.RetxRequests == 0 {
+		t.Fatal("no repair traffic under 1% loss")
+	}
+	// Fairness degrades only around lost packets.
+	if r.Fairness < 0.9 {
+		t.Fatalf("fairness under heavy loss = %v", r.Fairness)
+	}
+}
+
+func TestZeroTradeProbRun(t *testing.T) {
+	cfg := short(DBO, 43)
+	cfg.TradeProb = -1 // strictly never trade
+	r := Run(cfg)
+	if r.Trades != 0 || r.Fairness != 1 {
+		t.Fatalf("idle market: trades=%d fairness=%v", r.Trades, r.Fairness)
+	}
+	if r.DataPoints == 0 {
+		t.Fatal("market data should still flow")
+	}
+}
+
+func TestSingleParticipant(t *testing.T) {
+	cfg := short(DBO, 44)
+	cfg.N = 1
+	cfg.Skew = []float64{1}
+	r := Run(cfg)
+	// One participant: vacuously fair, everything forwarded.
+	if r.Fairness != 1 || r.Lost != 0 || r.Trades == 0 {
+		t.Fatalf("n=1: %+v", r.FairRatio)
+	}
+}
+
+func TestExtremeTickRates(t *testing.T) {
+	// Tick faster than δ: batches carry multiple points; LRTF holds.
+	fast := short(DBO, 45)
+	fast.TickInterval = 5 * sim.Microsecond
+	fast.Duration = 10 * sim.Millisecond
+	if r := Run(fast); r.Fairness != 1 {
+		t.Fatalf("fast ticks fairness = %v", r.Fairness)
+	}
+	// Tick far slower than δ: every batch is a single point.
+	slow := short(DBO, 46)
+	slow.TickInterval = sim.Millisecond
+	if r := Run(slow); r.Fairness != 1 {
+		t.Fatalf("slow ticks fairness = %v", r.Fairness)
+	}
+}

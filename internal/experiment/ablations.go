@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"dbo/internal/exchange"
+	"dbo/internal/sim"
+	"dbo/internal/stats"
+)
+
+// AblationRow is one configuration's outcome in an ablation sweep.
+type AblationRow struct {
+	Label    string
+	Fairness float64
+	Latency  stats.Summary
+	Extra    string // sweep-specific detail (heartbeat counts, ...)
+}
+
+// AblationResult is a generic sweep result.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render prints the sweep.
+func (a *AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", a.Title)
+	fmt.Fprintf(w, "%-16s %9s %9s %9s %9s  %s\n", "config", "fair(%)", "avg(µs)", "p99(µs)", "p999(µs)", "notes")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%-16s %9.2f %9.2f %9.2f %9.2f  %s\n", r.Label, 100*r.Fairness,
+			r.Latency.Avg.Micros(), r.Latency.P99.Micros(), r.Latency.P999.Micros(), r.Extra)
+	}
+}
+
+// AblationTau sweeps the heartbeat period τ (§4.2.1 "Setting τ"): short
+// periods cut OB wait time but multiply heartbeat load.
+func AblationTau(o Opts) *AblationResult {
+	res := &AblationResult{Title: "Ablation — heartbeat period τ (DBO, cloud, 10 MPs)"}
+	for _, tau := range []sim.Time{5, 10, 20, 40, 80, 160} {
+		cfg := cloudConfig(o, exchange.DBO)
+		cfg.Tau = tau * sim.Microsecond
+		cfg.Duration = o.duration(100 * sim.Millisecond)
+		r := exchange.Run(cfg)
+		res.Rows = append(res.Rows, AblationRow{
+			Label:    fmt.Sprintf("τ=%dµs", tau),
+			Fairness: r.Fairness,
+			Latency:  r.Latency,
+			Extra:    fmt.Sprintf("%d heartbeats", r.HeartbeatsSent),
+		})
+	}
+	return res
+}
+
+// AblationKappa sweeps the pacing gain κ (§4.2.1 "Setting κ"): larger κ
+// adds batching delay but drains spike-induced queues faster. On a calm
+// network κ is irrelevant (no queues ever form), so this sweep runs on
+// a spike-collapse trace — a sharp latency cliff every 20ms, the
+// Figure 7 regime where the RB queue actually builds.
+func AblationKappa(o Opts) *AblationResult {
+	res := &AblationResult{Title: "Ablation — pacing gain κ (DBO, repeated latency collapses)"}
+	dur := o.duration(100 * sim.Millisecond)
+	// Repeated cliffs: splice one spike per 20ms window.
+	base := spikeTrace(50*sim.Microsecond, 600*sim.Microsecond, 10*sim.Millisecond, 300*sim.Microsecond, 20*sim.Millisecond)
+	for _, kappa := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		cfg := cloudConfig(o, exchange.DBO)
+		cfg.Trace = base
+		cfg.TickInterval = 10 * sim.Microsecond // multiple points per batch
+		cfg.TradeProb = 0.2
+		cfg.Kappa = kappa
+		cfg.Duration = dur
+		r := exchange.Run(cfg)
+		res.Rows = append(res.Rows, AblationRow{
+			Label:    fmt.Sprintf("κ=%.2f", kappa),
+			Fairness: r.Fairness,
+			Latency:  r.Latency,
+		})
+	}
+	return res
+}
+
+// AblationStraggler sweeps the straggler threshold with one
+// pathologically slow participant (20× path latency): mitigation off
+// protects fairness at the cost of everyone's latency; aggressive
+// thresholds restore latency while only the straggler's pairs suffer.
+func AblationStraggler(o Opts) *AblationResult {
+	res := &AblationResult{Title: "Ablation — straggler mitigation (one 20×-latency MP of 4)"}
+	for _, th := range []sim.Time{0, 100 * sim.Microsecond, 300 * sim.Microsecond, sim.Millisecond} {
+		cfg := cloudConfig(o, exchange.DBO)
+		cfg.N = 4
+		cfg.Skew = []float64{1, 1, 20, 1}
+		cfg.StragglerRTT = th
+		cfg.Duration = o.duration(100 * sim.Millisecond)
+		r := exchange.Run(cfg)
+		label := "off"
+		if th > 0 {
+			label = fmt.Sprintf("thr=%dµs", th/sim.Microsecond)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:    label,
+			Fairness: r.Fairness,
+			Latency:  r.Latency,
+			Extra:    fmt.Sprintf("%d straggler events", r.StragglerEvents),
+		})
+	}
+	return res
+}
+
+// AblationShards sweeps ordering-buffer sharding (§5.2): the master's
+// heartbeat load drops as shards absorb and filter member heartbeats,
+// while the final order (and so fairness) is unchanged.
+func AblationShards(o Opts) *AblationResult {
+	res := &AblationResult{Title: "Ablation — OB sharding (DBO, cloud, 32 MPs)"}
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg := cloudConfig(o, exchange.DBO)
+		cfg.N = 32
+		cfg.Skew = nil // default spread for the new N
+		cfg.OBShards = shards
+		cfg.Duration = o.duration(60 * sim.Millisecond)
+		r := exchange.Run(cfg)
+		res.Rows = append(res.Rows, AblationRow{
+			Label:    fmt.Sprintf("shards=%d", shards),
+			Fairness: r.Fairness,
+			Latency:  r.Latency,
+			Extra:    fmt.Sprintf("master saw %d of %d heartbeats", r.MasterHeartbeats, r.HeartbeatsSent),
+		})
+	}
+	return res
+}

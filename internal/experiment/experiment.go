@@ -1,0 +1,108 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§6) plus the ablations called out in DESIGN.md. Each
+// experiment is a pure function of its options (deterministic in the
+// seed) returning a structured result that can render itself in the
+// paper's row format.
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"dbo/internal/exchange"
+	"dbo/internal/sim"
+	"dbo/internal/stats"
+	"dbo/internal/trace"
+)
+
+// Opts are the common experiment knobs. The zero value reproduces the
+// paper-scale configuration; tests and benchmarks shrink Duration.
+type Opts struct {
+	Seed     uint64
+	Duration sim.Time // 0 = experiment default
+}
+
+func (o Opts) duration(def sim.Time) sim.Time {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	return def
+}
+
+// Row is one scheme's fairness/latency line, the shape shared by
+// Tables 2 and 3.
+type Row struct {
+	Name     string
+	Fairness float64 // negative = not applicable (Max-RTT row)
+	Latency  stats.Summary
+}
+
+// writeRows renders rows in the paper's table format.
+func writeRows(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s %9s\n", "", "Fair(%)", "avg(µs)", "p50(µs)", "p99(µs)", "p999(µs)")
+	for _, r := range rows {
+		fair := "-"
+		if r.Fairness >= 0 {
+			fair = fmt.Sprintf("%.2f", 100*r.Fairness)
+		}
+		fmt.Fprintf(w, "%-10s %9s %9.2f %9.2f %9.2f %9.2f\n", r.Name, fair,
+			r.Latency.Avg.Micros(), r.Latency.P50.Micros(), r.Latency.P99.Micros(), r.Latency.P999.Micros())
+	}
+}
+
+// maxRTTRow extracts the Theorem-3 bound row from a run.
+func maxRTTRow(r *exchange.Result) Row {
+	return Row{Name: "Max-RTT", Fairness: -1, Latency: r.MaxRTT}
+}
+
+// schemeRow extracts a scheme's result row.
+func schemeRow(name string, r *exchange.Result) Row {
+	return Row{Name: name, Fairness: r.Fairness, Latency: r.Latency}
+}
+
+// labConfig is the bare-metal testbed shape (§6.2): two MP servers
+// behind one 100GbE switch, 25K ticks/s, every tick answered.
+func labConfig(o Opts, scheme exchange.Scheme) exchange.Config {
+	return exchange.Config{
+		Scheme:    scheme,
+		Seed:      o.Seed,
+		N:         2,
+		Trace:     trace.Lab(o.Seed + 100).Generate(),
+		Skew:      exchange.DefaultSkew(2, 0.14),
+		TradeProb: 1.0,
+		Duration:  o.duration(400 * sim.Millisecond),
+	}
+}
+
+// cloudConfig is the public-cloud testbed shape (§6.3): ten MP VMs,
+// 40µs tick interval, 125K trades/s aggregate.
+func cloudConfig(o Opts, scheme exchange.Scheme) exchange.Config {
+	return exchange.Config{
+		Scheme:   scheme,
+		Seed:     o.Seed,
+		N:        10,
+		Trace:    trace.Cloud(o.Seed + 200).Generate(),
+		Duration: o.duration(400 * sim.Millisecond),
+	}
+}
+
+// spikeTrace builds the controlled single-spike trace used by the
+// Figure 2 and Figure 7 experiments: a flat base RTT with one latency
+// spike of the given magnitude at mid-run, decaying linearly over
+// drain. This isolates the mechanism the figures illustrate.
+func spikeTrace(base, spike sim.Time, at, drain, total sim.Time) *trace.Trace {
+	step := 10 * sim.Microsecond
+	n := int(total / step)
+	rtt := make([]sim.Time, n)
+	for i := range rtt {
+		t := sim.Time(i) * step
+		v := base
+		if t >= at && t < at+drain {
+			frac := float64(t-at) / float64(drain)
+			v = base + sim.Time(float64(spike)*(1-frac))
+		}
+		rtt[i] = v
+	}
+	return &trace.Trace{Step: step, RTT: rtt}
+}

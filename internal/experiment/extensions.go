@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dbo/internal/exchange"
+	"dbo/internal/market"
+	"dbo/internal/sim"
+	"dbo/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Sync-assisted delivery (§4.2.6 "Trades with response time > δ").
+
+// SyncAssistResult compares plain DBO against sync-assisted DBO for
+// slow trades on a jittery network.
+type SyncAssistResult struct {
+	RTRange          string
+	PlainFairness    float64
+	AssistedFairness float64
+	PlainAvg         sim.Time
+	AssistedAvg      sim.Time
+}
+
+// AblationSync evaluates the paper's proposed extension: with (perfect)
+// synchronized clocks the RBs target simultaneous batch delivery, which
+// aligns delivery clocks and improves fairness for trades slower than
+// the horizon — while LRTF stays guaranteed and late batches release
+// immediately.
+func AblationSync(o Opts) *SyncAssistResult {
+	g := trace.Cloud(o.Seed + 300)
+	g.Jitter = 10 * sim.Microsecond
+	g.Corr = 0.6
+	tr := g.Generate()
+	mk := func(sync sim.Time) *exchange.Result {
+		cfg := cloudConfig(o, exchange.DBO)
+		cfg.Trace = tr
+		cfg.RTMin, cfg.RTMax = 60*sim.Microsecond, 80*sim.Microsecond
+		cfg.SyncOffset = sync
+		return exchange.Run(cfg)
+	}
+	plain := mk(0)
+	assisted := mk(60 * sim.Microsecond)
+	return &SyncAssistResult{
+		RTRange:          "60-80µs (δ=20µs)",
+		PlainFairness:    plain.Fairness,
+		AssistedFairness: assisted.Fairness,
+		PlainAvg:         plain.Latency.Avg,
+		AssistedAvg:      assisted.Latency.Avg,
+	}
+}
+
+// Render prints the comparison.
+func (r *SyncAssistResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — sync-assisted delivery for slow trades (RT %s, jittery network)\n", r.RTRange)
+	fmt.Fprintf(w, "%-16s %10s %10s\n", "", "fairness", "avg(µs)")
+	fmt.Fprintf(w, "%-16s %10.4f %10.2f\n", "DBO", r.PlainFairness, r.PlainAvg.Micros())
+	fmt.Fprintf(w, "%-16s %10.4f %10.2f\n", "DBO+sync", r.AssistedFairness, r.AssistedAvg.Micros())
+}
+
+// ---------------------------------------------------------------------------
+// External data streams (§4.2.6 "External data streams").
+
+// ExternalResult compares external-event race fairness when the stream
+// bypasses the exchange versus when the CES serializes it into the
+// market data super-stream.
+type ExternalResult struct {
+	BypassFairness     float64
+	SerializedFairness float64
+	BypassPairs        int
+	SerializedPairs    int
+}
+
+// ExternalStreams runs both deployments of an external news feed.
+func ExternalStreams(o Opts) *ExternalResult {
+	mk := func(bypass bool) *exchange.Result {
+		cfg := cloudConfig(o, exchange.DBO)
+		cfg.ExternalEvery = 5
+		cfg.ExternalBypass = bypass
+		return exchange.Run(cfg)
+	}
+	bp := mk(true)
+	ser := mk(false)
+	return &ExternalResult{
+		BypassFairness:     bp.ExternalFairness,
+		SerializedFairness: ser.ExternalFairness,
+		BypassPairs:        bp.ExternalPairs,
+		SerializedPairs:    ser.ExternalPairs,
+	}
+}
+
+// Render prints the comparison.
+func (r *ExternalResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — external data stream races\n")
+	fmt.Fprintf(w, "%-22s %10s %8s\n", "", "fairness", "pairs")
+	fmt.Fprintf(w, "%-22s %10.4f %8d\n", "internet bypass", r.BypassFairness, r.BypassPairs)
+	fmt.Fprintf(w, "%-22s %10.4f %8d\n", "CES super-stream", r.SerializedFairness, r.SerializedPairs)
+}
+
+// ---------------------------------------------------------------------------
+// Speed → profit: the economic consequence of (un)fair ordering.
+
+// PnLRow is one participant's outcome.
+type PnLRow struct {
+	MP        market.ParticipantID
+	MeanRT    sim.Time // lower = faster trader
+	WonDirect int      // races won under direct delivery
+	WonDBO    int      // races won under DBO
+}
+
+// PnLResult ranks participants by speed and reports how many races each
+// won under both schemes. Under DBO, race wins must follow the speed
+// ranking; under direct delivery they follow the network instead.
+type PnLResult struct {
+	Rows []PnLRow
+	// SpeedWinCorrDirect/DBO: fraction of races won by the fastest
+	// responder in that race.
+	FastestWinsDirect float64
+	FastestWinsDBO    float64
+}
+
+// SpeedPnL gives each participant a distinct speed tier (MP 1 fastest)
+// but an *inversely* ranked network path (MP 1 has the worst path) and
+// counts race wins — the paper's economic argument in one table: on a
+// fair exchange, investment in speed pays; on an unfair one, you are
+// buying the wrong thing.
+func SpeedPnL(o Opts) *PnLResult {
+	const n = 5
+	mk := func(scheme exchange.Scheme) *exchange.Result {
+		cfg := cloudConfig(o, scheme)
+		cfg.N = n
+		// Fast traders on bad paths: skew decreases with speed rank.
+		cfg.Skew = []float64{1.3, 1.15, 1.0, 0.9, 0.8}
+		cfg.KeepTrades = true
+		cfg.TradeProb = 1.0
+		return exchange.Run(cfg)
+	}
+	// Per-MP speed tiers are emulated post-hoc from the recorded RT
+	// ground truth: a race's rightful winner is its lowest-RT trade.
+	direct := mk(exchange.Direct)
+	dboRun := mk(exchange.DBO)
+
+	res := &PnLResult{}
+	var rtSum [n]sim.Time
+	var rtCount [n]int
+	wonDirect := map[market.ParticipantID]int{}
+	wonDBO := map[market.ParticipantID]int{}
+
+	count := func(r *exchange.Result, wins map[market.ParticipantID]int) float64 {
+		type first struct {
+			pos int
+			mp  market.ParticipantID
+			rt  sim.Time
+		}
+		best := map[market.PointID]first{}
+		fastest := map[market.PointID]sim.Time{}
+		for _, t := range r.TradeLog {
+			if cur, ok := best[t.Trigger]; !ok || t.FinalPos < cur.pos {
+				best[t.Trigger] = first{pos: t.FinalPos, mp: t.MP, rt: t.RT}
+			}
+			if cur, ok := fastest[t.Trigger]; !ok || t.RT < cur {
+				fastest[t.Trigger] = t.RT
+			}
+			rtSum[int(t.MP)-1] += t.RT
+			rtCount[int(t.MP)-1]++
+		}
+		byFastest := 0
+		for trig, f := range best {
+			wins[f.mp]++
+			if f.rt == fastest[trig] {
+				byFastest++
+			}
+		}
+		if len(best) == 0 {
+			return 0
+		}
+		return float64(byFastest) / float64(len(best))
+	}
+	res.FastestWinsDirect = count(direct, wonDirect)
+	res.FastestWinsDBO = count(dboRun, wonDBO)
+
+	for i := 0; i < n; i++ {
+		mp := market.ParticipantID(i + 1)
+		mean := sim.Time(0)
+		if rtCount[i] > 0 {
+			mean = rtSum[i] / sim.Time(rtCount[i])
+		}
+		res.Rows = append(res.Rows, PnLRow{
+			MP: mp, MeanRT: mean,
+			WonDirect: wonDirect[mp], WonDBO: wonDBO[mp],
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].MP < res.Rows[j].MP })
+	return res
+}
+
+// Render prints the race-win table.
+func (r *PnLResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — who wins the races (fast traders on bad paths)\n")
+	fmt.Fprintf(w, "%-6s %12s %14s %12s\n", "MP", "mean RT(µs)", "wins (direct)", "wins (DBO)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6d %12.2f %14d %12d\n", row.MP, row.MeanRT.Micros(), row.WonDirect, row.WonDBO)
+	}
+	fmt.Fprintf(w, "races won by the fastest responder: direct %.1f%%, DBO %.1f%%\n",
+		100*r.FastestWinsDirect, 100*r.FastestWinsDBO)
+}

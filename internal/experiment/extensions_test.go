@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbo/internal/sim"
+)
+
+func TestAblationSyncShape(t *testing.T) {
+	r := AblationSync(Opts{Seed: 30, Duration: 60 * sim.Millisecond})
+	if r.PlainFairness >= 1 {
+		t.Skip("plain DBO already perfect on this seed")
+	}
+	if r.AssistedFairness <= r.PlainFairness {
+		t.Errorf("assisted %v should beat plain %v", r.AssistedFairness, r.PlainFairness)
+	}
+	if r.AssistedAvg <= r.PlainAvg {
+		t.Errorf("assist should cost latency: %v vs %v", r.AssistedAvg, r.PlainAvg)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "sync-assisted") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExternalStreamsShape(t *testing.T) {
+	r := ExternalStreams(quick(31))
+	if r.BypassPairs == 0 || r.SerializedPairs == 0 {
+		t.Fatalf("pairs: bypass %d serialized %d", r.BypassPairs, r.SerializedPairs)
+	}
+	if r.SerializedFairness != 1 {
+		t.Errorf("serialized fairness = %v, super-stream inherits LRTF", r.SerializedFairness)
+	}
+	if r.BypassFairness >= r.SerializedFairness {
+		t.Errorf("bypass %v should be less fair than serialized %v", r.BypassFairness, r.SerializedFairness)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "external") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSpeedPnLShape(t *testing.T) {
+	r := SpeedPnL(quick(32))
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Under DBO, (almost) every race goes to its fastest responder;
+	// under direct delivery on inverse-ranked paths, far fewer do.
+	if r.FastestWinsDBO < 0.999 {
+		t.Errorf("DBO fastest-wins = %v, want ≈1", r.FastestWinsDBO)
+	}
+	if r.FastestWinsDirect >= r.FastestWinsDBO {
+		t.Errorf("direct fastest-wins %v should trail DBO %v", r.FastestWinsDirect, r.FastestWinsDBO)
+	}
+	total := 0
+	for _, row := range r.Rows {
+		total += row.WonDBO
+	}
+	if total == 0 {
+		t.Fatal("no races counted")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "races") {
+		t.Error("render missing summary")
+	}
+}

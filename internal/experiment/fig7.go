@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"dbo/internal/core"
+	"dbo/internal/market"
+	"dbo/internal/netsim"
+	"dbo/internal/sim"
+)
+
+// Figure7Point is one market data point's delivery outcome at a single
+// release buffer.
+type Figure7Point struct {
+	Gen     sim.Time // G(x)
+	Direct  sim.Time // raw network latency at G(x)
+	Batched sim.Time // D(i,x) − G(x) with batching + pacing
+}
+
+// Figure7Result is the per-point latency series plus the measured queue
+// drain slope after the spike.
+type Figure7Result struct {
+	Delta      sim.Time
+	Kappa      float64
+	Points     []Figure7Point
+	PeakQueue  int
+	DrainSlope float64 // measured decline of Batched per unit Gen time
+}
+
+// Figure7 reproduces "Latency in data delivery": a single release
+// buffer fed through a link that takes one sharp latency spike. During
+// the spike's collapse, delayed batches arrive back-to-back, the pacing
+// queue builds, and it drains with slope κ/(1+κ) (§4.2.1, Figure 7).
+//
+// This is a component-level experiment: it drives core.ReleaseBuffer
+// directly so the delivery timeline is exactly the RB's.
+func Figure7(o Opts) *Figure7Result {
+	delta := 20 * sim.Microsecond
+	kappa := 0.25
+	tick := 10 * sim.Microsecond
+	total := o.duration(40 * sim.Millisecond)
+	spikeAt := total / 2
+
+	// One-way latency decays at slope −1 after the spike (everything
+	// delayed by the spike arrives almost simultaneously): RTT 800µs
+	// decaying over 400µs → one-way slope −1.
+	tr := spikeTrace(50*sim.Microsecond, 800*sim.Microsecond, spikeAt, 400*sim.Microsecond, total)
+
+	k := sim.NewKernel(o.Seed)
+	res := &Figure7Result{Delta: delta, Kappa: kappa}
+
+	genOf := map[market.PointID]sim.Time{}
+	deliveredAt := map[market.PointID]sim.Time{}
+
+	var rb *core.ReleaseBuffer
+	link := netsim.NewLink(k, netsim.FromTrace(tr), func(v any) { rb.OnData(v.(market.DataPoint)) })
+	rb = core.NewReleaseBuffer(core.ReleaseBufferConfig{
+		MP: 1, Delta: delta, Sched: k,
+		Deliver: func(b *market.Batch) {
+			for _, dp := range b.Points {
+				deliveredAt[dp.ID] = k.Now()
+			}
+		},
+		Send: func(any) {},
+	})
+
+	batcher := core.NewBatcher(delta, kappa)
+	k.Every(0, tick, func() bool {
+		gen := k.Now()
+		if gen >= total {
+			return false
+		}
+		id, batch, last := batcher.Next(gen, gen+tick)
+		if gen+tick >= total {
+			last = true
+		}
+		genOf[id] = gen
+		link.Send(market.DataPoint{ID: id, Batch: batch, Last: last, Gen: gen})
+		if q := rb.QueueLen(); q > res.PeakQueue {
+			res.PeakQueue = q
+		}
+		return true
+	})
+	k.RunUntil(total + 20*sim.Millisecond)
+
+	for id := market.PointID(1); ; id++ {
+		gen, ok := genOf[id]
+		if !ok {
+			break
+		}
+		d, ok := deliveredAt[id]
+		if !ok {
+			continue
+		}
+		res.Points = append(res.Points, Figure7Point{
+			Gen:     gen,
+			Direct:  tr.OneWayAt(gen),
+			Batched: d - gen,
+		})
+	}
+	res.DrainSlope = res.measureDrainSlope(spikeAt)
+	return res
+}
+
+// measureDrainSlope fits the decline of batched delivery latency from
+// its post-spike peak back to near-baseline.
+func (f *Figure7Result) measureDrainSlope(spikeAt sim.Time) float64 {
+	peakIdx, peak := -1, sim.Time(0)
+	for i, p := range f.Points {
+		if p.Gen >= spikeAt && p.Batched > peak {
+			peak, peakIdx = p.Batched, i
+		}
+	}
+	if peakIdx < 0 {
+		return 0
+	}
+	base := f.Points[0].Batched
+	endIdx := -1
+	for i := peakIdx; i < len(f.Points); i++ {
+		if f.Points[i].Batched <= base+f.Delta {
+			endIdx = i
+			break
+		}
+	}
+	if endIdx <= peakIdx {
+		return 0
+	}
+	dLat := float64(f.Points[peakIdx].Batched - f.Points[endIdx].Batched)
+	dGen := float64(f.Points[endIdx].Gen - f.Points[peakIdx].Gen)
+	if dGen <= 0 {
+		return 0
+	}
+	return dLat / dGen
+}
+
+// Render prints a decimated latency-vs-generation-time series.
+func (f *Figure7Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7 — data delivery latency, direct vs batching+pacing (κ=%.2f: expected drain slope %.3f, measured %.3f, peak queue %d)\n",
+		f.Kappa, f.Kappa/(1+f.Kappa), f.DrainSlope, f.PeakQueue)
+	fmt.Fprintf(w, "%10s %12s %14s\n", "gen(ms)", "direct(µs)", "batched(µs)")
+	step := len(f.Points)/40 + 1
+	for i := 0; i < len(f.Points); i += step {
+		p := f.Points[i]
+		fmt.Fprintf(w, "%10.2f %12.2f %14.2f\n",
+			float64(p.Gen)/float64(sim.Millisecond), p.Direct.Micros(), p.Batched.Micros())
+	}
+}

@@ -1,0 +1,155 @@
+// Package feed synthesizes the CES's real-time market data stream: a
+// top-of-book (L1) quote process per symbol, driven by a compound event
+// model — persistent midprice drift, mean-reverting spread, and
+// size refreshes — so that downstream components (matching engine,
+// participants, examples) see data with realistic structure instead of
+// a bare random walk.
+//
+// The stream is deterministic in its seed. Prices are fixed-point ticks.
+package feed
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Quote is one L1 update for a symbol.
+type Quote struct {
+	Symbol   uint32
+	Bid, Ask int64 // price ticks, Bid < Ask always
+	BidSize  int64
+	AskSize  int64
+	BidMoved bool // whether this update changed the bid (vs the ask)
+}
+
+// Mid returns the midprice in half-ticks (2·mid to stay integral).
+func (q Quote) Mid2() int64 { return q.Bid + q.Ask }
+
+// Spread returns ask − bid in ticks.
+func (q Quote) Spread() int64 { return q.Ask - q.Bid }
+
+// Config shapes the generator.
+type Config struct {
+	Seed      uint64
+	Symbols   int   // number of instruments (default 1)
+	BasePrice int64 // initial midprice in ticks (default 100_000)
+	MinSpread int64 // spread floor in ticks (default 2)
+	MaxSpread int64 // spread cap in ticks (default 20)
+	MaxSize   int64 // top-of-book size cap (default 50)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Symbols == 0 {
+		c.Symbols = 1
+	}
+	if c.BasePrice == 0 {
+		c.BasePrice = 100_000
+	}
+	if c.MinSpread == 0 {
+		c.MinSpread = 2
+	}
+	if c.MaxSpread == 0 {
+		c.MaxSpread = 20
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 50
+	}
+	return c
+}
+
+type bookState struct {
+	bid, ask         int64
+	bidSize, askSize int64
+	drift            float64 // persistent midprice drift component
+}
+
+// Generator produces the quote stream.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	books []bookState
+	next  int // round-robin symbol cursor
+	n     uint64
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	if cfg.Symbols < 1 || cfg.MinSpread < 1 || cfg.MaxSpread < cfg.MinSpread {
+		panic(fmt.Sprintf("feed: invalid config %+v", cfg))
+	}
+	g := &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xfeed0fee)),
+	}
+	for s := 0; s < cfg.Symbols; s++ {
+		half := (cfg.MinSpread + cfg.MaxSpread) / 4
+		g.books = append(g.books, bookState{
+			bid:     cfg.BasePrice - half,
+			ask:     cfg.BasePrice + half,
+			bidSize: 1 + g.rng.Int64N(cfg.MaxSize),
+			askSize: 1 + g.rng.Int64N(cfg.MaxSize),
+		})
+	}
+	return g
+}
+
+// Next returns the next quote update, cycling symbols round-robin.
+func (g *Generator) Next() Quote {
+	sym := g.next
+	g.next = (g.next + 1) % g.cfg.Symbols
+	b := &g.books[sym]
+	g.n++
+
+	// Persistent drift with mean reversion (Ornstein–Uhlenbeck flavour).
+	b.drift = 0.9*b.drift + 0.6*g.rng.NormFloat64()
+	move := int64(b.drift)
+
+	bidMoved := g.rng.IntN(2) == 0
+	if bidMoved {
+		b.bid += move + g.rng.Int64N(3) - 1
+	} else {
+		b.ask += move + g.rng.Int64N(3) - 1
+	}
+	g.clamp(b)
+
+	// Size refresh on the moved side.
+	size := 1 + g.rng.Int64N(g.cfg.MaxSize)
+	if bidMoved {
+		b.bidSize = size
+	} else {
+		b.askSize = size
+	}
+
+	return Quote{
+		Symbol:   uint32(sym + 1),
+		Bid:      b.bid,
+		Ask:      b.ask,
+		BidSize:  b.bidSize,
+		AskSize:  b.askSize,
+		BidMoved: bidMoved,
+	}
+}
+
+// clamp keeps the quote sane: positive prices, spread within bounds.
+func (g *Generator) clamp(b *bookState) {
+	if b.bid < 1 {
+		b.bid = 1
+	}
+	if b.ask <= b.bid+g.cfg.MinSpread-1 {
+		b.ask = b.bid + g.cfg.MinSpread
+	}
+	if b.ask-b.bid > g.cfg.MaxSpread {
+		// Re-anchor the lagging side toward the mid.
+		mid := (b.bid + b.ask) / 2
+		b.bid = mid - g.cfg.MaxSpread/2
+		b.ask = b.bid + g.cfg.MaxSpread
+		if b.bid < 1 {
+			b.bid = 1
+			b.ask = 1 + g.cfg.MaxSpread
+		}
+	}
+}
+
+// Count reports how many quotes have been generated.
+func (g *Generator) Count() uint64 { return g.n }

@@ -1,0 +1,128 @@
+package feed
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New(Config{Seed: 5})
+	b := New(Config{Seed: 5})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at quote %d", i)
+		}
+	}
+	c := New(Config{Seed: 6})
+	same := true
+	a2 := New(Config{Seed: 5})
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestQuoteInvariants(t *testing.T) {
+	g := New(Config{Seed: 1, MinSpread: 2, MaxSpread: 20, MaxSize: 50})
+	for i := 0; i < 50000; i++ {
+		q := g.Next()
+		if q.Bid < 1 {
+			t.Fatalf("quote %d: bid %d < 1", i, q.Bid)
+		}
+		if q.Spread() < 2 || q.Spread() > 20 {
+			t.Fatalf("quote %d: spread %d outside [2,20]", i, q.Spread())
+		}
+		if q.BidSize < 1 || q.BidSize > 50 || q.AskSize < 1 || q.AskSize > 50 {
+			t.Fatalf("quote %d: sizes %d/%d", i, q.BidSize, q.AskSize)
+		}
+	}
+	if g.Count() != 50000 {
+		t.Fatalf("count = %d", g.Count())
+	}
+}
+
+func TestSymbolsRoundRobin(t *testing.T) {
+	g := New(Config{Seed: 2, Symbols: 3})
+	want := []uint32{1, 2, 3, 1, 2, 3}
+	for i, w := range want {
+		if q := g.Next(); q.Symbol != w {
+			t.Fatalf("quote %d: symbol %d, want %d", i, q.Symbol, w)
+		}
+	}
+}
+
+func TestPricesActuallyMove(t *testing.T) {
+	g := New(Config{Seed: 3})
+	first := g.Next()
+	moved := false
+	for i := 0; i < 1000; i++ {
+		q := g.Next()
+		if q.Bid != first.Bid || q.Ask != first.Ask {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("static quotes: feed is degenerate")
+	}
+}
+
+func TestMidpriceWanders(t *testing.T) {
+	// Drift must accumulate: the mid should leave its starting band
+	// over a long horizon (this is what makes speed races valuable).
+	g := New(Config{Seed: 4, BasePrice: 100_000})
+	var min, max int64 = 1 << 62, 0
+	for i := 0; i < 100000; i++ {
+		m := g.Next().Mid2() / 2
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max-min < 200 {
+		t.Fatalf("mid range %d too narrow; drift broken", max-min)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Seed: 1, MinSpread: 10, MaxSpread: 5})
+}
+
+// Property: invariants hold for arbitrary seeds and spread bounds.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(seed uint64, minS, span uint8) bool {
+		min := int64(minS%10) + 1
+		max := min + int64(span%30) + 1
+		g := New(Config{Seed: seed, MinSpread: min, MaxSpread: max})
+		for i := 0; i < 2000; i++ {
+			q := g.Next()
+			if q.Bid < 1 || q.Spread() < min || q.Spread() > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g := New(Config{Seed: 1, Symbols: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,125 @@
+// Package gateway implements the front-running defence of Appendix E:
+// a participant may only leak a market data point outside the cloud
+// once that point has been delivered to *every* participant inside it.
+//
+// All non-trade egress from a participant is tagged by its RB with the
+// current delivery clock and buffered at the gateway. The gateway
+// tracks each RB's delivery progress (RBs periodically report their
+// delivery clocks) and releases a message only when the minimum
+// delivered point across all participants has reached the message's
+// tag. Trade orders bypass the gateway (they go to the CES), and the
+// intra-cloud restriction — participants and helpers cannot talk to
+// other participants — is enforced by cloud security groups, not here.
+package gateway
+
+import (
+	"fmt"
+
+	"dbo/internal/market"
+)
+
+// Message is one egress payload held at the gateway.
+type Message struct {
+	From    market.ParticipantID
+	Tag     market.DeliveryClock // RB-applied tag at egress time
+	Payload []byte
+}
+
+// Egress is the buffering gateway.
+type Egress struct {
+	delivered map[market.ParticipantID]market.PointID
+	queue     []Message // FIFO within a releasable scan
+	release   func(m Message)
+
+	Released int
+	Held     int // messages that had to wait at least once
+}
+
+// New builds a gateway for a fixed participant set. release is invoked,
+// in submission order per sender, when a message becomes safe to leave
+// the cloud.
+func New(participants []market.ParticipantID, release func(m Message)) *Egress {
+	if len(participants) == 0 {
+		panic("gateway: need at least one participant")
+	}
+	if release == nil {
+		panic("gateway: need a release callback")
+	}
+	g := &Egress{delivered: make(map[market.ParticipantID]market.PointID, len(participants)), release: release}
+	for _, p := range participants {
+		if _, dup := g.delivered[p]; dup {
+			panic(fmt.Sprintf("gateway: duplicate participant %d", p))
+		}
+		g.delivered[p] = 0
+	}
+	return g
+}
+
+// minDelivered is the newest point known to have reached everyone.
+func (g *Egress) minDelivered() market.PointID {
+	first := true
+	var min market.PointID
+	for _, p := range g.delivered {
+		if first || p < min {
+			min, first = p, false
+		}
+	}
+	return min
+}
+
+// safe reports whether a message tagged with tag may leave: every data
+// point with id ≤ tag.Point has been delivered to all participants.
+func (g *Egress) safe(tag market.DeliveryClock) bool {
+	return tag.Point <= g.minDelivered()
+}
+
+// OnReport ingests an RB's periodic delivery-clock report (RBs already
+// send these as heartbeats; the gateway consumes the same stream).
+func (g *Egress) OnReport(mp market.ParticipantID, dc market.DeliveryClock) {
+	cur, ok := g.delivered[mp]
+	if !ok {
+		return
+	}
+	if dc.Point > cur {
+		g.delivered[mp] = dc.Point
+		g.drain()
+	}
+}
+
+// Submit buffers (or immediately releases) an egress message.
+func (g *Egress) Submit(m Message) {
+	if g.safe(m.Tag) && len(g.queue) == 0 {
+		g.Released++
+		g.release(m)
+		return
+	}
+	g.Held++
+	g.queue = append(g.queue, m)
+}
+
+// Pending reports messages still held.
+func (g *Egress) Pending() int { return len(g.queue) }
+
+func (g *Egress) drain() {
+	kept := g.queue[:0]
+	for _, m := range g.queue {
+		// Preserve per-sender FIFO: if an earlier message from the same
+		// sender is still held, this one must wait too.
+		blocked := !g.safe(m.Tag)
+		if !blocked {
+			for _, k := range kept {
+				if k.From == m.From {
+					blocked = true
+					break
+				}
+			}
+		}
+		if blocked {
+			kept = append(kept, m)
+			continue
+		}
+		g.Released++
+		g.release(m)
+	}
+	g.queue = kept
+}

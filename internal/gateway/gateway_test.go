@@ -1,0 +1,120 @@
+package gateway
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+)
+
+func dc(p market.PointID) market.DeliveryClock { return market.DeliveryClock{Point: p} }
+
+func newFix() (*Egress, *[]Message) {
+	var out []Message
+	g := New([]market.ParticipantID{1, 2, 3}, func(m Message) { out = append(out, m) })
+	return g, &out
+}
+
+func TestHeldUntilAllDelivered(t *testing.T) {
+	g, out := newFix()
+	// MP 1 received point 5 and wants to leak it.
+	g.OnReport(1, dc(5))
+	g.Submit(Message{From: 1, Tag: dc(5), Payload: []byte("x")})
+	if len(*out) != 0 {
+		t.Fatal("leaked before others received point 5")
+	}
+	g.OnReport(2, dc(5))
+	if len(*out) != 0 {
+		t.Fatal("leaked before MP 3 received point 5")
+	}
+	g.OnReport(3, dc(6))
+	if len(*out) != 1 {
+		t.Fatalf("not released after everyone caught up: %d", len(*out))
+	}
+	if g.Pending() != 0 || g.Held != 1 || g.Released != 1 {
+		t.Fatalf("counters: pending=%d held=%d released=%d", g.Pending(), g.Held, g.Released)
+	}
+}
+
+func TestImmediateWhenAlreadySafe(t *testing.T) {
+	g, out := newFix()
+	for _, p := range []market.ParticipantID{1, 2, 3} {
+		g.OnReport(p, dc(10))
+	}
+	g.Submit(Message{From: 2, Tag: dc(7)})
+	if len(*out) != 1 || g.Held != 0 {
+		t.Fatalf("safe message delayed: out=%d held=%d", len(*out), g.Held)
+	}
+}
+
+func TestPreOpenMessagesFlow(t *testing.T) {
+	g, out := newFix()
+	// Tag ⟨0, e⟩: no market data referenced — always safe.
+	g.Submit(Message{From: 1, Tag: dc(0)})
+	if len(*out) != 1 {
+		t.Fatal("pre-open egress blocked")
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	g, out := newFix()
+	g.OnReport(1, dc(9))
+	g.Submit(Message{From: 1, Tag: dc(9), Payload: []byte("first")})  // blocked
+	g.Submit(Message{From: 1, Tag: dc(0), Payload: []byte("second")}) // safe, but must wait
+	if len(*out) != 0 {
+		t.Fatal("second message overtook a held first")
+	}
+	g.OnReport(2, dc(9))
+	g.OnReport(3, dc(9))
+	if len(*out) != 2 {
+		t.Fatalf("released %d", len(*out))
+	}
+	if string((*out)[0].Payload) != "first" || string((*out)[1].Payload) != "second" {
+		t.Fatalf("order = %s, %s", (*out)[0].Payload, (*out)[1].Payload)
+	}
+}
+
+func TestIndependentSendersNotBlocked(t *testing.T) {
+	g, out := newFix()
+	g.OnReport(1, dc(9))
+	g.Submit(Message{From: 1, Tag: dc(9)}) // blocked
+	g.Submit(Message{From: 2, Tag: dc(0)}) // different sender, safe
+	// A report triggers a drain; MP 2's message is free to go.
+	g.OnReport(2, dc(1))
+	if len(*out) != 1 || (*out)[0].From != 2 {
+		t.Fatalf("independent sender blocked: %v", *out)
+	}
+}
+
+func TestUnknownReporterIgnored(t *testing.T) {
+	g, _ := newFix()
+	g.OnReport(99, dc(5))
+	if got := g.minDelivered(); got != 0 {
+		t.Fatalf("min moved on unknown reporter: %d", got)
+	}
+}
+
+func TestStaleReportIgnored(t *testing.T) {
+	g, _ := newFix()
+	g.OnReport(1, dc(5))
+	g.OnReport(1, dc(3)) // stale (out-of-order report)
+	if g.delivered[1] != 5 {
+		t.Fatalf("stale report regressed progress: %d", g.delivered[1])
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":   func() { New(nil, func(Message) {}) },
+		"nil rel": func() { New([]market.ParticipantID{1}, nil) },
+		"dup":     func() { New([]market.ParticipantID{1, 1}, func(Message) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,341 @@
+// Package lob implements the central exchange server's matching engine
+// (ME): a price-time priority limit order book.
+//
+// DBO deliberately does not modify the matching engine (§3 Goals); the
+// ordering buffer feeds it trades in delivery-clock order and the ME
+// executes them exactly as an on-premise FCFS sequencer would. This
+// package is that unmodified substrate.
+package lob
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// OrderID identifies an order within the engine.
+type OrderID uint64
+
+// Side of an order.
+type Side uint8
+
+const (
+	Buy Side = iota
+	Sell
+)
+
+func (s Side) String() string {
+	if s == Buy {
+		return "buy"
+	}
+	return "sell"
+}
+
+// Opposite returns the matching side.
+func (s Side) Opposite() Side { return 1 - s }
+
+// Order is a limit order. Price is in fixed-point ticks; Qty is the
+// remaining open quantity.
+type Order struct {
+	ID    OrderID
+	Owner int32 // participant that placed it
+	Side  Side
+	Price int64
+	Qty   int64
+
+	seq      uint64 // arrival sequence for time priority
+	canceled bool
+}
+
+// Execution reports a fill: the resting (maker) order and the incoming
+// (taker) order traded qty at the maker's price.
+type Execution struct {
+	Maker, Taker OrderID
+	MakerOwner   int32
+	TakerOwner   int32
+	Price        int64
+	Qty          int64
+	Seq          uint64 // execution sequence number
+}
+
+// priceQueue is a heap of resting orders: best price first, then
+// earliest arrival. For bids best = highest price; for asks lowest.
+type priceQueue struct {
+	orders []*Order
+	bids   bool
+}
+
+func (q *priceQueue) Len() int { return len(q.orders) }
+func (q *priceQueue) Less(i, j int) bool {
+	a, b := q.orders[i], q.orders[j]
+	if a.Price != b.Price {
+		if q.bids {
+			return a.Price > b.Price
+		}
+		return a.Price < b.Price
+	}
+	return a.seq < b.seq
+}
+func (q *priceQueue) Swap(i, j int) { q.orders[i], q.orders[j] = q.orders[j], q.orders[i] }
+func (q *priceQueue) Push(x any)    { q.orders = append(q.orders, x.(*Order)) }
+func (q *priceQueue) Pop() any {
+	old := q.orders
+	n := len(old)
+	o := old[n-1]
+	old[n-1] = nil
+	q.orders = old[:n-1]
+	return o
+}
+
+// peek returns the best live order, discarding canceled ones lazily.
+func (q *priceQueue) peek() *Order {
+	for q.Len() > 0 {
+		top := q.orders[0]
+		if !top.canceled {
+			return top
+		}
+		heap.Pop(q)
+	}
+	return nil
+}
+
+// Book is a single instrument's order book.
+type Book struct {
+	bids, asks priceQueue
+	byID       map[OrderID]*Order
+	nextSeq    uint64
+	execSeq    uint64
+}
+
+// NewBook returns an empty book.
+func NewBook() *Book {
+	b := &Book{byID: make(map[OrderID]*Order)}
+	b.bids.bids = true
+	return b
+}
+
+// Errors returned by the book.
+var (
+	ErrDuplicateID  = errors.New("lob: duplicate order id")
+	ErrUnknownOrder = errors.New("lob: unknown order")
+	ErrBadOrder     = errors.New("lob: order must have positive qty and price")
+)
+
+// TimeInForce controls what happens to the unmatched remainder of an
+// order.
+type TimeInForce uint8
+
+const (
+	// GTC rests the remainder on the book (good till cancel).
+	GTC TimeInForce = iota
+	// IOC cancels the remainder immediately (immediate or cancel).
+	IOC
+	// FOK executes fully or not at all (fill or kill).
+	FOK
+)
+
+// Submit matches an incoming GTC limit order against the book and rests
+// any remainder. It returns the executions in match order.
+func (b *Book) Submit(o Order) ([]Execution, error) {
+	return b.SubmitTIF(o, GTC)
+}
+
+// SubmitTIF matches an incoming limit order under the given time in
+// force. FOK orders are checked against available crossing quantity
+// before touching the book.
+func (b *Book) SubmitTIF(o Order, tif TimeInForce) ([]Execution, error) {
+	if o.Qty <= 0 || o.Price <= 0 {
+		return nil, ErrBadOrder
+	}
+	if _, dup := b.byID[o.ID]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateID, o.ID)
+	}
+	if tif == FOK && b.crossableQty(o) < o.Qty {
+		return nil, nil // killed: no executions, nothing rests
+	}
+	b.nextSeq++
+	o.seq = b.nextSeq
+
+	var execs []Execution
+	opp := &b.asks
+	if o.Side == Sell {
+		opp = &b.bids
+	}
+	crosses := func(maker *Order) bool {
+		if o.Side == Buy {
+			return maker.Price <= o.Price
+		}
+		return maker.Price >= o.Price
+	}
+	for o.Qty > 0 {
+		maker := opp.peek()
+		if maker == nil || !crosses(maker) {
+			break
+		}
+		qty := min(o.Qty, maker.Qty)
+		b.execSeq++
+		execs = append(execs, Execution{
+			Maker: maker.ID, Taker: o.ID,
+			MakerOwner: maker.Owner, TakerOwner: o.Owner,
+			Price: maker.Price, Qty: qty, Seq: b.execSeq,
+		})
+		o.Qty -= qty
+		maker.Qty -= qty
+		if maker.Qty == 0 {
+			heap.Pop(opp)
+			delete(b.byID, maker.ID)
+		}
+	}
+	if o.Qty > 0 && tif == GTC {
+		rest := o // copy; heap owns the pointer
+		same := &b.bids
+		if o.Side == Sell {
+			same = &b.asks
+		}
+		heap.Push(same, &rest)
+		b.byID[o.ID] = &rest
+	}
+	return execs, nil
+}
+
+// crossableQty sums the live quantity the order could execute against.
+func (b *Book) crossableQty(o Order) int64 {
+	opp := &b.asks
+	if o.Side == Sell {
+		opp = &b.bids
+	}
+	var total int64
+	for _, m := range opp.orders {
+		if m.canceled {
+			continue
+		}
+		if o.Side == Buy && m.Price > o.Price {
+			continue
+		}
+		if o.Side == Sell && m.Price < o.Price {
+			continue
+		}
+		total += m.Qty
+	}
+	return total
+}
+
+// Replace atomically cancels a resting order and submits a replacement
+// with new price/qty under a new id, losing time priority (the standard
+// cancel-replace semantics). It returns the replacement's executions.
+func (b *Book) Replace(old OrderID, repl Order) ([]Execution, error) {
+	if err := b.Cancel(old); err != nil {
+		return nil, err
+	}
+	return b.Submit(repl)
+}
+
+// Cancel removes a resting order.
+func (b *Book) Cancel(id OrderID) error {
+	o, ok := b.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownOrder, id)
+	}
+	o.canceled = true
+	delete(b.byID, id)
+	return nil
+}
+
+// BestBid returns the highest resting bid (ok=false if none).
+func (b *Book) BestBid() (price, qty int64, ok bool) {
+	if o := b.bids.peek(); o != nil {
+		return o.Price, o.Qty, true
+	}
+	return 0, 0, false
+}
+
+// BestAsk returns the lowest resting ask (ok=false if none).
+func (b *Book) BestAsk() (price, qty int64, ok bool) {
+	if o := b.asks.peek(); o != nil {
+		return o.Price, o.Qty, true
+	}
+	return 0, 0, false
+}
+
+// Open reports the number of resting (non-canceled) orders.
+func (b *Book) Open() int { return len(b.byID) }
+
+// Crossed reports whether the book is crossed (best bid ≥ best ask) —
+// an invariant violation after Submit returns.
+func (b *Book) Crossed() bool {
+	bid, _, okB := b.BestBid()
+	ask, _, okA := b.BestAsk()
+	return okB && okA && bid >= ask
+}
+
+// Depth returns up to n price levels per side as (price, totalQty)
+// pairs, best first.
+func (b *Book) Depth(n int) (bids, asks [][2]int64) {
+	collect := func(q *priceQueue) [][2]int64 {
+		// Aggregate by price without disturbing the heap: copy live
+		// orders, sort by priority.
+		live := make([]*Order, 0, q.Len())
+		for _, o := range q.orders {
+			if !o.canceled {
+				live = append(live, o)
+			}
+		}
+		cp := priceQueue{orders: live, bids: q.bids}
+		var out [][2]int64
+		heap.Init(&cp)
+		for cp.Len() > 0 && len(out) < n+1 {
+			o := heap.Pop(&cp).(*Order)
+			if len(out) > 0 && out[len(out)-1][0] == o.Price {
+				out[len(out)-1][1] += o.Qty
+				continue
+			}
+			if len(out) == n {
+				break
+			}
+			out = append(out, [2]int64{o.Price, o.Qty})
+		}
+		return out
+	}
+	return collect(&b.bids), collect(&b.asks)
+}
+
+// Engine routes orders to per-symbol books and assigns execution
+// sequence numbers globally, mirroring a single-threaded ME fed by the
+// ordering buffer over a shared-memory channel (§5.2).
+type Engine struct {
+	books  map[uint32]*Book
+	nextID OrderID
+	Execs  []Execution // full execution log, in ME order
+	orders int
+}
+
+// NewEngine returns an empty matching engine.
+func NewEngine() *Engine { return &Engine{books: make(map[uint32]*Book)} }
+
+// Book returns (creating if needed) the book for a symbol.
+func (e *Engine) Book(symbol uint32) *Book {
+	b, ok := e.books[symbol]
+	if !ok {
+		b = NewBook()
+		e.books[symbol] = b
+	}
+	return b
+}
+
+// Submit places a limit order, auto-assigning an OrderID, and appends
+// any executions to the engine's log. It returns the assigned id.
+func (e *Engine) Submit(symbol uint32, owner int32, side Side, price, qty int64) (OrderID, []Execution, error) {
+	e.nextID++
+	id := e.nextID
+	execs, err := e.Book(symbol).Submit(Order{ID: id, Owner: owner, Side: side, Price: price, Qty: qty})
+	if err != nil {
+		e.nextID--
+		return 0, nil, err
+	}
+	e.orders++
+	e.Execs = append(e.Execs, execs...)
+	return id, execs, nil
+}
+
+// Orders reports how many orders the engine accepted.
+func (e *Engine) Orders() int { return e.orders }

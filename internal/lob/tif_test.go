@@ -1,0 +1,177 @@
+package lob
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestIOCMatchesThenDies(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
+	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 10}, IOC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 1 || ex[0].Qty != 3 {
+		t.Fatalf("ex = %+v", ex)
+	}
+	// The 7-lot remainder must not rest.
+	if _, _, ok := b.BestBid(); ok {
+		t.Fatal("IOC remainder rested on the book")
+	}
+	if b.Open() != 0 {
+		t.Fatalf("open = %d", b.Open())
+	}
+}
+
+func TestIOCNoCrossNoEffect(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 105, Qty: 1})
+	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 1}, IOC)
+	if err != nil || len(ex) != 0 {
+		t.Fatalf("ex=%v err=%v", ex, err)
+	}
+	if b.Open() != 1 {
+		t.Fatal("book disturbed")
+	}
+}
+
+func TestFOKKillsOnPartialLiquidity(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
+	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 5}, FOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 0 {
+		t.Fatalf("FOK partially executed: %v", ex)
+	}
+	// Resting liquidity untouched.
+	if price, qty, ok := b.BestAsk(); !ok || price != 100 || qty != 3 {
+		t.Fatalf("ask disturbed: %d/%d", price, qty)
+	}
+}
+
+func TestFOKFillsWhenLiquiditySuffices(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
+	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 101, Qty: 3})
+	ex, err := b.SubmitTIF(Order{ID: 3, Side: Buy, Price: 101, Qty: 5}, FOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, e := range ex {
+		got += e.Qty
+	}
+	if got != 5 {
+		t.Fatalf("filled %d of 5", got)
+	}
+}
+
+func TestFOKIgnoresCanceledLiquidity(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 5})
+	b.Cancel(1)
+	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 5}, FOK)
+	if err != nil || len(ex) != 0 {
+		t.Fatalf("matched canceled liquidity: %v", ex)
+	}
+}
+
+func TestFOKRespectsPriceLimit(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 2})
+	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 110, Qty: 8})
+	// Only 2 crossable at ≤ 105: FOK for 5 must kill.
+	ex, _ := b.SubmitTIF(Order{ID: 3, Side: Buy, Price: 105, Qty: 5}, FOK)
+	if len(ex) != 0 {
+		t.Fatalf("FOK traded through its limit: %v", ex)
+	}
+}
+
+func TestReplaceLosesTimePriority(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 100, Qty: 1})
+	mustSubmit(t, b, Order{ID: 2, Side: Buy, Price: 100, Qty: 1})
+	// Replace order 1 at the same price: it must go behind order 2.
+	if _, err := b.Replace(1, Order{ID: 3, Side: Buy, Price: 100, Qty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := b.Submit(Order{ID: 4, Side: Sell, Price: 100, Qty: 1})
+	if len(ex) != 1 || ex[0].Maker != 2 {
+		t.Fatalf("priority after replace: %v", ex)
+	}
+}
+
+func TestReplaceUnknownOrder(t *testing.T) {
+	b := NewBook()
+	if _, err := b.Replace(99, Order{ID: 1, Side: Buy, Price: 1, Qty: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReplaceCanExecute(t *testing.T) {
+	b := NewBook()
+	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 99, Qty: 1})
+	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 101, Qty: 1})
+	// Re-price the bid through the ask: it executes.
+	ex, err := b.Replace(1, Order{ID: 3, Side: Buy, Price: 101, Qty: 1})
+	if err != nil || len(ex) != 1 || ex[0].Maker != 2 {
+		t.Fatalf("ex=%v err=%v", ex, err)
+	}
+}
+
+// Property: FOK either fills exactly its quantity or leaves the book
+// byte-identical; IOC never rests anything.
+func TestPropertyTIFInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		b := NewBook()
+		for i := 0; i < 150; i++ {
+			o := Order{
+				ID:    OrderID(i + 1),
+				Side:  Side(rng.IntN(2)),
+				Price: int64(95 + rng.IntN(10)),
+				Qty:   int64(1 + rng.IntN(4)),
+			}
+			switch rng.IntN(3) {
+			case 0:
+				before := b.Open()
+				ex, err := b.SubmitTIF(o, FOK)
+				if err != nil {
+					return false
+				}
+				var got int64
+				for _, e := range ex {
+					got += e.Qty
+				}
+				if got != 0 && got != o.Qty {
+					return false
+				}
+				if got == 0 && b.Open() != before {
+					return false
+				}
+			case 1:
+				if _, err := b.SubmitTIF(o, IOC); err != nil {
+					return false
+				}
+				if _, rested := b.byID[o.ID]; rested {
+					return false
+				}
+			default:
+				if _, err := b.Submit(o); err != nil {
+					return false
+				}
+			}
+			if b.Crossed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package market defines the domain types shared by every component of
+// the exchange: market data points, batches, trades, heartbeats, and the
+// bookkeeping needed to score speed races.
+//
+// Notation follows Table 1 of the paper: the x-th market data point is
+// identified by its PointID x; trade (i, a) is the a-th trade from
+// participant i.
+package market
+
+import (
+	"fmt"
+
+	"dbo/internal/sim"
+)
+
+// ParticipantID identifies a market participant (MP) and its colocated
+// release buffer (RB).
+type ParticipantID int32
+
+// PointID identifies a market data point in generation order, starting
+// at 1 (0 means "no point delivered yet").
+type PointID uint64
+
+// BatchID identifies a batch of market data points, starting at 1.
+type BatchID uint64
+
+// TradeSeq is a per-participant trade sequence number, starting at 1.
+type TradeSeq uint64
+
+// DataPoint is one market data update produced by the CES.
+type DataPoint struct {
+	ID      PointID
+	Batch   BatchID  // batch the CES assigned the point to
+	Last    bool     // last point of its batch
+	Gen     sim.Time // G(x): generation time at the CES
+	Symbol  uint32   // instrument id (the ME substrate routes on this)
+	Price   int64    // fixed-point price (1e-4 units)
+	Qty     int64    // displayed size
+	BidSide bool     // whether the update moved the bid (vs the ask)
+}
+
+// Batch is a group of data points the CES generated within one
+// (1+κ)·δ window. Release buffers deliver a batch atomically.
+type Batch struct {
+	ID     BatchID
+	Points []DataPoint
+}
+
+// LastPoint returns the id of the final data point of the batch; the
+// delivery clock's first component advances to this value when the
+// batch is delivered.
+func (b *Batch) LastPoint() PointID {
+	if len(b.Points) == 0 {
+		return 0
+	}
+	return b.Points[len(b.Points)-1].ID
+}
+
+// Side of an order.
+type Side uint8
+
+const (
+	Buy Side = iota
+	Sell
+)
+
+func (s Side) String() string {
+	if s == Buy {
+		return "buy"
+	}
+	return "sell"
+}
+
+// Trade is an order submitted by a participant. The fields up to Qty are
+// what the participant fills in; the remainder is stamped by the
+// infrastructure (RB tags, OB forwarding, ME sequencing) and by the
+// experiment harness for scoring.
+type Trade struct {
+	MP     ParticipantID
+	Seq    TradeSeq
+	Symbol uint32
+	Side   Side
+	Price  int64
+	Qty    int64
+
+	// Ground truth for scoring (visible to the harness, *not* used by
+	// DBO for ordering — the paper assumes trigger points are unknown
+	// to the exchange, Challenge 2).
+	Trigger   PointID  // TP(i,a)
+	Submitted sim.Time // S(i,a)
+	RT        sim.Time // RT(i,a) = S(i,a) − D(i, TP(i,a))
+
+	// Stamped by the infrastructure.
+	DC        DeliveryClock // delivery-clock tag applied by the RB
+	Forwarded sim.Time      // F(i,a): when the OB forwarded it to the ME
+	FinalPos  int           // position in the ME's final execution order
+}
+
+// Key uniquely identifies a trade.
+func (t *Trade) Key() TradeKey { return TradeKey{t.MP, t.Seq} }
+
+// TradeKey is the (i, a) pair identifying a trade.
+type TradeKey struct {
+	MP  ParticipantID
+	Seq TradeSeq
+}
+
+func (k TradeKey) String() string { return fmt.Sprintf("(%d,%d)", k.MP, k.Seq) }
+
+// DeliveryClock is the paper's logical clock (§4.1.1): a lexicographic
+// tuple of the latest data point delivered to the participant and the
+// time elapsed since that delivery, measured locally at the RB.
+type DeliveryClock struct {
+	Point   PointID  // ld(i, t): latest delivered data point id
+	Elapsed sim.Time // t − D(i, ld): local time since that delivery
+}
+
+// MaxDeliveryClock is greater than or equal to every real clock value;
+// it is the watermark of an empty participant set (vacuously released).
+var MaxDeliveryClock = DeliveryClock{Point: ^PointID(0), Elapsed: sim.Time(^uint64(0) >> 1)}
+
+// Compare returns -1, 0 or +1 for lexicographic order.
+func (c DeliveryClock) Compare(o DeliveryClock) int {
+	switch {
+	case c.Point < o.Point:
+		return -1
+	case c.Point > o.Point:
+		return 1
+	case c.Elapsed < o.Elapsed:
+		return -1
+	case c.Elapsed > o.Elapsed:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether c orders strictly before o.
+func (c DeliveryClock) Less(o DeliveryClock) bool { return c.Compare(o) < 0 }
+
+// AtLeast reports whether c ≥ o.
+func (c DeliveryClock) AtLeast(o DeliveryClock) bool { return c.Compare(o) >= 0 }
+
+func (c DeliveryClock) String() string {
+	return fmt.Sprintf("⟨%d, %v⟩", c.Point, c.Elapsed)
+}
+
+// Heartbeat is the periodic liveness/watermark message an RB sends to
+// the OB (§4.1.3). Receiving ⟨i, DC⟩ tells the OB it has already seen
+// every trade from participant i with a delivery clock below DC,
+// because delivery is in order and the clock is monotonic.
+type Heartbeat struct {
+	MP   ParticipantID
+	DC   DeliveryClock
+	Sent sim.Time // local RB send time (used by OB straggler tracking)
+}
+
+// Ordering is a trade's position assigned by a scheme; the ME executes
+// trades in increasing Ordering. For DBO this is the delivery clock plus
+// a deterministic tie-break; for baselines it is arrival or submission
+// time.
+type Ordering struct {
+	DC  DeliveryClock
+	MP  ParticipantID
+	Seq TradeSeq
+}
+
+// Less orders by delivery clock, then participant, then sequence. The
+// tie-break keeps the ME order total and deterministic; the paper's
+// fairness conditions only constrain strict response-time inequalities,
+// so any consistent tie-break is valid.
+func (o Ordering) Less(p Ordering) bool {
+	if c := o.DC.Compare(p.DC); c != 0 {
+		return c < 0
+	}
+	if o.MP != p.MP {
+		return o.MP < p.MP
+	}
+	return o.Seq < p.Seq
+}

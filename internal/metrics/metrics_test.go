@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("trades")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("queue")
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	// Idempotent registration returns the same metric.
+	if r.Counter("trades") != c || r.Gauge("queue") != g {
+		t.Fatal("re-registration created new metrics")
+	}
+}
+
+func TestFuncMetric(t *testing.T) {
+	r := NewRegistry()
+	n := int64(7)
+	r.Func("depth", func() int64 { return n })
+	if got := r.Snapshot()["depth"]; got != 7 {
+		t.Fatalf("func metric = %d", got)
+	}
+	n = 9
+	if got := r.Snapshot()["depth"]; got != 9 {
+		t.Fatalf("func metric not live: %d", got)
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Gauge("a").Set(2)
+	r.Func("c", func() int64 { return 3 })
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap["a"] != 2 || snap["b"] != 1 || snap["c"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("forwarded").Add(12)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["forwarded"] != 12 {
+		t.Fatalf("body = %v", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Set(int64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package netsim models the cloud datacenter network between the CES
+// and the market participants on top of the discrete-event kernel.
+//
+// The model matches the paper's network assumptions (§3):
+//
+//   - latency is unpredictable and effectively unbounded (driven by
+//     trace.Trace samples, which include heavy-tail spikes),
+//   - paths are not equidistant (each direction of each participant gets
+//     its own trace slice plus an optional static skew),
+//   - packets that are not dropped are delivered in order (FIFO is
+//     enforced per link: a message never overtakes an earlier one), and
+//   - losses are possible and handled out of band by the endpoints.
+package netsim
+
+import (
+	"math/rand/v2"
+
+	"dbo/internal/sim"
+	"dbo/internal/trace"
+)
+
+// LatencyFunc returns the one-way latency a message injected at time t
+// experiences on a link.
+type LatencyFunc func(t sim.Time) sim.Time
+
+// Constant returns a LatencyFunc with a fixed latency.
+func Constant(d sim.Time) LatencyFunc { return func(sim.Time) sim.Time { return d } }
+
+// FromTrace returns a LatencyFunc reading one-way latencies from a
+// trace (half the trace's RTT samples, per §6.4).
+func FromTrace(tr *trace.Trace) LatencyFunc { return tr.OneWayAt }
+
+// Link is a unidirectional, in-order, lossy channel. Send schedules the
+// receiver callback on the kernel after the link's current latency,
+// clamped so delivery order matches send order.
+type Link struct {
+	k       *sim.Kernel
+	latency LatencyFunc
+	recv    func(v any)
+
+	lossRate  float64
+	rng       *rand.Rand
+	dropNext  int
+	lastArrAt sim.Time
+
+	sent    int
+	dropped int
+}
+
+// Option configures a Link.
+type Option func(*Link)
+
+// WithLoss sets an i.i.d. drop probability. The rng must be provided
+// (deterministically seeded) when rate > 0.
+func WithLoss(rate float64, rng *rand.Rand) Option {
+	return func(l *Link) {
+		l.lossRate = rate
+		l.rng = rng
+	}
+}
+
+// NewLink builds a link delivering to recv with the given latency model.
+func NewLink(k *sim.Kernel, latency LatencyFunc, recv func(v any), opts ...Option) *Link {
+	l := &Link{k: k, latency: latency, recv: recv}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Send injects v into the link at the current simulation time.
+// It returns the scheduled arrival time, or -1 if the message was dropped.
+func (l *Link) Send(v any) sim.Time {
+	l.sent++
+	if l.dropNext > 0 {
+		l.dropNext--
+		l.dropped++
+		return -1
+	}
+	if l.lossRate > 0 && l.rng != nil && l.rng.Float64() < l.lossRate {
+		l.dropped++
+		return -1
+	}
+	now := l.k.Now()
+	at := now + l.latency(now)
+	if at < l.lastArrAt {
+		// FIFO: a later send may not overtake an earlier arrival. Equal
+		// timestamps preserve order because the kernel breaks ties FIFO.
+		at = l.lastArrAt
+	}
+	l.lastArrAt = at
+	l.k.At(at, func() { l.recv(v) })
+	return at
+}
+
+// DropNext forces the next n sends to be dropped — deterministic loss
+// injection for failure tests (Appendix D scenarios).
+func (l *Link) DropNext(n int) { l.dropNext = n }
+
+// Stats reports (sent, dropped) counters.
+func (l *Link) Stats() (sent, dropped int) { return l.sent, l.dropped }
+
+// LatencyAt exposes the link's latency model so harnesses can compute
+// the paper's Max-RTT lower bound (Theorem 3) from ground truth.
+func (l *Link) LatencyAt(t sim.Time) sim.Time { return l.latency(t) }
+
+// Path is the bidirectional connectivity of one participant: the
+// CES→RB direction (market data) and the RB→CES direction (trades and
+// heartbeats).
+type Path struct {
+	Fwd *Link // CES → RB
+	Rev *Link // RB → CES
+}
+
+// RTTAt returns the instantaneous round trip — the forward latency at t
+// plus the reverse latency at t. This is the quantity Max-RTT bounds
+// are computed from.
+func (p *Path) RTTAt(t sim.Time) sim.Time {
+	return p.Fwd.LatencyAt(t) + p.Rev.LatencyAt(t)
+}
+
+// StarConfig builds the star topology of the paper's deployments: one
+// CES, N participants, each with its own pair of directed links whose
+// latencies are independent random slices of a common base trace.
+type StarConfig struct {
+	Base     *trace.Trace // shared RTT trace (e.g. trace.Cloud(...).Generate())
+	N        int          // number of participants
+	Seed     uint64       // slice-selection seed
+	Skew     []float64    // optional per-participant static scale (len N or nil)
+	LossRate float64      // i.i.d. loss on every link (0 = lossless)
+}
+
+// Star wires the topology. fwdRecv(i) and revRecv(i) produce the
+// receiver callbacks for participant i's two directions.
+func Star(k *sim.Kernel, cfg StarConfig, fwdRecv, revRecv func(i int) func(v any)) []*Path {
+	if cfg.N <= 0 {
+		panic("netsim: star needs at least one participant")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5bf03635))
+	paths := make([]*Path, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		fwdTr := cfg.Base.RandomSlice(rng)
+		revTr := cfg.Base.RandomSlice(rng)
+		if cfg.Skew != nil {
+			fwdTr = fwdTr.Scale(cfg.Skew[i])
+			revTr = revTr.Scale(cfg.Skew[i])
+		}
+		var opts []Option
+		if cfg.LossRate > 0 {
+			opts = append(opts, WithLoss(cfg.LossRate, k.SubRand(uint64(i)+1000)))
+		}
+		paths[i] = &Path{
+			Fwd: NewLink(k, FromTrace(fwdTr), fwdRecv(i), opts...),
+			Rev: NewLink(k, FromTrace(revTr), revRecv(i), opts...),
+		}
+	}
+	return paths
+}
+
+// MaxRTTAt returns the maximum instantaneous RTT across all paths — the
+// Theorem 3 latency lower bound for a trade triggered now.
+func MaxRTTAt(paths []*Path, t sim.Time) sim.Time {
+	var max sim.Time
+	for _, p := range paths {
+		if r := p.RTTAt(t); r > max {
+			max = r
+		}
+	}
+	return max
+}

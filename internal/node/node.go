@@ -1,0 +1,525 @@
+// Package node implements the live deployment of §5 over real UDP
+// sockets: a CES node (market data generator + ordering buffer +
+// matching engine) and MP nodes (release buffer co-located with the
+// participant's execution engine, the same workaround the paper uses
+// for its public-cloud testbed, §6.3).
+//
+// Each node runs a single rt.Loop; its clock starts when the node
+// starts, so node clocks are genuinely unsynchronized. All DBO logic is
+// the same transport-agnostic core as the simulator's.
+package node
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dbo/internal/core"
+	"dbo/internal/feed"
+	"dbo/internal/lob"
+	"dbo/internal/market"
+	"dbo/internal/metrics"
+	"dbo/internal/rt"
+	"dbo/internal/sim"
+	"dbo/internal/transport"
+	"dbo/internal/wire"
+)
+
+// wireRetx maps the core's retransmission request onto its wire record.
+func wireRetx(r core.RetxRequest) wire.Retx {
+	return wire.Retx{MP: r.MP, From: r.From, To: r.To}
+}
+
+// MPAddr names one market participant's release-buffer endpoint.
+type MPAddr struct {
+	ID   market.ParticipantID
+	Addr string
+}
+
+// CESConfig configures a live central exchange server.
+type CESConfig struct {
+	Listen string   // UDP address for market data egress + trade ingress
+	MPs    []MPAddr // participants' RB endpoints
+
+	TickInterval time.Duration // market data generation interval
+	Ticks        int           // total data points to generate
+	Delta        time.Duration // δ
+	Kappa        float64       // κ
+	Tau          time.Duration // τ (OB maintenance cadence)
+	StragglerRTT time.Duration // 0 disables straggler mitigation
+	Symbols      int           // instruments in the data feed (default 1)
+	FeedSeed     uint64        // market data generator seed
+
+	// OnForward, if set, observes each trade as it reaches the ME
+	// (called on the CES loop goroutine).
+	OnForward func(t *market.Trade)
+}
+
+// CES is a running central exchange server node.
+type CES struct {
+	cfg    CESConfig
+	loop   *rt.Loop
+	ep     *transport.Endpoint
+	tcp    *transport.TCPServer
+	ob     *core.OrderingBuffer
+	engine *lob.Engine
+	batch  *core.Batcher
+	quotes *feed.Generator
+	reg    *metrics.Registry
+	addrs  []*net.UDPAddr
+
+	mu        sync.Mutex
+	genTimes  []sim.Time
+	genPoints []market.DataPoint
+	forwarded []*market.Trade
+	execs     int
+
+	stop sync.Once
+}
+
+// NewCES validates the static configuration and binds the socket, so
+// its address is known before the participants are started. Call Start
+// with the participants' addresses to begin trading.
+func NewCES(cfg CESConfig) (*CES, error) {
+	if cfg.TickInterval <= 0 || cfg.Ticks <= 0 || cfg.Delta <= 0 || cfg.Tau <= 0 {
+		return nil, fmt.Errorf("node: CES needs positive TickInterval, Ticks, Delta and Tau")
+	}
+	if cfg.Kappa <= 0 {
+		cfg.Kappa = 0.25
+	}
+	ep, err := transport.Listen(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Symbols <= 0 {
+		cfg.Symbols = 1
+	}
+	c := &CES{cfg: cfg, loop: rt.NewLoop(), ep: ep, engine: lob.NewEngine(), reg: metrics.NewRegistry()}
+	c.batch = core.NewBatcher(sim.FromDuration(cfg.Delta), cfg.Kappa)
+	c.quotes = feed.New(feed.Config{Seed: cfg.FeedSeed ^ 0xfeed, Symbols: cfg.Symbols})
+	// The reverse path is also served over framed TCP (same host, its
+	// own port): participants that want guaranteed in-order delivery of
+	// trades and heartbeats dial TCPAddr instead of the UDP socket.
+	tcp, err := transport.ListenTCP(ep.LocalAddr().IP.String() + ":0")
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	c.tcp = tcp
+	return c, nil
+}
+
+// TCPAddr returns the framed-TCP reverse-path address.
+func (c *CES) TCPAddr() net.Addr { return c.tcp.Addr() }
+
+// Start wires the participant set and begins generating market data.
+func (c *CES) Start(mps []MPAddr) error {
+	if len(mps) == 0 {
+		c.ep.Close()
+		return fmt.Errorf("node: CES needs at least one MP")
+	}
+	c.cfg.MPs = mps
+	for _, mp := range mps {
+		ua, err := net.ResolveUDPAddr("udp", mp.Addr)
+		if err != nil {
+			c.ep.Close()
+			return fmt.Errorf("node: MP %d addr %q: %w", mp.ID, mp.Addr, err)
+		}
+		c.addrs = append(c.addrs, ua)
+	}
+	parts := make([]market.ParticipantID, len(mps))
+	for i, mp := range mps {
+		parts[i] = mp.ID
+	}
+	c.ob = core.NewOrderingBuffer(core.OrderingBufferConfig{
+		Participants: parts,
+		Sched:        c.loop,
+		Forward:      c.onForward,
+		StragglerRTT: sim.FromDuration(c.cfg.StragglerRTT),
+		GenTime:      c.genTime,
+	})
+
+	c.reg.Func("ob_queued", func() int64 { return int64(c.Queued()) })
+	c.reg.Func("stragglers", func() int64 {
+		ch := make(chan int, 1)
+		c.loop.Post(func() { ch <- len(c.ob.Stragglers()) })
+		select {
+		case n := <-ch:
+			return int64(n)
+		case <-time.After(time.Second):
+			return -1
+		}
+	})
+	go c.loop.Run()
+	go c.ep.Serve(func(v any, from *net.UDPAddr) {
+		c.loop.Post(func() { c.onMessage(v) })
+	})
+	go c.tcp.Serve(func(v any, from *net.UDPAddr) {
+		c.loop.Post(func() { c.onMessage(v) })
+	})
+	c.loop.Post(func() { c.tick(0) })
+	c.scheduleOBTick()
+	return nil
+}
+
+// Metrics exposes the node's operational registry: data_points,
+// trades_received, heartbeats_received, retx_requests,
+// trades_forwarded, executions, plus live ob_queued and stragglers.
+// Mount Metrics().Handler() on any HTTP mux to scrape it.
+func (c *CES) Metrics() *metrics.Registry { return c.reg }
+
+// StartCES is the one-shot variant of NewCES + Start for configurations
+// whose participant addresses are known upfront.
+func StartCES(cfg CESConfig) (*CES, error) {
+	c, err := NewCES(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Start(cfg.MPs); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Addr returns the CES socket address (for MPs to dial).
+func (c *CES) Addr() *net.UDPAddr { return c.ep.LocalAddr() }
+
+// Stop shuts the node down.
+func (c *CES) Stop() {
+	c.stop.Do(func() {
+		c.loop.Stop()
+		c.ep.Close()
+		c.tcp.Close()
+	})
+}
+
+func (c *CES) genTime(p market.PointID) sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p == 0 || int(p) > len(c.genTimes) {
+		return 0
+	}
+	return c.genTimes[p-1]
+}
+
+func (c *CES) scheduleOBTick() {
+	tau := sim.FromDuration(c.cfg.Tau)
+	var tick func()
+	tick = func() {
+		c.ob.Tick()
+		c.loop.At(c.loop.Now()+tau, tick)
+	}
+	c.loop.At(c.loop.Now()+tau, tick)
+}
+
+// tick generates the i-th market data point and multicasts it.
+func (c *CES) tick(i int) {
+	if i >= c.cfg.Ticks {
+		return
+	}
+	now := c.loop.Now()
+	nextGen := sim.Time(-1)
+	if i+1 < c.cfg.Ticks {
+		nextGen = now + sim.FromDuration(c.cfg.TickInterval)
+	}
+	id, batch, last := c.batch.Next(now, nextGen)
+	if i+1 >= c.cfg.Ticks {
+		last = true
+	}
+	q := c.quotes.Next()
+	dp := market.DataPoint{
+		ID: id, Batch: batch, Last: last, Gen: now,
+		Symbol: q.Symbol, BidSide: q.BidMoved,
+	}
+	if q.BidMoved {
+		dp.Price, dp.Qty = q.Bid, q.BidSize
+	} else {
+		dp.Price, dp.Qty = q.Ask, q.AskSize
+	}
+	c.mu.Lock()
+	c.genTimes = append(c.genTimes, now)
+	c.genPoints = append(c.genPoints, dp)
+	c.mu.Unlock()
+	c.reg.Counter("data_points").Inc()
+	for _, a := range c.addrs {
+		c.ep.Send(dp, a) //nolint:errcheck // UDP loss is part of the model
+	}
+	if i+1 < c.cfg.Ticks {
+		c.loop.At(now+sim.FromDuration(c.cfg.TickInterval), func() { c.tick(i + 1) })
+	}
+}
+
+// onMessage dispatches reverse-path traffic (loop goroutine).
+func (c *CES) onMessage(v any) {
+	switch m := v.(type) {
+	case *market.Trade:
+		c.reg.Counter("trades_received").Inc()
+		c.ob.OnTrade(m)
+	case market.Heartbeat:
+		c.reg.Counter("heartbeats_received").Inc()
+		c.ob.OnHeartbeat(m)
+	case wire.Retx:
+		c.reg.Counter("retx_requests").Inc()
+		c.retransmit(core.RetxRequest{MP: m.MP, From: m.From, To: m.To})
+	}
+}
+
+// retransmit resends lost points to one MP (the out-of-band slow path).
+func (c *CES) retransmit(r core.RetxRequest) {
+	idx := -1
+	for i, mp := range c.cfg.MPs {
+		if mp.ID == r.MP {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	c.mu.Lock()
+	pts := make([]market.DataPoint, 0, int(r.To-r.From)+1)
+	for id := r.From; id <= r.To && int(id) <= len(c.genPoints); id++ {
+		pts = append(pts, c.genPoints[id-1])
+	}
+	c.mu.Unlock()
+	for _, dp := range pts {
+		c.ep.Send(dp, c.addrs[idx]) //nolint:errcheck
+	}
+}
+
+func (c *CES) onForward(t *market.Trade) {
+	side := lob.Buy
+	if t.Side == market.Sell {
+		side = lob.Sell
+	}
+	_, execs, err := c.engine.Submit(t.Symbol, int32(t.MP), side, t.Price, t.Qty)
+	if err != nil {
+		return // duplicate/bad orders are dropped, not fatal
+	}
+	c.mu.Lock()
+	c.forwarded = append(c.forwarded, t)
+	c.execs += len(execs)
+	c.mu.Unlock()
+	c.reg.Counter("trades_forwarded").Inc()
+	c.reg.Counter("executions").Add(int64(len(execs)))
+	// Execution reports go back to both counterparties (the market data
+	// stream is the public side; these are the private fills).
+	for _, e := range execs {
+		rep := wire.Exec{
+			Maker: uint64(e.Maker), Taker: uint64(e.Taker),
+			MakerOwner: e.MakerOwner, TakerOwner: e.TakerOwner,
+			Price: e.Price, Qty: e.Qty, Seq: e.Seq,
+		}
+		c.sendExec(rep, e.MakerOwner)
+		if e.TakerOwner != e.MakerOwner {
+			c.sendExec(rep, e.TakerOwner)
+		}
+	}
+	if c.cfg.OnForward != nil {
+		c.cfg.OnForward(t)
+	}
+}
+
+func (c *CES) sendExec(rep wire.Exec, owner int32) {
+	for i, mp := range c.cfg.MPs {
+		if int32(mp.ID) == owner {
+			c.ep.Send(rep, c.addrs[i]) //nolint:errcheck
+			return
+		}
+	}
+}
+
+// Forwarded snapshots the trades forwarded to the ME so far, in order.
+func (c *CES) Forwarded() []*market.Trade {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*market.Trade, len(c.forwarded))
+	copy(out, c.forwarded)
+	return out
+}
+
+// Executions reports fills so far.
+func (c *CES) Executions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.execs
+}
+
+// Queued reports trades currently held in the ordering buffer. Only
+// meaningful once the node has quiesced (call from tests after Stop is
+// not safe; use while running for monitoring).
+func (c *CES) Queued() int {
+	ch := make(chan int, 1)
+	c.loop.Post(func() { ch <- c.ob.Queued() })
+	select {
+	case n := <-ch:
+		return n
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+// Strategy decides how an MP reacts to a delivered market data point:
+// whether to trade, after what response time, and with what order.
+type Strategy func(dp market.DataPoint) (respond bool, rt time.Duration, side market.Side, price, qty int64)
+
+// MPConfig configures a live market participant (with its co-located
+// release buffer).
+type MPConfig struct {
+	ID     market.ParticipantID
+	Listen string // RB ingress for market data
+	CES    string // CES UDP endpoint for trades/heartbeats/retx
+	// CESTCP, when set, carries the reverse path over framed TCP
+	// (guaranteed in-order delivery) instead of UDP.
+	CESTCP string
+
+	Delta    time.Duration
+	Tau      time.Duration
+	Strategy Strategy
+
+	// OnDeliver, if set, observes batch deliveries (loop goroutine).
+	OnDeliver func(b *market.Batch)
+	// OnExec, if set, observes this participant's fills (loop goroutine).
+	OnExec func(e wire.Exec)
+}
+
+// MP is a running market participant node.
+type MP struct {
+	cfg   MPConfig
+	loop  *rt.Loop
+	ep    *transport.Endpoint
+	rb    *core.ReleaseBuffer
+	ces   *net.UDPAddr
+	tcp   *transport.TCPClient // non-nil when the reverse path is TCP
+	seq   market.TradeSeq
+	fills int
+	stop  sync.Once
+}
+
+// StartMP binds the participant's socket and starts its release buffer.
+func StartMP(cfg MPConfig) (*MP, error) {
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("node: MP needs a Strategy")
+	}
+	if cfg.Delta <= 0 || cfg.Tau <= 0 {
+		return nil, fmt.Errorf("node: MP needs positive Delta and Tau")
+	}
+	ep, err := transport.Listen(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	ces, err := net.ResolveUDPAddr("udp", cfg.CES)
+	if err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("node: CES addr %q: %w", cfg.CES, err)
+	}
+	m := &MP{cfg: cfg, loop: rt.NewLoop(), ep: ep, ces: ces}
+	if cfg.CESTCP != "" {
+		tcp, err := transport.DialTCP(cfg.CESTCP)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		m.tcp = tcp
+	}
+	m.rb = core.NewReleaseBuffer(core.ReleaseBufferConfig{
+		MP:      cfg.ID,
+		Delta:   sim.FromDuration(cfg.Delta),
+		Tau:     sim.FromDuration(cfg.Tau),
+		Sched:   m.loop,
+		Deliver: m.onBatch,
+		Send:    m.send,
+	})
+	go m.loop.Run()
+	go m.ep.Serve(func(v any, from *net.UDPAddr) {
+		m.loop.Post(func() { m.onMessage(v) })
+	})
+	m.loop.Post(m.rb.Start)
+	return m, nil
+}
+
+// Addr returns the MP's RB ingress address (for the CES config).
+func (m *MP) Addr() *net.UDPAddr { return m.ep.LocalAddr() }
+
+// Stop shuts the node down.
+func (m *MP) Stop() {
+	m.stop.Do(func() {
+		m.loop.Stop()
+		m.ep.Close()
+		if m.tcp != nil {
+			m.tcp.Close()
+		}
+	})
+}
+
+// send carries RB output (tagged trades, heartbeats, retx requests) to
+// the CES. core.RetxRequest is translated at the wire layer.
+func (m *MP) send(v any) {
+	if r, ok := v.(core.RetxRequest); ok {
+		// wire has its own Retx record; map the core type onto it.
+		v = wireRetx(r)
+	}
+	if m.tcp != nil {
+		m.tcp.Send(v) //nolint:errcheck
+		return
+	}
+	m.ep.Send(v, m.ces) //nolint:errcheck
+}
+
+func (m *MP) onMessage(v any) {
+	switch msg := v.(type) {
+	case market.DataPoint:
+		m.rb.OnData(msg)
+	case wire.Exec:
+		m.fills++
+		if m.cfg.OnExec != nil {
+			m.cfg.OnExec(msg)
+		}
+	}
+}
+
+// Fills reports execution reports received so far (loop-external reads
+// race with updates only in the benign monotone-counter sense, so the
+// value is served through the loop).
+func (m *MP) Fills() int {
+	ch := make(chan int, 1)
+	m.loop.Post(func() { ch <- m.fills })
+	select {
+	case n := <-ch:
+		return n
+	case <-time.After(time.Second):
+		return -1
+	}
+}
+
+// onBatch runs the participant's strategy against each delivered point.
+func (m *MP) onBatch(b *market.Batch) {
+	deliveredAt := m.loop.Now()
+	if m.cfg.OnDeliver != nil {
+		m.cfg.OnDeliver(b)
+	}
+	for _, dp := range b.Points {
+		respond, rtDelay, side, price, qty := m.cfg.Strategy(dp)
+		if !respond {
+			continue
+		}
+		dp := dp
+		m.loop.At(deliveredAt+sim.FromDuration(rtDelay), func() {
+			m.seq++
+			now := m.loop.Now()
+			t := &market.Trade{
+				MP: m.cfg.ID, Seq: m.seq, Symbol: dp.Symbol,
+				Side: side, Price: price, Qty: qty,
+				Trigger:   dp.ID,
+				Submitted: now,
+				// Ground truth is the *actual* response time — delivery
+				// to submission as measured on this node's clock — not
+				// the intended delay: under scheduler/GC pressure the
+				// timer can fire late, and the trade really was slower.
+				RT: now - deliveredAt,
+			}
+			m.rb.OnTrade(t) // tags the delivery clock, then send()
+		})
+	}
+}

@@ -1,0 +1,422 @@
+package node
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dbo/internal/market"
+)
+
+// rtOf assigns each (participant, point) a deterministic response time:
+// the three MPs rotate through {4, 10, 16}ms per point, so every race's
+// expected winner is known and RT gaps (6ms) dwarf scheduler jitter.
+// Trades carry their *measured* response times, so a late timer still
+// yields truthful ground truth; the cluster's δ (25ms) leaves ~9ms of
+// headroom before the slowest intended response leaves the horizon.
+func rtOf(mp market.ParticipantID, point market.PointID) time.Duration {
+	slot := (int(mp) - 1 + int(point)) % 3
+	return time.Duration(slot*6+4) * time.Millisecond
+}
+
+func strategyFor(id market.ParticipantID) Strategy {
+	return func(dp market.DataPoint) (bool, time.Duration, market.Side, int64, int64) {
+		side := market.Buy
+		if (int(id)+int(dp.ID))%2 == 0 {
+			side = market.Sell
+		}
+		return true, rtOf(id, dp.ID), side, dp.Price, 1
+	}
+}
+
+// startCluster boots one CES and n MPs on loopback.
+func startCluster(t *testing.T, n, ticks int) (*CES, []*MP) {
+	t.Helper()
+	ces, err := NewCES(CESConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 60 * time.Millisecond,
+		Ticks:        ticks,
+		Delta:        25 * time.Millisecond,
+		Kappa:        0.25,
+		Tau:          2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mps []*MP
+	var addrs []MPAddr
+	for i := 1; i <= n; i++ {
+		id := market.ParticipantID(i)
+		mp, err := StartMP(MPConfig{
+			ID:       id,
+			Listen:   "127.0.0.1:0",
+			CES:      ces.Addr().String(),
+			Delta:    25 * time.Millisecond,
+			Tau:      2 * time.Millisecond,
+			Strategy: strategyFor(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mps = append(mps, mp)
+		addrs = append(addrs, MPAddr{ID: id, Addr: mp.Addr().String()})
+	}
+	if err := ces.Start(addrs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ces.Stop()
+		for _, mp := range mps {
+			mp.Stop()
+		}
+	})
+	return ces, mps
+}
+
+// waitForward polls until the CES has forwarded want trades.
+func waitForward(t *testing.T, ces *CES, want int, timeout time.Duration) []*market.Trade {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		got := ces.Forwarded()
+		if len(got) >= want {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("forwarded %d of %d trades before timeout", len(got), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLiveClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	const nMP, ticks = 3, 12
+	ces, _ := startCluster(t, nMP, ticks)
+	trades := waitForward(t, ces, nMP*ticks, 10*time.Second)
+
+	// Every trade arrived exactly once.
+	seen := map[market.TradeKey]bool{}
+	byTrigger := map[market.PointID][]*market.Trade{}
+	for _, tr := range trades {
+		if seen[tr.Key()] {
+			t.Fatalf("duplicate trade %v", tr.Key())
+		}
+		seen[tr.Key()] = true
+		byTrigger[tr.Trigger] = append(byTrigger[tr.Trigger], tr)
+	}
+	if len(byTrigger) != ticks {
+		t.Fatalf("races = %d, want %d", len(byTrigger), ticks)
+	}
+
+	// LRTF: within every race the forwarding order matches the known
+	// response-time order — over real, unequal, unsynchronized UDP paths.
+	pos := map[market.TradeKey]int{}
+	for i, tr := range trades {
+		pos[tr.Key()] = i
+	}
+	for trig, race := range byTrigger {
+		if len(race) != nMP {
+			t.Fatalf("race %d has %d trades", trig, len(race))
+		}
+		for i := 0; i < len(race); i++ {
+			for j := i + 1; j < len(race); j++ {
+				a, b := race[i], race[j]
+				if a.RT == b.RT {
+					continue
+				}
+				if (a.RT < b.RT) != (pos[a.Key()] < pos[b.Key()]) {
+					t.Errorf("race %d: RT %v vs %v but order %d vs %d",
+						trig, a.RT, b.RT, pos[a.Key()], pos[b.Key()])
+				}
+			}
+		}
+	}
+
+	// Delivery-clock tags are present and per-MP monotone.
+	last := map[market.ParticipantID]market.DeliveryClock{}
+	for _, tr := range trades {
+		if tr.DC.Point == 0 {
+			t.Fatalf("trade %v missing delivery-clock tag", tr.Key())
+		}
+		_ = last
+	}
+
+	if ces.Executions() == 0 {
+		t.Error("matching engine made no fills")
+	}
+}
+
+func TestLiveClusterOrderIsGlobalDCOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	ces, _ := startCluster(t, 2, 8)
+	trades := waitForward(t, ces, 16, 10*time.Second)
+	for i := 1; i < len(trades); i++ {
+		a, b := trades[i-1], trades[i]
+		ka := market.Ordering{DC: a.DC, MP: a.MP, Seq: a.Seq}
+		kb := market.Ordering{DC: b.DC, MP: b.MP, Seq: b.Seq}
+		if kb.Less(ka) {
+			t.Fatalf("ME order violates delivery-clock order at %d: %v ≥ %v", i, a.DC, b.DC)
+		}
+	}
+}
+
+func TestLiveStragglerBypass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	// One configured MP never starts (crashed RB). With straggler
+	// mitigation, trades from the live MP still flow.
+	ces, err := NewCES(CESConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 20 * time.Millisecond,
+		Ticks:        8,
+		Delta:        25 * time.Millisecond,
+		Tau:          2 * time.Millisecond,
+		StragglerRTT: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := StartMP(MPConfig{
+		ID: 1, Listen: "127.0.0.1:0", CES: ces.Addr().String(),
+		Delta: 4 * time.Millisecond, Tau: 2 * time.Millisecond,
+		Strategy: strategyFor(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Stop()
+	// MP 2 is a dead address: a bound socket nobody serves.
+	dead, err := StartMP(MPConfig{
+		ID: 2, Listen: "127.0.0.1:0", CES: ces.Addr().String(),
+		Delta: 4 * time.Millisecond, Tau: 2 * time.Millisecond,
+		Strategy: strategyFor(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Stop() // crash it immediately
+	if err := ces.Start([]MPAddr{
+		{ID: 1, Addr: mp.Addr().String()},
+		{ID: 2, Addr: deadAddr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer ces.Stop()
+	trades := waitForward(t, ces, 8, 10*time.Second)
+	for _, tr := range trades {
+		if tr.MP != 1 {
+			t.Fatalf("unexpected trade from %d", tr.MP)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCES(CESConfig{Listen: "127.0.0.1:0"}); err == nil {
+		t.Error("zero timing config must fail")
+	}
+	if _, err := StartMP(MPConfig{Listen: "127.0.0.1:0", CES: "127.0.0.1:1", Delta: time.Millisecond, Tau: time.Millisecond}); err == nil {
+		t.Error("missing strategy must fail")
+	}
+	if _, err := StartMP(MPConfig{Listen: "127.0.0.1:0", CES: "127.0.0.1:1",
+		Strategy: strategyFor(1)}); err == nil {
+		t.Error("zero delta must fail")
+	}
+	c, err := NewCES(CESConfig{Listen: "127.0.0.1:0", TickInterval: time.Millisecond,
+		Ticks: 1, Delta: time.Millisecond, Tau: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(nil); err == nil {
+		t.Error("empty MP set must fail")
+	}
+}
+
+func TestLiveThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	// Feasibility smoke in the spirit of §6.3's 125K trades/s target:
+	// short ticks, several MPs, just verify nothing wedges and ordering
+	// state drains. (Absolute rates depend on the CI machine.)
+	ces, err := NewCES(CESConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: time.Millisecond,
+		Ticks:        200,
+		Delta:        500 * time.Microsecond,
+		Tau:          500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []MPAddr
+	var mps []*MP
+	for i := 1; i <= 4; i++ {
+		id := market.ParticipantID(i)
+		mp, err := StartMP(MPConfig{
+			ID: id, Listen: "127.0.0.1:0", CES: ces.Addr().String(),
+			Delta: 500 * time.Microsecond, Tau: 500 * time.Microsecond,
+			Strategy: func(dp market.DataPoint) (bool, time.Duration, market.Side, int64, int64) {
+				return true, time.Duration(100+int(id)*50) * time.Microsecond, market.Buy, dp.Price, 1
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mps = append(mps, mp)
+		addrs = append(addrs, MPAddr{ID: id, Addr: mp.Addr().String()})
+	}
+	defer func() {
+		for _, mp := range mps {
+			mp.Stop()
+		}
+	}()
+	if err := ces.Start(addrs); err != nil {
+		t.Fatal(err)
+	}
+	defer ces.Stop()
+	want := 4 * 200
+	got := waitForward(t, ces, want*9/10, 20*time.Second) // UDP may drop a few
+	if len(got) < want*9/10 {
+		t.Fatalf("forwarded %d of %d", len(got), want)
+	}
+}
+
+func ExampleStartCES() {
+	fmt.Println("see examples/livelocal for a runnable cluster")
+	// Output: see examples/livelocal for a runnable cluster
+}
+
+func TestExecutionReportsReachParticipants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	ces, mps := startCluster(t, 2, 10)
+	waitForward(t, ces, 20, 10*time.Second)
+	if ces.Executions() == 0 {
+		t.Skip("workload produced no crossings on this run")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, mp := range mps {
+			total += mp.Fills()
+		}
+		if total > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ME made %d fills but no execution report reached any MP", ces.Executions())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestLiveClusterTCPReversePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	const nMP, ticks = 2, 8
+	ces, err := NewCES(CESConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 60 * time.Millisecond,
+		Ticks:        ticks,
+		Delta:        25 * time.Millisecond,
+		Tau:          2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mps []*MP
+	var addrs []MPAddr
+	for i := 1; i <= nMP; i++ {
+		id := market.ParticipantID(i)
+		mp, err := StartMP(MPConfig{
+			ID:       id,
+			Listen:   "127.0.0.1:0",
+			CES:      ces.Addr().String(),
+			CESTCP:   ces.TCPAddr().String(),
+			Delta:    25 * time.Millisecond,
+			Tau:      2 * time.Millisecond,
+			Strategy: strategyFor(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mps = append(mps, mp)
+		addrs = append(addrs, MPAddr{ID: id, Addr: mp.Addr().String()})
+	}
+	if err := ces.Start(addrs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ces.Stop()
+		for _, mp := range mps {
+			mp.Stop()
+		}
+	})
+	trades := waitForward(t, ces, nMP*ticks, 10*time.Second)
+	// Same LRTF assertion, now with trades and heartbeats over TCP.
+	pos := map[market.TradeKey]int{}
+	byTrigger := map[market.PointID][]*market.Trade{}
+	for i, tr := range trades {
+		pos[tr.Key()] = i
+		byTrigger[tr.Trigger] = append(byTrigger[tr.Trigger], tr)
+	}
+	for trig, race := range byTrigger {
+		for i := 0; i < len(race); i++ {
+			for j := i + 1; j < len(race); j++ {
+				a, b := race[i], race[j]
+				if a.RT == b.RT {
+					continue
+				}
+				if (a.RT < b.RT) != (pos[a.Key()] < pos[b.Key()]) {
+					t.Errorf("race %d misordered over TCP path", trig)
+				}
+			}
+		}
+	}
+}
+
+func TestMetricsRegistryAndHTTPScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	ces, _ := startCluster(t, 2, 4)
+	waitForward(t, ces, 8, 10*time.Second)
+
+	srv := httptest.NewServer(ces.Metrics().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["data_points"] != 4 {
+		t.Errorf("data_points = %d", snap["data_points"])
+	}
+	if snap["trades_forwarded"] < 8 {
+		t.Errorf("trades_forwarded = %d", snap["trades_forwarded"])
+	}
+	if snap["heartbeats_received"] == 0 {
+		t.Error("no heartbeats counted")
+	}
+	if _, ok := snap["ob_queued"]; !ok {
+		t.Error("ob_queued func metric missing")
+	}
+	if snap["stragglers"] != 0 {
+		t.Errorf("stragglers = %d", snap["stragglers"])
+	}
+}

@@ -1,0 +1,183 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func trade(mp market.ParticipantID, seq market.TradeSeq, point market.PointID, elapsed sim.Time) *market.Trade {
+	return &market.Trade{MP: mp, Seq: seq, DC: market.DeliveryClock{Point: point, Elapsed: elapsed}}
+}
+
+// record builds a log from a script of (kind, trade) steps.
+func record(t *testing.T, steps func(r *Recorder)) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	steps(r)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRoundTripAndVerifyCleanLog(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Gen(10, market.DataPoint{ID: 1, Batch: 1, Last: true, Gen: 10})
+		a := trade(1, 1, 1, 5)
+		b := trade(2, 1, 1, 9)
+		r.Recv(40, a)
+		r.Recv(45, b)
+		r.Forward(60, a)
+		r.Forward(61, b)
+	})
+	rep, err := Verify(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gens != 1 || rep.Recvs != 2 || rep.Forwards != 2 || rep.Unforwarded != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestReaderIteratesEvents(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Gen(1, market.DataPoint{ID: 1, Gen: 1})
+		r.Recv(2, trade(1, 1, 1, 0))
+	})
+	rd := NewReader(bytes.NewReader(buf.Bytes()))
+	ev1, err := rd.Next()
+	if err != nil || ev1.Kind != EvGen || ev1.Point.ID != 1 || ev1.At != 1 {
+		t.Fatalf("ev1 = %+v err %v", ev1, err)
+	}
+	ev2, err := rd.Next()
+	if err != nil || ev2.Kind != EvRecv || ev2.Trade.MP != 1 {
+		t.Fatalf("ev2 = %+v err %v", ev2, err)
+	}
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("expected EOF")
+	}
+}
+
+func TestVerifyDetectsOutOfOrderForward(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		a := trade(1, 1, 1, 5)
+		b := trade(2, 1, 1, 9)
+		r.Recv(1, a)
+		r.Recv(2, b)
+		r.Forward(3, b) // slower trade forwarded first!
+		r.Forward(4, a)
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "violates delivery-clock order") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyDetectsFabricatedTrade(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Forward(1, trade(1, 1, 1, 5)) // never received
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "never received") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyDetectsDoubleForward(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		a := trade(1, 1, 1, 5)
+		r.Recv(1, a)
+		r.Forward(2, a)
+		r.Forward(3, a)
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "forwarded twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyDetectsTagTampering(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		a := trade(1, 1, 1, 5)
+		r.Recv(1, a)
+		tampered := *a
+		tampered.DC.Elapsed = 1 // exchange "improved" the tag
+		r.Forward(2, &tampered)
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "tag changed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyDetectsClockRegression(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Recv(1, trade(1, 1, 2, 0))
+		r.Recv(2, trade(1, 2, 1, 0)) // participant clock went backwards
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "clock regressed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyDetectsDuplicateReceive(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		a := trade(1, 1, 1, 5)
+		r.Recv(1, a)
+		r.Recv(2, a)
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "duplicate receive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyDetectsTimeRegression(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Gen(10, market.DataPoint{ID: 1})
+		r.Gen(5, market.DataPoint{ID: 2})
+	})
+	if _, err := Verify(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "time regressed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyCountsUnforwarded(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Recv(1, trade(1, 1, 1, 5)) // OB crashed before forwarding
+	})
+	rep, err := Verify(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unforwarded != 1 {
+		t.Fatalf("unforwarded = %d", rep.Unforwarded)
+	}
+}
+
+func TestTruncatedLog(t *testing.T) {
+	buf := record(t, func(r *Recorder) {
+		r.Gen(1, market.DataPoint{ID: 1})
+	})
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := Verify(bytes.NewReader(cut)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Truncated mid-header too.
+	if _, err := Verify(bytes.NewReader(buf.Bytes()[:5])); err == nil {
+		t.Fatal("expected header truncation error")
+	}
+}
+
+func TestGarbageLog(t *testing.T) {
+	if _, err := Verify(strings.NewReader("not a log at all, definitely")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,150 @@
+// Package rt adapts the transport-agnostic DBO components (which expect
+// a core.Scheduler) to wall-clock time: a single-goroutine event loop
+// with a monotonic clock and a timer heap.
+//
+// Every node of the live deployment (internal/node) owns one Loop. All
+// component state is touched only from the loop goroutine; network
+// receive goroutines hand messages in via Post. Each Loop's clock
+// starts at its own construction instant, so two nodes' clocks are
+// genuinely unsynchronized — exactly the regime DBO is designed for.
+package rt
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"dbo/internal/sim"
+)
+
+type timer struct {
+	at  sim.Time
+	seq uint64
+	fn  func()
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Loop is a wall-clock scheduler satisfying core.Scheduler. Run it with
+// Run (usually in its own goroutine) and stop it with Stop.
+type Loop struct {
+	start time.Time
+
+	mu     sync.Mutex
+	timers timerHeap
+	seq    uint64
+	msgs   []func()
+	wake   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewLoop returns a loop whose clock starts now.
+func NewLoop() *Loop {
+	return &Loop{
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+}
+
+// Now returns the loop's monotonic local time.
+func (l *Loop) Now() sim.Time { return sim.Time(time.Since(l.start)) }
+
+// At schedules fn on the loop at local time t (clamped to now if in the
+// past — wall clocks move while callers compute). Safe from any goroutine.
+func (l *Loop) At(t sim.Time, fn func()) {
+	l.mu.Lock()
+	l.seq++
+	heap.Push(&l.timers, &timer{at: t, seq: l.seq, fn: fn})
+	l.mu.Unlock()
+	l.kick()
+}
+
+// Post enqueues fn to run on the loop goroutine as soon as possible.
+// Safe from any goroutine; this is how network receivers inject messages.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	l.msgs = append(l.msgs, fn)
+	l.mu.Unlock()
+	l.kick()
+}
+
+func (l *Loop) kick() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop terminates Run. Idempotent.
+func (l *Loop) Stop() { l.once.Do(func() { close(l.done) }) }
+
+// Run dispatches messages and timers until Stop. It owns the calling
+// goroutine.
+func (l *Loop) Run() {
+	tm := time.NewTimer(time.Hour)
+	defer tm.Stop()
+	for {
+		// Drain posted messages first.
+		l.mu.Lock()
+		msgs := l.msgs
+		l.msgs = nil
+		l.mu.Unlock()
+		for _, fn := range msgs {
+			fn()
+		}
+
+		// Run due timers and find the next deadline.
+		now := l.Now()
+		var due []func()
+		l.mu.Lock()
+		for len(l.timers) > 0 && l.timers[0].at <= now {
+			due = append(due, heap.Pop(&l.timers).(*timer).fn)
+		}
+		var wait time.Duration = time.Hour
+		if len(l.timers) > 0 {
+			wait = time.Duration(l.timers[0].at - now)
+		}
+		pending := len(l.msgs) > 0
+		l.mu.Unlock()
+		for _, fn := range due {
+			fn()
+		}
+		if len(due) > 0 || pending {
+			continue // new work may have been created; re-evaluate
+		}
+
+		if !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
+			}
+		}
+		tm.Reset(wait)
+		select {
+		case <-l.done:
+			return
+		case <-l.wake:
+		case <-tm.C:
+		}
+	}
+}

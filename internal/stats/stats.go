@@ -1,0 +1,225 @@
+// Package stats provides the order-statistics plumbing used by the
+// evaluation: latency collectors with percentiles, CDFs matching the
+// paper's figures, and fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"dbo/internal/sim"
+)
+
+// Latencies collects latency samples and answers the order statistics
+// the paper's tables report (avg, p50, p99, p999). The collector keeps
+// all samples; evaluation runs are bounded so this stays small, and it
+// keeps percentiles exact rather than approximate.
+type Latencies struct {
+	samples []sim.Time
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latencies) Add(v sim.Time) {
+	l.samples = append(l.samples, v)
+	l.sorted = false
+}
+
+// N reports the number of samples.
+func (l *Latencies) N() int { return len(l.samples) }
+
+func (l *Latencies) sort() {
+	if !l.sorted {
+		slices.Sort(l.samples)
+		l.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (l *Latencies) Mean() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range l.samples {
+		sum += float64(v)
+	}
+	return sim.Time(sum / float64(len(l.samples)))
+}
+
+// Percentile returns the q-quantile, q in [0, 1], using the
+// nearest-rank method on the sorted samples. Empty collectors return 0.
+func (l *Latencies) Percentile(q float64) sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	l.sort()
+	i := int(math.Ceil(q*float64(len(l.samples)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return l.samples[i]
+}
+
+// Max returns the largest sample (0 when empty).
+func (l *Latencies) Max() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[len(l.samples)-1]
+}
+
+// Min returns the smallest sample (0 when empty).
+func (l *Latencies) Min() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[0]
+}
+
+// Summary is the row shape of Tables 2 and 3.
+type Summary struct {
+	N                   int
+	Avg, P50, P99, P999 sim.Time
+	Max                 sim.Time
+}
+
+// Summarize computes the standard row.
+func (l *Latencies) Summarize() Summary {
+	return Summary{
+		N:    l.N(),
+		Avg:  l.Mean(),
+		P50:  l.Percentile(0.50),
+		P99:  l.Percentile(0.99),
+		P999: l.Percentile(0.999),
+		Max:  l.Max(),
+	}
+}
+
+// String formats the summary in the paper's µs convention.
+func (s Summary) String() string {
+	return fmt.Sprintf("avg=%.2fµs p50=%.2fµs p99=%.2fµs p999=%.2fµs (n=%d)",
+		s.Avg.Micros(), s.P50.Micros(), s.P99.Micros(), s.P999.Micros(), s.N)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value sim.Time
+	Frac  float64 // fraction of samples ≤ Value
+}
+
+// CDF returns up to maxPoints evenly spaced points of the empirical CDF
+// (always including the max). Figures 10's curves are produced from this.
+func (l *Latencies) CDF(maxPoints int) []CDFPoint {
+	n := len(l.samples)
+	if n == 0 || maxPoints <= 0 {
+		return nil
+	}
+	l.sort()
+	if maxPoints > n {
+		maxPoints = n
+	}
+	out := make([]CDFPoint, 0, maxPoints)
+	for k := 1; k <= maxPoints; k++ {
+		i := k*n/maxPoints - 1
+		out = append(out, CDFPoint{Value: l.samples[i], Frac: float64(i+1) / float64(n)})
+	}
+	return out
+}
+
+// Histogram counts samples into fixed-width bins over [lo, hi); samples
+// outside the range land in the first or last bin.
+type Histogram struct {
+	Lo, Hi sim.Time
+	Counts []int
+	width  sim.Time
+}
+
+// NewHistogram builds a histogram with bins bins over [lo, hi).
+func NewHistogram(lo, hi sim.Time, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), width: (hi - lo) / sim.Time(bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v sim.Time) {
+	i := 0
+	if h.width > 0 {
+		i = int((v - h.Lo) / h.width)
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Sparkline renders the histogram as a one-line unicode sparkline —
+// convenient for CLI output of figure-shaped results.
+func (h *Histogram) Sparkline() string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", len(h.Counts))
+	}
+	var b strings.Builder
+	for _, c := range h.Counts {
+		i := c * (len(levels) - 1) / max
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}
+
+// Ratio is a streaming counter for fairness-style "correct / total"
+// metrics.
+type Ratio struct {
+	Correct, Total int
+}
+
+// Observe records one comparison outcome.
+func (r *Ratio) Observe(ok bool) {
+	r.Total++
+	if ok {
+		r.Correct++
+	}
+}
+
+// Value returns Correct/Total, or 1 when nothing was observed (an empty
+// set of constraints is vacuously fair).
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+// Percent formats the ratio as the paper's percentage convention.
+func (r *Ratio) Percent() string { return fmt.Sprintf("%.2f%%", 100*r.Value()) }

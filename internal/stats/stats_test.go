@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dbo/internal/sim"
+)
+
+func TestLatenciesEmpty(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Percentile(0.5) != 0 || l.Max() != 0 || l.Min() != 0 || l.N() != 0 {
+		t.Error("empty collector must report zeros")
+	}
+	if got := l.CDF(10); got != nil {
+		t.Errorf("empty CDF = %v", got)
+	}
+}
+
+func TestLatenciesBasicStats(t *testing.T) {
+	var l Latencies
+	for _, v := range []sim.Time{10, 20, 30, 40, 50} {
+		l.Add(v)
+	}
+	if l.Mean() != 30 {
+		t.Errorf("Mean = %v", l.Mean())
+	}
+	if l.Percentile(0.5) != 30 {
+		t.Errorf("P50 = %v", l.Percentile(0.5))
+	}
+	if l.Min() != 10 || l.Max() != 50 {
+		t.Errorf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+	if l.Percentile(0) != 10 || l.Percentile(1) != 50 {
+		t.Errorf("extremes = %v/%v", l.Percentile(0), l.Percentile(1))
+	}
+	// Out-of-range quantiles clamp.
+	if l.Percentile(-1) != 10 || l.Percentile(2) != 50 {
+		t.Error("quantile clamping failed")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(sim.Time(i))
+	}
+	if got := l.Percentile(0.99); got != 99 {
+		t.Errorf("P99 of 1..100 = %v, want 99", got)
+	}
+	if got := l.Percentile(0.999); got != 100 {
+		t.Errorf("P999 of 1..100 = %v, want 100", got)
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var l Latencies
+	l.Add(5)
+	_ = l.Percentile(0.5)
+	l.Add(1)
+	if got := l.Min(); got != 1 {
+		t.Errorf("Min after late Add = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 1000; i++ {
+		l.Add(sim.Time(i * 1000))
+	}
+	s := l.Summarize()
+	if s.N != 1000 || s.P50 != 500000 || s.P999 != 999000 || s.Max != 1000000 {
+		t.Errorf("Summary = %+v", s)
+	}
+	str := s.String()
+	if str == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var l Latencies
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 5000; i++ {
+		l.Add(sim.Time(rng.Int64N(100000)))
+	}
+	pts := l.CDF(100)
+	if len(pts) != 100 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Frac < pts[i-1].Frac {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Frac != 1 || last.Value != l.Max() {
+		t.Errorf("CDF must end at (max, 1): %+v", last)
+	}
+}
+
+func TestCDFFewerSamplesThanPoints(t *testing.T) {
+	var l Latencies
+	l.Add(1)
+	l.Add(2)
+	pts := l.CDF(10)
+	if len(pts) != 2 {
+		t.Fatalf("len = %d, want 2", len(pts))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := sim.Time(0); i < 100; i += 10 {
+		h.Add(i)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, c)
+		}
+	}
+	h.Add(-5)  // clamps to first
+	h.Add(500) // clamps to last
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+	if h.Total() != 12 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}
+
+func TestSparkline(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	s := h.Sparkline()
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %q", s)
+	}
+	empty := NewHistogram(0, 4, 4).Sparkline()
+	if empty != "▁▁▁▁" {
+		t.Errorf("empty sparkline = %q", empty)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 1 {
+		t.Error("vacuous ratio must be 1")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if r.Value() < 0.66 || r.Value() > 0.67 {
+		t.Errorf("Value = %v", r.Value())
+	}
+	if r.Percent() != "66.67%" {
+		t.Errorf("Percent = %q", r.Percent())
+	}
+}
+
+// Property: percentile is always an observed sample and quantile order
+// is preserved.
+func TestPropertyPercentileWithin(t *testing.T) {
+	f := func(raw []uint16, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latencies
+		seen := map[sim.Time]bool{}
+		for _, v := range raw {
+			l.Add(sim.Time(v))
+			seen[sim.Time(v)] = true
+		}
+		a := float64(q1%101) / 100
+		b := float64(q2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := l.Percentile(a), l.Percentile(b)
+		return seen[pa] && seen[pb] && pa <= pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latencies
+		for _, v := range raw {
+			l.Add(sim.Time(v))
+		}
+		m := l.Mean()
+		return m >= l.Min() && m <= l.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

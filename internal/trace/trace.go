@@ -1,0 +1,319 @@
+// Package trace models cloud network round-trip-time traces.
+//
+// The paper drives its simulations with a 15-minute RTT trace collected
+// between the CES and a release buffer on Azure (Figure 11): a stable,
+// temporally-correlated base latency punctuated by rare spikes up to an
+// order of magnitude above the mean. We do not have that proprietary
+// trace, so this package synthesizes traces with the same three
+// properties the evaluation depends on:
+//
+//  1. static latency differences across participants (each participant
+//     samples a different random slice of the trace, as in §6.4),
+//  2. high short-term temporal correlation (AR(1) base process), and
+//  3. unpredictable, effectively unbounded spikes (Poisson arrivals with
+//     Pareto magnitudes and exponential decay).
+//
+// Traces are deterministic in their seed and serializable as CSV.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"strconv"
+	"strings"
+
+	"dbo/internal/sim"
+)
+
+// Trace is a regularly sampled RTT series. Sample i is the round trip
+// time over [i·Step, (i+1)·Step).
+type Trace struct {
+	Step sim.Time   // sampling period
+	RTT  []sim.Time // round trip times, one per step
+}
+
+// Duration reports the total time covered by the trace.
+func (t *Trace) Duration() sim.Time { return sim.Time(len(t.RTT)) * t.Step }
+
+// At returns the RTT in effect at virtual time v. Times beyond the end
+// of the trace wrap around, so a trace can drive arbitrarily long runs.
+func (t *Trace) At(v sim.Time) sim.Time {
+	if len(t.RTT) == 0 {
+		panic("trace: empty trace")
+	}
+	if v < 0 {
+		v = -v
+	}
+	i := int(v/t.Step) % len(t.RTT)
+	return t.RTT[i]
+}
+
+// OneWayAt returns half the RTT at v — the paper computes one-way
+// latencies "by taking random slices of the network trace and halving
+// the RTTs" (§6.4).
+func (t *Trace) OneWayAt(v sim.Time) sim.Time { return t.At(v) / 2 }
+
+// Slice returns a view of the trace rotated to begin at the given sample
+// offset (wrapping). Different participants use different offsets so
+// their latency processes are decorrelated while sharing the same
+// statistical character.
+func (t *Trace) Slice(offset int) *Trace {
+	n := len(t.RTT)
+	if n == 0 {
+		panic("trace: empty trace")
+	}
+	offset = ((offset % n) + n) % n
+	rtt := make([]sim.Time, n)
+	copy(rtt, t.RTT[offset:])
+	copy(rtt[n-offset:], t.RTT[:offset])
+	return &Trace{Step: t.Step, RTT: rtt}
+}
+
+// RandomSlice returns a Slice at an offset drawn from rng.
+func (t *Trace) RandomSlice(rng *rand.Rand) *Trace {
+	return t.Slice(rng.IntN(len(t.RTT)))
+}
+
+// Scale returns a copy of the trace with every sample multiplied by f.
+// Useful to give participants static latency differences on top of
+// shared dynamics.
+func (t *Trace) Scale(f float64) *Trace {
+	rtt := make([]sim.Time, len(t.RTT))
+	for i, v := range t.RTT {
+		rtt[i] = sim.Time(math.Round(float64(v) * f))
+	}
+	return &Trace{Step: t.Step, RTT: rtt}
+}
+
+// Shift returns a copy with d added to every sample (clamped at zero).
+func (t *Trace) Shift(d sim.Time) *Trace {
+	rtt := make([]sim.Time, len(t.RTT))
+	for i, v := range t.RTT {
+		nv := v + d
+		if nv < 0 {
+			nv = 0
+		}
+		rtt[i] = nv
+	}
+	return &Trace{Step: t.Step, RTT: rtt}
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Mean, P50, P99, P999, Max sim.Time
+}
+
+// Summarize computes order statistics over the trace samples.
+func (t *Trace) Summarize() Stats {
+	if len(t.RTT) == 0 {
+		return Stats{}
+	}
+	sorted := make([]sim.Time, len(t.RTT))
+	copy(sorted, t.RTT)
+	slices.Sort(sorted)
+	var sum sim.Time
+	for _, v := range sorted {
+		sum += v
+	}
+	pick := func(q float64) sim.Time {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return Stats{
+		Mean: sum / sim.Time(len(sorted)),
+		P50:  pick(0.50),
+		P99:  pick(0.99),
+		P999: pick(0.999),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Generator synthesizes a Trace. Zero fields take sensible defaults via
+// the preset constructors Cloud and Lab.
+type Generator struct {
+	Seed       uint64
+	Step       sim.Time // sampling period (default 10µs)
+	Length     sim.Time // total duration (default 2s)
+	BaseRTT    sim.Time // mean of the base process
+	Jitter     sim.Time // std-dev of per-step AR(1) innovation
+	Corr       float64  // AR(1) coefficient in [0,1); higher = smoother
+	MinRTT     sim.Time // hard floor (propagation + serialization)
+	SpikePer   sim.Time // mean inter-arrival of spike episodes (0 = none)
+	SpikeMin   sim.Time // minimum spike magnitude (Pareto scale)
+	SpikeTail  float64  // Pareto tail index α (smaller = heavier tail)
+	SpikeDecay sim.Time // exponential decay constant of a spike
+}
+
+// Generate produces the deterministic trace for the generator's seed.
+func (g Generator) Generate() *Trace {
+	step := g.Step
+	if step <= 0 {
+		step = 10 * sim.Microsecond
+	}
+	length := g.Length
+	if length <= 0 {
+		length = 2 * sim.Second
+	}
+	n := int(length / step)
+	if n <= 0 {
+		n = 1
+	}
+	rng := rand.New(rand.NewPCG(g.Seed, g.Seed^0xabcdef1234567890))
+	rtt := make([]sim.Time, n)
+
+	corr := g.Corr
+	if corr <= 0 || corr >= 1 {
+		corr = 0.97
+	}
+	decay := float64(g.SpikeDecay)
+	if decay <= 0 {
+		decay = float64(5 * sim.Millisecond)
+	}
+	tail := g.SpikeTail
+	if tail <= 0 {
+		tail = 1.5
+	}
+	base := float64(g.BaseRTT)
+	jitter := float64(g.Jitter)
+	minRTT := g.MinRTT
+	if minRTT <= 0 {
+		minRTT = g.BaseRTT / 2
+	}
+
+	// Per-step spike probability from mean inter-arrival.
+	spikeP := 0.0
+	if g.SpikePer > 0 {
+		spikeP = float64(step) / float64(g.SpikePer)
+	}
+	decayMul := math.Exp(-float64(step) / decay)
+
+	ar := 0.0
+	env := 0.0
+	for i := range rtt {
+		ar = corr*ar + rng.NormFloat64()*jitter*math.Sqrt(1-corr*corr)
+		if spikeP > 0 && rng.Float64() < spikeP {
+			// Pareto(scale=SpikeMin, α=tail) magnitude.
+			u := rng.Float64()
+			if u < 1e-12 {
+				u = 1e-12
+			}
+			env += float64(g.SpikeMin) * math.Pow(u, -1/tail)
+		}
+		env *= decayMul
+		v := sim.Time(base + ar + env)
+		if v < minRTT {
+			v = minRTT
+		}
+		rtt[i] = v
+	}
+	return &Trace{Step: step, RTT: rtt}
+}
+
+// Cloud returns a generator shaped like the paper's Azure trace
+// (Figure 11): ~55µs base RTT with spikes reaching several hundred µs.
+func Cloud(seed uint64) Generator {
+	return Generator{
+		Seed:    seed,
+		Step:    10 * sim.Microsecond,
+		Length:  2 * sim.Second,
+		BaseRTT: 55 * sim.Microsecond,
+		Jitter:  3 * sim.Microsecond,
+		Corr:    0.98,
+		MinRTT:  40 * sim.Microsecond,
+		// Spikes are frequent but near-vertical, as in the paper's
+		// Figure 11 trace (several needle-like excursions per two
+		// seconds): each lasts only a few samples, so per participant
+		// only ≈0.02% of time is spike-affected and even the max over
+		// ten participants keeps a clean p99 while p999 feels the tail
+		// (Table 3 shape: p999 just above p99, p9999 far out).
+		SpikePer:   300 * sim.Millisecond,
+		SpikeMin:   100 * sim.Microsecond,
+		SpikeTail:  1.6,
+		SpikeDecay: 20 * sim.Microsecond,
+	}
+}
+
+// Lab returns a generator shaped like the paper's bare-metal testbed
+// (Table 2): ~9.5µs RTT through a single 100GbE switch, light jitter,
+// no multi-tenant spikes.
+func Lab(seed uint64) Generator {
+	return Generator{
+		Seed:       seed,
+		Step:       10 * sim.Microsecond,
+		Length:     2 * sim.Second,
+		BaseRTT:    9500, // 9.5µs in ns
+		Jitter:     1200,
+		Corr:       0.9,
+		MinRTT:     8 * sim.Microsecond,
+		SpikePer:   400 * sim.Millisecond,
+		SpikeMin:   6 * sim.Microsecond,
+		SpikeTail:  2.5,
+		SpikeDecay: 500 * sim.Microsecond,
+	}
+}
+
+// WriteCSV serializes the trace as "time_us,rtt_us" rows.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "time_us,rtt_us\n"); err != nil {
+		return err
+	}
+	for i, v := range t.RTT {
+		at := sim.Time(i) * t.Step
+		if _, err := fmt.Fprintf(bw, "%.3f,%.3f\n", at.Micros(), v.Micros()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The sampling step is
+// inferred from the first two rows (a single-row trace gets step 1µs).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var times, rtts []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "time_us")) {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", line, len(parts))
+		}
+		tv, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rv, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		times = append(times, tv)
+		rtts = append(rtts, rv)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rtts) == 0 {
+		return nil, fmt.Errorf("trace: no samples")
+	}
+	step := sim.Microsecond
+	if len(times) > 1 {
+		step = sim.Time((times[1] - times[0]) * float64(sim.Microsecond))
+		if step <= 0 {
+			return nil, fmt.Errorf("trace: non-increasing timestamps")
+		}
+	}
+	out := &Trace{Step: step, RTT: make([]sim.Time, len(rtts))}
+	for i, v := range rtts {
+		out.RTT[i] = sim.Time(v * float64(sim.Microsecond))
+	}
+	return out, nil
+}

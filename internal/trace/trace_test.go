@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dbo/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Cloud(7).Generate()
+	b := Cloud(7).Generate()
+	if len(a.RTT) != len(b.RTT) {
+		t.Fatal("lengths differ for identical seed")
+	}
+	for i := range a.RTT {
+		if a.RTT[i] != b.RTT[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a.RTT[i], b.RTT[i])
+		}
+	}
+	c := Cloud(8).Generate()
+	same := true
+	for i := range a.RTT {
+		if a.RTT[i] != c.RTT[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trace")
+	}
+}
+
+func TestCloudTraceShape(t *testing.T) {
+	tr := Cloud(1).Generate()
+	s := tr.Summarize()
+	// Base RTT around 55µs: mean must sit near it (spikes pull up a bit).
+	if s.Mean < 45*sim.Microsecond || s.Mean > 90*sim.Microsecond {
+		t.Errorf("cloud mean RTT = %v, want ~55µs", s.Mean)
+	}
+	// Spikes: max should be several times the median (paper shows ~600µs
+	// spikes over a ~55µs base).
+	if s.Max < 3*s.P50 {
+		t.Errorf("cloud max %v not spiky enough vs p50 %v", s.Max, s.P50)
+	}
+	// No sample below the floor.
+	for i, v := range tr.RTT {
+		if v < 40*sim.Microsecond {
+			t.Fatalf("sample %d = %v below MinRTT", i, v)
+		}
+	}
+}
+
+func TestLabTraceShape(t *testing.T) {
+	s := Lab(1).Generate().Summarize()
+	if s.Mean < 8*sim.Microsecond || s.Mean > 14*sim.Microsecond {
+		t.Errorf("lab mean RTT = %v, want ~9.5µs", s.Mean)
+	}
+	if s.Max > 120*sim.Microsecond {
+		t.Errorf("lab max RTT = %v, implausibly large for a single switch", s.Max)
+	}
+}
+
+func TestTemporalCorrelation(t *testing.T) {
+	// The paper's key observation (§4.1.1 remark, §6.3.2): latency has
+	// high temporal correlation over short periods. Verify lag-1
+	// autocorrelation of the generated cloud trace is high.
+	tr := Cloud(3).Generate()
+	n := len(tr.RTT)
+	var mean float64
+	for _, v := range tr.RTT {
+		mean += float64(v)
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-1; i++ {
+		num += (float64(tr.RTT[i]) - mean) * (float64(tr.RTT[i+1]) - mean)
+	}
+	for i := 0; i < n; i++ {
+		d := float64(tr.RTT[i]) - mean
+		den += d * d
+	}
+	ac := num / den
+	// The AR(1) base is highly correlated; needle spikes knock a little
+	// off the raw lag-1 statistic.
+	if ac < 0.85 {
+		t.Errorf("lag-1 autocorrelation = %.3f, want ≥ 0.85", ac)
+	}
+}
+
+func TestAtWrapsAround(t *testing.T) {
+	tr := &Trace{Step: 10, RTT: []sim.Time{100, 200, 300}}
+	cases := []struct {
+		at   sim.Time
+		want sim.Time
+	}{
+		{0, 100}, {9, 100}, {10, 200}, {25, 300}, {30, 100}, {35, 100}, {45, 200},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.at); got != c.want {
+			t.Errorf("At(%d) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestOneWayHalvesRTT(t *testing.T) {
+	tr := &Trace{Step: 10, RTT: []sim.Time{100}}
+	if got := tr.OneWayAt(0); got != 50 {
+		t.Errorf("OneWayAt = %v, want 50", got)
+	}
+}
+
+func TestSliceRotates(t *testing.T) {
+	tr := &Trace{Step: 1, RTT: []sim.Time{1, 2, 3, 4}}
+	s := tr.Slice(2)
+	want := []sim.Time{3, 4, 1, 2}
+	for i := range want {
+		if s.RTT[i] != want[i] {
+			t.Fatalf("Slice(2) = %v, want %v", s.RTT, want)
+		}
+	}
+	// Negative and oversized offsets normalize.
+	if got := tr.Slice(-1).RTT[0]; got != 4 {
+		t.Errorf("Slice(-1)[0] = %v, want 4", got)
+	}
+	if got := tr.Slice(6).RTT[0]; got != 3 {
+		t.Errorf("Slice(6)[0] = %v, want 3", got)
+	}
+}
+
+func TestSliceDoesNotAliasOriginal(t *testing.T) {
+	tr := &Trace{Step: 1, RTT: []sim.Time{1, 2, 3}}
+	s := tr.Slice(1)
+	s.RTT[0] = 999
+	if tr.RTT[1] == 999 {
+		t.Fatal("Slice must copy, not alias")
+	}
+}
+
+func TestRandomSliceDeterministic(t *testing.T) {
+	tr := Cloud(1).Generate()
+	r1 := rand.New(rand.NewPCG(5, 5))
+	r2 := rand.New(rand.NewPCG(5, 5))
+	a := tr.RandomSlice(r1)
+	b := tr.RandomSlice(r2)
+	if a.RTT[0] != b.RTT[0] {
+		t.Fatal("RandomSlice with equal rng state must match")
+	}
+}
+
+func TestScaleAndShift(t *testing.T) {
+	tr := &Trace{Step: 1, RTT: []sim.Time{100, 200}}
+	sc := tr.Scale(1.5)
+	if sc.RTT[0] != 150 || sc.RTT[1] != 300 {
+		t.Errorf("Scale(1.5) = %v", sc.RTT)
+	}
+	sh := tr.Shift(-150)
+	if sh.RTT[0] != 0 || sh.RTT[1] != 50 {
+		t.Errorf("Shift(-150) = %v, want [0 50]", sh.RTT)
+	}
+}
+
+func TestSummarizeOrderStats(t *testing.T) {
+	rtt := make([]sim.Time, 1000)
+	for i := range rtt {
+		rtt[i] = sim.Time(i + 1)
+	}
+	s := (&Trace{Step: 1, RTT: rtt}).Summarize()
+	if s.P50 < 495 || s.P50 > 505 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P99 < 985 || s.P99 > 995 {
+		t.Errorf("P99 = %v", s.P99)
+	}
+	if s.Max != 1000 {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.Mean != 500 {
+		t.Errorf("Mean = %v, want 500 (integer division of 500.5)", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := (&Trace{}).Summarize()
+	if s.Max != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Lab(2).Generate()
+	tr.RTT = tr.RTT[:500]
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != tr.Step {
+		t.Fatalf("step = %v, want %v", back.Step, tr.Step)
+	}
+	if len(back.RTT) != len(tr.RTT) {
+		t.Fatalf("len = %d, want %d", len(back.RTT), len(tr.RTT))
+	}
+	for i := range tr.RTT {
+		// CSV stores µs with ns precision; allow 1ns rounding.
+		diff := back.RTT[i] - tr.RTT[i]
+		if diff < -1 || diff > 1 {
+			t.Fatalf("sample %d: %v vs %v", i, back.RTT[i], tr.RTT[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"header only":  "time_us,rtt_us\n",
+		"bad fields":   "time_us,rtt_us\n1,2,3\n",
+		"bad number":   "time_us,rtt_us\nx,2\n",
+		"bad rtt":      "time_us,rtt_us\n1,x\n",
+		"non-monotone": "time_us,rtt_us\n5,1\n5,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVSingleRow(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("time_us,rtt_us\n0,42\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Step != sim.Microsecond || tr.RTT[0] != 42*sim.Microsecond {
+		t.Fatalf("got step %v rtt %v", tr.Step, tr.RTT[0])
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	tr := Generator{Seed: 1, BaseRTT: 50 * sim.Microsecond}.Generate()
+	if tr.Step != 10*sim.Microsecond {
+		t.Errorf("default step = %v", tr.Step)
+	}
+	if tr.Duration() != 2*sim.Second {
+		t.Errorf("default duration = %v", tr.Duration())
+	}
+}
+
+func TestEmptyTracePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At on empty trace should panic")
+		}
+	}()
+	(&Trace{Step: 1}).At(0)
+}
+
+// Property: all generated samples respect the floor and are finite.
+func TestPropertySamplesBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Cloud(seed)
+		g.Length = 50 * sim.Millisecond
+		tr := g.Generate()
+		for _, v := range tr.RTT {
+			if v < g.MinRTT || v > sim.Time(math.MaxInt64/2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Slice composed with its inverse restores the original.
+func TestPropertySliceInverse(t *testing.T) {
+	f := func(seed uint64, off int16) bool {
+		g := Lab(seed)
+		g.Length = 5 * sim.Millisecond
+		tr := g.Generate()
+		n := len(tr.RTT)
+		o := int(off)
+		back := tr.Slice(o).Slice(-o)
+		for i := 0; i < n; i++ {
+			if back.RTT[i] != tr.RTT[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dbo/internal/wire"
+)
+
+// The reverse path (trades, heartbeats, retransmission requests) relies
+// on the paper's in-order, loss-signalled delivery assumption (§3). On
+// loopback UDP that holds in practice; across a real datacenter the
+// production-grade choice is TCP. This file provides a framed TCP
+// variant of the endpoint: each message is a u32 length prefix followed
+// by its wire encoding.
+
+// maxFrame bounds a frame to catch corrupt prefixes early.
+const maxFrame = 1 << 16
+
+// writeFrame appends one framed message to w.
+func writeFrame(w io.Writer, buf []byte, v any) ([]byte, error) {
+	buf = buf[:0]
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := wire.Append(buf, v)
+	if err != nil {
+		return buf, err
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	_, err = w.Write(buf)
+	return buf, err
+}
+
+// readFrame reads one framed message from r.
+func readFrame(r *bufio.Reader, scratch []byte) (any, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, scratch, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return nil, scratch, fmt.Errorf("transport: truncated frame: %w", err)
+	}
+	v, err := wire.Decode(scratch)
+	return v, scratch, err
+}
+
+// TCPServer accepts framed-message connections.
+type TCPServer struct {
+	ln     net.Listener
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	received atomic.Int64
+}
+
+// ListenTCP binds a framed-TCP server.
+func ListenTCP(addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp listen %q: %w", addr, err)
+	}
+	return &TCPServer{ln: ln, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections and dispatches every received message to h
+// until Close. h runs on per-connection goroutines.
+func (s *TCPServer) Serve(h Handler) error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn, h)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn, h Handler) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	from, _ := conn.RemoteAddr().(*net.TCPAddr)
+	udpFrom := &net.UDPAddr{}
+	if from != nil {
+		udpFrom = &net.UDPAddr{IP: from.IP, Port: from.Port}
+	}
+	r := bufio.NewReader(conn)
+	scratch := make([]byte, 0, wire.MaxSize)
+	for {
+		v, sc, err := readFrame(r, scratch)
+		scratch = sc
+		if err != nil {
+			return // connection-fatal: framing is broken or peer left
+		}
+		s.received.Add(1)
+		h(v, udpFrom)
+	}
+}
+
+// Received reports messages dispatched so far.
+func (s *TCPServer) Received() int64 { return s.received.Load() }
+
+// Close stops accepting and closes every live connection.
+func (s *TCPServer) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// TCPClient is a framed-message connection to a TCPServer. Sends are
+// serialized; TCP guarantees the in-order delivery DBO's reverse path
+// assumes.
+type TCPClient struct {
+	conn net.Conn
+	mu   sync.Mutex
+	buf  []byte
+	w    *bufio.Writer
+	sent atomic.Int64
+}
+
+// DialTCP connects to a framed-TCP server.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp dial %q: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency over throughput, always
+	}
+	return &TCPClient{conn: conn, buf: make([]byte, 0, wire.MaxSize+4), w: bufio.NewWriter(conn)}, nil
+}
+
+// Send transmits one framed message and flushes immediately (these are
+// latency-critical trades, not bulk data).
+func (c *TCPClient) Send(v any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := writeFrame(c.w, c.buf, v)
+	c.buf = buf
+	if err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("transport: tcp send: %w", err)
+	}
+	c.sent.Add(1)
+	return nil
+}
+
+// Sent reports messages written so far.
+func (c *TCPClient) Sent() int64 { return c.sent.Load() }
+
+// Close shuts the connection down.
+func (c *TCPClient) Close() error { return c.conn.Close() }

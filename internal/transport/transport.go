@@ -1,0 +1,101 @@
+// Package transport provides the UDP endpoints of the live deployment:
+// one socket per node, wire-encoded datagrams, and a receive loop that
+// hands decoded messages to a handler.
+//
+// UDP matches the paper's deployment ("the UDP stream of market data
+// from the CES", §6.3); loss and reordering are handled one layer up
+// (retransmission requests, delivery-clock semantics).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dbo/internal/wire"
+)
+
+// Endpoint is one node's UDP socket.
+type Endpoint struct {
+	conn *net.UDPConn
+
+	mu  sync.Mutex // guards Send's encode buffer
+	buf []byte
+
+	closed atomic.Bool
+
+	// Counters (atomic; read with Stats).
+	sent, received, decodeErrs atomic.Int64
+}
+
+// Listen opens a UDP endpoint on addr (use "127.0.0.1:0" for an
+// ephemeral loopback port).
+func Listen(addr string) (*Endpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	return &Endpoint{conn: conn, buf: make([]byte, 0, wire.MaxSize)}, nil
+}
+
+// LocalAddr returns the bound address.
+func (e *Endpoint) LocalAddr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
+
+// Send wire-encodes v and transmits it to the destination.
+func (e *Endpoint) Send(v any, to *net.UDPAddr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf, err := wire.Append(e.buf[:0], v)
+	if err != nil {
+		return err
+	}
+	e.buf = buf[:0]
+	if _, err := e.conn.WriteToUDP(buf, to); err != nil {
+		return fmt.Errorf("transport: send to %v: %w", to, err)
+	}
+	e.sent.Add(1)
+	return nil
+}
+
+// Handler consumes one decoded message.
+type Handler func(v any, from *net.UDPAddr)
+
+// Serve reads datagrams and dispatches them to h until Close. Run it on
+// its own goroutine; h is called on that goroutine, so handlers that
+// touch node state must Post into the node's loop.
+func (e *Endpoint) Serve(h Handler) error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if e.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("transport: read: %w", err)
+		}
+		v, err := wire.Decode(buf[:n])
+		if err != nil {
+			e.decodeErrs.Add(1) // a malformed datagram must not kill the node
+			continue
+		}
+		e.received.Add(1)
+		h(v, from)
+	}
+}
+
+// Stats reports (sent, received, decode errors).
+func (e *Endpoint) Stats() (sent, received, decodeErrs int64) {
+	return e.sent.Load(), e.received.Load(), e.decodeErrs.Load()
+}
+
+// Close shuts the socket down, unblocking Serve.
+func (e *Endpoint) Close() error {
+	e.closed.Store(true)
+	return e.conn.Close()
+}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+)
+
+// FuzzDecode exercises the decoder with arbitrary datagrams: it must
+// never panic, and any successfully decoded message must re-encode to a
+// prefix-equal buffer (decode∘encode is the identity on valid frames).
+func FuzzDecode(f *testing.F) {
+	f.Add(AppendMarketData(nil, market.DataPoint{ID: 1, Batch: 1, Last: true, Gen: 5, Price: 100, Qty: 1}))
+	f.Add(AppendTrade(nil, &market.Trade{MP: 1, Seq: 2, Price: 3, Qty: 4}))
+	f.Add(AppendHeartbeat(nil, market.Heartbeat{MP: 1, DC: market.DeliveryClock{Point: 2, Elapsed: 3}}))
+	f.Add(AppendRetx(nil, Retx{MP: 1, From: 2, To: 3}))
+	f.Add(AppendClose(nil, Close{Batch: 1, Final: 2, Count: 3}))
+	f.Add(AppendExec(nil, Exec{Maker: 1, Taker: 2, Seq: 3}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Append(nil, v)
+		if err != nil {
+			t.Fatalf("decoded %T but cannot re-encode: %v", v, err)
+		}
+		if len(re) > len(data) {
+			t.Fatalf("re-encoding grew: %d > %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d for %T", i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package wire defines the binary protocol of the live deployment
+// (§5): market data from the CES to the release buffers, trades and
+// heartbeats from the RBs to the ordering buffer, retransmission
+// requests on the out-of-band repair path, and execution reports.
+//
+// Every message is a fixed-layout little-endian record with a one-byte
+// type tag, sized to fit comfortably in a single UDP datagram. Encoding
+// appends to a caller-provided buffer so hot paths stay allocation-free.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// Type tags.
+const (
+	TMarketData byte = iota + 1
+	TTrade
+	THeartbeat
+	TRetx
+	TClose
+	TExec
+)
+
+// Sizes of the fixed-layout messages (including the type byte).
+const (
+	MarketDataSize = 1 + 8 + 8 + 1 + 8 + 4 + 8 + 8
+	TradeSize      = 1 + 4 + 8 + 4 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8
+	HeartbeatSize  = 1 + 4 + 8 + 8 + 8
+	RetxSize       = 1 + 4 + 8 + 8
+	CloseSize      = 1 + 8 + 8 + 4
+	ExecSize       = 1 + 8 + 8 + 4 + 4 + 8 + 8 + 8
+)
+
+// MaxSize is the largest message size; receive buffers of this size
+// always fit one message.
+const MaxSize = TradeSize
+
+var le = binary.LittleEndian
+
+// AppendMarketData encodes a data point.
+func AppendMarketData(buf []byte, dp market.DataPoint) []byte {
+	buf = append(buf, TMarketData)
+	buf = le.AppendUint64(buf, uint64(dp.ID))
+	buf = le.AppendUint64(buf, uint64(dp.Batch))
+	flags := byte(0)
+	if dp.Last {
+		flags |= 1
+	}
+	if dp.BidSide {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = le.AppendUint64(buf, uint64(dp.Gen))
+	buf = le.AppendUint32(buf, dp.Symbol)
+	buf = le.AppendUint64(buf, uint64(dp.Price))
+	buf = le.AppendUint64(buf, uint64(dp.Qty))
+	return buf
+}
+
+// AppendTrade encodes a (tagged) trade.
+func AppendTrade(buf []byte, t *market.Trade) []byte {
+	buf = append(buf, TTrade)
+	buf = le.AppendUint32(buf, uint32(t.MP))
+	buf = le.AppendUint64(buf, uint64(t.Seq))
+	buf = le.AppendUint32(buf, t.Symbol)
+	buf = append(buf, byte(t.Side))
+	buf = le.AppendUint64(buf, uint64(t.Price))
+	buf = le.AppendUint64(buf, uint64(t.Qty))
+	buf = le.AppendUint64(buf, uint64(t.Trigger))
+	buf = le.AppendUint64(buf, uint64(t.Submitted))
+	buf = le.AppendUint64(buf, uint64(t.RT))
+	buf = le.AppendUint64(buf, uint64(t.DC.Point))
+	buf = le.AppendUint64(buf, uint64(t.DC.Elapsed))
+	return buf
+}
+
+// AppendHeartbeat encodes a heartbeat.
+func AppendHeartbeat(buf []byte, h market.Heartbeat) []byte {
+	buf = append(buf, THeartbeat)
+	buf = le.AppendUint32(buf, uint32(h.MP))
+	buf = le.AppendUint64(buf, uint64(h.DC.Point))
+	buf = le.AppendUint64(buf, uint64(h.DC.Elapsed))
+	buf = le.AppendUint64(buf, uint64(h.Sent))
+	return buf
+}
+
+// Retx is a retransmission request (Appendix D).
+type Retx struct {
+	MP       market.ParticipantID
+	From, To market.PointID
+}
+
+// AppendRetx encodes a retransmission request.
+func AppendRetx(buf []byte, r Retx) []byte {
+	buf = append(buf, TRetx)
+	buf = le.AppendUint32(buf, uint32(r.MP))
+	buf = le.AppendUint64(buf, uint64(r.From))
+	buf = le.AppendUint64(buf, uint64(r.To))
+	return buf
+}
+
+// Close is a batch close marker for aperiodic feeds.
+type Close struct {
+	Batch market.BatchID
+	Final market.PointID
+	Count uint32
+}
+
+// AppendClose encodes a close marker.
+func AppendClose(buf []byte, c Close) []byte {
+	buf = append(buf, TClose)
+	buf = le.AppendUint64(buf, uint64(c.Batch))
+	buf = le.AppendUint64(buf, uint64(c.Final))
+	buf = le.AppendUint32(buf, c.Count)
+	return buf
+}
+
+// Exec is an execution report from the matching engine.
+type Exec struct {
+	Maker, Taker           uint64
+	MakerOwner, TakerOwner int32
+	Price, Qty             int64
+	Seq                    uint64
+}
+
+// AppendExec encodes an execution report.
+func AppendExec(buf []byte, e Exec) []byte {
+	buf = append(buf, TExec)
+	buf = le.AppendUint64(buf, e.Maker)
+	buf = le.AppendUint64(buf, e.Taker)
+	buf = le.AppendUint32(buf, uint32(e.MakerOwner))
+	buf = le.AppendUint32(buf, uint32(e.TakerOwner))
+	buf = le.AppendUint64(buf, uint64(e.Price))
+	buf = le.AppendUint64(buf, uint64(e.Qty))
+	buf = le.AppendUint64(buf, e.Seq)
+	return buf
+}
+
+// Decode parses one message, returning the typed value:
+// market.DataPoint, *market.Trade, market.Heartbeat, Retx, Close, Exec.
+func Decode(buf []byte) (any, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	switch buf[0] {
+	case TMarketData:
+		if len(buf) < MarketDataSize {
+			return nil, fmt.Errorf("wire: market data truncated: %d bytes", len(buf))
+		}
+		return market.DataPoint{
+			ID:      market.PointID(le.Uint64(buf[1:])),
+			Batch:   market.BatchID(le.Uint64(buf[9:])),
+			Last:    buf[17]&1 != 0,
+			BidSide: buf[17]&2 != 0,
+			Gen:     sim.Time(le.Uint64(buf[18:])),
+			Symbol:  le.Uint32(buf[26:]),
+			Price:   int64(le.Uint64(buf[30:])),
+			Qty:     int64(le.Uint64(buf[38:])),
+		}, nil
+	case TTrade:
+		if len(buf) < TradeSize {
+			return nil, fmt.Errorf("wire: trade truncated: %d bytes", len(buf))
+		}
+		return &market.Trade{
+			MP:        market.ParticipantID(le.Uint32(buf[1:])),
+			Seq:       market.TradeSeq(le.Uint64(buf[5:])),
+			Symbol:    le.Uint32(buf[13:]),
+			Side:      market.Side(buf[17]),
+			Price:     int64(le.Uint64(buf[18:])),
+			Qty:       int64(le.Uint64(buf[26:])),
+			Trigger:   market.PointID(le.Uint64(buf[34:])),
+			Submitted: sim.Time(le.Uint64(buf[42:])),
+			RT:        sim.Time(le.Uint64(buf[50:])),
+			DC: market.DeliveryClock{
+				Point:   market.PointID(le.Uint64(buf[58:])),
+				Elapsed: sim.Time(le.Uint64(buf[66:])),
+			},
+		}, nil
+	case THeartbeat:
+		if len(buf) < HeartbeatSize {
+			return nil, fmt.Errorf("wire: heartbeat truncated: %d bytes", len(buf))
+		}
+		return market.Heartbeat{
+			MP: market.ParticipantID(le.Uint32(buf[1:])),
+			DC: market.DeliveryClock{
+				Point:   market.PointID(le.Uint64(buf[5:])),
+				Elapsed: sim.Time(le.Uint64(buf[13:])),
+			},
+			Sent: sim.Time(le.Uint64(buf[21:])),
+		}, nil
+	case TRetx:
+		if len(buf) < RetxSize {
+			return nil, fmt.Errorf("wire: retx truncated: %d bytes", len(buf))
+		}
+		return Retx{
+			MP:   market.ParticipantID(le.Uint32(buf[1:])),
+			From: market.PointID(le.Uint64(buf[5:])),
+			To:   market.PointID(le.Uint64(buf[13:])),
+		}, nil
+	case TClose:
+		if len(buf) < CloseSize {
+			return nil, fmt.Errorf("wire: close truncated: %d bytes", len(buf))
+		}
+		return Close{
+			Batch: market.BatchID(le.Uint64(buf[1:])),
+			Final: market.PointID(le.Uint64(buf[9:])),
+			Count: le.Uint32(buf[17:]),
+		}, nil
+	case TExec:
+		if len(buf) < ExecSize {
+			return nil, fmt.Errorf("wire: exec truncated: %d bytes", len(buf))
+		}
+		return Exec{
+			Maker:      le.Uint64(buf[1:]),
+			Taker:      le.Uint64(buf[9:]),
+			MakerOwner: int32(le.Uint32(buf[17:])),
+			TakerOwner: int32(le.Uint32(buf[21:])),
+			Price:      int64(le.Uint64(buf[25:])),
+			Qty:        int64(le.Uint64(buf[33:])),
+			Seq:        le.Uint64(buf[41:]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type 0x%02x", buf[0])
+	}
+}
+
+// Append encodes any supported message value (the dynamic counterpart
+// of the typed Append functions).
+func Append(buf []byte, v any) ([]byte, error) {
+	switch m := v.(type) {
+	case market.DataPoint:
+		return AppendMarketData(buf, m), nil
+	case *market.Trade:
+		return AppendTrade(buf, m), nil
+	case market.Heartbeat:
+		return AppendHeartbeat(buf, m), nil
+	case Retx:
+		return AppendRetx(buf, m), nil
+	case Close:
+		return AppendClose(buf, m), nil
+	case Exec:
+		return AppendExec(buf, m), nil
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", v)
+	}
+}

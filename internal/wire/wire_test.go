@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func TestMarketDataRoundTrip(t *testing.T) {
+	in := market.DataPoint{ID: 42, Batch: 7, Last: true, BidSide: true, Gen: 123456789, Symbol: 3, Price: -999, Qty: 5}
+	buf := AppendMarketData(nil, in)
+	if len(buf) != MarketDataSize {
+		t.Fatalf("size = %d, want %d", len(buf), MarketDataSize)
+	}
+	out, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(market.DataPoint) != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestTradeRoundTrip(t *testing.T) {
+	in := &market.Trade{
+		MP: 9, Seq: 1234, Symbol: 1, Side: market.Sell, Price: 100000, Qty: 3,
+		Trigger: 55, Submitted: 777777, RT: 15000,
+		DC: market.DeliveryClock{Point: 54, Elapsed: 9999},
+	}
+	buf := AppendTrade(nil, in)
+	if len(buf) != TradeSize {
+		t.Fatalf("size = %d, want %d", len(buf), TradeSize)
+	}
+	out, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*market.Trade)
+	if *got != *in {
+		t.Fatalf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := market.Heartbeat{MP: 2, DC: market.DeliveryClock{Point: 10, Elapsed: 20}, Sent: 30}
+	out, err := Decode(AppendHeartbeat(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(market.Heartbeat) != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestRetxRoundTrip(t *testing.T) {
+	in := Retx{MP: 4, From: 100, To: 105}
+	out, err := Decode(AppendRetx(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(Retx) != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestCloseRoundTrip(t *testing.T) {
+	in := Close{Batch: 9, Final: 33, Count: 4}
+	out, err := Decode(AppendClose(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(Close) != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestExecRoundTrip(t *testing.T) {
+	in := Exec{Maker: 1, Taker: 2, MakerOwner: 3, TakerOwner: -4, Price: -5, Qty: 6, Seq: 7}
+	out, err := Decode(AppendExec(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(Exec) != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestAppendDynamic(t *testing.T) {
+	for _, v := range []any{
+		market.DataPoint{ID: 1},
+		&market.Trade{MP: 1},
+		market.Heartbeat{MP: 1},
+		Retx{MP: 1},
+		Close{Batch: 1},
+		Exec{Seq: 1},
+	} {
+		buf, err := Append(nil, v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if _, err := Decode(buf); err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+	}
+	if _, err := Append(nil, "nope"); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty must error")
+	}
+	if _, err := Decode([]byte{0xff}); err == nil {
+		t.Error("unknown tag must error")
+	}
+	for _, tag := range []byte{TMarketData, TTrade, THeartbeat, TRetx, TClose, TExec} {
+		if _, err := Decode([]byte{tag, 1, 2}); err == nil {
+			t.Errorf("truncated type %d must error", tag)
+		}
+	}
+}
+
+func TestDecodeIgnoresTrailingBytes(t *testing.T) {
+	buf := AppendHeartbeat(nil, market.Heartbeat{MP: 1})
+	buf = append(buf, 0xde, 0xad)
+	if _, err := Decode(buf); err != nil {
+		t.Fatalf("trailing bytes should be tolerated: %v", err)
+	}
+}
+
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	out := AppendHeartbeat(buf, market.Heartbeat{MP: 1})
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("append did not reuse the provided buffer")
+	}
+}
+
+// Property: trade round trip is the identity for arbitrary field values.
+func TestPropertyTradeRoundTrip(t *testing.T) {
+	f := func(mp int32, seq uint64, sym uint32, side bool, price, qty int64,
+		trig uint64, sub, rt int64, dcp uint64, dce int64) bool {
+		s := market.Buy
+		if side {
+			s = market.Sell
+		}
+		in := &market.Trade{
+			MP: market.ParticipantID(mp), Seq: market.TradeSeq(seq), Symbol: sym,
+			Side: s, Price: price, Qty: qty, Trigger: market.PointID(trig),
+			Submitted: sim.Time(sub), RT: sim.Time(rt),
+			DC: market.DeliveryClock{Point: market.PointID(dcp), Elapsed: sim.Time(dce)},
+		}
+		out, err := Decode(AppendTrade(nil, in))
+		if err != nil {
+			return false
+		}
+		return *out.(*market.Trade) == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Decode panicked")
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppendTrade(b *testing.B) {
+	tr := &market.Trade{MP: 1, Seq: 2, Price: 100, Qty: 1}
+	buf := make([]byte, 0, TradeSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTrade(buf[:0], tr)
+	}
+}
+
+func BenchmarkDecodeTrade(b *testing.B) {
+	buf := AppendTrade(nil, &market.Trade{MP: 1, Seq: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
