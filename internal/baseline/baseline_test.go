@@ -9,6 +9,7 @@ import (
 )
 
 func TestFCFSStampsArrivalOrder(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var out []*market.Trade
 	f := &FCFS{Sched: k, Forward: func(tr *market.Trade) { out = append(out, tr) }}
@@ -27,6 +28,7 @@ func TestFCFSStampsArrivalOrder(t *testing.T) {
 }
 
 func TestDirectReleaseImmediate(t *testing.T) {
+	t.Parallel()
 	var got []*market.Batch
 	d := &DirectRelease{Deliver: func(b *market.Batch) { got = append(got, b) }}
 	d.OnData(market.DataPoint{ID: 7, Batch: 3})
@@ -36,6 +38,7 @@ func TestDirectReleaseImmediate(t *testing.T) {
 }
 
 func TestCloudExReleaseOnTimeDelivery(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var at []sim.Time
 	c := &CloudExRelease{C1: 100, Sched: k, Deliver: func(*market.Batch) { at = append(at, k.Now()) }}
@@ -51,6 +54,7 @@ func TestCloudExReleaseOnTimeDelivery(t *testing.T) {
 }
 
 func TestCloudExReleaseOverrun(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var at []sim.Time
 	c := &CloudExRelease{C1: 100, Sched: k, Deliver: func(*market.Batch) { at = append(at, k.Now()) }}
@@ -66,6 +70,7 @@ func TestCloudExReleaseOverrun(t *testing.T) {
 }
 
 func TestCloudExReleaseInOrder(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var ids []market.PointID
 	c := &CloudExRelease{C1: 100, Sched: k, Deliver: func(b *market.Batch) { ids = append(ids, b.LastPoint()) }}
@@ -82,6 +87,7 @@ func TestCloudExReleaseInOrder(t *testing.T) {
 }
 
 func TestCloudExOrderEqualizesReversePath(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var out []*market.Trade
 	c := &CloudExOrder{C2: 100, Sched: k, Forward: func(tr *market.Trade) { out = append(out, tr) }}
@@ -100,6 +106,7 @@ func TestCloudExOrderEqualizesReversePath(t *testing.T) {
 }
 
 func TestCloudExOrderOverrun(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var out []*market.Trade
 	c := &CloudExOrder{C2: 50, Sched: k, Forward: func(tr *market.Trade) { out = append(out, tr) }}
@@ -112,6 +119,7 @@ func TestCloudExOrderOverrun(t *testing.T) {
 }
 
 func TestFBABatchesAndShuffles(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var out []*market.Trade
 	f := &FBA{Interval: 100, Sched: k, Rng: rand.New(rand.NewPCG(7, 7)),
@@ -160,6 +168,7 @@ func TestFBABatchesAndShuffles(t *testing.T) {
 }
 
 func TestFBAStartIdempotentAndValidation(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	f := &FBA{Interval: 10, Sched: k, Rng: rand.New(rand.NewPCG(1, 1)), Forward: func(*market.Trade) {}}
 	f.Start()
@@ -176,6 +185,7 @@ func TestFBAStartIdempotentAndValidation(t *testing.T) {
 }
 
 func TestLibraRandomHold(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var out []*market.Trade
 	l := &Libra{Window: 100, Sched: k, Rng: rand.New(rand.NewPCG(3, 3)),
@@ -203,6 +213,7 @@ func TestLibraRandomHold(t *testing.T) {
 }
 
 func TestLibraZeroWindowPanics(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	l := &Libra{Sched: k, Rng: rand.New(rand.NewPCG(1, 1)), Forward: func(*market.Trade) {}}
 	defer func() {

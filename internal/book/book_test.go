@@ -17,6 +17,7 @@ func ask(id market.PointID, price, qty int64) market.DataPoint {
 }
 
 func TestViewBuildsFromUpdates(t *testing.T) {
+	t.Parallel()
 	var v View
 	if v.Valid() {
 		t.Fatal("empty view valid")
@@ -41,6 +42,7 @@ func TestViewBuildsFromUpdates(t *testing.T) {
 }
 
 func TestStaleAndDuplicatePointsIgnored(t *testing.T) {
+	t.Parallel()
 	var v View
 	v.Apply(bid(5, 100, 1), 10)
 	if v.Apply(bid(5, 200, 1), 20) {
@@ -55,6 +57,7 @@ func TestStaleAndDuplicatePointsIgnored(t *testing.T) {
 }
 
 func TestImbalance(t *testing.T) {
+	t.Parallel()
 	var v View
 	v.Apply(bid(1, 99, 30), 0)
 	v.Apply(ask(2, 101, 10), 0)
@@ -68,6 +71,7 @@ func TestImbalance(t *testing.T) {
 }
 
 func TestStaleness(t *testing.T) {
+	t.Parallel()
 	var v View
 	v.Apply(bid(1, 99, 1), 100)
 	v.Apply(ask(2, 101, 1), 500)
@@ -77,6 +81,7 @@ func TestStaleness(t *testing.T) {
 }
 
 func TestSymbolMixupPanics(t *testing.T) {
+	t.Parallel()
 	var v View
 	v.Apply(bid(1, 99, 1), 0)
 	defer func() {
@@ -88,6 +93,7 @@ func TestSymbolMixupPanics(t *testing.T) {
 }
 
 func TestBuilderRoutesSymbols(t *testing.T) {
+	t.Parallel()
 	b := NewBuilder()
 	b.Apply(market.DataPoint{ID: 1, Symbol: 1, Price: 100, Qty: 1, BidSide: true}, 0)
 	b.Apply(market.DataPoint{ID: 2, Symbol: 2, Price: 200, Qty: 1, BidSide: true}, 0)
@@ -103,6 +109,7 @@ func TestBuilderRoutesSymbols(t *testing.T) {
 }
 
 func TestViewTracksFeedGenerator(t *testing.T) {
+	t.Parallel()
 	// End-to-end with the feed substrate: applying every quote in order
 	// reproduces the generator's current book exactly.
 	g := feed.New(feed.Config{Seed: 9})

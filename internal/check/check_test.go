@@ -1,0 +1,255 @@
+package check
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dbo/internal/core"
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+var (
+	seedCount  = flag.Uint64("check.seeds", 50, "number of seeded scenarios to run")
+	replaySeed = flag.Uint64("check.replay", 0, "replay a single scenario seed verbosely")
+)
+
+// TestSeededScenarios is the conformance suite: one subtest per seed,
+// each driving a generated scenario through the full pipeline under all
+// oracles. A failure prints the seed and the exact replay command.
+func TestSeededScenarios(t *testing.T) {
+	t.Parallel()
+	if *replaySeed != 0 {
+		s := Generate(*replaySeed)
+		t.Logf("replaying %s", s)
+		rep := RunScenario(s)
+		t.Logf("trades=%d pairs=%d straggler-transitions=%d lost=%d",
+			rep.Trades, rep.Pairs, rep.StragglerTransitions, rep.Lost)
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	for seed := uint64(1); seed <= *seedCount; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep := Run(seed)
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Trades == 0 {
+				t.Fatalf("scenario {%s} forwarded no trades: the oracles checked nothing", rep.Scenario)
+			}
+		})
+	}
+}
+
+// TestStragglerChurnScenario hand-builds a deployment with one
+// participant whose path latency hovers around the exclusion threshold,
+// so the run actually exercises the §4.2.1 exclusion/re-admission cycle
+// end to end — and must still satisfy every oracle. Oracle 5 enforces
+// alternation, so ≥2 transitions proves a re-admission happened.
+func TestStragglerChurnScenario(t *testing.T) {
+	t.Parallel()
+	s := Scenario{
+		Seed:         4242,
+		N:            4,
+		Shards:       2,
+		SkewSpread:   0.2,
+		SlowMP:       0,
+		SlowFactor:   2.6,
+		Delta:        20 * sim.Microsecond,
+		Kappa:        0.25,
+		Tau:          20 * sim.Microsecond,
+		StragglerRTT: 120 * sim.Microsecond,
+		TickInterval: 40 * sim.Microsecond,
+		Duration:     30 * sim.Millisecond,
+		Drain:        25 * sim.Millisecond,
+		RTMin:        3 * sim.Microsecond,
+		RTMax:        12 * sim.Microsecond,
+		TradeProb:    0.5,
+		Symbols:      1,
+	}
+	rep := RunScenario(s)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.StragglerTransitions < 2 {
+		t.Fatalf("scenario produced %d straggler transitions, want ≥2 (exclusion + re-admission)",
+			rep.StragglerTransitions)
+	}
+	if rep.Trades == 0 || rep.Pairs == 0 {
+		t.Fatalf("trades=%d pairs=%d: churn scenario checked nothing", rep.Trades, rep.Pairs)
+	}
+}
+
+// TestGeneratorCoverage pins the default seed range to actually exercise
+// every regime the harness claims to cover; if the generator mix drifts,
+// this fails before the conformance suite silently weakens.
+func TestGeneratorCoverage(t *testing.T) {
+	t.Parallel()
+	var shards, drift, loss, jitter, straggler, slow, sync, overHorizon, multi int
+	for seed := uint64(1); seed <= 50; seed++ {
+		s := Generate(seed)
+		if s.Shards > 1 {
+			shards++
+		}
+		if s.DriftRates != nil {
+			drift++
+		}
+		if s.LossRate > 0 {
+			loss++
+		}
+		if s.TickJitter > 0 {
+			jitter++
+		}
+		if s.StragglerRTT > 0 {
+			straggler++
+		}
+		if s.SlowMP >= 0 {
+			slow++
+		}
+		if s.SyncOffset > 0 {
+			sync++
+		}
+		if s.RTMax > s.Delta {
+			overHorizon++
+		}
+		if s.Symbols > 1 {
+			multi++
+		}
+	}
+	for name, n := range map[string]int{
+		"sharded OB":       shards,
+		"clock drift":      drift,
+		"packet loss":      loss,
+		"bursty ticks":     jitter,
+		"straggler config": straggler,
+		"slow participant": slow,
+		"sync-assisted":    sync,
+		"RT beyond δ":      overHorizon,
+		"multi-symbol":     multi,
+	} {
+		if n < 3 {
+			t.Errorf("seeds 1..50 include only %d %s scenarios, want ≥3", n, name)
+		}
+	}
+}
+
+// TestGenerateDeterministic guards the replay contract: the same seed
+// must always produce the same scenario.
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	for seed := uint64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d not deterministic:\n  %s\n  %s", seed, a, b)
+		}
+	}
+}
+
+// TestLRTFOracleCatchesMisorder feeds oracle 1 a hand-built trade log
+// where the faster trade finished behind the slower one, proving the
+// oracle actually rejects broken orderings (and that a mutated ordering
+// comparator cannot pass the suite unnoticed).
+func TestLRTFOracleCatchesMisorder(t *testing.T) {
+	t.Parallel()
+	s := Scenario{
+		Seed:  999,
+		N:     2,
+		Delta: 20 * sim.Microsecond,
+		Kappa: 0.25,
+	}
+	c := newChecker(s)
+	// Both participants saw point 7 as the last point of its batch.
+	c.lastOf[0][7] = 7
+	c.lastOf[1][7] = 7
+	fast := &market.Trade{
+		MP: 1, Seq: 1, Trigger: 7, RT: 5 * sim.Microsecond,
+		DC:       market.DeliveryClock{Point: 7, Elapsed: 5 * sim.Microsecond},
+		FinalPos: 1, // wrong: finished after the slower trade
+	}
+	slow := &market.Trade{
+		MP: 2, Seq: 1, Trigger: 7, RT: 9 * sim.Microsecond,
+		DC:       market.DeliveryClock{Point: 7, Elapsed: 9 * sim.Microsecond},
+		FinalPos: 0,
+	}
+	c.checkLRTF([]*market.Trade{slow, fast})
+	if c.v.n == 0 {
+		t.Fatal("oracle 1 accepted a trade log where the faster trade finished last")
+	}
+	if !strings.Contains(c.v.list[0], "LRTF violated") || !strings.Contains(c.v.list[0], "seed=999") {
+		t.Fatalf("violation should name LRTF and carry the seed, got: %s", c.v.list[0])
+	}
+	// The same log in the correct order is clean.
+	c2 := newChecker(s)
+	c2.lastOf[0][7] = 7
+	c2.lastOf[1][7] = 7
+	fastOK, slowOK := *fast, *slow
+	fastOK.FinalPos, slowOK.FinalPos = 0, 1
+	c2.checkLRTF([]*market.Trade{&fastOK, &slowOK})
+	if c2.v.n != 0 {
+		t.Fatalf("oracle 1 rejected a correct ordering: %v", c2.v.list)
+	}
+}
+
+// TestStragglerOracleRejectsIllegalTransitions drives oracle 5 with
+// synthetic event streams covering each illegal shape.
+func TestStragglerOracleRejectsIllegalTransitions(t *testing.T) {
+	t.Parallel()
+	base := Scenario{Seed: 1000, N: 2, Delta: 20 * sim.Microsecond, StragglerRTT: 100 * sim.Microsecond}
+	cases := []struct {
+		name   string
+		events []stragglerEventSpec
+	}{
+		{"readmit-first", []stragglerEventSpec{{mp: 1, straggler: false, rtt: 50}}},
+		{"repeat-exclusion", []stragglerEventSpec{
+			{mp: 1, straggler: true, rtt: 200 * sim.Microsecond},
+			{mp: 1, straggler: true, rtt: 300 * sim.Microsecond},
+		}},
+		{"exclusion-below-threshold", []stragglerEventSpec{{mp: 1, straggler: true, rtt: 50 * sim.Microsecond}}},
+		{"readmit-above-threshold", []stragglerEventSpec{
+			{mp: 1, straggler: true, rtt: 200 * sim.Microsecond},
+			{mp: 1, straggler: false, rtt: 150 * sim.Microsecond},
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c := newChecker(base)
+			for _, ev := range tc.events {
+				c.onStraggler(ev.event())
+			}
+			c.checkStragglerEvents()
+			if c.v.n == 0 {
+				t.Fatalf("oracle 5 accepted illegal transition sequence %q", tc.name)
+			}
+		})
+	}
+
+	// A legal exclude→re-admit cycle passes.
+	c := newChecker(base)
+	c.onStraggler(stragglerEventSpec{mp: 1, straggler: true, rtt: 200 * sim.Microsecond}.event())
+	c.onStraggler(stragglerEventSpec{mp: 1, straggler: false, rtt: 80 * sim.Microsecond}.event())
+	c.checkStragglerEvents()
+	if c.v.n != 0 {
+		t.Fatalf("oracle 5 rejected a legal cycle: %v", c.v.list)
+	}
+}
+
+type stragglerEventSpec struct {
+	mp        int32
+	straggler bool
+	rtt       sim.Time
+}
+
+func (s stragglerEventSpec) event() (ev core.StragglerEvent) {
+	ev.MP = market.ParticipantID(s.mp)
+	ev.Straggler = s.straggler
+	ev.RTT = s.rtt
+	return ev
+}

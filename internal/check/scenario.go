@@ -1,0 +1,181 @@
+package check
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dbo/internal/clock"
+	"dbo/internal/exchange"
+	"dbo/internal/sim"
+)
+
+// Scenario is one randomized market deployment plus workload, fully
+// determined by its seed. Every knob that an oracle needs to reason
+// about (clock models, straggler thresholds, shard counts) is explicit
+// here rather than buried in exchange defaults.
+type Scenario struct {
+	Seed uint64
+
+	// Topology / deployment.
+	N          int
+	Shards     int     // 1 = single ordering buffer
+	SkewSpread float64 // static path spread around 1.0
+	SlowMP     int     // index of a pathologically slow participant (-1 = none)
+	SlowFactor float64 // its path-latency multiplier
+
+	// DBO parameters.
+	Delta        sim.Time
+	Kappa        float64
+	Tau          sim.Time
+	StragglerRTT sim.Time // 0 = mitigation off
+	SyncOffset   sim.Time // 0 = plain DBO
+
+	// Workload.
+	TickInterval sim.Time
+	TickJitter   float64 // bursty generation when > 0
+	Duration     sim.Time
+	Drain        sim.Time
+	RTMin, RTMax sim.Time
+	TradeProb    float64
+	Symbols      int
+
+	// Imperfections.
+	LossRate     float64
+	DriftRates   []float64  // per-MP clock drift rate (nil = perfect clocks)
+	DriftOffsets []sim.Time // per-MP clock offset (len N when DriftRates set)
+}
+
+// Generate derives a scenario deterministically from seed. The mix is
+// tuned so that a batch of ~50 consecutive seeds covers every regime:
+// sharded OBs, drifting clocks, packet loss, bursty generation,
+// straggler churn, and response times beyond the fairness horizon.
+func Generate(seed uint64) Scenario {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	s := Scenario{Seed: seed, SlowMP: -1}
+
+	s.N = 2 + rng.IntN(9) // 2..10
+	if rng.IntN(20) == 0 {
+		s.N = 1 // degenerate single-participant market
+	}
+
+	deltas := []sim.Time{10 * sim.Microsecond, 20 * sim.Microsecond, 40 * sim.Microsecond}
+	s.Delta = deltas[rng.IntN(len(deltas))]
+	s.Kappa = 0.1 + 0.4*rng.Float64()
+	taus := []sim.Time{s.Delta / 2, s.Delta, 2 * s.Delta}
+	s.Tau = taus[rng.IntN(len(taus))]
+
+	s.TickInterval = sim.Time(20+rng.IntN(41)) * sim.Microsecond
+	if rng.IntN(2) == 0 {
+		s.TickJitter = 0.2 + 0.6*rng.Float64()
+	}
+	s.Duration = 30 * sim.Millisecond
+	s.Drain = 25 * sim.Millisecond
+
+	s.RTMin = sim.Time(2+rng.IntN(5)) * sim.Microsecond
+	span := 0.8 * float64(s.Delta)
+	if rng.IntN(10) < 3 {
+		span = 1.5 * float64(s.Delta) // some trades beyond the horizon
+	}
+	s.RTMax = s.RTMin + sim.Time(rng.Float64()*span)
+	s.TradeProb = 0.2 + 0.5*rng.Float64()
+	s.Symbols = 1 + rng.IntN(3)
+	s.SkewSpread = 0.1 + 0.3*rng.Float64()
+
+	if rng.IntN(10) < 3 {
+		s.LossRate = 0.001 * (1 + 9*rng.Float64()) // 0.1%..1%
+	}
+	if rng.IntN(2) == 0 {
+		s.DriftRates = make([]float64, s.N)
+		s.DriftOffsets = make([]sim.Time, s.N)
+		for i := range s.DriftRates {
+			s.DriftRates[i] = (rng.Float64()*2 - 1) * 2e-4 // ±0.02% [Sundial]
+			s.DriftOffsets[i] = sim.Time(rng.Int64N(int64(sim.Second)))
+		}
+	}
+	if rng.IntN(5) < 2 {
+		s.StragglerRTT = sim.Time(150+rng.IntN(251)) * sim.Microsecond
+		if s.N > 1 && rng.IntN(2) == 0 {
+			s.SlowMP = rng.IntN(s.N)
+			s.SlowFactor = 5 + 20*rng.Float64()
+		}
+	}
+	if s.N >= 2 && rng.IntN(5) < 2 {
+		max := 4
+		if s.N < max {
+			max = s.N
+		}
+		s.Shards = 2 + rng.IntN(max-1)
+	} else {
+		s.Shards = 1
+	}
+	if rng.IntN(100) < 15 {
+		// Sync-assisted delivery assumes synchronized clocks (§4.2.6):
+		// keep drift rates but drop the second-scale offsets, which
+		// would otherwise hold batches for the whole run.
+		s.SyncOffset = sim.Time(150+rng.IntN(151)) * sim.Microsecond
+		for i := range s.DriftOffsets {
+			s.DriftOffsets[i] = sim.Time(rng.Int64N(int64(10 * sim.Microsecond)))
+		}
+	}
+	return s
+}
+
+// Config translates the scenario into an exchange configuration with
+// every oracle hook's prerequisite (explicit clocks, kept trade log).
+func (s Scenario) Config() exchange.Config {
+	skew := exchange.DefaultSkew(s.N, s.SkewSpread)
+	if s.SlowMP >= 0 {
+		skew[s.SlowMP] *= s.SlowFactor
+	}
+	var locals []clock.Local
+	if s.DriftRates != nil {
+		locals = make([]clock.Local, s.N)
+		for i := range locals {
+			locals[i] = clock.Drifting{Offset: s.DriftOffsets[i], Rate: s.DriftRates[i]}
+		}
+	}
+	return exchange.Config{
+		Scheme:       exchange.DBO,
+		Seed:         s.Seed,
+		N:            s.N,
+		Skew:         skew,
+		TickInterval: s.TickInterval,
+		TickJitter:   s.TickJitter,
+		Duration:     s.Duration,
+		Warmup:       sim.Millisecond,
+		Drain:        s.Drain,
+		RTMin:        s.RTMin,
+		RTMax:        s.RTMax,
+		TradeProb:    s.TradeProb,
+		Delta:        s.Delta,
+		Kappa:        s.Kappa,
+		Tau:          s.Tau,
+		StragglerRTT: s.StragglerRTT,
+		OBShards:     s.Shards,
+		SyncOffset:   s.SyncOffset,
+		Symbols:      s.Symbols,
+		LossRate:     s.LossRate,
+		LocalClocks:  locals,
+		KeepTrades:   true,
+	}
+}
+
+// maxDriftRate returns the largest |drift rate| of any participant.
+func (s Scenario) maxDriftRate() float64 {
+	var m float64
+	for _, r := range s.DriftRates {
+		if r < 0 {
+			r = -r
+		}
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func (s Scenario) String() string {
+	return fmt.Sprintf("seed=%d N=%d shards=%d δ=%v κ=%.2f τ=%v tick=%v jitter=%.2f loss=%.4f drift=%v straggler=%v slow=%d sync=%v rt=[%v,%v]",
+		s.Seed, s.N, s.Shards, s.Delta, s.Kappa, s.Tau, s.TickInterval, s.TickJitter,
+		s.LossRate, s.DriftRates != nil, s.StragglerRTT, s.SlowMP, s.SyncOffset, s.RTMin, s.RTMax)
+}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestPerfectClock(t *testing.T) {
+	t.Parallel()
 	var c Perfect
 	if c.Now(12345) != 12345 {
 		t.Error("Perfect clock must be identity")
@@ -16,6 +17,7 @@ func TestPerfectClock(t *testing.T) {
 }
 
 func TestDriftingClockOffset(t *testing.T) {
+	t.Parallel()
 	c := Drifting{Offset: 1000}
 	if c.Now(0) != 1000 || c.Now(50) != 1050 {
 		t.Error("offset not applied")
@@ -23,6 +25,7 @@ func TestDriftingClockOffset(t *testing.T) {
 }
 
 func TestDriftingClockRate(t *testing.T) {
+	t.Parallel()
 	c := Drifting{Rate: 0.0002} // 0.02%, the paper's cited bound
 	got := c.Now(sim.Second)
 	want := sim.Second + sim.Time(0.0002*float64(sim.Second))
@@ -32,6 +35,7 @@ func TestDriftingClockRate(t *testing.T) {
 }
 
 func TestDriftingIntervalsCancelOffset(t *testing.T) {
+	t.Parallel()
 	// The property DBO depends on: intervals measured on one local clock
 	// are independent of its offset.
 	f := func(off int32, a, b uint32) bool {
@@ -50,6 +54,7 @@ func TestDriftingIntervalsCancelOffset(t *testing.T) {
 }
 
 func TestDeliveryInitialRead(t *testing.T) {
+	t.Parallel()
 	var d Delivery
 	got := d.Read(500)
 	if got != (market.DeliveryClock{Point: 0, Elapsed: 500}) {
@@ -58,6 +63,7 @@ func TestDeliveryInitialRead(t *testing.T) {
 }
 
 func TestDeliveryAdvances(t *testing.T) {
+	t.Parallel()
 	var d Delivery
 	d.OnDeliver(100, 3)
 	if got := d.Read(100); got != (market.DeliveryClock{Point: 3, Elapsed: 0}) {
@@ -76,6 +82,7 @@ func TestDeliveryAdvances(t *testing.T) {
 }
 
 func TestDeliveryMonotonicInvariant(t *testing.T) {
+	t.Parallel()
 	// Figure 4: the delivery clock is monotone in real time. Verify by
 	// reading at increasing times across deliveries.
 	var d Delivery
@@ -101,6 +108,7 @@ func TestDeliveryMonotonicInvariant(t *testing.T) {
 }
 
 func TestDeliveryPointRegressionPanics(t *testing.T) {
+	t.Parallel()
 	var d Delivery
 	d.OnDeliver(10, 5)
 	defer func() {
@@ -112,6 +120,7 @@ func TestDeliveryPointRegressionPanics(t *testing.T) {
 }
 
 func TestDeliveryTimeRegressionPanics(t *testing.T) {
+	t.Parallel()
 	var d Delivery
 	d.OnDeliver(10, 5)
 	defer func() {
@@ -123,6 +132,7 @@ func TestDeliveryTimeRegressionPanics(t *testing.T) {
 }
 
 func TestDeliveryReadBeforeLastDeliveryPanics(t *testing.T) {
+	t.Parallel()
 	var d Delivery
 	d.OnDeliver(10, 5)
 	defer func() {
@@ -137,6 +147,7 @@ func TestDeliveryReadBeforeLastDeliveryPanics(t *testing.T) {
 // monotone and whose Elapsed equals the local interval — i.e. DBO's
 // measurements are well defined without synchronization.
 func TestPropertyDriftDoesNotBreakElapsed(t *testing.T) {
+	t.Parallel()
 	f := func(rate8 int8, gap uint16) bool {
 		rate := float64(rate8) / 50000.0 // up to ±0.25%
 		lc := Drifting{Offset: 12345, Rate: rate}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestBatcherWindow(t *testing.T) {
+	t.Parallel()
 	b := NewBatcher(20*sim.Microsecond, 0.25)
 	if b.Window() != 25*sim.Microsecond {
 		t.Fatalf("window = %v, want 25µs", b.Window())
@@ -14,6 +15,7 @@ func TestBatcherWindow(t *testing.T) {
 }
 
 func TestBatcherBatchOf(t *testing.T) {
+	t.Parallel()
 	b := NewBatcher(20*sim.Microsecond, 0.25) // window 25µs
 	cases := []struct {
 		gen  sim.Time
@@ -29,6 +31,7 @@ func TestBatcherBatchOf(t *testing.T) {
 }
 
 func TestBatcherNextAssignsSequentialIDs(t *testing.T) {
+	t.Parallel()
 	b := NewBatcher(20*sim.Microsecond, 0.25)
 	id1, _, _ := b.Next(0, 40*sim.Microsecond)
 	id2, _, _ := b.Next(40*sim.Microsecond, 80*sim.Microsecond)
@@ -38,6 +41,7 @@ func TestBatcherNextAssignsSequentialIDs(t *testing.T) {
 }
 
 func TestBatcherLastFlag(t *testing.T) {
+	t.Parallel()
 	// Window 60µs, ticks every 40µs: points at 0 and 40 share batch 1
 	// (Figure 10's DBO(45,60) configuration), point at 80 starts batch 2.
 	b := NewBatcher(45*sim.Microsecond, 1.0/3.0)
@@ -61,6 +65,7 @@ func TestBatcherLastFlag(t *testing.T) {
 }
 
 func TestBatcherUnknownNextGen(t *testing.T) {
+	t.Parallel()
 	b := NewBatcher(20*sim.Microsecond, 0.25)
 	_, _, last := b.Next(0, -1)
 	if last {
@@ -69,6 +74,7 @@ func TestBatcherUnknownNextGen(t *testing.T) {
 }
 
 func TestBatcherWindowEnd(t *testing.T) {
+	t.Parallel()
 	b := NewBatcher(20*sim.Microsecond, 0.25)
 	if got := b.WindowEnd(1); got != 25*sim.Microsecond {
 		t.Errorf("WindowEnd(1) = %v", got)
@@ -79,6 +85,7 @@ func TestBatcherWindowEnd(t *testing.T) {
 }
 
 func TestBatcherPanics(t *testing.T) {
+	t.Parallel()
 	for name, fn := range map[string]func(){
 		"zero delta":     func() { NewBatcher(0, 0.25) },
 		"zero kappa":     func() { NewBatcher(20, 0) },

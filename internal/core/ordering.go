@@ -50,6 +50,21 @@ type OrderingBufferConfig struct {
 	// OB is colocated with the CES (§5.2), so this is local knowledge.
 	// Required for RTT tracking when StragglerRTT > 0.
 	GenTime func(p market.PointID) sim.Time
+
+	// OnStraggler, if set, observes every straggler state transition
+	// (exclusion and re-admission) with the evidence that justified it.
+	// Conformance harnesses use it to check §4.2.1 state-machine legality.
+	OnStraggler func(ev StragglerEvent)
+}
+
+// StragglerEvent is one straggler state transition (§4.2.1): a
+// participant was excluded from the release gate or re-admitted to it.
+type StragglerEvent struct {
+	MP        market.ParticipantID
+	Straggler bool     // true = excluded, false = re-admitted
+	RTT       sim.Time // measured RTT; for Timeout exclusions, the heartbeat silence
+	Timeout   bool     // exclusion caused by heartbeat silence, not a measured RTT
+	At        sim.Time // global time of the transition
 }
 
 // OrderingBuffer implements §4.1.3: a priority queue of delivery-clock-
@@ -67,6 +82,7 @@ type OrderingBuffer struct {
 }
 
 type mpState struct {
+	id        market.ParticipantID
 	wm        market.DeliveryClock
 	lastHB    sim.Time // global arrival time of the latest heartbeat
 	hasHB     bool
@@ -90,7 +106,7 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 		if _, dup := ob.state[p]; dup {
 			panic(fmt.Sprintf("core: duplicate participant %d", p))
 		}
-		ob.state[p] = &mpState{}
+		ob.state[p] = &mpState{id: p}
 	}
 	ob.start = cfg.Sched.Now()
 	return ob
@@ -107,24 +123,28 @@ func (ob *OrderingBuffer) OnTrade(t *market.Trade) {
 	ob.drain()
 }
 
-// OnHeartbeat ingests a heartbeat: it advances the sender's watermark,
-// refreshes its liveness, and updates the straggler estimate.
+// OnHeartbeat ingests a heartbeat: it sets the sender's watermark to the
+// reported clock, refreshes its liveness, and updates the straggler
+// estimate. The watermark is the *latest* report, not the maximum:
+// release buffers only ever report monotone clocks over their in-order
+// channel, and for shard participants (§5.2) the minimum may legally
+// regress when a straggler member is re-admitted — the gate must then
+// wait for the re-admitted member again rather than keep releasing
+// against its stale pre-exclusion watermark.
 func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 	st, ok := ob.state[h.MP]
 	if !ok {
 		return // unknown participant; ignore rather than corrupt state
 	}
 	now := ob.cfg.Sched.Now()
-	if st.wm.Less(h.DC) {
-		st.wm = h.DC
-	}
+	st.wm = h.DC
 	st.lastHB = now
 	st.hasHB = true
 	if ob.cfg.StragglerRTT > 0 && h.DC.Point > 0 {
 		// RTT ≈ (delivery latency of the latest point) + (heartbeat
 		// network latency): heartbeat arrival − G(point) − elapsed.
 		st.rtt = now - ob.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
-		ob.setStraggler(st, st.rtt > ob.cfg.StragglerRTT)
+		ob.setStraggler(st, st.rtt > ob.cfg.StragglerRTT, st.rtt, false)
 	}
 	ob.drain()
 }
@@ -141,16 +161,21 @@ func (ob *OrderingBuffer) Tick() {
 				last = ob.start
 			}
 			if now-last > ob.cfg.StragglerRTT {
-				ob.setStraggler(st, true)
+				ob.setStraggler(st, true, now-last, true)
 			}
 		}
 	}
 	ob.drain()
 }
 
-func (ob *OrderingBuffer) setStraggler(st *mpState, v bool) {
+func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) {
 	if v && !st.straggler {
 		ob.StragglerEvents++
+	}
+	if v != st.straggler && ob.cfg.OnStraggler != nil {
+		ob.cfg.OnStraggler(StragglerEvent{
+			MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: ob.cfg.Sched.Now(),
+		})
 	}
 	st.straggler = v
 }

@@ -41,6 +41,7 @@ func hb(mp market.ParticipantID, c market.DeliveryClock) market.Heartbeat {
 }
 
 func TestOBHoldsUntilAllWatermarksPass(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
 	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
 	if len(f.out) != 0 {
@@ -65,6 +66,7 @@ func TestOBHoldsUntilAllWatermarksPass(t *testing.T) {
 }
 
 func TestOBOwnTradeAdvancesOwnWatermark(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
 	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
 	// MP 1 never sends a heartbeat, but its own trade set its watermark
@@ -81,6 +83,7 @@ func TestOBOwnTradeAdvancesOwnWatermark(t *testing.T) {
 }
 
 func TestOBReleasesInDCOrder(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1, 2, 3}, 0, nil)
 	// Trades arrive out of DC order (network reordering across MPs).
 	f.ob.OnTrade(trade(2, 1, dc(1, 15)))
@@ -107,6 +110,7 @@ func TestOBReleasesInDCOrder(t *testing.T) {
 }
 
 func TestOBEqualDCTieBreakByMPThenSeq(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
 	f.ob.OnTrade(trade(2, 1, dc(1, 10)))
 	f.ob.OnTrade(trade(1, 7, dc(1, 10)))
@@ -125,6 +129,7 @@ func TestOBEqualDCTieBreakByMPThenSeq(t *testing.T) {
 }
 
 func TestOBUnknownParticipantHeartbeatIgnored(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1}, 0, nil)
 	f.ob.OnHeartbeat(hb(99, dc(5, 0))) // must not panic or create state
 	if _, ok := f.ob.Watermark(99); ok {
@@ -133,6 +138,7 @@ func TestOBUnknownParticipantHeartbeatIgnored(t *testing.T) {
 }
 
 func TestOBQueuedAndWatermark(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
 	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
 	if f.ob.Queued() != 1 {
@@ -145,6 +151,7 @@ func TestOBQueuedAndWatermark(t *testing.T) {
 }
 
 func TestOBStragglerTimeout(t *testing.T) {
+	t.Parallel()
 	gen := func(market.PointID) sim.Time { return 0 }
 	f := newOBFixture([]market.ParticipantID{1, 2}, 100*sim.Microsecond, gen)
 	f.k.At(0, func() {
@@ -179,6 +186,7 @@ func TestOBStragglerTimeout(t *testing.T) {
 }
 
 func TestOBStragglerByRTTEstimateAndRecovery(t *testing.T) {
+	t.Parallel()
 	genAt := map[market.PointID]sim.Time{1: 0, 2: 1000 * sim.Microsecond}
 	gen := func(p market.PointID) sim.Time { return genAt[p] }
 	f := newOBFixture([]market.ParticipantID{1, 2}, 100*sim.Microsecond, gen)
@@ -203,6 +211,7 @@ func TestOBStragglerByRTTEstimateAndRecovery(t *testing.T) {
 }
 
 func TestOBStragglerRejoinBlocksAgain(t *testing.T) {
+	t.Parallel()
 	gen := func(market.PointID) sim.Time { return 0 }
 	f := newOBFixture([]market.ParticipantID{1, 2}, 100*sim.Microsecond, gen)
 	f.k.At(200*sim.Microsecond, func() {
@@ -233,6 +242,7 @@ func TestOBStragglerRejoinBlocksAgain(t *testing.T) {
 }
 
 func TestOBCrashDropsQueue(t *testing.T) {
+	t.Parallel()
 	f := newOBFixture([]market.ParticipantID{1, 2}, 0, nil)
 	f.ob.OnTrade(trade(1, 1, dc(1, 10)))
 	f.ob.OnTrade(trade(1, 2, dc(1, 20)))
@@ -249,6 +259,7 @@ func TestOBCrashDropsQueue(t *testing.T) {
 }
 
 func TestOBConfigPanics(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	fwd := func(*market.Trade) {}
 	for name, fn := range map[string]func(){
@@ -284,6 +295,7 @@ func TestOBConfigPanics(t *testing.T) {
 // never forwards a trade before every other participant's watermark
 // strictly exceeds it (safety, checked via a monotone release log).
 func TestPropertyOBSortsAndIsSafe(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n uint8) bool {
 		rng := rand.New(rand.NewPCG(seed, 17))
 		parts := []market.ParticipantID{1, 2, 3}

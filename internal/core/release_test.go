@@ -39,6 +39,7 @@ func dp(id market.PointID, batch market.BatchID, last bool) market.DataPoint {
 }
 
 func TestRBDeliversOnLastPoint(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
 	f.k.At(10, func() { f.rb.OnData(dp(1, 1, false)) })
 	f.k.At(20, func() { f.rb.OnData(dp(2, 1, false)) })
@@ -60,6 +61,7 @@ func TestRBDeliversOnLastPoint(t *testing.T) {
 }
 
 func TestRBPacingEnforcesDelta(t *testing.T) {
+	t.Parallel()
 	delta := 20 * sim.Microsecond
 	f := newRBFixture(t, delta, 0, nil)
 	// Two single-point batches complete 5µs apart — much closer than δ.
@@ -78,6 +80,7 @@ func TestRBPacingEnforcesDelta(t *testing.T) {
 }
 
 func TestRBPacingQueueDrains(t *testing.T) {
+	t.Parallel()
 	// A burst of completed batches (as after a latency spike) drains at
 	// exactly one batch per δ.
 	delta := 10 * sim.Microsecond
@@ -102,6 +105,7 @@ func TestRBPacingQueueDrains(t *testing.T) {
 }
 
 func TestRBNoGapWhenBatchesArriveSlowly(t *testing.T) {
+	t.Parallel()
 	// Batches arriving ≥ δ apart are delivered immediately (pacing adds
 	// no delay when the network is well behaved, §4.2.1).
 	f := newRBFixture(t, 10*sim.Microsecond, 0, nil)
@@ -114,6 +118,7 @@ func TestRBNoGapWhenBatchesArriveSlowly(t *testing.T) {
 }
 
 func TestRBDeliveryClockTracksResponseTime(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
 	f.k.At(100, func() { f.rb.OnData(dp(1, 1, true)) })
 	f.k.At(100+7*sim.Microsecond, func() {
@@ -132,6 +137,7 @@ func TestRBDeliveryClockTracksResponseTime(t *testing.T) {
 }
 
 func TestRBClockUpdatesBeforeDeliver(t *testing.T) {
+	t.Parallel()
 	// A trade submitted synchronously from the Deliver callback (zero
 	// response time) must see the new batch in its clock.
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
@@ -147,6 +153,7 @@ func TestRBClockUpdatesBeforeDeliver(t *testing.T) {
 }
 
 func TestRBTradeBeforeAnyData(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
 	f.k.At(500, func() { f.rb.OnTrade(&market.Trade{MP: 1, Seq: 1}) })
 	f.k.Run()
@@ -157,6 +164,7 @@ func TestRBTradeBeforeAnyData(t *testing.T) {
 }
 
 func TestRBHeartbeats(t *testing.T) {
+	t.Parallel()
 	tau := 20 * sim.Microsecond
 	f := newRBFixture(t, 20*sim.Microsecond, tau, nil)
 	f.rb.Start()
@@ -182,6 +190,7 @@ func TestRBHeartbeats(t *testing.T) {
 }
 
 func TestRBStopHaltsHeartbeatsAndData(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 10*sim.Microsecond, nil)
 	f.rb.Start()
 	f.k.At(25*sim.Microsecond, func() { f.rb.Stop() })
@@ -202,6 +211,7 @@ func TestRBStopHaltsHeartbeatsAndData(t *testing.T) {
 }
 
 func TestRBLossTriggersRetx(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
 	f.k.At(0, func() { f.rb.OnData(dp(1, 1, true)) })
 	// Points 2 and 3 lost; point 4 arrives.
@@ -229,6 +239,7 @@ func TestRBLossTriggersRetx(t *testing.T) {
 }
 
 func TestRBRetransmittedPointDeliveredLateWithoutClockUpdate(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
 	f.k.At(0, func() { f.rb.OnData(dp(1, 1, true)) })
 	f.k.At(30*sim.Microsecond, func() { f.rb.OnData(dp(3, 2, true)) }) // 2 lost
@@ -252,6 +263,7 @@ func TestRBRetransmittedPointDeliveredLateWithoutClockUpdate(t *testing.T) {
 }
 
 func TestRBImplicitBatchCompletion(t *testing.T) {
+	t.Parallel()
 	// Last flag of batch 1 lost: the first point of batch 2 completes it.
 	f := newRBFixture(t, 5*sim.Microsecond, 0, nil)
 	f.k.At(0, func() { f.rb.OnData(dp(1, 1, false)) })
@@ -266,6 +278,7 @@ func TestRBImplicitBatchCompletion(t *testing.T) {
 }
 
 func TestRBCloseMarker(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 5*sim.Microsecond, 0, nil)
 	f.k.At(0, func() { f.rb.OnData(dp(1, 1, false)) })
 	f.k.At(10*sim.Microsecond, func() { f.rb.OnClose(CloseMarker{Batch: 1, Final: 1, Count: 1}) })
@@ -278,6 +291,7 @@ func TestRBCloseMarker(t *testing.T) {
 }
 
 func TestRBWithDriftingLocalClock(t *testing.T) {
+	t.Parallel()
 	// An RB whose local clock is offset by 1h and drifts 0.02% still
 	// paces correctly and produces sane elapsed values — DBO needs no
 	// synchronization.
@@ -306,6 +320,7 @@ func TestRBWithDriftingLocalClock(t *testing.T) {
 }
 
 func TestRBConfigPanics(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	ok := ReleaseBufferConfig{MP: 1, Delta: 1, Sched: k, Deliver: func(*market.Batch) {}, Send: func(any) {}}
 	for name, mut := range map[string]func(c ReleaseBufferConfig) ReleaseBufferConfig{
@@ -326,6 +341,7 @@ func TestRBConfigPanics(t *testing.T) {
 }
 
 func TestRBSyncOffsetAlignsDelivery(t *testing.T) {
+	t.Parallel()
 	// §4.2.6 sync-assisted mode: the batch is held until G(last)+offset
 	// even though pacing would allow immediate release.
 	f := newRBFixture(t, 5*sim.Microsecond, 0, nil)
@@ -341,6 +357,7 @@ func TestRBSyncOffsetAlignsDelivery(t *testing.T) {
 }
 
 func TestRBSyncOffsetLateBatchImmediate(t *testing.T) {
+	t.Parallel()
 	f := newRBFixture(t, 5*sim.Microsecond, 0, nil)
 	f.rb.cfg.SyncOffset = 50 * sim.Microsecond
 	// The batch arrives after its target: release immediately (a
@@ -355,6 +372,7 @@ func TestRBSyncOffsetLateBatchImmediate(t *testing.T) {
 }
 
 func TestRBSyncOffsetStillPaces(t *testing.T) {
+	t.Parallel()
 	// Sync targets closer together than δ: pacing still wins.
 	delta := 20 * sim.Microsecond
 	f := newRBFixture(t, delta, 0, nil)

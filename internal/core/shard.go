@@ -23,6 +23,10 @@ type OBShard struct {
 	// HeartbeatsIn counts member heartbeats absorbed; HeartbeatsOut
 	// counts synthetic heartbeats emitted to the master.
 	HeartbeatsIn, HeartbeatsOut int
+
+	// StragglerEvents counts activations of straggler mitigation,
+	// mirroring OrderingBuffer.StragglerEvents.
+	StragglerEvents int
 }
 
 // ShardConfig configures an OBShard.
@@ -35,10 +39,11 @@ type ShardConfig struct {
 	// market.Heartbeat{MP: ID} carrying the shard minimum.
 	Emit func(v any)
 
-	// StragglerRTT / GenTime act exactly as in OrderingBufferConfig but
-	// scoped to this shard's members.
+	// StragglerRTT / GenTime / OnStraggler act exactly as in
+	// OrderingBufferConfig but scoped to this shard's members.
 	StragglerRTT sim.Time
 	GenTime      func(p market.PointID) sim.Time
+	OnStraggler  func(ev StragglerEvent)
 }
 
 // NewOBShard validates and builds a shard.
@@ -57,7 +62,7 @@ func NewOBShard(cfg ShardConfig) *OBShard {
 		if _, dup := s.state[m]; dup {
 			panic(fmt.Sprintf("core: duplicate member %d", m))
 		}
-		s.state[m] = &mpState{}
+		s.state[m] = &mpState{id: m}
 	}
 	s.start = cfg.Sched.Now()
 	return s
@@ -88,7 +93,7 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 	st.hasHB = true
 	if s.cfg.StragglerRTT > 0 && h.DC.Point > 0 {
 		st.rtt = now - s.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
-		st.straggler = st.rtt > s.cfg.StragglerRTT
+		s.setStraggler(st, st.rtt > s.cfg.StragglerRTT, st.rtt, false)
 	}
 	s.maybeEmitMin()
 }
@@ -103,11 +108,23 @@ func (s *OBShard) Tick() {
 				last = s.start
 			}
 			if now-last > s.cfg.StragglerRTT {
-				st.straggler = true
+				s.setStraggler(st, true, now-last, true)
 			}
 		}
 	}
 	s.maybeEmitMin()
+}
+
+func (s *OBShard) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) {
+	if v && !st.straggler {
+		s.StragglerEvents++
+	}
+	if v != st.straggler && s.cfg.OnStraggler != nil {
+		s.cfg.OnStraggler(StragglerEvent{
+			MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: s.cfg.Sched.Now(),
+		})
+	}
+	st.straggler = v
 }
 
 // Min returns the shard's current minimum watermark over non-straggler
@@ -127,8 +144,8 @@ func (s *OBShard) Min() market.DeliveryClock {
 
 func (s *OBShard) maybeEmitMin() {
 	min := s.Min()
-	if s.sent && !s.last.Less(min) {
-		return // no advance
+	if s.sent && s.last == min {
+		return // unchanged — a regression (straggler re-admission) must be emitted
 	}
 	s.last = min
 	s.sent = true
@@ -146,32 +163,46 @@ type ShardedOB struct {
 	route  map[market.ParticipantID]*OBShard
 }
 
-// NewShardedOB distributes participants round-robin over numShards
+// ShardedOBConfig configures a ShardedOB.
+type ShardedOBConfig struct {
+	Participants []market.ParticipantID
+	NumShards    int
+	Sched        Scheduler
+	Forward      func(*market.Trade)
+
+	// StragglerRTT / GenTime / OnStraggler are distributed to every
+	// shard; the master OB itself runs without straggler mitigation
+	// (shards already exclude their own members).
+	StragglerRTT sim.Time
+	GenTime      func(p market.PointID) sim.Time
+	OnStraggler  func(ev StragglerEvent)
+}
+
+// NewShardedOB distributes participants round-robin over NumShards
 // shards feeding a master OB that forwards in final order.
-func NewShardedOB(participants []market.ParticipantID, numShards int, sched Scheduler,
-	forward func(*market.Trade), stragglerRTT sim.Time, genTime func(market.PointID) sim.Time) *ShardedOB {
-	if numShards <= 0 || numShards > len(participants) {
-		panic(fmt.Sprintf("core: numShards %d out of range for %d participants", numShards, len(participants)))
+func NewShardedOB(cfg ShardedOBConfig) *ShardedOB {
+	if cfg.NumShards <= 0 || cfg.NumShards > len(cfg.Participants) {
+		panic(fmt.Sprintf("core: NumShards %d out of range for %d participants", cfg.NumShards, len(cfg.Participants)))
 	}
-	members := make([][]market.ParticipantID, numShards)
-	for i, p := range participants {
-		members[i%numShards] = append(members[i%numShards], p)
+	members := make([][]market.ParticipantID, cfg.NumShards)
+	for i, p := range cfg.Participants {
+		members[i%cfg.NumShards] = append(members[i%cfg.NumShards], p)
 	}
-	shardIDs := make([]market.ParticipantID, numShards)
+	shardIDs := make([]market.ParticipantID, cfg.NumShards)
 	for i := range shardIDs {
 		shardIDs[i] = market.ParticipantID(-(i + 1)) // negative ids: disjoint from MP space
 	}
 	master := NewOrderingBuffer(OrderingBufferConfig{
 		Participants: shardIDs,
-		Forward:      forward,
-		Sched:        sched,
+		Forward:      cfg.Forward,
+		Sched:        cfg.Sched,
 	})
-	s := &ShardedOB{Master: master, route: make(map[market.ParticipantID]*OBShard, len(participants))}
-	for i := 0; i < numShards; i++ {
+	s := &ShardedOB{Master: master, route: make(map[market.ParticipantID]*OBShard, len(cfg.Participants))}
+	for i := 0; i < cfg.NumShards; i++ {
 		shard := NewOBShard(ShardConfig{
 			ID:      shardIDs[i],
 			Members: members[i],
-			Sched:   sched,
+			Sched:   cfg.Sched,
 			Emit: func(v any) {
 				switch m := v.(type) {
 				case *market.Trade:
@@ -180,8 +211,9 @@ func NewShardedOB(participants []market.ParticipantID, numShards int, sched Sche
 					master.OnHeartbeat(m)
 				}
 			},
-			StragglerRTT: stragglerRTT,
-			GenTime:      genTime,
+			StragglerRTT: cfg.StragglerRTT,
+			GenTime:      cfg.GenTime,
+			OnStraggler:  cfg.OnStraggler,
 		})
 		s.Shards = append(s.Shards, shard)
 		for _, m := range members[i] {

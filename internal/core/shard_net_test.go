@@ -14,6 +14,7 @@ import (
 // ME-colocated master. Watermarks arrive late and out of phase; the
 // final order must still be complete and delivery-clock sorted.
 func TestShardsBehindNetworkLinks(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(99)
 	var out []*market.Trade
 	shardIDs := []market.ParticipantID{-1, -2}

@@ -10,6 +10,7 @@ import (
 )
 
 func TestShardFiltersHeartbeats(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var emitted []any
 	s := NewOBShard(ShardConfig{
@@ -44,6 +45,7 @@ func TestShardFiltersHeartbeats(t *testing.T) {
 }
 
 func TestShardMinExcludesStragglers(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	gen := func(market.PointID) sim.Time { return 0 }
 	s := NewOBShard(ShardConfig{
@@ -63,6 +65,7 @@ func TestShardMinExcludesStragglers(t *testing.T) {
 }
 
 func TestShardAllStragglersMinIsMax(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	gen := func(market.PointID) sim.Time { return 0 }
 	s := NewOBShard(ShardConfig{
@@ -79,6 +82,7 @@ func TestShardAllStragglersMinIsMax(t *testing.T) {
 }
 
 func TestShardPanics(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	emit := func(any) {}
 	for name, fn := range map[string]func(){
@@ -105,13 +109,17 @@ func TestShardPanics(t *testing.T) {
 }
 
 func TestShardedOBInvalidShardCount(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
 		}
 	}()
-	NewShardedOB([]market.ParticipantID{1, 2}, 3, k, func(*market.Trade) {}, 0, nil)
+	NewShardedOB(ShardedOBConfig{
+		Participants: []market.ParticipantID{1, 2}, NumShards: 3, Sched: k,
+		Forward: func(*market.Trade) {},
+	})
 }
 
 // runWorkload feeds an identical deterministic workload to any OB-like
@@ -146,6 +154,7 @@ func runWorkload(seed uint64, parts []market.ParticipantID,
 // Property: a sharded OB forwards exactly the same final order as a
 // single OB (§5.2 equivalence).
 func TestPropertyShardedEquivalentToSingle(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, shards8 uint8) bool {
 		parts := []market.ParticipantID{1, 2, 3, 4, 5, 6}
 		numShards := int(shards8)%len(parts) + 1
@@ -161,8 +170,10 @@ func TestPropertyShardedEquivalentToSingle(t *testing.T) {
 
 		var sharded []market.TradeKey
 		k2 := sim.NewKernel(1)
-		sob := NewShardedOB(parts, numShards, k2,
-			func(tr *market.Trade) { sharded = append(sharded, tr.Key()) }, 0, nil)
+		sob := NewShardedOB(ShardedOBConfig{
+			Participants: parts, NumShards: numShards, Sched: k2,
+			Forward: func(tr *market.Trade) { sharded = append(sharded, tr.Key()) },
+		})
 		runWorkload(seed, parts, func(tr *market.Trade) { c := *tr; sob.OnTrade(&c) }, sob.OnHeartbeat)
 
 		if len(single) != len(sharded) {
@@ -181,12 +192,16 @@ func TestPropertyShardedEquivalentToSingle(t *testing.T) {
 }
 
 func TestShardedOBReducesMasterHeartbeatLoad(t *testing.T) {
+	t.Parallel()
 	parts := make([]market.ParticipantID, 32)
 	for i := range parts {
 		parts[i] = market.ParticipantID(i + 1)
 	}
 	k := sim.NewKernel(1)
-	sob := NewShardedOB(parts, 4, k, func(*market.Trade) {}, 0, nil)
+	sob := NewShardedOB(ShardedOBConfig{
+		Participants: parts, NumShards: 4, Sched: k,
+		Forward: func(*market.Trade) {},
+	})
 	runWorkload(42, parts, sob.OnTrade, sob.OnHeartbeat)
 	var in, out int
 	for _, s := range sob.Shards {

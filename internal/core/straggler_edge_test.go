@@ -1,0 +1,308 @@
+package core
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// collectEvents builds an OB that records straggler transitions.
+func obWithEvents(t *testing.T, parts []market.ParticipantID, thr sim.Time,
+	gen func(market.PointID) sim.Time) (*sim.Kernel, *OrderingBuffer, *[]StragglerEvent) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	events := &[]StragglerEvent{}
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: parts,
+		Forward:      func(*market.Trade) {},
+		Sched:        k,
+		StragglerRTT: thr,
+		GenTime:      gen,
+		OnStraggler:  func(ev StragglerEvent) { *events = append(*events, ev) },
+	})
+	return k, ob, events
+}
+
+// TestStragglerRTTBoundaryExact pins the threshold comparison as strict:
+// a participant whose RTT lands exactly on StragglerRTT stays admitted;
+// one nanosecond more excludes it.
+func TestStragglerRTTBoundaryExact(t *testing.T) {
+	t.Parallel()
+	thr := 100 * sim.Microsecond
+	gen := func(market.PointID) sim.Time { return 0 }
+
+	k, ob, events := obWithEvents(t, []market.ParticipantID{1}, thr, gen)
+	// Heartbeat arrives at t=thr reporting ⟨1, 0⟩ for a point generated
+	// at 0: measured RTT is exactly the threshold.
+	k.At(thr, func() { ob.OnHeartbeat(hb(1, dc(1, 0))) })
+	k.Run()
+	if len(*events) != 0 {
+		t.Fatalf("RTT exactly at threshold excluded the participant: %+v", *events)
+	}
+	if ob.StragglerEvents != 0 {
+		t.Fatalf("StragglerEvents = %d, want 0", ob.StragglerEvents)
+	}
+
+	k2, ob2, events2 := obWithEvents(t, []market.ParticipantID{1}, thr, gen)
+	k2.At(thr+1, func() { ob2.OnHeartbeat(hb(1, dc(1, 0))) })
+	k2.Run()
+	if len(*events2) != 1 || !(*events2)[0].Straggler || (*events2)[0].Timeout {
+		t.Fatalf("RTT one past threshold: events = %+v, want one RTT exclusion", *events2)
+	}
+	if (*events2)[0].RTT != thr+1 {
+		t.Fatalf("exclusion evidence RTT = %v, want %v", (*events2)[0].RTT, thr+1)
+	}
+}
+
+// TestStragglerTimeoutBoundaryExact does the same for heartbeat silence:
+// silence equal to the threshold is tolerated, one nanosecond more is a
+// timeout exclusion.
+func TestStragglerTimeoutBoundaryExact(t *testing.T) {
+	t.Parallel()
+	thr := 100 * sim.Microsecond
+	gen := func(market.PointID) sim.Time { return 0 }
+
+	k, ob, events := obWithEvents(t, []market.ParticipantID{1}, thr, gen)
+	k.At(thr, func() { ob.Tick() }) // silent since t=0 for exactly thr
+	k.Run()
+	if len(*events) != 0 {
+		t.Fatalf("silence exactly at threshold excluded the participant: %+v", *events)
+	}
+
+	k2, ob2, events2 := obWithEvents(t, []market.ParticipantID{1}, thr, gen)
+	k2.At(thr+1, func() { ob2.Tick() })
+	k2.Run()
+	if len(*events2) != 1 || !(*events2)[0].Straggler || !(*events2)[0].Timeout {
+		t.Fatalf("silence past threshold: events = %+v, want one timeout exclusion", *events2)
+	}
+}
+
+// TestStragglerFlappingRTT drives one participant's RTT back and forth
+// across the threshold and checks the transitions alternate cleanly,
+// each with evidence on the correct side.
+func TestStragglerFlappingRTT(t *testing.T) {
+	t.Parallel()
+	thr := 100 * sim.Microsecond
+	gens := map[market.PointID]sim.Time{
+		1: 0,
+		2: 50 * sim.Microsecond,
+		3: 290 * sim.Microsecond,
+		4: 250 * sim.Microsecond,
+		5: 495 * sim.Microsecond,
+	}
+	gen := func(p market.PointID) sim.Time { return gens[p] }
+	k, ob, events := obWithEvents(t, []market.ParticipantID{1}, thr, gen)
+
+	us := sim.Microsecond
+	k.At(10*us, func() { ob.OnHeartbeat(hb(1, dc(1, 5*us))) })   // rtt 5µs: fine
+	k.At(200*us, func() { ob.OnHeartbeat(hb(1, dc(2, 10*us))) }) // rtt 140µs: exclude
+	k.At(300*us, func() { ob.OnHeartbeat(hb(1, dc(3, 5*us))) })  // rtt 5µs: re-admit
+	k.At(400*us, func() { ob.OnHeartbeat(hb(1, dc(4, 0))) })     // rtt 150µs: exclude
+	k.At(500*us, func() { ob.OnHeartbeat(hb(1, dc(5, 2*us))) })  // rtt 3µs: re-admit
+	k.Run()
+
+	want := []bool{true, false, true, false}
+	if len(*events) != len(want) {
+		t.Fatalf("got %d transitions (%+v), want %d", len(*events), *events, len(want))
+	}
+	for i, ev := range *events {
+		if ev.Straggler != want[i] {
+			t.Fatalf("transition %d = %+v, want straggler=%v", i, ev, want[i])
+		}
+		if ev.Timeout {
+			t.Fatalf("transition %d marked timeout for a measured RTT", i)
+		}
+		if ev.Straggler && ev.RTT <= thr {
+			t.Fatalf("exclusion %d with evidence %v ≤ threshold", i, ev.RTT)
+		}
+		if !ev.Straggler && ev.RTT > thr {
+			t.Fatalf("re-admission %d with evidence %v > threshold", i, ev.RTT)
+		}
+	}
+	if ob.StragglerEvents != 2 {
+		t.Fatalf("StragglerEvents = %d, want 2 exclusions", ob.StragglerEvents)
+	}
+	if len(ob.Stragglers()) != 0 {
+		t.Fatalf("participant still excluded after final re-admission: %v", ob.Stragglers())
+	}
+}
+
+// TestShardedOBSingleShardMatchesPlain pins the NumShards=1 degenerate
+// case to the plain ordering buffer, deterministically.
+func TestShardedOBSingleShardMatchesPlain(t *testing.T) {
+	t.Parallel()
+	parts := []market.ParticipantID{1, 2, 3, 4}
+
+	var single []market.TradeKey
+	k1 := sim.NewKernel(1)
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: parts,
+		Forward:      func(tr *market.Trade) { single = append(single, tr.Key()) },
+		Sched:        k1,
+	})
+	runWorkload(7, parts, func(tr *market.Trade) { c := *tr; ob.OnTrade(&c) }, ob.OnHeartbeat)
+
+	var sharded []market.TradeKey
+	k2 := sim.NewKernel(1)
+	sob := NewShardedOB(ShardedOBConfig{
+		Participants: parts, NumShards: 1, Sched: k2,
+		Forward: func(tr *market.Trade) { sharded = append(sharded, tr.Key()) },
+	})
+	runWorkload(7, parts, func(tr *market.Trade) { c := *tr; sob.OnTrade(&c) }, sob.OnHeartbeat)
+
+	if len(single) == 0 || len(single) != len(sharded) {
+		t.Fatalf("forwarded %d vs %d trades", len(single), len(sharded))
+	}
+	for i := range single {
+		if single[i] != sharded[i] {
+			t.Fatalf("orders diverge at %d: %v vs %v", i, single[i], sharded[i])
+		}
+	}
+}
+
+// TestOBLateJoinerGatesRelease covers a participant that joins the
+// stream late: until its first report, its zero watermark gates every
+// release; membership itself is fixed, so traffic from unknown ids is
+// absorbed without corrupting the gate.
+func TestOBLateJoinerGatesRelease(t *testing.T) {
+	t.Parallel()
+	var out []*market.Trade
+	k := sim.NewKernel(1)
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: []market.ParticipantID{1, 2, 3},
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		Sched:        k,
+	})
+	ob.OnTrade(trade(1, 1, dc(1, 5)))
+	ob.OnTrade(trade(4, 1, dc(1, 1))) // unknown sender: ordered, not gating
+	ob.OnHeartbeat(hb(1, dc(2, 0)))
+	ob.OnHeartbeat(hb(2, dc(2, 0)))
+	if len(out) != 0 {
+		t.Fatal("released while participant 3 had never reported")
+	}
+	ob.OnHeartbeat(hb(4, dc(9, 9))) // unknown participant: ignored
+	if _, ok := ob.Watermark(4); ok {
+		t.Fatal("unknown participant grew a watermark")
+	}
+	if len(out) != 0 {
+		t.Fatal("unknown participant's heartbeat released gated trades")
+	}
+	ob.OnHeartbeat(hb(3, dc(2, 0))) // the late joiner's first report
+	if len(out) != 2 {
+		t.Fatalf("forwarded %d trades after all watermarks passed, want 2", len(out))
+	}
+	if out[0].Key() != (market.TradeKey{MP: 4, Seq: 1}) || out[1].Key() != (market.TradeKey{MP: 1, Seq: 1}) {
+		t.Fatalf("release order %v, %v not by delivery clock", out[0].Key(), out[1].Key())
+	}
+}
+
+// TestShardedOBEmptyShardWatermarkAdvances: when every member of a shard
+// is excluded, the shard's minimum rises to MaxDeliveryClock and the
+// master must stop waiting on it — an effectively empty shard cannot
+// stall the market.
+func TestShardedOBEmptyShardWatermarkAdvances(t *testing.T) {
+	t.Parallel()
+	us := sim.Microsecond
+	var out []*market.Trade
+	k := sim.NewKernel(1)
+	gen := func(market.PointID) sim.Time { return 0 }
+	sob := NewShardedOB(ShardedOBConfig{
+		Participants: []market.ParticipantID{1, 2},
+		NumShards:    2, // one member each: shard -2 holds only MP 2
+		Sched:        k,
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		StragglerRTT: 50 * us,
+		GenTime:      gen,
+	})
+	k.At(10*us, func() { sob.OnHeartbeat(hb(1, dc(2, 5*us))) })
+	k.At(20*us, func() { sob.OnTrade(trade(1, 1, dc(1, 0))) })
+	k.At(30*us, func() {
+		if len(out) != 0 {
+			t.Error("released while MP 2 (silent, not yet excluded) gated the trade")
+		}
+	})
+	// At 60µs MP 2 has been silent past the threshold: its shard empties,
+	// emits MaxDeliveryClock, and the held trade must go through.
+	k.At(60*us, func() { sob.Tick() })
+	k.Run()
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d trades after the empty shard advanced, want 1", len(out))
+	}
+}
+
+// TestShardReadmissionRegressesMasterWatermark pins the §5.2 equivalence
+// across a straggler exclusion/re-admission cycle: when the re-admitted
+// member's clock is behind the shard's previously emitted minimum, the
+// regression must propagate to the master, which has to resume waiting
+// on it. (Emitting only advances — or folding shard reports in with a
+// max — silently leaves the master gating on MaxDeliveryClock forever.)
+// Forward *times* are compared, not just the final order: the buggy
+// behavior releases the same sequence too early.
+func TestShardReadmissionRegressesMasterWatermark(t *testing.T) {
+	t.Parallel()
+	us := sim.Microsecond
+	gens := map[market.PointID]sim.Time{
+		1: 0, 2: 160 * us, 5: 140 * us, 6: 150 * us, 8: 175 * us,
+	}
+	gen := func(p market.PointID) sim.Time { return gens[p] }
+	thr := 100 * us
+
+	type stamp struct {
+		key market.TradeKey
+		at  sim.Time
+	}
+	run := func(mk func(k *sim.Kernel, fwd func(*market.Trade)) interface {
+		OnTrade(*market.Trade)
+		OnHeartbeat(market.Heartbeat)
+	}) []stamp {
+		var got []stamp
+		k := sim.NewKernel(1)
+		sink := mk(k, func(tr *market.Trade) { got = append(got, stamp{tr.Key(), tr.Forwarded}) })
+		k.At(10*us, func() { sink.OnHeartbeat(hb(1, dc(1, 5*us))) })   // MP1 rtt 5µs
+		k.At(20*us, func() { sink.OnHeartbeat(hb(2, dc(1, 10*us))) })  // MP2 rtt 10µs
+		k.At(150*us, func() { sink.OnHeartbeat(hb(2, dc(1, 10*us))) }) // MP2 rtt 140µs: excluded
+		k.At(160*us, func() { sink.OnHeartbeat(hb(1, dc(6, 5*us))) })  // MP1 rtt 5µs, wm ⟨6,5µs⟩
+		k.At(161*us, func() { sink.OnTrade(trade(1, 1, dc(5, 0))) })   // releasable: MP2 excluded
+		k.At(170*us, func() { sink.OnHeartbeat(hb(2, dc(2, 5*us))) })  // rtt 5µs: re-admitted, wm ⟨2,5µs⟩
+		k.At(180*us, func() { sink.OnTrade(trade(1, 2, dc(6, 0))) })   // must wait for MP2 again
+		k.At(190*us, func() { sink.OnHeartbeat(hb(2, dc(8, 0))) })     // MP2 catches up: release
+		k.Run()
+		return got
+	}
+
+	single := run(func(k *sim.Kernel, fwd func(*market.Trade)) interface {
+		OnTrade(*market.Trade)
+		OnHeartbeat(market.Heartbeat)
+	} {
+		return NewOrderingBuffer(OrderingBufferConfig{
+			Participants: []market.ParticipantID{1, 2}, Forward: fwd, Sched: k,
+			StragglerRTT: thr, GenTime: gen,
+		})
+	})
+	sharded := run(func(k *sim.Kernel, fwd func(*market.Trade)) interface {
+		OnTrade(*market.Trade)
+		OnHeartbeat(market.Heartbeat)
+	} {
+		return NewShardedOB(ShardedOBConfig{
+			Participants: []market.ParticipantID{1, 2}, NumShards: 2, Sched: k,
+			Forward: fwd, StragglerRTT: thr, GenTime: gen,
+		})
+	})
+
+	want := []stamp{
+		{market.TradeKey{MP: 1, Seq: 1}, 161 * us},
+		{market.TradeKey{MP: 1, Seq: 2}, 190 * us},
+	}
+	for name, got := range map[string][]stamp{"single": single, "sharded": sharded} {
+		if len(got) != len(want) {
+			t.Fatalf("%s forwarded %d trades (%v), want %d", name, len(got), got, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s trade %d forwarded as %+v, want %+v (early release = master ignored the watermark regression)",
+					name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"dbo/internal/clock"
+	"dbo/internal/core"
+	"dbo/internal/market"
 	"dbo/internal/sim"
 	"dbo/internal/trace"
 )
@@ -53,6 +56,7 @@ type Config struct {
 
 	// Workload (§6.1 methodology).
 	TickInterval sim.Time // market data generation interval (default 40µs)
+	TickJitter   float64  // bursty generation: each gap is scaled by U[1-j, 1+j] (0 = periodic)
 	Duration     sim.Time // generation horizon (default 200ms)
 	Warmup       sim.Time // ignore trades triggered before this (default 5ms)
 	Drain        sim.Time // extra time for in-flight trades (default 50ms)
@@ -94,6 +98,11 @@ type Config struct {
 	LossRate   float64 // i.i.d. packet loss on every link
 	ClockDrift bool    // give each RB an unsynchronized drifting clock
 
+	// LocalClocks, when non-nil, pins each RB's local clock explicitly
+	// (len N); it overrides ClockDrift. Conformance harnesses use it so
+	// oracles know the exact drift model each RB measures with.
+	LocalClocks []clock.Local
+
 	// Instrumentation.
 	CollectSamples bool      // keep raw per-trade latency samples (CDFs)
 	KeepTrades     bool      // retain the forwarded trade log in the Result
@@ -110,6 +119,26 @@ type Hooks struct {
 	// OnScore fires for every scored (post-warmup) trade with its
 	// trigger generation time and end-to-end latency (Equation 8).
 	OnScore func(mp int, trigGen, latency sim.Time)
+
+	// The taps below are conformance-oracle observation points; they see
+	// full messages rather than summaries.
+
+	// OnBatch fires when an RB delivers a complete batch to its MP
+	// (DBO scheme only). The batch must not be mutated.
+	OnBatch func(mp int, b *market.Batch, at sim.Time)
+	// OnTag fires for every message an RB sends on the reverse path
+	// after delivery-clock tagging: *market.Trade, market.Heartbeat, or
+	// core.RetxRequest (DBO scheme only).
+	OnTag func(mp int, v any)
+	// OnUpstream fires when a reverse-path message arrives at the CES,
+	// before it is dispatched to the ordering scheme.
+	OnUpstream func(v any, at sim.Time)
+	// OnRelease fires when the ordering scheme forwards a trade to the
+	// matching engine, with its final stamps (Forwarded, FinalPos).
+	OnRelease func(t *market.Trade)
+	// OnStraggler observes straggler exclusion/re-admission transitions
+	// in the ordering buffer or its shards (§4.2.1).
+	OnStraggler func(ev core.StragglerEvent)
 }
 
 // withDefaults returns a copy with defaults applied.
@@ -130,6 +159,12 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Skew) != c.N {
 		panic(fmt.Sprintf("exchange: len(Skew)=%d, want N=%d", len(c.Skew), c.N))
+	}
+	if c.LocalClocks != nil && len(c.LocalClocks) != c.N {
+		panic(fmt.Sprintf("exchange: len(LocalClocks)=%d, want N=%d", len(c.LocalClocks), c.N))
+	}
+	if c.TickJitter < 0 || c.TickJitter >= 1 {
+		panic(fmt.Sprintf("exchange: TickJitter %v outside [0,1)", c.TickJitter))
 	}
 	if c.TickInterval == 0 {
 		c.TickInterval = 40 * sim.Microsecond

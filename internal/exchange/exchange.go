@@ -152,7 +152,9 @@ func newHarness(cfg Config) *harness {
 func (h *harness) buildMPs() {
 	for i := 0; i < h.cfg.N; i++ {
 		var local clock.Local = clock.Perfect{}
-		if h.cfg.ClockDrift {
+		if h.cfg.LocalClocks != nil {
+			local = h.cfg.LocalClocks[i]
+		} else if h.cfg.ClockDrift {
 			rng := h.k.SubRand(uint64(i) + 7000)
 			local = clock.Drifting{
 				Offset: sim.Time(rng.Int64N(int64(sim.Second))),
@@ -226,11 +228,25 @@ func (h *harness) buildScheme() {
 				Sched:      h.k,
 				Local:      h.mps[i].local,
 				Deliver:    func(b *market.Batch) { h.mps[i].onBatch(b) },
-				Send:       func(v any) { h.countBeat(v); h.paths[i].Rev.Send(v) },
+				Send: func(v any) {
+					h.countBeat(v)
+					if h.cfg.Hooks.OnTag != nil {
+						h.cfg.Hooks.OnTag(i, v)
+					}
+					h.paths[i].Rev.Send(v)
+				},
 			}))
 		}
 		if h.cfg.OBShards > 1 {
-			h.shardOB = core.NewShardedOB(parts, h.cfg.OBShards, h.k, h.onForward, h.cfg.StragglerRTT, genTime)
+			h.shardOB = core.NewShardedOB(core.ShardedOBConfig{
+				Participants: parts,
+				NumShards:    h.cfg.OBShards,
+				Sched:        h.k,
+				Forward:      h.onForward,
+				StragglerRTT: h.cfg.StragglerRTT,
+				GenTime:      genTime,
+				OnStraggler:  h.cfg.Hooks.OnStraggler,
+			})
 		} else {
 			h.ob = core.NewOrderingBuffer(core.OrderingBufferConfig{
 				Participants: parts,
@@ -238,6 +254,7 @@ func (h *harness) buildScheme() {
 				Sched:        h.k,
 				StragglerRTT: h.cfg.StragglerRTT,
 				GenTime:      genTime,
+				OnStraggler:  h.cfg.Hooks.OnStraggler,
 			})
 		}
 	case Direct:
@@ -290,11 +307,7 @@ func (h *harness) countBeat(v any) {
 func (h *harness) start() {
 	quotes := feed.New(feed.Config{Seed: h.cfg.Seed ^ 0xfeed, Symbols: h.cfg.Symbols})
 	tickNo := 0
-	h.k.Every(0, h.cfg.TickInterval, func() bool {
-		gen := h.k.Now()
-		if gen >= h.cfg.Duration {
-			return false
-		}
+	emit := func(gen, nextGen sim.Time) {
 		q := quotes.Next()
 		price := q.Ask
 		qty := q.AskSize
@@ -302,7 +315,6 @@ func (h *harness) start() {
 			price = q.Bid
 			qty = q.BidSize
 		}
-		nextGen := gen + h.cfg.TickInterval
 		dp := market.DataPoint{
 			Gen:     gen,
 			Symbol:  q.Symbol,
@@ -346,8 +358,37 @@ func (h *harness) start() {
 				h.extIDs[dp.ID] = true
 			}
 		}
-		return true
-	})
+	}
+	if h.cfg.TickJitter == 0 {
+		h.k.Every(0, h.cfg.TickInterval, func() bool {
+			gen := h.k.Now()
+			if gen >= h.cfg.Duration {
+				return false
+			}
+			emit(gen, gen+h.cfg.TickInterval)
+			return true
+		})
+	} else {
+		// Bursty generation: i.i.d. gaps of TickInterval·U[1−j, 1+j]. The
+		// next gap is drawn before emitting so the batcher still knows
+		// the following point's generation time (Last flags stay exact).
+		jrng := h.k.SubRand(h.cfg.Seed ^ 0xb245)
+		var tick func()
+		tick = func() {
+			gen := h.k.Now()
+			if gen >= h.cfg.Duration {
+				return
+			}
+			f := 1 - h.cfg.TickJitter + 2*h.cfg.TickJitter*jrng.Float64()
+			gap := sim.Time(float64(h.cfg.TickInterval) * f)
+			if gap < 1 {
+				gap = 1
+			}
+			emit(gen, gen+gap)
+			h.k.At(gen+gap, tick)
+		}
+		h.k.At(0, tick)
+	}
 
 	if h.rbs != nil {
 		for _, rb := range h.rbs {
@@ -382,6 +423,9 @@ func (h *harness) onMarketData(i int, dp market.DataPoint) {
 
 // onUpstream dispatches reverse-path traffic arriving at the CES.
 func (h *harness) onUpstream(v any) {
+	if h.cfg.Hooks.OnUpstream != nil {
+		h.cfg.Hooks.OnUpstream(v, h.k.Now())
+	}
 	switch m := v.(type) {
 	case *market.Trade:
 		if h.audit != nil {
@@ -423,6 +467,9 @@ func (m *mpSim) onBatch(b *market.Batch) {
 	h := m.h
 	if h.cfg.Hooks.OnDeliver != nil {
 		h.cfg.Hooks.OnDeliver(m.idx, uint64(b.LastPoint()), h.k.Now())
+	}
+	if h.cfg.Hooks.OnBatch != nil {
+		h.cfg.Hooks.OnBatch(m.idx, b, h.k.Now())
 	}
 	for _, dp := range b.Points {
 		if m.rng.Float64() >= h.cfg.TradeProb {
@@ -500,6 +547,9 @@ func (h *harness) onForward(t *market.Trade) {
 	}
 	if h.cfg.Hooks.OnForward != nil {
 		h.cfg.Hooks.OnForward(int(t.MP)-1, t.Forwarded)
+	}
+	if h.cfg.Hooks.OnRelease != nil {
+		h.cfg.Hooks.OnRelease(t)
 	}
 
 	trigGen, external := h.triggerGen(t.Trigger)
@@ -588,6 +638,7 @@ func (h *harness) score() *Result {
 	if h.shardOB != nil {
 		r.StragglerEvents = h.shardOB.Master.StragglerEvents
 		for _, s := range h.shardOB.Shards {
+			r.StragglerEvents += s.StragglerEvents
 			r.MasterHeartbeats += s.HeartbeatsOut
 		}
 	} else {

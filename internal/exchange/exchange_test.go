@@ -20,6 +20,7 @@ func short(scheme Scheme, seed uint64) Config {
 }
 
 func TestDBOAchievesPerfectFairness(t *testing.T) {
+	t.Parallel()
 	r := Run(short(DBO, 1))
 	if r.Trades == 0 {
 		t.Fatal("no trades scored")
@@ -34,6 +35,7 @@ func TestDBOAchievesPerfectFairness(t *testing.T) {
 }
 
 func TestDirectIsUnfair(t *testing.T) {
+	t.Parallel()
 	r := Run(short(Direct, 1))
 	if r.Fairness >= 0.99 {
 		t.Fatalf("direct fairness = %v; expected substantial unfairness on skewed paths", r.Fairness)
@@ -44,6 +46,7 @@ func TestDirectIsUnfair(t *testing.T) {
 }
 
 func TestDBOPaysLatencyForFairness(t *testing.T) {
+	t.Parallel()
 	dbo := Run(short(DBO, 2))
 	dir := Run(short(Direct, 2))
 	if dbo.Latency.Avg <= dir.Latency.Avg {
@@ -58,6 +61,7 @@ func TestDBOPaysLatencyForFairness(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	t.Parallel()
 	a := Run(short(DBO, 42))
 	b := Run(short(DBO, 42))
 	if a.Fairness != b.Fairness || a.Latency != b.Latency || a.Trades != b.Trades {
@@ -70,6 +74,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestCloudExThresholdTradeoff(t *testing.T) {
+	t.Parallel()
 	low := short(CloudEx, 3)
 	low.C1, low.C2 = 25*sim.Microsecond, 25*sim.Microsecond
 	rLow := Run(low)
@@ -103,6 +108,7 @@ func TestCloudExThresholdTradeoff(t *testing.T) {
 }
 
 func TestDBOBeatsCloudExFrontier(t *testing.T) {
+	t.Parallel()
 	// Figure 13's headline: DBO achieves perfect fairness at lower
 	// latency than the CloudEx configuration that reaches it.
 	dbo := Run(short(DBO, 4))
@@ -120,6 +126,7 @@ func TestDBOBeatsCloudExFrontier(t *testing.T) {
 }
 
 func TestMatchingEngineExecutes(t *testing.T) {
+	t.Parallel()
 	r := Run(short(DBO, 5))
 	if r.Executions == 0 {
 		t.Fatal("matching engine produced no fills")
@@ -130,6 +137,7 @@ func TestMatchingEngineExecutes(t *testing.T) {
 }
 
 func TestLossRecovery(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 6)
 	cfg.LossRate = 0.002
 	r := Run(cfg)
@@ -147,6 +155,7 @@ func TestLossRecovery(t *testing.T) {
 }
 
 func TestClockDriftHarmless(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 7)
 	cfg.ClockDrift = true
 	r := Run(cfg)
@@ -164,6 +173,7 @@ func TestClockDriftHarmless(t *testing.T) {
 }
 
 func TestShardedOBEquivalentFairness(t *testing.T) {
+	t.Parallel()
 	single := Run(short(DBO, 8))
 	cfg := short(DBO, 8)
 	cfg.OBShards = 3
@@ -178,6 +188,7 @@ func TestShardedOBEquivalentFairness(t *testing.T) {
 }
 
 func TestFBAEliminatesSpeedRaces(t *testing.T) {
+	t.Parallel()
 	r := Run(short(FBA, 9))
 	// Within-batch order is random: pairwise fairness ≈ 0.5.
 	if r.Fairness < 0.35 || r.Fairness > 0.65 {
@@ -190,6 +201,7 @@ func TestFBAEliminatesSpeedRaces(t *testing.T) {
 }
 
 func TestLibraStochasticFairness(t *testing.T) {
+	t.Parallel()
 	lib := Run(short(Libra, 10))
 	dir := Run(short(Direct, 10))
 	if lib.Fairness <= 0.4 {
@@ -204,6 +216,7 @@ func TestLibraStochasticFairness(t *testing.T) {
 }
 
 func TestStragglerMitigationCutsTailLatency(t *testing.T) {
+	t.Parallel()
 	mk := func(threshold sim.Time) Config {
 		cfg := short(DBO, 11)
 		cfg.N = 4
@@ -228,6 +241,7 @@ func TestStragglerMitigationCutsTailLatency(t *testing.T) {
 }
 
 func TestCollectSamples(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 12)
 	cfg.CollectSamples = true
 	r := Run(cfg)
@@ -240,6 +254,7 @@ func TestCollectSamples(t *testing.T) {
 }
 
 func TestHooksFire(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 13)
 	var deliveries, forwards int
 	cfg.Hooks = Hooks{
@@ -254,6 +269,7 @@ func TestHooksFire(t *testing.T) {
 }
 
 func TestDefaultSkewSpread(t *testing.T) {
+	t.Parallel()
 	s := DefaultSkew(3, 0.15)
 	if s[0] != 0.85 || s[2] != 1.15 {
 		t.Fatalf("skew = %v", s)
@@ -264,6 +280,7 @@ func TestDefaultSkewSpread(t *testing.T) {
 }
 
 func TestLabVsCloudFairnessShape(t *testing.T) {
+	t.Parallel()
 	// Table 2 vs Table 3: direct delivery is less unfair on the lab
 	// network (small, stable latency differences) than in the cloud.
 	lab := short(Direct, 14)
@@ -280,6 +297,7 @@ func TestLabVsCloudFairnessShape(t *testing.T) {
 }
 
 func TestHighRTStillMostlyFair(t *testing.T) {
+	t.Parallel()
 	// Table 4: trades with RT > δ are not guaranteed, but temporal
 	// correlation keeps them almost perfectly ordered.
 	cfg := short(DBO, 15)

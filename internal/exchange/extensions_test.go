@@ -10,6 +10,7 @@ import (
 )
 
 func TestMultiSymbolRouting(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 20)
 	cfg.Symbols = 4
 	cfg.KeepTrades = true
@@ -30,6 +31,7 @@ func TestMultiSymbolRouting(t *testing.T) {
 }
 
 func TestKeepTradesLog(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 21)
 	cfg.KeepTrades = true
 	r := Run(cfg)
@@ -49,6 +51,7 @@ func TestKeepTradesLog(t *testing.T) {
 }
 
 func TestExternalSerializedIsFair(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 22)
 	cfg.ExternalEvery = 5
 	r := Run(cfg)
@@ -64,6 +67,7 @@ func TestExternalSerializedIsFair(t *testing.T) {
 }
 
 func TestExternalBypassIsUnfair(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 22)
 	cfg.ExternalEvery = 5
 	cfg.ExternalBypass = true
@@ -94,6 +98,7 @@ func jitteryTrace(seed uint64) *trace.Trace {
 }
 
 func TestSyncOffsetImprovesSlowTradeFairness(t *testing.T) {
+	t.Parallel()
 	mk := func(sync sim.Time) Config {
 		cfg := short(DBO, 23)
 		cfg.Trace = jitteryTrace(23)
@@ -117,6 +122,7 @@ func TestSyncOffsetImprovesSlowTradeFairness(t *testing.T) {
 }
 
 func TestSyncOffsetPreservesLRTF(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 24)
 	cfg.SyncOffset = 60 * sim.Microsecond
 	r := Run(cfg)
@@ -126,6 +132,7 @@ func TestSyncOffsetPreservesLRTF(t *testing.T) {
 }
 
 func TestAuditLogVerifies(t *testing.T) {
+	t.Parallel()
 	var log bytes.Buffer
 	cfg := short(DBO, 25)
 	cfg.Audit = &log

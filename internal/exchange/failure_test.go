@@ -10,6 +10,7 @@ import (
 // Failure-injection and whole-system property tests.
 
 func TestPropertyLRTFAcrossSeeds(t *testing.T) {
+	t.Parallel()
 	// The headline guarantee, end to end: for any seed (any trace slice
 	// assignment, any workload draw), DBO orders every competing pair
 	// of in-horizon trades by response time.
@@ -31,6 +32,7 @@ func TestPropertyLRTFAcrossSeeds(t *testing.T) {
 }
 
 func TestPropertyLRTFUnderParameterVariation(t *testing.T) {
+	t.Parallel()
 	// LRTF must hold for any valid (δ, κ, τ) combination, not just the
 	// paper's defaults.
 	f := func(d, k, tu uint8) bool {
@@ -57,6 +59,7 @@ func TestPropertyLRTFUnderParameterVariation(t *testing.T) {
 }
 
 func TestRBCrashMidRun(t *testing.T) {
+	t.Parallel()
 	// One RB stops heartbeating mid-run (crash). With straggler
 	// mitigation the system keeps trading; the dead participant's
 	// trades stop, everyone else's fairness is unaffected.
@@ -90,6 +93,7 @@ func runWithRBCrash(cfg Config, victim int, at sim.Time) *Result {
 }
 
 func TestOBCrashLosesQueuedTradesOnly(t *testing.T) {
+	t.Parallel()
 	// §4.2.1 "OB failure": queued trades are lost (unfairness), but the
 	// system continues and later trades are ordered correctly.
 	cfg := short(DBO, 41)
@@ -116,6 +120,7 @@ func TestOBCrashLosesQueuedTradesOnly(t *testing.T) {
 }
 
 func TestHeavyLossStillConverges(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 42)
 	cfg.LossRate = 0.01 // 1% on every link — far beyond cloud reality
 	cfg.StragglerRTT = 2 * sim.Millisecond
@@ -133,6 +138,7 @@ func TestHeavyLossStillConverges(t *testing.T) {
 }
 
 func TestZeroTradeProbRun(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 43)
 	cfg.TradeProb = -1 // strictly never trade
 	r := Run(cfg)
@@ -145,6 +151,7 @@ func TestZeroTradeProbRun(t *testing.T) {
 }
 
 func TestSingleParticipant(t *testing.T) {
+	t.Parallel()
 	cfg := short(DBO, 44)
 	cfg.N = 1
 	cfg.Skew = []float64{1}
@@ -156,6 +163,7 @@ func TestSingleParticipant(t *testing.T) {
 }
 
 func TestExtremeTickRates(t *testing.T) {
+	t.Parallel()
 	// Tick faster than δ: batches carry multiple points; LRTF holds.
 	fast := short(DBO, 45)
 	fast.TickInterval = 5 * sim.Microsecond

@@ -13,6 +13,7 @@ import (
 func quick(seed uint64) Opts { return Opts{Seed: seed, Duration: 40 * sim.Millisecond} }
 
 func TestTable2Shape(t *testing.T) {
+	t.Parallel()
 	r := Table2(quick(1))
 	direct, bound, dbo := r.Rows[0], r.Rows[1], r.Rows[2]
 	// Direct is unfair but not catastrophically so on the lab network.
@@ -39,6 +40,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	t.Parallel()
 	r := Table3(quick(2))
 	direct, bound, dbo := r.Rows[0], r.Rows[1], r.Rows[2]
 	if dbo.Fairness != 1 {
@@ -66,6 +68,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	t.Parallel()
 	r := Table4(quick(3))
 	if len(r.Buckets) != 6 || len(r.Direct) != 6 || len(r.DBO) != 6 {
 		t.Fatalf("buckets = %v", r.Buckets)
@@ -90,6 +93,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
+	t.Parallel()
 	r := Figure2(quick(4))
 	if r.CloudExOverruns == 0 {
 		t.Error("spike should overrun CloudEx thresholds")
@@ -117,6 +121,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure7DrainSlope(t *testing.T) {
+	t.Parallel()
 	r := Figure7(Opts{Seed: 5})
 	if r.PeakQueue < 2 {
 		t.Fatalf("peak queue = %d; spike should build a pacing queue", r.PeakQueue)
@@ -142,6 +147,7 @@ func TestFigure7DrainSlope(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	t.Parallel()
 	r := Figure10(quick(6))
 	if len(r.CDFs) != 3 {
 		t.Fatalf("curves = %d", len(r.CDFs))
@@ -174,6 +180,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
+	t.Parallel()
 	r := Figure11(Opts{Seed: 7, Duration: 500 * sim.Millisecond})
 	if r.Stats.Mean < 45*sim.Microsecond || r.Stats.Mean > 90*sim.Microsecond {
 		t.Errorf("trace mean = %v", r.Stats.Mean)
@@ -189,6 +196,7 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
+	t.Parallel()
 	o := Opts{Seed: 8, Duration: 25 * sim.Millisecond}
 	r := Figure12(o)
 	if len(r.N) != 5 {
@@ -212,6 +220,7 @@ func TestFigure12Shape(t *testing.T) {
 }
 
 func TestFigure13Shape(t *testing.T) {
+	t.Parallel()
 	o := Opts{Seed: 9, Duration: 25 * sim.Millisecond}
 	r := Figure13(o)
 	var cx10 []Figure13Point
@@ -253,6 +262,7 @@ func TestFigure13Shape(t *testing.T) {
 }
 
 func TestAblationTauShape(t *testing.T) {
+	t.Parallel()
 	o := Opts{Seed: 10, Duration: 25 * sim.Millisecond}
 	r := AblationTau(o)
 	if len(r.Rows) != 6 {
@@ -276,6 +286,7 @@ func TestAblationTauShape(t *testing.T) {
 }
 
 func TestAblationStragglerShape(t *testing.T) {
+	t.Parallel()
 	o := Opts{Seed: 11, Duration: 25 * sim.Millisecond}
 	r := AblationStraggler(o)
 	off, tight := r.Rows[0], r.Rows[1]
@@ -288,6 +299,7 @@ func TestAblationStragglerShape(t *testing.T) {
 }
 
 func TestAblationShardsShape(t *testing.T) {
+	t.Parallel()
 	o := Opts{Seed: 12, Duration: 15 * sim.Millisecond}
 	r := AblationShards(o)
 	for _, row := range r.Rows {
@@ -298,6 +310,7 @@ func TestAblationShardsShape(t *testing.T) {
 }
 
 func TestAblationKappaShape(t *testing.T) {
+	t.Parallel()
 	o := Opts{Seed: 13, Duration: 25 * sim.Millisecond}
 	r := AblationKappa(o)
 	for _, row := range r.Rows {

@@ -9,6 +9,7 @@ import (
 )
 
 func TestAblationSyncShape(t *testing.T) {
+	t.Parallel()
 	r := AblationSync(Opts{Seed: 30, Duration: 60 * sim.Millisecond})
 	if r.PlainFairness >= 1 {
 		t.Skip("plain DBO already perfect on this seed")
@@ -27,6 +28,7 @@ func TestAblationSyncShape(t *testing.T) {
 }
 
 func TestExternalStreamsShape(t *testing.T) {
+	t.Parallel()
 	r := ExternalStreams(quick(31))
 	if r.BypassPairs == 0 || r.SerializedPairs == 0 {
 		t.Fatalf("pairs: bypass %d serialized %d", r.BypassPairs, r.SerializedPairs)
@@ -45,6 +47,7 @@ func TestExternalStreamsShape(t *testing.T) {
 }
 
 func TestSpeedPnLShape(t *testing.T) {
+	t.Parallel()
 	r := SpeedPnL(quick(32))
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))

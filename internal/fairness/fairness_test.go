@@ -14,6 +14,7 @@ func mk(mp market.ParticipantID, trig market.PointID, rt sim.Time, pos int) *mar
 }
 
 func TestEmptyTrackerIsVacuouslyFair(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	if tr.Fairness() != 1 {
 		t.Error("empty tracker must score 1")
@@ -24,6 +25,7 @@ func TestEmptyTrackerIsVacuouslyFair(t *testing.T) {
 }
 
 func TestPerfectOrdering(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	tr.Record(mk(1, 5, 10, 0)) // fastest first
 	tr.Record(mk(2, 5, 20, 1))
@@ -38,6 +40,7 @@ func TestPerfectOrdering(t *testing.T) {
 }
 
 func TestInvertedPairDetected(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	tr.Record(mk(1, 5, 20, 0)) // slower executed first
 	tr.Record(mk(2, 5, 10, 1))
@@ -51,6 +54,7 @@ func TestInvertedPairDetected(t *testing.T) {
 }
 
 func TestPairsAcrossTriggersNotCompeting(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	tr.Record(mk(1, 5, 20, 0))
 	tr.Record(mk(2, 6, 10, 1)) // different race
@@ -64,6 +68,7 @@ func TestPairsAcrossTriggersNotCompeting(t *testing.T) {
 }
 
 func TestSameParticipantPairsSkipped(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	a := mk(1, 5, 10, 1)
 	b := mk(1, 5, 20, 0)
@@ -76,6 +81,7 @@ func TestSameParticipantPairsSkipped(t *testing.T) {
 }
 
 func TestEqualRTSkipped(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	tr.Record(mk(1, 5, 10, 1))
 	tr.Record(mk(2, 5, 10, 0))
@@ -85,6 +91,7 @@ func TestEqualRTSkipped(t *testing.T) {
 }
 
 func TestLostTrades(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	fast := mk(1, 5, 10, 0)
 	slow := mk(2, 5, 20, 0)
@@ -104,6 +111,7 @@ func TestLostTrades(t *testing.T) {
 }
 
 func TestViolationsCapped(t *testing.T) {
+	t.Parallel()
 	tr := NewTracker()
 	for i := 0; i < 10; i++ {
 		// All inverted: executed in reverse-RT order.
@@ -120,6 +128,7 @@ func TestViolationsCapped(t *testing.T) {
 // Property: scoring an order that sorts each race by RT yields 1.0;
 // reversing it yields 0.0; and fairness is always in [0,1].
 func TestPropertyFairnessBounds(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n uint8) bool {
 		rng := rand.New(rand.NewPCG(seed, 5))
 		races := int(n)%5 + 1

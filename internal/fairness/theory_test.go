@@ -19,6 +19,7 @@ import (
 // fixed ordering of the two trades can be response-time fair in both
 // cases, so equal inter-delivery times are necessary (Lemma 2).
 func TestLemma2Construction(t *testing.T) {
+	t.Parallel()
 	// D(i,x+1) − D(i,x) = c1 < c2 = D(j,x+1) − D(j,x); pick c3 > c4 with
 	// c1+c3 < c2+c4 (possible iff c1 < c2).
 	const (
@@ -65,6 +66,7 @@ func TestLemma2Construction(t *testing.T) {
 // (Definition 2) no longer constrains case 2, so a single ordering —
 // the one fair for the fast interpretation — satisfies the guarantee.
 func TestCorollary1Horizon(t *testing.T) {
+	t.Parallel()
 	const (
 		delta = 20 * sim.Microsecond
 		c1    = 25 * sim.Microsecond // ≥ δ: inter-delivery gap exceeds horizon
@@ -90,6 +92,7 @@ func TestCorollary1Horizon(t *testing.T) {
 // §3: comparing response times is identical to comparing
 // (submission − delivery) differences, for arbitrary values.
 func TestResponseTimeFairnessEquivalence(t *testing.T) {
+	t.Parallel()
 	f := func(dI, dJ uint32, rtI, rtJ uint16) bool {
 		DI, DJ := sim.Time(dI), sim.Time(dJ)
 		RI, RJ := sim.Time(rtI), sim.Time(rtJ)
@@ -107,6 +110,7 @@ func TestResponseTimeFairnessEquivalence(t *testing.T) {
 // fair system's latency, because until that participant's potential
 // competing trade could have arrived, forwarding would risk misordering.
 func TestTheorem3BoundIsTight(t *testing.T) {
+	t.Parallel()
 	// Two participants; j has RTT 100µs, i has 20µs. A fair system
 	// holding i's trade only 50µs would forward before j's competing
 	// trade (same trigger, smaller RT) could possibly arrive.

@@ -6,6 +6,7 @@ import (
 )
 
 func TestDeterministic(t *testing.T) {
+	t.Parallel()
 	a := New(Config{Seed: 5})
 	b := New(Config{Seed: 5})
 	for i := 0; i < 1000; i++ {
@@ -28,6 +29,7 @@ func TestDeterministic(t *testing.T) {
 }
 
 func TestQuoteInvariants(t *testing.T) {
+	t.Parallel()
 	g := New(Config{Seed: 1, MinSpread: 2, MaxSpread: 20, MaxSize: 50})
 	for i := 0; i < 50000; i++ {
 		q := g.Next()
@@ -47,6 +49,7 @@ func TestQuoteInvariants(t *testing.T) {
 }
 
 func TestSymbolsRoundRobin(t *testing.T) {
+	t.Parallel()
 	g := New(Config{Seed: 2, Symbols: 3})
 	want := []uint32{1, 2, 3, 1, 2, 3}
 	for i, w := range want {
@@ -57,6 +60,7 @@ func TestSymbolsRoundRobin(t *testing.T) {
 }
 
 func TestPricesActuallyMove(t *testing.T) {
+	t.Parallel()
 	g := New(Config{Seed: 3})
 	first := g.Next()
 	moved := false
@@ -73,6 +77,7 @@ func TestPricesActuallyMove(t *testing.T) {
 }
 
 func TestMidpriceWanders(t *testing.T) {
+	t.Parallel()
 	// Drift must accumulate: the mid should leave its starting band
 	// over a long horizon (this is what makes speed races valuable).
 	g := New(Config{Seed: 4, BasePrice: 100_000})
@@ -92,6 +97,7 @@ func TestMidpriceWanders(t *testing.T) {
 }
 
 func TestInvalidConfigPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -102,6 +108,7 @@ func TestInvalidConfigPanics(t *testing.T) {
 
 // Property: invariants hold for arbitrary seeds and spread bounds.
 func TestPropertyInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, minS, span uint8) bool {
 		min := int64(minS%10) + 1
 		max := min + int64(span%30) + 1

@@ -15,6 +15,7 @@ func newFix() (*Egress, *[]Message) {
 }
 
 func TestHeldUntilAllDelivered(t *testing.T) {
+	t.Parallel()
 	g, out := newFix()
 	// MP 1 received point 5 and wants to leak it.
 	g.OnReport(1, dc(5))
@@ -36,6 +37,7 @@ func TestHeldUntilAllDelivered(t *testing.T) {
 }
 
 func TestImmediateWhenAlreadySafe(t *testing.T) {
+	t.Parallel()
 	g, out := newFix()
 	for _, p := range []market.ParticipantID{1, 2, 3} {
 		g.OnReport(p, dc(10))
@@ -47,6 +49,7 @@ func TestImmediateWhenAlreadySafe(t *testing.T) {
 }
 
 func TestPreOpenMessagesFlow(t *testing.T) {
+	t.Parallel()
 	g, out := newFix()
 	// Tag ⟨0, e⟩: no market data referenced — always safe.
 	g.Submit(Message{From: 1, Tag: dc(0)})
@@ -56,6 +59,7 @@ func TestPreOpenMessagesFlow(t *testing.T) {
 }
 
 func TestPerSenderFIFO(t *testing.T) {
+	t.Parallel()
 	g, out := newFix()
 	g.OnReport(1, dc(9))
 	g.Submit(Message{From: 1, Tag: dc(9), Payload: []byte("first")})  // blocked
@@ -74,6 +78,7 @@ func TestPerSenderFIFO(t *testing.T) {
 }
 
 func TestIndependentSendersNotBlocked(t *testing.T) {
+	t.Parallel()
 	g, out := newFix()
 	g.OnReport(1, dc(9))
 	g.Submit(Message{From: 1, Tag: dc(9)}) // blocked
@@ -86,6 +91,7 @@ func TestIndependentSendersNotBlocked(t *testing.T) {
 }
 
 func TestUnknownReporterIgnored(t *testing.T) {
+	t.Parallel()
 	g, _ := newFix()
 	g.OnReport(99, dc(5))
 	if got := g.minDelivered(); got != 0 {
@@ -94,6 +100,7 @@ func TestUnknownReporterIgnored(t *testing.T) {
 }
 
 func TestStaleReportIgnored(t *testing.T) {
+	t.Parallel()
 	g, _ := newFix()
 	g.OnReport(1, dc(5))
 	g.OnReport(1, dc(3)) // stale (out-of-order report)
@@ -103,6 +110,7 @@ func TestStaleReportIgnored(t *testing.T) {
 }
 
 func TestConstructorPanics(t *testing.T) {
+	t.Parallel()
 	for name, fn := range map[string]func(){
 		"empty":   func() { New(nil, func(Message) {}) },
 		"nil rel": func() { New([]market.ParticipantID{1}, nil) },

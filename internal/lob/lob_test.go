@@ -8,6 +8,7 @@ import (
 )
 
 func TestSideOpposite(t *testing.T) {
+	t.Parallel()
 	if Buy.Opposite() != Sell || Sell.Opposite() != Buy {
 		t.Error("Opposite broken")
 	}
@@ -17,6 +18,7 @@ func TestSideOpposite(t *testing.T) {
 }
 
 func TestSubmitRestsWhenNoCross(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	ex, err := b.Submit(Order{ID: 1, Side: Buy, Price: 100, Qty: 5})
 	if err != nil || len(ex) != 0 {
@@ -35,6 +37,7 @@ func TestSubmitRestsWhenNoCross(t *testing.T) {
 }
 
 func TestFullMatch(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Owner: 10, Side: Sell, Price: 100, Qty: 5})
 	ex, err := b.Submit(Order{ID: 2, Owner: 20, Side: Buy, Price: 100, Qty: 5})
@@ -54,6 +57,7 @@ func TestFullMatch(t *testing.T) {
 }
 
 func TestPartialFillRests(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
 	ex, _ := b.Submit(Order{ID: 2, Side: Buy, Price: 101, Qty: 10})
@@ -67,6 +71,7 @@ func TestPartialFillRests(t *testing.T) {
 }
 
 func TestExecutionAtMakerPrice(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 99, Qty: 1})
 	ex, _ := b.Submit(Order{ID: 2, Side: Buy, Price: 105, Qty: 1})
@@ -76,6 +81,7 @@ func TestExecutionAtMakerPrice(t *testing.T) {
 }
 
 func TestPricePriority(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 102, Qty: 1})
 	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 100, Qty: 1})
@@ -90,6 +96,7 @@ func TestPricePriority(t *testing.T) {
 }
 
 func TestTimePriorityWithinLevel(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 100, Qty: 1})
 	mustSubmit(t, b, Order{ID: 2, Side: Buy, Price: 100, Qty: 1})
@@ -101,6 +108,7 @@ func TestTimePriorityWithinLevel(t *testing.T) {
 }
 
 func TestNoCrossNoMatch(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 105, Qty: 1})
 	ex, _ := b.Submit(Order{ID: 2, Side: Buy, Price: 104, Qty: 1})
@@ -113,6 +121,7 @@ func TestNoCrossNoMatch(t *testing.T) {
 }
 
 func TestCancel(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 1})
 	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 100, Qty: 1})
@@ -132,6 +141,7 @@ func TestCancel(t *testing.T) {
 }
 
 func TestCancelUpdatesBest(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 101, Qty: 1})
 	mustSubmit(t, b, Order{ID: 2, Side: Buy, Price: 100, Qty: 1})
@@ -143,6 +153,7 @@ func TestCancelUpdatesBest(t *testing.T) {
 }
 
 func TestSubmitErrors(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	if _, err := b.Submit(Order{ID: 1, Side: Buy, Price: 0, Qty: 1}); !errors.Is(err, ErrBadOrder) {
 		t.Errorf("zero price err = %v", err)
@@ -157,6 +168,7 @@ func TestSubmitErrors(t *testing.T) {
 }
 
 func TestDepth(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 100, Qty: 2})
 	mustSubmit(t, b, Order{ID: 2, Side: Buy, Price: 100, Qty: 3})
@@ -177,6 +189,7 @@ func TestDepth(t *testing.T) {
 }
 
 func TestEngineMultiSymbol(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	_, ex, err := e.Submit(1, 1, Sell, 100, 1)
 	if err != nil || len(ex) != 0 {
@@ -200,6 +213,7 @@ func TestEngineMultiSymbol(t *testing.T) {
 }
 
 func TestEngineExecSeqMonotone(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	for i := 0; i < 10; i++ {
 		e.Submit(1, 1, Sell, 100, 1)
@@ -213,6 +227,7 @@ func TestEngineExecSeqMonotone(t *testing.T) {
 }
 
 func TestEngineRejectsBadOrder(t *testing.T) {
+	t.Parallel()
 	e := NewEngine()
 	if _, _, err := e.Submit(1, 1, Buy, -5, 1); err == nil {
 		t.Fatal("expected error")
@@ -225,6 +240,7 @@ func TestEngineRejectsBadOrder(t *testing.T) {
 // Property: after any sequence of submits/cancels, the book is never
 // crossed and quantity is conserved (filled + resting + canceled = submitted).
 func TestPropertyBookInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n uint8) bool {
 		rng := rand.New(rand.NewPCG(seed, 3))
 		b := NewBook()
@@ -292,6 +308,7 @@ func TestPropertyBookInvariants(t *testing.T) {
 // Property: executions never trade through — a buy taker never pays more
 // than its limit, a sell taker never receives less.
 func TestPropertyNoTradeThrough(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 11))
 		b := NewBook()

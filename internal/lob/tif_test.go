@@ -7,6 +7,7 @@ import (
 )
 
 func TestIOCMatchesThenDies(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
 	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 10}, IOC)
@@ -26,6 +27,7 @@ func TestIOCMatchesThenDies(t *testing.T) {
 }
 
 func TestIOCNoCrossNoEffect(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 105, Qty: 1})
 	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 1}, IOC)
@@ -38,6 +40,7 @@ func TestIOCNoCrossNoEffect(t *testing.T) {
 }
 
 func TestFOKKillsOnPartialLiquidity(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
 	ex, err := b.SubmitTIF(Order{ID: 2, Side: Buy, Price: 100, Qty: 5}, FOK)
@@ -54,6 +57,7 @@ func TestFOKKillsOnPartialLiquidity(t *testing.T) {
 }
 
 func TestFOKFillsWhenLiquiditySuffices(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 3})
 	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 101, Qty: 3})
@@ -71,6 +75,7 @@ func TestFOKFillsWhenLiquiditySuffices(t *testing.T) {
 }
 
 func TestFOKIgnoresCanceledLiquidity(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 5})
 	b.Cancel(1)
@@ -81,6 +86,7 @@ func TestFOKIgnoresCanceledLiquidity(t *testing.T) {
 }
 
 func TestFOKRespectsPriceLimit(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Sell, Price: 100, Qty: 2})
 	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 110, Qty: 8})
@@ -92,6 +98,7 @@ func TestFOKRespectsPriceLimit(t *testing.T) {
 }
 
 func TestReplaceLosesTimePriority(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 100, Qty: 1})
 	mustSubmit(t, b, Order{ID: 2, Side: Buy, Price: 100, Qty: 1})
@@ -106,6 +113,7 @@ func TestReplaceLosesTimePriority(t *testing.T) {
 }
 
 func TestReplaceUnknownOrder(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	if _, err := b.Replace(99, Order{ID: 1, Side: Buy, Price: 1, Qty: 1}); err == nil {
 		t.Fatal("expected error")
@@ -113,6 +121,7 @@ func TestReplaceUnknownOrder(t *testing.T) {
 }
 
 func TestReplaceCanExecute(t *testing.T) {
+	t.Parallel()
 	b := NewBook()
 	mustSubmit(t, b, Order{ID: 1, Side: Buy, Price: 99, Qty: 1})
 	mustSubmit(t, b, Order{ID: 2, Side: Sell, Price: 101, Qty: 1})
@@ -126,6 +135,7 @@ func TestReplaceCanExecute(t *testing.T) {
 // Property: FOK either fills exactly its quantity or leaves the book
 // byte-identical; IOC never rests anything.
 func TestPropertyTIFInvariants(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 21))
 		b := NewBook()

@@ -1,0 +1,63 @@
+package market
+
+import (
+	"testing"
+
+	"dbo/internal/sim"
+)
+
+func orderingFrom(point uint64, elapsed int64, mp int32, seq uint64) Ordering {
+	if elapsed < 0 {
+		elapsed = -elapsed
+	}
+	return Ordering{
+		DC:  DeliveryClock{Point: PointID(point), Elapsed: sim.Time(elapsed)},
+		MP:  ParticipantID(mp),
+		Seq: TradeSeq(seq),
+	}
+}
+
+// FuzzOrderingLess checks that the final-order comparator is a strict
+// total order — irreflexive, antisymmetric, total, transitive — and
+// consistent with DeliveryClock.Compare. The ordering buffer's heap and
+// the matching engine's determinism both rest on these properties.
+func FuzzOrderingLess(f *testing.F) {
+	f.Add(uint64(1), int64(5), int32(1), uint64(1),
+		uint64(1), int64(5), int32(2), uint64(1),
+		uint64(2), int64(0), int32(1), uint64(2))
+	f.Add(uint64(0), int64(0), int32(0), uint64(0),
+		uint64(0), int64(0), int32(0), uint64(0),
+		uint64(0), int64(0), int32(0), uint64(0))
+	f.Add(^uint64(0), int64(1)<<62, int32(-5), ^uint64(0),
+		uint64(7), int64(-3), int32(9), uint64(2),
+		uint64(7), int64(3), int32(9), uint64(3))
+
+	f.Fuzz(func(t *testing.T,
+		p1 uint64, e1 int64, m1 int32, s1 uint64,
+		p2 uint64, e2 int64, m2 int32, s2 uint64,
+		p3 uint64, e3 int64, m3 int32, s3 uint64) {
+		a := orderingFrom(p1, e1, m1, s1)
+		b := orderingFrom(p2, e2, m2, s2)
+		c := orderingFrom(p3, e3, m3, s3)
+
+		for _, o := range []Ordering{a, b, c} {
+			if o.Less(o) {
+				t.Fatalf("irreflexivity broken: %+v < itself", o)
+			}
+		}
+		if a.Less(b) && b.Less(a) {
+			t.Fatalf("antisymmetry broken: %+v and %+v order before each other", a, b)
+		}
+		if a != b && !a.Less(b) && !b.Less(a) {
+			t.Fatalf("totality broken: distinct %+v and %+v are unordered", a, b)
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			t.Fatalf("transitivity broken: %+v < %+v < %+v but not %+v < %+v", a, b, c, a, c)
+		}
+		// Consistency with the delivery-clock comparison: a strictly
+		// smaller clock must order first regardless of tie-breaks.
+		if a.DC.Compare(b.DC) < 0 && !a.Less(b) {
+			t.Fatalf("clock consistency broken: DC %v < %v but %+v does not order before %+v", a.DC, b.DC, a, b)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestDeliveryClockCompare(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		a, b DeliveryClock
 		want int
@@ -32,6 +33,7 @@ func TestDeliveryClockCompare(t *testing.T) {
 }
 
 func TestDeliveryClockCompareAntisymmetric(t *testing.T) {
+	t.Parallel()
 	f := func(p1, p2 uint64, e1, e2 int64) bool {
 		a := DeliveryClock{PointID(p1), sim.Time(e1)}
 		b := DeliveryClock{PointID(p2), sim.Time(e2)}
@@ -43,6 +45,7 @@ func TestDeliveryClockCompareAntisymmetric(t *testing.T) {
 }
 
 func TestDeliveryClockCompareTransitive(t *testing.T) {
+	t.Parallel()
 	f := func(ps [3]uint8, es [3]int8) bool {
 		cs := make([]DeliveryClock, 3)
 		for i := range cs {
@@ -60,6 +63,7 @@ func TestDeliveryClockCompareTransitive(t *testing.T) {
 }
 
 func TestOrderingTieBreak(t *testing.T) {
+	t.Parallel()
 	dc := DeliveryClock{5, 100}
 	a := Ordering{DC: dc, MP: 1, Seq: 2}
 	b := Ordering{DC: dc, MP: 2, Seq: 1}
@@ -77,6 +81,7 @@ func TestOrderingTieBreak(t *testing.T) {
 }
 
 func TestOrderingTotal(t *testing.T) {
+	t.Parallel()
 	f := func(p1, p2 uint8, e1, e2 int8, m1, m2 uint8, s1, s2 uint8) bool {
 		a := Ordering{DeliveryClock{PointID(p1 % 3), sim.Time(e1 % 3)}, ParticipantID(m1 % 3), TradeSeq(s1 % 3)}
 		b := Ordering{DeliveryClock{PointID(p2 % 3), sim.Time(e2 % 3)}, ParticipantID(m2 % 3), TradeSeq(s2 % 3)}
@@ -91,6 +96,7 @@ func TestOrderingTotal(t *testing.T) {
 }
 
 func TestBatchLastPoint(t *testing.T) {
+	t.Parallel()
 	b := &Batch{ID: 1}
 	if b.LastPoint() != 0 {
 		t.Error("empty batch LastPoint should be 0")
@@ -102,6 +108,7 @@ func TestBatchLastPoint(t *testing.T) {
 }
 
 func TestTradeKey(t *testing.T) {
+	t.Parallel()
 	tr := &Trade{MP: 3, Seq: 14}
 	if tr.Key() != (TradeKey{3, 14}) {
 		t.Errorf("Key = %v", tr.Key())
@@ -112,12 +119,14 @@ func TestTradeKey(t *testing.T) {
 }
 
 func TestSideString(t *testing.T) {
+	t.Parallel()
 	if Buy.String() != "buy" || Sell.String() != "sell" {
 		t.Error("Side.String mismatch")
 	}
 }
 
 func TestDeliveryClockString(t *testing.T) {
+	t.Parallel()
 	got := DeliveryClock{3, 1500}.String()
 	if got != "⟨3, 1.500µs⟩" {
 		t.Errorf("String = %q", got)

@@ -89,10 +89,11 @@ func (r *Registry) Func(name string, fn func() int64) {
 	r.fns[name] = fn
 }
 
-// Snapshot returns all metric values by name.
+// Snapshot returns all metric values by name. Func metrics are invoked
+// after the registry lock is released, so a callback may itself read or
+// register metrics (derived metrics would otherwise self-deadlock).
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.fns))
 	for n, c := range r.counters {
 		out[n] = c.Value()
@@ -100,7 +101,12 @@ func (r *Registry) Snapshot() map[string]int64 {
 	for n, g := range r.gauges {
 		out[n] = g.Value()
 	}
+	fns := make(map[string]func() int64, len(r.fns))
 	for n, fn := range r.fns {
+		fns[n] = fn
+	}
+	r.mu.Unlock()
+	for n, fn := range fns {
 		out[n] = fn()
 	}
 	return out

@@ -2,12 +2,16 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterAndGauge(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	c := r.Counter("trades")
 	c.Inc()
@@ -27,6 +31,7 @@ func TestCounterAndGauge(t *testing.T) {
 }
 
 func TestFuncMetric(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	n := int64(7)
 	r.Func("depth", func() int64 { return n })
@@ -40,6 +45,7 @@ func TestFuncMetric(t *testing.T) {
 }
 
 func TestSnapshotAndNames(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Counter("b").Inc()
 	r.Gauge("a").Set(2)
@@ -55,6 +61,7 @@ func TestSnapshotAndNames(t *testing.T) {
 }
 
 func TestHandlerServesJSON(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	r.Counter("forwarded").Add(12)
 	srv := httptest.NewServer(r.Handler())
@@ -77,6 +84,7 @@ func TestHandlerServesJSON(t *testing.T) {
 }
 
 func TestConcurrentUse(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -93,5 +101,67 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if got := r.Counter("hits").Value(); got != 8000 {
 		t.Fatalf("hits = %d", got)
+	}
+}
+
+// TestSnapshotReentrantFunc is a regression test: a func metric that
+// reads the registry it lives in (a derived metric) used to deadlock,
+// because Snapshot invoked callbacks while holding the registry lock.
+func TestSnapshotReentrantFunc(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("forwarded").Add(10)
+	r.Func("forwarded_x2", func() int64 { return 2 * r.Counter("forwarded").Value() })
+
+	done := make(chan map[string]int64, 1)
+	go func() { done <- r.Snapshot() }()
+	select {
+	case snap := <-done:
+		if snap["forwarded_x2"] != 20 {
+			t.Fatalf("derived metric = %d, want 20", snap["forwarded_x2"])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot deadlocked on a re-entrant func metric")
+	}
+}
+
+// TestConcurrentRegistrationAndScrape races new-metric registration
+// against HTTP renders; the race detector guards the registry's
+// internal maps here.
+func TestConcurrentRegistrationAndScrape(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter(fmt.Sprintf("c%d_%d", i, j)).Inc()
+				n := int64(j)
+				r.Func(fmt.Sprintf("f%d_%d", i, j), func() int64 { return n })
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := srv.Client().Get(srv.URL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Names()); got != 800 {
+		t.Fatalf("registered %d metrics, want 800", got)
 	}
 }

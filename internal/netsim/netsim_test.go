@@ -10,6 +10,7 @@ import (
 )
 
 func TestLinkDelivers(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var got []any
 	var at sim.Time
@@ -25,6 +26,7 @@ func TestLinkDelivers(t *testing.T) {
 }
 
 func TestLinkFIFOUnderLatencyDrop(t *testing.T) {
+	t.Parallel()
 	// Latency drops sharply between two sends; the second message must
 	// not overtake the first (in-order delivery assumption, §3).
 	k := sim.NewKernel(1)
@@ -45,6 +47,7 @@ func TestLinkFIFOUnderLatencyDrop(t *testing.T) {
 }
 
 func TestLinkFIFOManyMessages(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(3)
 	rng := rand.New(rand.NewPCG(9, 9))
 	lat := func(at sim.Time) sim.Time { return sim.Time(rng.Int64N(1000)) }
@@ -66,6 +69,7 @@ func TestLinkFIFOManyMessages(t *testing.T) {
 }
 
 func TestLinkLoss(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	delivered := 0
 	l := NewLink(k, Constant(1), func(any) { delivered++ },
@@ -89,6 +93,7 @@ func TestLinkLoss(t *testing.T) {
 }
 
 func TestDropNextDeterministic(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	var got []int
 	l := NewLink(k, Constant(1), func(v any) { got = append(got, v.(int)) })
@@ -111,6 +116,7 @@ func TestDropNextDeterministic(t *testing.T) {
 }
 
 func TestSendReturnsArrivalTime(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	l := NewLink(k, Constant(42), func(any) {})
 	var at sim.Time
@@ -122,6 +128,7 @@ func TestSendReturnsArrivalTime(t *testing.T) {
 }
 
 func TestPathRTT(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	p := &Path{
 		Fwd: NewLink(k, Constant(30), func(any) {}),
@@ -133,6 +140,7 @@ func TestPathRTT(t *testing.T) {
 }
 
 func TestStarTopology(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	base := trace.Cloud(1).Generate()
 	recvCount := make([]int, 3)
@@ -163,6 +171,7 @@ func TestStarTopology(t *testing.T) {
 }
 
 func TestStarSkew(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	base := &trace.Trace{Step: sim.Microsecond, RTT: []sim.Time{100 * sim.Microsecond}}
 	paths := Star(k, StarConfig{Base: base, N: 2, Seed: 1, Skew: []float64{1, 2}},
@@ -177,6 +186,7 @@ func TestStarSkew(t *testing.T) {
 }
 
 func TestStarInvalidN(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for N=0")
@@ -186,6 +196,7 @@ func TestStarInvalidN(t *testing.T) {
 }
 
 func TestMaxRTTAt(t *testing.T) {
+	t.Parallel()
 	k := sim.NewKernel(1)
 	mk := func(f, r sim.Time) *Path {
 		return &Path{Fwd: NewLink(k, Constant(f), func(any) {}), Rev: NewLink(k, Constant(r), func(any) {})}
@@ -198,6 +209,7 @@ func TestMaxRTTAt(t *testing.T) {
 
 // Property: regardless of latency function, delivery respects send order.
 func TestPropertyFIFO(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, gaps []uint8) bool {
 		if len(gaps) == 0 {
 			return true

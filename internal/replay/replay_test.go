@@ -26,6 +26,7 @@ func record(t *testing.T, steps func(r *Recorder)) *bytes.Buffer {
 }
 
 func TestRoundTripAndVerifyCleanLog(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Gen(10, market.DataPoint{ID: 1, Batch: 1, Last: true, Gen: 10})
 		a := trade(1, 1, 1, 5)
@@ -45,6 +46,7 @@ func TestRoundTripAndVerifyCleanLog(t *testing.T) {
 }
 
 func TestReaderIteratesEvents(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Gen(1, market.DataPoint{ID: 1, Gen: 1})
 		r.Recv(2, trade(1, 1, 1, 0))
@@ -64,6 +66,7 @@ func TestReaderIteratesEvents(t *testing.T) {
 }
 
 func TestVerifyDetectsOutOfOrderForward(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		a := trade(1, 1, 1, 5)
 		b := trade(2, 1, 1, 9)
@@ -79,6 +82,7 @@ func TestVerifyDetectsOutOfOrderForward(t *testing.T) {
 }
 
 func TestVerifyDetectsFabricatedTrade(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Forward(1, trade(1, 1, 1, 5)) // never received
 	})
@@ -89,6 +93,7 @@ func TestVerifyDetectsFabricatedTrade(t *testing.T) {
 }
 
 func TestVerifyDetectsDoubleForward(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		a := trade(1, 1, 1, 5)
 		r.Recv(1, a)
@@ -102,6 +107,7 @@ func TestVerifyDetectsDoubleForward(t *testing.T) {
 }
 
 func TestVerifyDetectsTagTampering(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		a := trade(1, 1, 1, 5)
 		r.Recv(1, a)
@@ -116,6 +122,7 @@ func TestVerifyDetectsTagTampering(t *testing.T) {
 }
 
 func TestVerifyDetectsClockRegression(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Recv(1, trade(1, 1, 2, 0))
 		r.Recv(2, trade(1, 2, 1, 0)) // participant clock went backwards
@@ -127,6 +134,7 @@ func TestVerifyDetectsClockRegression(t *testing.T) {
 }
 
 func TestVerifyDetectsDuplicateReceive(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		a := trade(1, 1, 1, 5)
 		r.Recv(1, a)
@@ -139,6 +147,7 @@ func TestVerifyDetectsDuplicateReceive(t *testing.T) {
 }
 
 func TestVerifyDetectsTimeRegression(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Gen(10, market.DataPoint{ID: 1})
 		r.Gen(5, market.DataPoint{ID: 2})
@@ -150,6 +159,7 @@ func TestVerifyDetectsTimeRegression(t *testing.T) {
 }
 
 func TestVerifyCountsUnforwarded(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Recv(1, trade(1, 1, 1, 5)) // OB crashed before forwarding
 	})
@@ -163,6 +173,7 @@ func TestVerifyCountsUnforwarded(t *testing.T) {
 }
 
 func TestTruncatedLog(t *testing.T) {
+	t.Parallel()
 	buf := record(t, func(r *Recorder) {
 		r.Gen(1, market.DataPoint{ID: 1})
 	})
@@ -177,6 +188,7 @@ func TestTruncatedLog(t *testing.T) {
 }
 
 func TestGarbageLog(t *testing.T) {
+	t.Parallel()
 	if _, err := Verify(strings.NewReader("not a log at all, definitely")); err == nil {
 		t.Fatal("expected error")
 	}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestTimeConversions(t *testing.T) {
+	t.Parallel()
 	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
 		t.Errorf("Micros() = %v, want 1.5", got)
 	}
@@ -22,6 +23,7 @@ func TestTimeConversions(t *testing.T) {
 }
 
 func TestEventsRunInTimestampOrder(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var order []int
 	k.At(30, func() { order = append(order, 3) })
@@ -40,6 +42,7 @@ func TestEventsRunInTimestampOrder(t *testing.T) {
 }
 
 func TestEqualTimestampsFIFO(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var order []int
 	for i := 0; i < 10; i++ {
@@ -55,6 +58,7 @@ func TestEqualTimestampsFIFO(t *testing.T) {
 }
 
 func TestAfterSchedulesRelative(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var at Time
 	k.At(100, func() {
@@ -67,6 +71,7 @@ func TestAfterSchedulesRelative(t *testing.T) {
 }
 
 func TestSchedulingInPastPanics(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	k.At(100, func() {
 		defer func() {
@@ -80,6 +85,7 @@ func TestSchedulingInPastPanics(t *testing.T) {
 }
 
 func TestNegativeDelayPanics(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	defer func() {
 		if recover() == nil {
@@ -90,6 +96,7 @@ func TestNegativeDelayPanics(t *testing.T) {
 }
 
 func TestEveryRepeatsUntilFalse(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var times []Time
 	k.Every(10, 5, func() bool {
@@ -109,6 +116,7 @@ func TestEveryRepeatsUntilFalse(t *testing.T) {
 }
 
 func TestEveryInvalidPeriodPanics(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	defer func() {
 		if recover() == nil {
@@ -119,6 +127,7 @@ func TestEveryInvalidPeriodPanics(t *testing.T) {
 }
 
 func TestStopHaltsRun(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	ran := 0
 	k.At(1, func() { ran++; k.Stop() })
@@ -133,6 +142,7 @@ func TestStopHaltsRun(t *testing.T) {
 }
 
 func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	var fired []Time
 	k.At(10, func() { fired = append(fired, 10) })
@@ -156,6 +166,7 @@ func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
 }
 
 func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	t.Parallel()
 	k := NewKernel(1)
 	k.RunUntil(500)
 	if k.Now() != 500 {
@@ -164,6 +175,7 @@ func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
 }
 
 func TestDeterministicRand(t *testing.T) {
+	t.Parallel()
 	a := NewKernel(42).Rand().Uint64()
 	b := NewKernel(42).Rand().Uint64()
 	if a != b {
@@ -176,6 +188,7 @@ func TestDeterministicRand(t *testing.T) {
 }
 
 func TestSubRandIndependentOfKernelSeed(t *testing.T) {
+	t.Parallel()
 	a := NewKernel(1).SubRand(7).Uint64()
 	b := NewKernel(2).SubRand(7).Uint64()
 	if a != b {
@@ -186,6 +199,7 @@ func TestSubRandIndependentOfKernelSeed(t *testing.T) {
 // Property: for any set of (time, id) events, execution order sorts by
 // time with FIFO tie-break.
 func TestPropertyExecutionOrderSorted(t *testing.T) {
+	t.Parallel()
 	f := func(delays []uint16) bool {
 		if len(delays) == 0 {
 			return true
@@ -210,6 +224,7 @@ func TestPropertyExecutionOrderSorted(t *testing.T) {
 
 // Property: nested scheduling never observes time going backwards.
 func TestPropertyMonotonicNow(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, n uint8) bool {
 		k := NewKernel(seed)
 		last := Time(-1)

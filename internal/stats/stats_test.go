@@ -9,6 +9,7 @@ import (
 )
 
 func TestLatenciesEmpty(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	if l.Mean() != 0 || l.Percentile(0.5) != 0 || l.Max() != 0 || l.Min() != 0 || l.N() != 0 {
 		t.Error("empty collector must report zeros")
@@ -19,6 +20,7 @@ func TestLatenciesEmpty(t *testing.T) {
 }
 
 func TestLatenciesBasicStats(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	for _, v := range []sim.Time{10, 20, 30, 40, 50} {
 		l.Add(v)
@@ -42,6 +44,7 @@ func TestLatenciesBasicStats(t *testing.T) {
 }
 
 func TestPercentileNearestRank(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	for i := 1; i <= 100; i++ {
 		l.Add(sim.Time(i))
@@ -55,6 +58,7 @@ func TestPercentileNearestRank(t *testing.T) {
 }
 
 func TestAddAfterPercentileResorts(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	l.Add(5)
 	_ = l.Percentile(0.5)
@@ -65,6 +69,7 @@ func TestAddAfterPercentileResorts(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	for i := 1; i <= 1000; i++ {
 		l.Add(sim.Time(i * 1000))
@@ -80,6 +85,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestCDFMonotone(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	rng := rand.New(rand.NewPCG(1, 2))
 	for i := 0; i < 5000; i++ {
@@ -101,6 +107,7 @@ func TestCDFMonotone(t *testing.T) {
 }
 
 func TestCDFFewerSamplesThanPoints(t *testing.T) {
+	t.Parallel()
 	var l Latencies
 	l.Add(1)
 	l.Add(2)
@@ -111,6 +118,7 @@ func TestCDFFewerSamplesThanPoints(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 100, 10)
 	for i := sim.Time(0); i < 100; i += 10 {
 		h.Add(i)
@@ -131,6 +139,7 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramInvalidPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -140,6 +149,7 @@ func TestHistogramInvalidPanics(t *testing.T) {
 }
 
 func TestSparkline(t *testing.T) {
+	t.Parallel()
 	h := NewHistogram(0, 4, 4)
 	h.Add(0)
 	h.Add(1)
@@ -155,6 +165,7 @@ func TestSparkline(t *testing.T) {
 }
 
 func TestRatio(t *testing.T) {
+	t.Parallel()
 	var r Ratio
 	if r.Value() != 1 {
 		t.Error("vacuous ratio must be 1")
@@ -173,6 +184,7 @@ func TestRatio(t *testing.T) {
 // Property: percentile is always an observed sample and quantile order
 // is preserved.
 func TestPropertyPercentileWithin(t *testing.T) {
+	t.Parallel()
 	f := func(raw []uint16, q1, q2 uint8) bool {
 		if len(raw) == 0 {
 			return true
@@ -198,6 +210,7 @@ func TestPropertyPercentileWithin(t *testing.T) {
 
 // Property: mean is bounded by min and max.
 func TestPropertyMeanBounded(t *testing.T) {
+	t.Parallel()
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
 			return true

@@ -12,6 +12,7 @@ import (
 )
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Cloud(7).Generate()
 	b := Cloud(7).Generate()
 	if len(a.RTT) != len(b.RTT) {
@@ -36,6 +37,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestCloudTraceShape(t *testing.T) {
+	t.Parallel()
 	tr := Cloud(1).Generate()
 	s := tr.Summarize()
 	// Base RTT around 55µs: mean must sit near it (spikes pull up a bit).
@@ -56,6 +58,7 @@ func TestCloudTraceShape(t *testing.T) {
 }
 
 func TestLabTraceShape(t *testing.T) {
+	t.Parallel()
 	s := Lab(1).Generate().Summarize()
 	if s.Mean < 8*sim.Microsecond || s.Mean > 14*sim.Microsecond {
 		t.Errorf("lab mean RTT = %v, want ~9.5µs", s.Mean)
@@ -66,6 +69,7 @@ func TestLabTraceShape(t *testing.T) {
 }
 
 func TestTemporalCorrelation(t *testing.T) {
+	t.Parallel()
 	// The paper's key observation (§4.1.1 remark, §6.3.2): latency has
 	// high temporal correlation over short periods. Verify lag-1
 	// autocorrelation of the generated cloud trace is high.
@@ -93,6 +97,7 @@ func TestTemporalCorrelation(t *testing.T) {
 }
 
 func TestAtWrapsAround(t *testing.T) {
+	t.Parallel()
 	tr := &Trace{Step: 10, RTT: []sim.Time{100, 200, 300}}
 	cases := []struct {
 		at   sim.Time
@@ -108,6 +113,7 @@ func TestAtWrapsAround(t *testing.T) {
 }
 
 func TestOneWayHalvesRTT(t *testing.T) {
+	t.Parallel()
 	tr := &Trace{Step: 10, RTT: []sim.Time{100}}
 	if got := tr.OneWayAt(0); got != 50 {
 		t.Errorf("OneWayAt = %v, want 50", got)
@@ -115,6 +121,7 @@ func TestOneWayHalvesRTT(t *testing.T) {
 }
 
 func TestSliceRotates(t *testing.T) {
+	t.Parallel()
 	tr := &Trace{Step: 1, RTT: []sim.Time{1, 2, 3, 4}}
 	s := tr.Slice(2)
 	want := []sim.Time{3, 4, 1, 2}
@@ -133,6 +140,7 @@ func TestSliceRotates(t *testing.T) {
 }
 
 func TestSliceDoesNotAliasOriginal(t *testing.T) {
+	t.Parallel()
 	tr := &Trace{Step: 1, RTT: []sim.Time{1, 2, 3}}
 	s := tr.Slice(1)
 	s.RTT[0] = 999
@@ -142,6 +150,7 @@ func TestSliceDoesNotAliasOriginal(t *testing.T) {
 }
 
 func TestRandomSliceDeterministic(t *testing.T) {
+	t.Parallel()
 	tr := Cloud(1).Generate()
 	r1 := rand.New(rand.NewPCG(5, 5))
 	r2 := rand.New(rand.NewPCG(5, 5))
@@ -153,6 +162,7 @@ func TestRandomSliceDeterministic(t *testing.T) {
 }
 
 func TestScaleAndShift(t *testing.T) {
+	t.Parallel()
 	tr := &Trace{Step: 1, RTT: []sim.Time{100, 200}}
 	sc := tr.Scale(1.5)
 	if sc.RTT[0] != 150 || sc.RTT[1] != 300 {
@@ -165,6 +175,7 @@ func TestScaleAndShift(t *testing.T) {
 }
 
 func TestSummarizeOrderStats(t *testing.T) {
+	t.Parallel()
 	rtt := make([]sim.Time, 1000)
 	for i := range rtt {
 		rtt[i] = sim.Time(i + 1)
@@ -185,6 +196,7 @@ func TestSummarizeOrderStats(t *testing.T) {
 }
 
 func TestSummarizeEmpty(t *testing.T) {
+	t.Parallel()
 	s := (&Trace{}).Summarize()
 	if s.Max != 0 || s.Mean != 0 {
 		t.Errorf("empty summary = %+v, want zeros", s)
@@ -192,6 +204,7 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
 	tr := Lab(2).Generate()
 	tr.RTT = tr.RTT[:500]
 	var buf bytes.Buffer
@@ -218,6 +231,7 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
+	t.Parallel()
 	cases := map[string]string{
 		"empty":        "",
 		"header only":  "time_us,rtt_us\n",
@@ -234,6 +248,7 @@ func TestReadCSVErrors(t *testing.T) {
 }
 
 func TestReadCSVSingleRow(t *testing.T) {
+	t.Parallel()
 	tr, err := ReadCSV(strings.NewReader("time_us,rtt_us\n0,42\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -244,6 +259,7 @@ func TestReadCSVSingleRow(t *testing.T) {
 }
 
 func TestGeneratorDefaults(t *testing.T) {
+	t.Parallel()
 	tr := Generator{Seed: 1, BaseRTT: 50 * sim.Microsecond}.Generate()
 	if tr.Step != 10*sim.Microsecond {
 		t.Errorf("default step = %v", tr.Step)
@@ -254,6 +270,7 @@ func TestGeneratorDefaults(t *testing.T) {
 }
 
 func TestEmptyTracePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("At on empty trace should panic")
@@ -264,6 +281,7 @@ func TestEmptyTracePanics(t *testing.T) {
 
 // Property: all generated samples respect the floor and are finite.
 func TestPropertySamplesBounded(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		g := Cloud(seed)
 		g.Length = 50 * sim.Millisecond
@@ -282,6 +300,7 @@ func TestPropertySamplesBounded(t *testing.T) {
 
 // Property: Slice composed with its inverse restores the original.
 func TestPropertySliceInverse(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, off int16) bool {
 		g := Lab(seed)
 		g.Length = 5 * sim.Millisecond

@@ -9,6 +9,7 @@ import (
 )
 
 func TestMarketDataRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := market.DataPoint{ID: 42, Batch: 7, Last: true, BidSide: true, Gen: 123456789, Symbol: 3, Price: -999, Qty: 5}
 	buf := AppendMarketData(nil, in)
 	if len(buf) != MarketDataSize {
@@ -24,6 +25,7 @@ func TestMarketDataRoundTrip(t *testing.T) {
 }
 
 func TestTradeRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := &market.Trade{
 		MP: 9, Seq: 1234, Symbol: 1, Side: market.Sell, Price: 100000, Qty: 3,
 		Trigger: 55, Submitted: 777777, RT: 15000,
@@ -44,6 +46,7 @@ func TestTradeRoundTrip(t *testing.T) {
 }
 
 func TestHeartbeatRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := market.Heartbeat{MP: 2, DC: market.DeliveryClock{Point: 10, Elapsed: 20}, Sent: 30}
 	out, err := Decode(AppendHeartbeat(nil, in))
 	if err != nil {
@@ -55,6 +58,7 @@ func TestHeartbeatRoundTrip(t *testing.T) {
 }
 
 func TestRetxRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := Retx{MP: 4, From: 100, To: 105}
 	out, err := Decode(AppendRetx(nil, in))
 	if err != nil {
@@ -66,6 +70,7 @@ func TestRetxRoundTrip(t *testing.T) {
 }
 
 func TestCloseRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := Close{Batch: 9, Final: 33, Count: 4}
 	out, err := Decode(AppendClose(nil, in))
 	if err != nil {
@@ -77,6 +82,7 @@ func TestCloseRoundTrip(t *testing.T) {
 }
 
 func TestExecRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := Exec{Maker: 1, Taker: 2, MakerOwner: 3, TakerOwner: -4, Price: -5, Qty: 6, Seq: 7}
 	out, err := Decode(AppendExec(nil, in))
 	if err != nil {
@@ -88,6 +94,7 @@ func TestExecRoundTrip(t *testing.T) {
 }
 
 func TestAppendDynamic(t *testing.T) {
+	t.Parallel()
 	for _, v := range []any{
 		market.DataPoint{ID: 1},
 		&market.Trade{MP: 1},
@@ -110,6 +117,7 @@ func TestAppendDynamic(t *testing.T) {
 }
 
 func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Decode(nil); err == nil {
 		t.Error("empty must error")
 	}
@@ -124,6 +132,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestDecodeIgnoresTrailingBytes(t *testing.T) {
+	t.Parallel()
 	buf := AppendHeartbeat(nil, market.Heartbeat{MP: 1})
 	buf = append(buf, 0xde, 0xad)
 	if _, err := Decode(buf); err != nil {
@@ -132,6 +141,7 @@ func TestDecodeIgnoresTrailingBytes(t *testing.T) {
 }
 
 func TestAppendReusesBuffer(t *testing.T) {
+	t.Parallel()
 	buf := make([]byte, 0, 256)
 	out := AppendHeartbeat(buf, market.Heartbeat{MP: 1})
 	if &out[0] != &buf[:1][0] {
@@ -141,6 +151,7 @@ func TestAppendReusesBuffer(t *testing.T) {
 
 // Property: trade round trip is the identity for arbitrary field values.
 func TestPropertyTradeRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(mp int32, seq uint64, sym uint32, side bool, price, qty int64,
 		trig uint64, sub, rt int64, dcp uint64, dce int64) bool {
 		s := market.Buy
@@ -166,6 +177,7 @@ func TestPropertyTradeRoundTrip(t *testing.T) {
 
 // Property: decoding arbitrary bytes never panics.
 func TestPropertyDecodeNeverPanics(t *testing.T) {
+	t.Parallel()
 	f := func(data []byte) bool {
 		defer func() {
 			if recover() != nil {
