@@ -1,0 +1,207 @@
+// Package analysis is dbo-vet's stdlib-only static-analysis framework:
+// a tiny analyzer API over go/parser + go/ast + go/token, a module
+// loader, and the //dbo:vet-ignore escape hatch.
+//
+// DBO's correctness leans on invariants the Go compiler cannot check:
+//
+//   - delivery-clock tuples (§4.1.1) are ordered only through the
+//     canonical comparator in internal/market (rule clockcmp);
+//   - the sim/check pipeline never reads the wall clock, so seeded
+//     replays stay deterministic (rule walltime);
+//   - no mutex is held across a blocking operation or a user callback —
+//     the metrics.Registry.Snapshot deadlock shape fixed in PR 1
+//     (rule lockheld);
+//   - goroutines in the core packages are tied to a lifecycle
+//     (rule goexit);
+//   - time quantities are typed sim.Time / time.Duration, never raw
+//     int64 (rule naketime).
+//
+// Everything is syntactic: the framework deliberately avoids go/types
+// so it can run on partial or even non-compiling sources (FuzzVetParse
+// feeds it arbitrary bytes). Rules therefore use conservative
+// name-based heuristics; a deliberate false positive is silenced in
+// place with
+//
+//	//dbo:vet-ignore <rule> <reason>
+//
+// which suppresses diagnostics of <rule> on its own line (when it
+// trails code) or on the following line (when it stands alone). A
+// directive that suppresses nothing is itself a finding, so stale
+// annotations cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message. The driver renders it as
+// "file:line:col: [rule] message".
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String formats the diagnostic the way cmd/dbo-vet prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Pass carries one parsed package through every analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	PkgPath string // module-relative dir path, "/"-separated ("internal/core")
+	Files   []*ast.File
+	Src     map[string][]byte // filename → source bytes
+	Cfg     *Config
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  p.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// fileName returns the name of the file holding pos.
+func (p *Pass) fileName(f *ast.File) string {
+	return p.Fset.Position(f.Package).Filename
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every registered analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{WallTime, LockHeld, ClockCmp, GoExit, NakeTime}
+}
+
+// RuleNames returns the set of valid rule names (used to validate
+// ignore directives).
+func RuleNames() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunPackage runs every analyzer over one loaded package, applies the
+// ignore-directive filter, and returns the surviving diagnostics sorted
+// by position then rule.
+func RunPackage(pkg *Package, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = Default()
+	}
+	diags := append([]Diagnostic(nil), pkg.ParseErrors...)
+	pass := &Pass{
+		Fset:    pkg.Fset,
+		PkgPath: pkg.Path,
+		Files:   pkg.Files,
+		Src:     pkg.Src,
+		Cfg:     cfg,
+		diags:   &diags,
+	}
+	for _, a := range All() {
+		a.Run(pass)
+	}
+	diags = applyIgnores(pkg, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, rule, message.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// underAny reports whether path equals one of the prefixes or sits in a
+// subdirectory of one ("internal/core" matches "internal/core" and
+// "internal/core/sub", not "internal/corex").
+func underAny(path string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a (simple) expression for diagnostics: identifiers,
+// selector chains, indexes, derefs and calls. Anything fancier collapses
+// to "…" rather than risking a panic on malformed input.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "…"
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(…)"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	}
+	return "…"
+}
+
+// importNames returns the local names under which file f imports path
+// ("time" → {"time"} or an alias). Dot and blank imports yield nothing.
+func importNames(f *ast.File, path string) map[string]bool {
+	names := make(map[string]bool)
+	for _, imp := range f.Imports {
+		if imp == nil || imp.Path == nil || imp.Path.Value != `"`+path+`"` {
+			continue
+		}
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		names[name] = true
+	}
+	return names
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(name string) bool { return strings.HasSuffix(name, "_test.go") }

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// goldenFixtures maps each fixture file to the package path it is
+// analyzed under (allowlists are path-keyed, so the path selects which
+// rules may fire).
+var goldenFixtures = []struct {
+	file    string
+	pkgPath string
+}{
+	{"walltime.go", "internal/sim"},
+	{"walltime_allowed.go", "internal/rt"},
+	{"lockheld.go", "internal/rt"},
+	{"clockcmp.go", "internal/exchange"},
+	{"goexit.go", "internal/core"},
+	{"naketime.go", "internal/stats"},
+}
+
+var wantRe = regexp.MustCompile(`// want ((?:"[^"]*"\s*)+)`)
+var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+
+// parseWants extracts `// want "re" ["re" ...]` expectations per line.
+func parseWants(t *testing.T, src []byte) map[int][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[int][]*regexp.Regexp)
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+			re, err := regexp.Compile(arg[1])
+			if err != nil {
+				t.Fatalf("line %d: bad want pattern %q: %v", i+1, arg[1], err)
+			}
+			wants[i+1] = append(wants[i+1], re)
+		}
+	}
+	return wants
+}
+
+// TestGolden runs the full suite over each fixture and requires an
+// exact match between findings and `// want` expectations: every
+// diagnostic must be wanted at its line, every want must be hit.
+func TestGolden(t *testing.T) {
+	t.Parallel()
+	for _, fx := range goldenFixtures {
+		fx := fx
+		t.Run(fx.file, func(t *testing.T) {
+			t.Parallel()
+			src, err := os.ReadFile(filepath.Join("testdata", "src", fx.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := CheckSource(fx.file, fx.pkgPath, src, Default())
+			wants := parseWants(t, src)
+
+			// Group diagnostics by line.
+			byLine := make(map[int][]Diagnostic)
+			for _, d := range diags {
+				if d.Pos.Filename != fx.file {
+					t.Errorf("diagnostic filed under %q, want %q", d.Pos.Filename, fx.file)
+				}
+				byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d)
+			}
+
+			for line, res := range wants {
+				got := byLine[line]
+				if len(got) != len(res) {
+					t.Errorf("line %d: got %d diagnostic(s), want %d: %v", line, len(got), len(res), render(got))
+					continue
+				}
+				// Every want pattern must match some diagnostic on the line.
+				for _, re := range res {
+					matched := false
+					for _, d := range got {
+						if re.MatchString(fmt.Sprintf("[%s] %s", d.Rule, d.Msg)) {
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						t.Errorf("line %d: no diagnostic matches %q among %v", line, re, render(got))
+					}
+				}
+			}
+			for line, got := range byLine {
+				if len(wants[line]) == 0 {
+					t.Errorf("line %d: unexpected diagnostic(s): %v", line, render(got))
+				}
+			}
+		})
+	}
+}
+
+func render(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = fmt.Sprintf("[%s] %s", d.Rule, d.Msg)
+	}
+	return out
+}
+
+// TestEveryRuleHasHitAndSuppression is the acceptance matrix: each of
+// the five rules must produce at least one fixture hit, and a
+// //dbo:vet-ignore must silence exactly that finding.
+func TestEveryRuleHasHitAndSuppression(t *testing.T) {
+	t.Parallel()
+	cases := map[string]struct {
+		pkgPath string
+		src     string // one finding for the rule, no directive
+	}{
+		"walltime": {"internal/sim", "package p\nimport \"time\"\nfunc f() { _ = time.Now() }\n"},
+		"lockheld": {"internal/rt", "package p\nimport \"sync\"\nfunc f(mu *sync.Mutex, ch chan int) {\nmu.Lock()\nch <- 1\nmu.Unlock()\n}\n"},
+		"clockcmp": {"internal/exchange", "package p\nfunc f(a, b struct{ Point uint64 }) bool {\nreturn a.Point < b.Point\n}\n"},
+		"goexit":   {"internal/core", "package p\nfunc f(w func()) {\ngo w()\n}\n"},
+		"naketime": {"internal/stats", "package p\ntype c struct {\nTimeoutNs int64\n}\n"},
+	}
+	for rule, tc := range cases {
+		rule, tc := rule, tc
+		t.Run(rule, func(t *testing.T) {
+			t.Parallel()
+			diags := CheckSource("fix.go", tc.pkgPath, []byte(tc.src), Default())
+			if len(diags) != 1 || diags[0].Rule != rule {
+				t.Fatalf("want exactly one %s finding, got %v", rule, render(diags))
+			}
+			hitLine := diags[0].Pos.Line
+
+			// Insert a standalone ignore directive above the hit line:
+			// the same source must now report nothing at all.
+			lines := strings.Split(tc.src, "\n")
+			directive := "//dbo:vet-ignore " + rule + " fixture exercises suppression"
+			patched := strings.Join(append(append(append([]string{}, lines[:hitLine-1]...), directive), lines[hitLine-1:]...), "\n")
+			diags = CheckSource("fix.go", tc.pkgPath, []byte(patched), Default())
+			if len(diags) != 0 {
+				t.Fatalf("directive did not suppress the finding: %v", render(diags))
+			}
+		})
+	}
+}
+
+// TestLoadModule checks the walker: package discovery, pattern
+// matching, and testdata/dot-dir skipping.
+func TestLoadModule(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":               "module fake\n",
+		"a/a.go":               "package a\n",
+		"a/testdata/skip.go":   "package skipme\n",
+		"a/b/b.go":             "package b\n",
+		".hidden/h.go":         "package h\n",
+		"c/broken.go":          "package c\nfunc {", // syntax error
+		"d/notgo.txt":          "hello",
+		"_underscore/u.go":     "package u\n",
+		"a/b/vendor/v/vend.go": "package v\n",
+	})
+
+	pkgs, err := LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"a", "a/b", "c"}
+	if fmt.Sprint(paths) != fmt.Sprint(want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+
+	// The broken package must carry parse diagnostics, not kill the load.
+	found := false
+	for _, p := range pkgs {
+		if p.Path == "c" {
+			found = len(p.ParseErrors) > 0
+		}
+	}
+	if !found {
+		t.Fatal("broken package lost its parse diagnostics")
+	}
+
+	// Subtree pattern.
+	pkgs, err = LoadModule(root, []string{"./a/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("subtree pattern loaded %d packages, want 2", len(pkgs))
+	}
+
+	// Single-dir pattern.
+	pkgs, err = LoadModule(root, []string{"./a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "a" {
+		t.Fatalf("single-dir pattern loaded %v", pkgs)
+	}
+}
+
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestModuleRoot finds go.mod from a nested directory.
+func TestModuleRoot(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{"go.mod": "module fake\n", "x/y/z.go": "package y\n"})
+	got, err := ModuleRoot(filepath.Join(root, "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolve symlinks (macOS TempDir) before comparing.
+	r1, _ := filepath.EvalSymlinks(root)
+	r2, _ := filepath.EvalSymlinks(got)
+	if r1 != r2 {
+		t.Fatalf("ModuleRoot = %q, want %q", got, root)
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ClockCmp forbids ad-hoc ordering of delivery-clock tuples.
+//
+// The delivery clock ⟨ld, now − D(ld)⟩ (§4.1.1) is ordered
+// lexicographically; comparing one field in isolation, or both fields
+// with hand-rolled operators, is how subtle fairness bugs are born
+// (Elapsed values from different participants are only comparable once
+// the Point components tie). Only internal/market (the canonical
+// Compare/Less/AtLeast) and internal/clock may touch the fields
+// directly.
+var ClockCmp = &Analyzer{
+	Name: "clockcmp",
+	Doc:  "ad-hoc </> comparisons on DeliveryClock fields outside the canonical comparator",
+	Run:  runClockCmp,
+}
+
+// clockFields are DeliveryClock's components.
+var clockFields = map[string]bool{"Point": true, "Elapsed": true}
+
+// Receiver-chain name hints that an expression is a delivery clock.
+// Short hints must match a chain segment exactly; long hints match as
+// substrings ("lastClock", "minWatermark").
+var (
+	clockHintExact  = map[string]bool{"dc": true, "wm": true, "tag": true}
+	clockHintSubstr = []string{"clock", "watermark", "deliv"}
+)
+
+func runClockCmp(p *Pass) {
+	if underAny(p.PkgPath, p.Cfg.ClockCmpAllow) {
+		return
+	}
+	cmpOps := map[token.Token]bool{token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !cmpOps[be.Op] {
+				return true
+			}
+			lf, lHint := clockFieldSel(be.X)
+			rf, rHint := clockFieldSel(be.Y)
+			// Fires when either side is hinted as a clock, or when both
+			// sides compare the same tuple field (x.Point < y.Point is
+			// the classic hand-rolled lexicographic order).
+			if lHint || rHint || (lf != "" && lf == rf) {
+				field := lf
+				if field == "" {
+					field = rf
+				}
+				p.Reportf(be.Pos(), "clockcmp",
+					"ad-hoc %s comparison on DeliveryClock field %s: order delivery clocks with the canonical Compare/Less/AtLeast in %s (§4.1.1) — Elapsed values are only comparable when Points tie",
+					be.Op, field, strings.Join(p.Cfg.ClockCmpAllow, "/"))
+			}
+			return true
+		})
+	}
+}
+
+// clockFieldSel reports whether e selects a DeliveryClock field, and
+// whether its receiver chain carries a clock-name hint.
+func clockFieldSel(e ast.Expr) (field string, hinted bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel == nil || !clockFields[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, chainHasClockHint(sel.X)
+}
+
+func chainHasClockHint(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel != nil && nameIsClockHint(x.Sel.Name) {
+				return true
+			}
+			e = x.X
+		case *ast.Ident:
+			return nameIsClockHint(x.Name)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return false
+		}
+	}
+}
+
+func nameIsClockHint(name string) bool {
+	lower := strings.ToLower(name)
+	if clockHintExact[lower] {
+		return true
+	}
+	for _, h := range clockHintSubstr {
+		if strings.Contains(lower, h) {
+			return true
+		}
+	}
+	return false
+}

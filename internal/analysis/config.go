@@ -1,0 +1,47 @@
+package analysis
+
+// Config is the single place every per-rule allowlist lives. Paths are
+// module-relative directory paths; an entry covers the directory and
+// everything beneath it.
+type Config struct {
+	// WallTimeAllow lists the real-time packages where wall-clock calls
+	// (time.Now, time.Sleep, …) are legitimate: the wall-clock event
+	// loop, the network transports, the live deployment nodes, and the
+	// operator-facing binaries. Everything else — the sim/check/replay
+	// pipeline in particular — must be wall-clock-free so seeded runs
+	// replay deterministically.
+	WallTimeAllow []string
+
+	// ClockCmpAllow lists the packages that own the canonical
+	// delivery-clock comparator (§4.1.1). Only they may order
+	// DeliveryClock fields directly; everyone else goes through
+	// Compare/Less/AtLeast.
+	ClockCmpAllow []string
+
+	// GoExitScope lists the packages where a raw `go` statement must be
+	// tied to a visible lifecycle (WaitGroup, context, or done channel
+	// referenced in the same function).
+	GoExitScope []string
+}
+
+// Default is dbo-vet's configuration for this repository.
+func Default() *Config {
+	return &Config{
+		WallTimeAllow: []string{
+			"internal/rt",        // the wall-clock event loop itself
+			"internal/transport", // socket I/O deadlines and pacing
+			"internal/node",      // live deployment nodes own real clocks
+			"cmd",                // operator binaries
+			"examples",           // runnable demos
+		},
+		ClockCmpAllow: []string{
+			"internal/market", // DeliveryClock.Compare/Less/AtLeast
+			"internal/clock",  // the per-participant tracker
+		},
+		GoExitScope: []string{
+			"internal/core",
+			"internal/exchange",
+			"internal/gateway",
+		},
+	}
+}

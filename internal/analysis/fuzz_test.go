@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzVetParse feeds arbitrary bytes through the full analyzer driver
+// path (parse → five rules → ignore filter). The invariant is simply
+// that it never panics: dbo-vet runs in CI on whatever the tree holds,
+// including half-written code, and the parser hands analyzers partial
+// ASTs full of Bad* nodes and nil fields.
+func FuzzVetParse(f *testing.F) {
+	fixtures, _ := filepath.Glob(filepath.Join("testdata", "src", "*.go"))
+	for _, fx := range fixtures {
+		if src, err := os.ReadFile(fx); err == nil {
+			f.Add(src)
+		}
+	}
+	f.Add([]byte("package p\nfunc f() { go go go }"))
+	f.Add([]byte("package p\nimport \"time\"\nfunc f() { time.Now( }"))
+	f.Add([]byte("//dbo:vet-ignore"))
+	f.Add([]byte("package p\n//dbo:vet-ignore walltime \xff\xfe"))
+	f.Add([]byte("package p\ntype t struct { Ns int64 }\nfunc (x t) f(mu sync.Mutex) { mu.Lock(); <-c"))
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// Two package paths: one rule-scoped, one allowlisted — both
+		// must be panic-free whatever the bytes.
+		_ = CheckSource("fuzz.go", "internal/core", src, Default())
+		_ = CheckSource("fuzz_test.go", "cmd/fuzz", src, Default())
+	})
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoExit requires goroutines in the core packages to be tied to a
+// visible lifecycle. An untracked `go` statement in the ordering/
+// release/exchange machinery outlives Stop(), races teardown, and turns
+// clean shutdown into a flake generator. The rule accepts a goroutine
+// when its enclosing function also references a lifecycle object: a
+// WaitGroup (Add/Done/Wait), a context, or a done/stop/quit channel.
+var GoExit = &Analyzer{
+	Name: "goexit",
+	Doc:  "raw go statement without a visible lifecycle (WaitGroup, context, or done channel)",
+	Run:  runGoExit,
+}
+
+// lifecycleNameHints mark identifiers that tie a goroutine to a
+// lifecycle when referenced anywhere in the same function.
+var lifecycleNameHints = []string{"done", "stop", "quit", "ctx", "cancel", "wg", "waitgroup", "lifecycle", "closing", "shutdown"}
+
+func runGoExit(p *Pass) {
+	if !underAny(p.PkgPath, p.Cfg.GoExitScope) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			hasLifecycle := funcHasLifecycle(fd.Body)
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				if g, ok := m.(*ast.GoStmt); ok && !hasLifecycle {
+					p.Reportf(g.Pos(), "goexit",
+						"raw go statement with no lifecycle in sight: tie the goroutine to a sync.WaitGroup, context, or done channel referenced in this function so shutdown can reap it")
+				}
+				return true
+			})
+			return false // FuncDecls do not nest
+		})
+	}
+}
+
+// funcHasLifecycle reports whether the body references any lifecycle
+// machinery: WaitGroup methods, or an identifier whose name suggests a
+// done channel / context / cancel hook.
+func funcHasLifecycle(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if nameIsLifecycle(x.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if x.Sel != nil && (x.Sel.Name == "Add" || x.Sel.Name == "Done" || x.Sel.Name == "Wait") {
+				// WaitGroup-shaped method; require the receiver to look
+				// like a WaitGroup so wg-unrelated Add()s don't count.
+				if chainHasLifecycleHint(x.X) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func nameIsLifecycle(name string) bool {
+	lower := strings.ToLower(name)
+	for _, h := range lifecycleNameHints {
+		if strings.Contains(lower, h) {
+			return true
+		}
+	}
+	return false
+}
+
+func chainHasLifecycleHint(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel != nil && nameIsLifecycle(x.Sel.Name) {
+				return true
+			}
+			e = x.X
+		case *ast.Ident:
+			return nameIsLifecycle(x.Name)
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two different rules fire on one line; a directive names one of them.
+// Exactly that diagnostic must disappear — the other survives.
+func TestIgnoreSuppressesExactlyOne(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+import "time"
+
+//dbo:vet-ignore walltime demonstrating single-rule suppression
+func f(timeoutNs int64) { _ = time.Now() }
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the naketime finding to survive, got %v", render(diags))
+	}
+	if diags[0].Rule != "naketime" {
+		t.Fatalf("surviving rule = %s, want naketime", diags[0].Rule)
+	}
+
+	// Without the directive both findings are reported on that line.
+	bare := strings.Replace(src, "//dbo:vet-ignore walltime demonstrating single-rule suppression\n", "", 1)
+	diags = CheckSource("fix.go", "internal/sim", []byte(bare), Default())
+	if len(diags) != 2 {
+		t.Fatalf("want walltime+naketime without the directive, got %v", render(diags))
+	}
+}
+
+// A directive trailing code covers its own line, not the next one.
+func TestIgnoreTrailingCoversOwnLine(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+import "time"
+
+func f() {
+	_ = time.Now() //dbo:vet-ignore walltime this line is annotated
+	_ = time.Now()
+}
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	if len(diags) != 1 || diags[0].Rule != "walltime" || diags[0].Pos.Line != 7 {
+		t.Fatalf("want only the unannotated line-7 finding, got %v", render(diags))
+	}
+}
+
+// A directive that suppresses nothing is itself reported, at its own
+// position, so stale annotations cannot linger.
+func TestUnusedIgnoreReported(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+//dbo:vet-ignore walltime nothing here uses the wall clock
+var x = 1
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	if len(diags) != 1 || diags[0].Rule != "unused-ignore" || diags[0].Pos.Line != 3 {
+		t.Fatalf("want one unused-ignore at line 3, got %v", render(diags))
+	}
+}
+
+// Malformed directives (missing reason, unknown rule) are findings.
+func TestMalformedIgnoreReported(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+//dbo:vet-ignore walltime
+//dbo:vet-ignore nosuchrule because reasons
+//dbo:vet-ignore
+var x = 1
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	if len(diags) != 3 {
+		t.Fatalf("want 3 bad-ignore findings, got %v", render(diags))
+	}
+	for _, d := range diags {
+		if d.Rule != "bad-ignore" {
+			t.Fatalf("rule = %s, want bad-ignore: %v", d.Rule, render(diags))
+		}
+	}
+}
+
+// The suppressed-diagnostic accounting must mark a directive used even
+// when several same-rule findings share the line (both are silenced by
+// the one directive).
+func TestIgnoreCoversWholeLineForItsRule(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+import "time"
+
+func f() {
+	//dbo:vet-ignore walltime both calls on the next line are deliberate
+	a, b := time.Now(), time.Now()
+	_, _ = a, b
+}
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	if len(diags) != 0 {
+		t.Fatalf("want both same-line findings suppressed, got %v", render(diags))
+	}
+}

@@ -1,0 +1,496 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags mutexes held across blocking operations or user
+// callbacks — the exact shape of the metrics.Registry.Snapshot deadlock
+// fixed in PR 1 (callbacks invoked under the registry lock re-entered
+// the registry and self-deadlocked).
+//
+// Within one function body, between x.Lock()/x.RLock() and the matching
+// x.Unlock()/x.RUnlock() (or to the end of the body after a deferred
+// unlock), the rule flags: channel sends, channel receives, select
+// statements, .Wait() calls, time.Sleep, and calls through func-typed
+// values (parameters, locals assigned func literals, and struct fields
+// or collections of funcs declared in the same package) plus On*-named
+// callback invocations. The analysis is per-function and syntactic; it
+// does not chase calls into other functions.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "mutex held across a blocking operation or user callback",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(p *Pass) {
+	shapes := collectFuncShapes(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					newLockScan(p, shapes, fn.Type).scan(fn.Body.List)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					newLockScan(p, shapes, fn.Type).scan(fn.Body.List)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// funcShapes records, package-wide, which struct field names hold func
+// values ("release", "OnForward") and which hold collections of funcs
+// ("fns map[string]func() int64"). Syntactic analysis cannot resolve a
+// receiver's type, so a field name is treated as func-shaped if any
+// struct in the package declares it that way — conservative in the
+// direction of catching the Snapshot bug shape.
+type funcShapes struct {
+	valField map[string]bool // field name → is func-typed
+	collEl   map[string]bool // field name → is slice/map-of-func
+}
+
+func collectFuncShapes(p *Pass) *funcShapes {
+	s := &funcShapes{valField: make(map[string]bool), collEl: make(map[string]bool)}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if fld == nil {
+					continue
+				}
+				kind := funcTypeKind(fld.Type)
+				for _, name := range fld.Names {
+					if name == nil {
+						continue
+					}
+					switch kind {
+					case funcVal:
+						s.valField[name.Name] = true
+					case funcColl:
+						s.collEl[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+type typeKind int
+
+const (
+	notFunc  typeKind = iota
+	funcVal           // func(...)
+	funcColl          // []func(...), map[K]func(...)
+)
+
+func funcTypeKind(t ast.Expr) typeKind {
+	switch x := t.(type) {
+	case *ast.FuncType:
+		return funcVal
+	case *ast.ArrayType:
+		if funcTypeKind(x.Elt) == funcVal {
+			return funcColl
+		}
+	case *ast.MapType:
+		if funcTypeKind(x.Value) == funcVal {
+			return funcColl
+		}
+	case *ast.ParenExpr:
+		return funcTypeKind(x.X)
+	}
+	return notFunc
+}
+
+// lockScan walks one function body tracking held locks and func-typed
+// names. It is flow-insensitive across branches (a Lock in an if-arm
+// counts as held afterwards) — conservative, and the repo's critical
+// sections are all straight-line.
+type lockScan struct {
+	p        *Pass
+	shapes   *funcShapes
+	held     map[string]bool // "r.mu" → explicitly locked
+	deferred map[string]bool // "r.mu" → unlocked only at return
+	funcVals map[string]bool // local/param names that hold funcs
+	funcColl map[string]bool // local names that hold slices/maps of funcs
+}
+
+func newLockScan(p *Pass, shapes *funcShapes, ftype *ast.FuncType) *lockScan {
+	s := &lockScan{
+		p: p, shapes: shapes,
+		held: make(map[string]bool), deferred: make(map[string]bool),
+		funcVals: make(map[string]bool), funcColl: make(map[string]bool),
+	}
+	if ftype != nil && ftype.Params != nil {
+		for _, fld := range ftype.Params.List {
+			if fld == nil {
+				continue
+			}
+			kind := funcTypeKind(fld.Type)
+			for _, name := range fld.Names {
+				if name == nil {
+					continue
+				}
+				switch kind {
+				case funcVal:
+					s.funcVals[name.Name] = true
+				case funcColl:
+					s.funcColl[name.Name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *lockScan) anyHeld() bool { return len(s.held)+len(s.deferred) > 0 }
+
+func (s *lockScan) heldNames() string {
+	var names []string
+	for n := range s.held {
+		names = append(names, n)
+	}
+	for n := range s.deferred {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// lockCall classifies expr as a Lock/Unlock call and returns the
+// rendered receiver.
+func lockCall(expr ast.Expr) (recv string, locks, unlocks bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel == nil {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// scan processes a statement list sequentially, updating lock state and
+// reporting blocking work performed while a lock is held.
+func (s *lockScan) scan(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		s.scanStmt(st)
+	}
+}
+
+func (s *lockScan) scanStmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if recv, locks, unlocks := lockCall(x.X); locks {
+			s.held[recv] = true
+			return
+		} else if unlocks {
+			delete(s.held, recv)
+			delete(s.deferred, recv)
+			return
+		}
+		s.checkExpr(x.X)
+	case *ast.DeferStmt:
+		if x.Call != nil {
+			if recv, _, unlocks := lockCall(x.Call); unlocks {
+				s.deferred[recv] = true
+				return
+			}
+			for _, a := range x.Call.Args {
+				s.checkExpr(a)
+			}
+		}
+	case *ast.GoStmt:
+		// Launching a goroutine does not block; its body runs without
+		// this function's critical section, so only argument
+		// evaluation is checked.
+		if x.Call != nil {
+			for _, a := range x.Call.Args {
+				s.checkExpr(a)
+			}
+		}
+	case *ast.SendStmt:
+		if s.anyHeld() {
+			s.p.Reportf(x.Pos(), "lockheld",
+				"channel send while holding %s: a blocked receiver deadlocks every other caller of this lock — send after Unlock", s.heldNames())
+		}
+		s.checkExpr(x.Value)
+	case *ast.SelectStmt:
+		if s.anyHeld() {
+			s.p.Reportf(x.Pos(), "lockheld",
+				"select while holding %s: channel waits under a lock serialize and can deadlock — wait after Unlock", s.heldNames())
+		}
+		if x.Body != nil {
+			s.scan(x.Body.List)
+		}
+	case *ast.AssignStmt:
+		s.trackAssign(x)
+		for _, e := range x.Rhs {
+			s.checkExpr(e)
+		}
+		for _, e := range x.Lhs {
+			s.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		s.trackDecl(x)
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.checkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			s.checkExpr(e)
+		}
+	case *ast.BlockStmt:
+		s.scan(x.List)
+	case *ast.IfStmt:
+		s.scanStmt(x.Init)
+		s.checkExpr(x.Cond)
+		if x.Body != nil {
+			s.scan(x.Body.List)
+		}
+		s.scanStmt(x.Else)
+	case *ast.ForStmt:
+		s.scanStmt(x.Init)
+		s.checkExpr(x.Cond)
+		if x.Body != nil {
+			s.scan(x.Body.List)
+		}
+		s.scanStmt(x.Post)
+	case *ast.RangeStmt:
+		s.trackRange(x)
+		s.checkExpr(x.X)
+		if x.Body != nil {
+			s.scan(x.Body.List)
+		}
+	case *ast.SwitchStmt:
+		s.scanStmt(x.Init)
+		s.checkExpr(x.Tag)
+		s.scanCases(x.Body)
+	case *ast.TypeSwitchStmt:
+		s.scanStmt(x.Init)
+		s.scanStmt(x.Assign)
+		s.scanCases(x.Body)
+	case *ast.LabeledStmt:
+		s.scanStmt(x.Stmt)
+	}
+}
+
+func (s *lockScan) scanCases(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				s.checkExpr(e)
+			}
+			s.scan(cc.Body)
+		}
+	}
+}
+
+// trackAssign records func-typed locals: x := func(){}, x := c.cfg.OnF,
+// fns := make(map[string]func(), n), msgs := l.msgs (field of func-coll
+// shape).
+func (s *lockScan) trackAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		switch kind := s.rhsKind(a.Rhs[i]); kind {
+		case funcVal:
+			s.funcVals[id.Name] = true
+		case funcColl:
+			s.funcColl[id.Name] = true
+		}
+	}
+}
+
+// rhsKind classifies an assignment RHS as producing a func value, a
+// func collection, or neither.
+func (s *lockScan) rhsKind(e ast.Expr) typeKind {
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return funcVal
+	case *ast.Ident:
+		if s.funcVals[x.Name] {
+			return funcVal
+		}
+		if s.funcColl[x.Name] {
+			return funcColl
+		}
+	case *ast.SelectorExpr:
+		if x.Sel != nil {
+			if s.shapes.valField[x.Sel.Name] {
+				return funcVal
+			}
+			if s.shapes.collEl[x.Sel.Name] {
+				return funcColl
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			return funcTypeKind(x.Args[0])
+		}
+	case *ast.CompositeLit:
+		return funcTypeKind(x.Type)
+	case *ast.IndexExpr:
+		if s.indexedColl(x) {
+			return funcVal
+		}
+	}
+	return notFunc
+}
+
+// indexedColl reports whether e indexes a known func collection.
+func (s *lockScan) indexedColl(e *ast.IndexExpr) bool {
+	switch x := e.X.(type) {
+	case *ast.Ident:
+		return s.funcColl[x.Name]
+	case *ast.SelectorExpr:
+		return x.Sel != nil && s.shapes.collEl[x.Sel.Name]
+	}
+	return false
+}
+
+// trackDecl records func-typed vars from `var fn func()` declarations.
+func (s *lockScan) trackDecl(d *ast.DeclStmt) {
+	gd, ok := d.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		kind := notFunc
+		if vs.Type != nil {
+			kind = funcTypeKind(vs.Type)
+		} else if len(vs.Values) == 1 {
+			kind = s.rhsKind(vs.Values[0])
+		}
+		for _, name := range vs.Names {
+			if name == nil {
+				continue
+			}
+			switch kind {
+			case funcVal:
+				s.funcVals[name.Name] = true
+			case funcColl:
+				s.funcColl[name.Name] = true
+			}
+		}
+	}
+}
+
+// trackRange records the value variable of `for _, fn := range fns` as
+// a func value when fns is a known func collection.
+func (s *lockScan) trackRange(r *ast.RangeStmt) {
+	val, ok := r.Value.(*ast.Ident)
+	if !ok || val.Name == "_" {
+		return
+	}
+	switch x := r.X.(type) {
+	case *ast.Ident:
+		if s.funcColl[x.Name] {
+			s.funcVals[val.Name] = true
+		}
+	case *ast.SelectorExpr:
+		if x.Sel != nil && s.shapes.collEl[x.Sel.Name] {
+			s.funcVals[val.Name] = true
+		}
+	}
+}
+
+// checkExpr reports blocking work inside an expression evaluated while
+// a lock is held. It does not descend into func literals — their bodies
+// run later, outside this critical section (and are scanned on their
+// own).
+func (s *lockScan) checkExpr(e ast.Expr) {
+	if e == nil || !s.anyHeld() {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.p.Reportf(x.Pos(), "lockheld",
+					"channel receive while holding %s: blocks every other caller of this lock — receive after Unlock", s.heldNames())
+			}
+		case *ast.CallExpr:
+			s.checkCall(x)
+		}
+		return true
+	})
+}
+
+func (s *lockScan) checkCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if s.funcVals[fun.Name] {
+			s.p.Reportf(call.Pos(), "lockheld",
+				"call through func value %s while holding %s: a callback may block or re-enter the lock (the Registry.Snapshot deadlock shape) — invoke after Unlock", fun.Name, s.heldNames())
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel == nil {
+			return
+		}
+		name := fun.Sel.Name
+		switch {
+		case name == "Wait":
+			s.p.Reportf(call.Pos(), "lockheld",
+				"%s.Wait() while holding %s: waiting under a lock deadlocks when the waited-for work needs the same lock — Wait after Unlock", exprString(fun.X), s.heldNames())
+		case name == "Sleep" && isPkgIdent(fun.X, "time"):
+			s.p.Reportf(call.Pos(), "lockheld",
+				"time.Sleep while holding %s stalls every other caller of the lock", s.heldNames())
+		case s.shapes.valField[name]:
+			s.p.Reportf(call.Pos(), "lockheld",
+				"call through func-typed field %s while holding %s: a user callback may block or re-enter the lock — invoke after Unlock", exprString(fun), s.heldNames())
+		case isCallbackName(name):
+			s.p.Reportf(call.Pos(), "lockheld",
+				"user-callback invocation %s while holding %s: callbacks must not run under a lock — invoke after Unlock", exprString(fun), s.heldNames())
+		}
+	}
+}
+
+// isCallbackName matches the repo's On<Event> hook convention.
+func isCallbackName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "On") && name[2] >= 'A' && name[2] <= 'Z'
+}
+
+func isPkgIdent(e ast.Expr, pkg string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == pkg
+}

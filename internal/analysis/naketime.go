@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakeTime flags struct fields and function parameters typed int64 or
+// uint64 whose names say they hold a time quantity (nanoseconds, ticks,
+// timeouts, …). Raw integer nanoseconds are how unit bugs enter a
+// codebase whose whole point is sub-microsecond fairness accounting
+// (Table 1): use sim.Time for virtual time and time.Duration for wall
+// durations so the compiler keeps units straight.
+var NakeTime = &Analyzer{
+	Name: "naketime",
+	Doc:  "int64/uint64 fields or params whose names suggest time quantities",
+	Run:  runNakeTime,
+}
+
+// nakedTimeWords are name components that indicate a time quantity.
+// Matched against whole camelCase/snake_case words, not substrings, so
+// MinSpread or Sticks do not fire.
+var nakedTimeWords = map[string]bool{
+	"ns": true, "nsec": true, "nano": true, "nanos": true, "nanoseconds": true,
+	"usec": true, "micro": true, "micros": true, "microseconds": true,
+	"msec": true, "milli": true, "millis": true, "milliseconds": true,
+	"tick": true, "ticks": true, "elapsed": true, "timeout": true,
+	"deadline": true, "latency": true, "duration": true, "interval": true,
+}
+
+func runNakeTime(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.StructType:
+				if x.Fields != nil {
+					checkNakedFields(p, x.Fields, "field")
+				}
+			case *ast.FuncType:
+				if x.Params != nil {
+					checkNakedFields(p, x.Params, "parameter")
+				}
+				if x.Results != nil {
+					checkNakedFields(p, x.Results, "result")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkNakedFields(p *Pass, list *ast.FieldList, kind string) {
+	for _, fld := range list.List {
+		if fld == nil || !isRawInt64(fld.Type) {
+			continue
+		}
+		for _, name := range fld.Names {
+			if name == nil {
+				continue
+			}
+			if w := nakedTimeWord(name.Name); w != "" {
+				p.Reportf(name.Pos(), "naketime",
+					"%s %s is a raw %s holding a time quantity (%q): use sim.Time for virtual time or time.Duration for wall durations so units stay typed",
+					kind, name.Name, exprString(fld.Type), w)
+			}
+		}
+	}
+}
+
+func isRawInt64(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "int64" || id.Name == "uint64")
+}
+
+// nakedTimeWord returns the offending word in a camelCase/snake_case
+// name, or "".
+func nakedTimeWord(name string) string {
+	for _, w := range splitWords(name) {
+		if nakedTimeWords[w] {
+			return w
+		}
+	}
+	return ""
+}
+
+// splitWords lowers and splits an identifier at underscores, digits and
+// case boundaries: "retxTimeoutNs" → [retx timeout ns]; "RTT_usec" →
+// [rtt usec].
+func splitWords(name string) []string {
+	var words []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			words = append(words, strings.ToLower(string(cur)))
+			cur = nil
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || (r >= '0' && r <= '9'):
+			flush()
+		case r >= 'A' && r <= 'Z':
+			// Boundary before an upper: either lower→Upper or the last
+			// upper of an acronym run followed by a lower (HTTPServer).
+			if i > 0 {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+				if (prev >= 'a' && prev <= 'z') || (prev >= 'A' && prev <= 'Z' && nextLower) {
+					flush()
+				}
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return words
+}

@@ -1,0 +1,33 @@
+// Fixture for rule clockcmp, analyzed as package path
+// "internal/exchange" (not a comparator-owning package). The simTime
+// alias keeps naketime quiet — the rule under test is clockcmp.
+package fixture
+
+type simTime int64
+
+type deliveryClock struct {
+	Point   uint64
+	Elapsed simTime
+}
+
+type trade struct{ DC deliveryClock }
+
+func bad(a, b trade, tag deliveryClock, wm deliveryClock) bool {
+	if a.DC.Point < b.DC.Point { // want "clockcmp.*field Point"
+		return true
+	}
+	if a.DC.Elapsed <= b.DC.Elapsed { // want "clockcmp.*field Elapsed"
+		return true
+	}
+	if tag.Point > 5 { // want "clockcmp.*field Point"
+		return true
+	}
+	return wm.Elapsed >= 100 // want "clockcmp.*field Elapsed"
+}
+
+func fine(a trade, n uint64) bool {
+	if a.DC.Point == 3 { // equality is not an ordering
+		return false
+	}
+	return n > 5 // plain integers: none of clockcmp's business
+}

@@ -1,0 +1,34 @@
+// Fixture for rule goexit, analyzed as package path "internal/core"
+// (inside the lifecycle-discipline scope).
+package fixture
+
+import "sync"
+
+func bad(work func()) {
+	go work() // want "goexit.*lifecycle"
+}
+
+func badLoop(jobs []func()) {
+	for _, j := range jobs {
+		go j() // want "goexit.*lifecycle"
+	}
+}
+
+func goodWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodDoneChannel(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}

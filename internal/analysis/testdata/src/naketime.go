@@ -1,0 +1,16 @@
+// Fixture for rule naketime, analyzed as package path "internal/stats".
+package fixture
+
+type config struct {
+	RetxTimeoutNs int64  // want "naketime.*RetxTimeoutNs"
+	DeadlineUsec  uint64 // want "naketime.*DeadlineUsec"
+	PollInterval  int64  // want "naketime.*PollInterval"
+	Price         int64  // money, not time: fine
+	MinSpread     int64  // "spread" is not a time word: fine
+	Sticks        int64  // "sticks" must not match "ticks": fine
+	ElapsedTicks  int32  // wrong name but not int64/uint64: out of scope
+}
+
+func schedule(delayMillis int64, n int) (latencyNanos int64) { // want "naketime.*delayMillis" "naketime.*latencyNanos"
+	return 0
+}

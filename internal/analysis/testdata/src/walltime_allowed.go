@@ -1,0 +1,12 @@
+// Fixture for rule walltime, analyzed as package path "internal/rt" —
+// on the real-time allowlist, so none of these calls may be reported.
+package fixture
+
+import "time"
+
+func realTimeLoop() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+	_ = time.NewTimer(time.Hour)
+}

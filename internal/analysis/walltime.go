@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallTime forbids wall-clock calls outside the real-time allowlist.
+//
+// Every table and figure in this repository is produced on virtual time
+// (internal/sim): events execute in timestamp order and every run
+// replays from its seed. One time.Now in a sim-reachable path silently
+// couples results to the host scheduler and destroys that property.
+// Test files are exempt everywhere — tests legitimately bound waits
+// with wall-clock timeouts.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall-clock reads/sleeps outside the real-time package allowlist",
+	Run:  runWallTime,
+}
+
+// wallTimeFns are the time-package calls that couple code to the wall
+// clock. Pure conversions (time.Duration arithmetic, ParseDuration) are
+// fine and not listed.
+var wallTimeFns = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallTime(p *Pass) {
+	if underAny(p.PkgPath, p.Cfg.WallTimeAllow) {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.fileName(f)) {
+			continue
+		}
+		timeNames := importNames(f, "time")
+		if len(timeNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel == nil {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] || !wallTimeFns[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(), "walltime",
+				"time.%s: wall-clock calls are forbidden outside the real-time allowlist (%s); sim/check/replay paths must stay deterministic — use the component's Scheduler/sim.Time instead",
+				sel.Sel.Name, strings.Join(p.Cfg.WallTimeAllow, ", "))
+			return true
+		})
+	}
+}

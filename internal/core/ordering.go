@@ -140,7 +140,7 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 	st.wm = h.DC
 	st.lastHB = now
 	st.hasHB = true
-	if ob.cfg.StragglerRTT > 0 && h.DC.Point > 0 {
+	if ob.cfg.StragglerRTT > 0 && h.DC.HasDelivered() {
 		// RTT ≈ (delivery latency of the latest point) + (heartbeat
 		// network latency): heartbeat arrival − G(point) − elapsed.
 		st.rtt = now - ob.cfg.GenTime(h.DC.Point) - h.DC.Elapsed

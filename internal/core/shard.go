@@ -91,7 +91,7 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 	}
 	st.lastHB = now
 	st.hasHB = true
-	if s.cfg.StragglerRTT > 0 && h.DC.Point > 0 {
+	if s.cfg.StragglerRTT > 0 && h.DC.HasDelivered() {
 		st.rtt = now - s.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
 		s.setStraggler(st, st.rtt > s.cfg.StragglerRTT, st.rtt, false)
 	}

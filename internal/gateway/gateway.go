@@ -69,7 +69,10 @@ func (g *Egress) minDelivered() market.PointID {
 
 // safe reports whether a message tagged with tag may leave: every data
 // point with id ≤ tag.Point has been delivered to all participants.
+// The Appendix E gate deliberately orders point ids alone — how long
+// ago a point was delivered is irrelevant to whether it may leak.
 func (g *Egress) safe(tag market.DeliveryClock) bool {
+	//dbo:vet-ignore clockcmp egress gate compares point ids only (App. E); Elapsed is irrelevant here
 	return tag.Point <= g.minDelivered()
 }
 
@@ -80,21 +83,37 @@ func (g *Egress) OnReport(mp market.ParticipantID, dc market.DeliveryClock) {
 	if !ok {
 		return
 	}
+	//dbo:vet-ignore clockcmp progress watermark advances on point ids only; Elapsed is irrelevant here
 	if dc.Point > cur {
 		g.delivered[mp] = dc.Point
 		g.drain()
 	}
 }
 
-// Submit buffers (or immediately releases) an egress message.
+// Submit buffers (or immediately releases) an egress message. A safe
+// message only waits when an earlier message from the *same* sender is
+// still held (per-sender FIFO); unrelated senders' backlogs don't block
+// it. Gating on the whole queue here would strand a safe message
+// forever once reports stop arriving — drain() only runs on OnReport,
+// so nothing would ever release it.
 func (g *Egress) Submit(m Message) {
-	if g.safe(m.Tag) && len(g.queue) == 0 {
+	if g.safe(m.Tag) && !g.heldFrom(m.From) {
 		g.Released++
 		g.release(m)
 		return
 	}
 	g.Held++
 	g.queue = append(g.queue, m)
+}
+
+// heldFrom reports whether a message from mp is still queued.
+func (g *Egress) heldFrom(mp market.ParticipantID) bool {
+	for _, k := range g.queue {
+		if k.From == mp {
+			return true
+		}
+	}
+	return false
 }
 
 // Pending reports messages still held.

@@ -83,10 +83,32 @@ func TestIndependentSendersNotBlocked(t *testing.T) {
 	g.OnReport(1, dc(9))
 	g.Submit(Message{From: 1, Tag: dc(9)}) // blocked
 	g.Submit(Message{From: 2, Tag: dc(0)}) // different sender, safe
-	// A report triggers a drain; MP 2's message is free to go.
-	g.OnReport(2, dc(1))
+	// MP 2's message releases at submit time: only a held message from
+	// the same sender may delay a safe one.
 	if len(*out) != 1 || (*out)[0].From != 2 {
 		t.Fatalf("independent sender blocked: %v", *out)
+	}
+	g.OnReport(2, dc(1))
+	if len(*out) != 1 {
+		t.Fatalf("drain double-released: %v", *out)
+	}
+}
+
+// Regression: a safe message used to be queued behind *any* held
+// message, and drain only runs on OnReport — so once reports stopped
+// (end of session), a releasable message was stranded forever.
+func TestSafeMessageNotStrandedWithoutReports(t *testing.T) {
+	t.Parallel()
+	g, out := newFix()
+	g.OnReport(1, dc(9))
+	g.Submit(Message{From: 1, Tag: dc(9), Payload: []byte("held")}) // not yet safe
+	g.Submit(Message{From: 2, Tag: dc(0), Payload: []byte("safe")}) // must go now
+	// No further OnReport ever arrives.
+	if len(*out) != 1 || string((*out)[0].Payload) != "safe" {
+		t.Fatalf("safe message stranded behind an unrelated sender: %v", *out)
+	}
+	if g.Held != 1 || g.Released != 1 || g.Pending() != 1 {
+		t.Fatalf("counters: held=%d released=%d pending=%d", g.Held, g.Released, g.Pending())
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"dbo/internal/sim"
 )
 
+//dbo:vet-ignore naketime fuzz corpora only carry primitive types; converted to sim.Time on the next line
 func orderingFrom(point uint64, elapsed int64, mp int32, seq uint64) Ordering {
 	if elapsed < 0 {
 		elapsed = -elapsed

@@ -137,6 +137,12 @@ func (c DeliveryClock) Compare(o DeliveryClock) int {
 // Less reports whether c orders strictly before o.
 func (c DeliveryClock) Less(o DeliveryClock) bool { return c.Compare(o) < 0 }
 
+// HasDelivered reports whether any data point has been delivered yet,
+// i.e. the clock has advanced past its pre-open ⟨0, e⟩ reading. This is
+// the canonical "is the clock live" test; callers must not poke at
+// Point directly (rule clockcmp).
+func (c DeliveryClock) HasDelivered() bool { return c.Point > 0 }
+
 // AtLeast reports whether c ≥ o.
 func (c DeliveryClock) AtLeast(o DeliveryClock) bool { return c.Compare(o) >= 0 }
 
