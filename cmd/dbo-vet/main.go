@@ -1,75 +1,123 @@
 // Command dbo-vet runs the repository's custom analyzer suite
 // (internal/analysis) over the module and reports every violation of
-// DBO's determinism, lock-discipline and clock-ordering invariants as
-//
-//	file:line:col: [rule] message
-//
+// DBO's determinism, lock-discipline and clock-ordering invariants,
 // exiting 1 when there are findings and 2 when the tree cannot be
-// loaded. Rules: walltime, lockheld, clockcmp, goexit, naketime —
-// `dbo-vet -rules` describes them. A deliberate exception is annotated
-// in place with `//dbo:vet-ignore <rule> <reason>`; unused or malformed
-// directives are findings themselves.
+// loaded.
+//
+// By default the module is type-checked (stdlib go/types — no external
+// tooling) and the analyzers run with resolved types and a static call
+// graph: lockheld chases calls made under a lock through the call graph
+// to transitive blocking operations, clockcmp/walltime match by type
+// identity instead of name heuristics, and the type-aware-only rules
+// (atomicmix, errdrop, sendliveness) come alive. Packages that fail to
+// compile degrade per-file to the syntactic rules; `-mode=syntactic`
+// forces that everywhere.
+//
+// Rules: walltime, lockheld, clockcmp, goexit, naketime, errdrop,
+// sendliveness, atomicmix — `dbo-vet -rules` describes them. A
+// deliberate exception is annotated in place with
+// `//dbo:vet-ignore <rule> <reason>` (strictly line-scoped); unused or
+// malformed directives are findings themselves.
 //
 // Usage:
 //
 //	go run ./cmd/dbo-vet ./...
-//	go run ./cmd/dbo-vet ./internal/core ./internal/gateway
+//	go run ./cmd/dbo-vet -format=sarif ./... > dbo-vet.sarif
+//	go run ./cmd/dbo-vet -mode=syntactic ./internal/core
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
 
 	"dbo/internal/analysis"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	describe := flag.Bool("rules", false, "describe the analyzer rules and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	mode := flag.String("mode", "typed", "analysis mode: typed (type-aware + call graph) or syntactic")
+	depth := flag.Int("depth", 0, "lockheld call-graph depth bound (0 = default)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel package analyses")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dbo-vet [-rules] [packages]\n\npackages default to ./... (the whole module)\n")
+		fmt.Fprintf(os.Stderr, "usage: dbo-vet [-rules] [-format=text|json|sarif] [-mode=typed|syntactic] [-depth=N] [packages]\n\npackages default to ./... (the whole module)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *describe {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		for _, a := range analysis.AllModule() {
+			fmt.Printf("%-12s %s (module-level, type-aware mode only)\n", a.Name, a.Doc)
+		}
+		return 0
 	}
 
 	root, err := analysis.ModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbo-vet:", err)
-		os.Exit(2)
-	}
-	pkgs, err := analysis.LoadModule(root, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dbo-vet:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := analysis.Default()
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, analysis.RunPackage(pkg, cfg)...)
-	}
-	analysis.SortDiagnostics(diags)
+	cfg.LockHeldDepth = *depth
 
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
-			}
+	var diags []analysis.Diagnostic
+	switch *mode {
+	case "typed":
+		mod, err := analysis.LoadModuleTyped(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbo-vet:", err)
+			return 2
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+		diags = mod.Run(cfg, flag.Args(), *workers)
+	case "syntactic":
+		pkgs, err := analysis.LoadModule(root, flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbo-vet:", err)
+			return 2
+		}
+		for _, pkg := range pkgs {
+			diags = append(diags, analysis.RunPackage(pkg, cfg)...)
+		}
+		analysis.SortDiagnostics(diags)
+	default:
+		fmt.Fprintf(os.Stderr, "dbo-vet: unknown -mode %q (want typed or syntactic)\n", *mode)
+		return 2
 	}
+
+	// Text output is rendered relative to the working directory so the
+	// lines are clickable in an editor; json/sarif are rendered relative
+	// to the module root so CI artifacts are machine-independent.
+	var ferr error
+	switch *format {
+	case "text":
+		base, _ := os.Getwd()
+		ferr = analysis.FormatText(os.Stdout, diags, base)
+	case "json":
+		ferr = analysis.FormatJSON(os.Stdout, diags, root)
+	case "sarif":
+		ferr = analysis.FormatSARIF(os.Stdout, diags, root)
+	default:
+		fmt.Fprintf(os.Stderr, "dbo-vet: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "dbo-vet:", ferr)
+		return 2
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dbo-vet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -16,16 +16,21 @@
 //   - time quantities are typed sim.Time / time.Duration, never raw
 //     int64 (rule naketime).
 //
-// Everything is syntactic: the framework deliberately avoids go/types
-// so it can run on partial or even non-compiling sources (FuzzVetParse
-// feeds it arbitrary bytes). Rules therefore use conservative
-// name-based heuristics; a deliberate false positive is silenced in
-// place with
+// The framework has two modes. In *type-aware* mode (the default for
+// cmd/dbo-vet) a stdlib go/types loader (typecheck.go) type-checks
+// every package in the module, builds a static call graph
+// (callgraph.go), and hands both to the analyzers: lockheld becomes
+// interprocedural, clockcmp/walltime match by type identity instead of
+// name heuristics, and the atomicmix/errdrop/sendliveness rules run.
+// Sources that do not compile degrade per package to *syntactic* mode
+// — pure go/parser + go/ast, runnable on partial or even fuzz-mangled
+// input (FuzzVetParse feeds both modes arbitrary bytes). A deliberate
+// false positive is silenced in place with
 //
 //	//dbo:vet-ignore <rule> <reason>
 //
 // which suppresses diagnostics of <rule> on its own line (when it
-// trails code) or on the following line (when it stands alone). A
+// trails code) or on the line after a run of standalone directives. A
 // directive that suppresses nothing is itself a finding, so stale
 // annotations cannot accumulate.
 package analysis
@@ -34,6 +39,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -52,7 +58,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 }
 
-// Pass carries one parsed package through every analyzer.
+// Pass carries one parsed package through every analyzer. The type
+// fields are nil in syntactic mode; analyzers must treat them as
+// optional precision, never as a requirement.
 type Pass struct {
 	Fset    *token.FileSet
 	PkgPath string // module-relative dir path, "/"-separated ("internal/core")
@@ -60,7 +68,35 @@ type Pass struct {
 	Src     map[string][]byte // filename → source bytes
 	Cfg     *Config
 
+	TypesPkg *types.Package     // nil when the package did not type-check
+	Info     *types.Info        // shared module type info (nil in syntactic mode)
+	Typed    map[*ast.File]bool // files whose nodes appear in Info
+	Graph    *CallGraph         // module call graph (nil without module context)
+
 	diags *[]Diagnostic
+}
+
+// FileTyped reports whether f's nodes carry type information.
+func (p *Pass) FileTyped(f *ast.File) bool {
+	return p.Info != nil && p.Typed != nil && p.Typed[f]
+}
+
+// TypeOf returns the type of e, or nil in syntactic mode / for nodes
+// outside the type-checked file set.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// UseOf resolves an identifier to the object it refers to (nil in
+// syntactic mode or when unresolved).
+func (p *Pass) UseOf(id *ast.Ident) types.Object {
+	if p.Info == nil || id == nil {
+		return nil
+	}
+	return p.Info.Uses[id]
 }
 
 // Reportf records a finding at pos.
@@ -84,9 +120,47 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns every registered analyzer, in reporting order.
+// ModulePass carries the whole type-checked module through a
+// module-level analyzer. Findings are reported only into the selected
+// packages.
+type ModulePass struct {
+	Mod      *Module
+	Cfg      *Config
+	Selected map[string]bool // rel paths whose findings are reported
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a module-level finding at pos when the file's
+// package is selected.
+func (p *ModulePass) Reportf(pkgRel string, pos token.Pos, rule, format string, args ...any) {
+	if !p.Selected[pkgRel] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  p.Mod.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModuleAnalyzer is a rule that needs the whole module at once (e.g.
+// atomicmix, whose "accessed atomically anywhere" predicate spans
+// packages). Module analyzers only run in type-aware mode.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// All returns every per-package analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{WallTime, LockHeld, ClockCmp, GoExit, NakeTime}
+	return []*Analyzer{WallTime, LockHeld, ClockCmp, GoExit, NakeTime, ErrDrop, SendLiveness}
+}
+
+// AllModule returns every module-level analyzer.
+func AllModule() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{AtomicMix}
 }
 
 // RuleNames returns the set of valid rule names (used to validate
@@ -94,6 +168,9 @@ func All() []*Analyzer {
 func RuleNames() map[string]bool {
 	m := make(map[string]bool)
 	for _, a := range All() {
+		m[a.Name] = true
+	}
+	for _, a := range AllModule() {
 		m[a.Name] = true
 	}
 	return m
@@ -118,7 +195,7 @@ func RunPackage(pkg *Package, cfg *Config) []Diagnostic {
 	for _, a := range All() {
 		a.Run(pass)
 	}
-	diags = applyIgnores(pkg, diags)
+	diags = applyDirectives(collectDirectives(pkg), diags)
 	SortDiagnostics(diags)
 	return diags
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -15,6 +16,18 @@ import (
 // the Point components tie). Only internal/market (the canonical
 // Compare/Less/AtLeast) and internal/clock may touch the fields
 // directly.
+//
+// In type-aware mode the rule matches by type identity — the operand
+// must actually select a field of market.DeliveryClock — which retires
+// the name-hint heuristic's false-positive class, and it distinguishes
+// the two comparison shapes: ordering one clock's field against
+// *another clock's* field (hand-rolled lexicographic order — always
+// flagged), versus comparing a clock's Point against a plain PointID
+// watermark (the Appendix E egress gate — legitimate, since point ids
+// are globally ordered on their own; previously this needed a
+// vet-ignore). A lone Elapsed comparison is always flagged: elapsed
+// intervals from different participants are incomparable until their
+// Points tie. Files without type info keep the old name heuristics.
 var ClockCmp = &Analyzer{
 	Name: "clockcmp",
 	Doc:  "ad-hoc </> comparisons on DeliveryClock fields outside the canonical comparator",
@@ -38,9 +51,14 @@ func runClockCmp(p *Pass) {
 	}
 	cmpOps := map[token.Token]bool{token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true}
 	for _, f := range p.Files {
+		typed := p.FileTyped(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)
 			if !ok || !cmpOps[be.Op] {
+				return true
+			}
+			if typed {
+				checkClockCmpTyped(p, be)
 				return true
 			}
 			lf, lHint := clockFieldSel(be.X)
@@ -60,6 +78,51 @@ func runClockCmp(p *Pass) {
 			return true
 		})
 	}
+}
+
+// checkClockCmpTyped applies the type-identity rule to one comparison.
+func checkClockCmpTyped(p *Pass, be *ast.BinaryExpr) {
+	lf := deliveryClockField(p, be.X)
+	rf := deliveryClockField(p, be.Y)
+	switch {
+	case lf == "" && rf == "":
+		return
+	case lf != "" && rf != "":
+		p.Reportf(be.Pos(), "clockcmp",
+			"hand-rolled %s ordering of DeliveryClock fields (%s vs %s): order delivery clocks with the canonical Compare/Less/AtLeast in %s (§4.1.1)",
+			be.Op, lf, rf, strings.Join(p.Cfg.ClockCmpAllow, "/"))
+	case lf == "Elapsed" || rf == "Elapsed":
+		p.Reportf(be.Pos(), "clockcmp",
+			"ad-hoc %s comparison on DeliveryClock.Elapsed: elapsed intervals from different participants are only comparable when Points tie — use the canonical comparator in %s (§4.1.1)",
+			be.Op, strings.Join(p.Cfg.ClockCmpAllow, "/"))
+	}
+	// One clock's Point against a plain scalar (a PointID watermark) is
+	// the Appendix E gate shape: point ids are globally ordered, so this
+	// is legitimate and deliberately not flagged.
+}
+
+// deliveryClockField reports which DeliveryClock field e selects
+// (type-resolved), or "".
+func deliveryClockField(p *Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel == nil || !clockFields[sel.Sel.Name] {
+		return ""
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if named.Obj().Name() != "DeliveryClock" || !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/market") {
+		return ""
+	}
+	return sel.Sel.Name
 }
 
 // clockFieldSel reports whether e selects a DeliveryClock field, and

@@ -22,6 +22,30 @@ type Config struct {
 	// tied to a visible lifecycle (WaitGroup, context, or done channel
 	// referenced in the same function).
 	GoExitScope []string
+
+	// ErrDropScope lists the packages whose Submit/Deliver/Release hot
+	// paths may never silently discard an error result (rule errdrop,
+	// type-aware mode only).
+	ErrDropScope []string
+
+	// LockHeldDepth bounds the interprocedural lockheld search: a call
+	// made under a lock is chased through at most this many call-graph
+	// edges looking for a transitive blocking operation. 0 uses
+	// DefaultLockHeldDepth.
+	LockHeldDepth int
+}
+
+// DefaultLockHeldDepth is the call-graph bound used when
+// Config.LockHeldDepth is zero. Deep enough for the repo's layering
+// (exported API → helper → emit hook), shallow enough that one
+// diagnostic stays explainable.
+const DefaultLockHeldDepth = 4
+
+func (c *Config) lockHeldDepth() int {
+	if c.LockHeldDepth > 0 {
+		return c.LockHeldDepth
+	}
+	return DefaultLockHeldDepth
 }
 
 // Default is dbo-vet's configuration for this repository.
@@ -39,6 +63,11 @@ func Default() *Config {
 			"internal/clock",  // the per-participant tracker
 		},
 		GoExitScope: []string{
+			"internal/core",
+			"internal/exchange",
+			"internal/gateway",
+		},
+		ErrDropScope: []string{
 			"internal/core",
 			"internal/exchange",
 			"internal/gateway",

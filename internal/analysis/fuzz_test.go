@@ -7,10 +7,12 @@ import (
 )
 
 // FuzzVetParse feeds arbitrary bytes through the full analyzer driver
-// path (parse → five rules → ignore filter). The invariant is simply
-// that it never panics: dbo-vet runs in CI on whatever the tree holds,
-// including half-written code, and the parser hands analyzers partial
-// ASTs full of Bad* nodes and nil fields.
+// path, syntactic AND type-aware (parse → type-check → call graph →
+// every rule → ignore filter). The invariant is simply that it never
+// panics: dbo-vet runs in CI on whatever the tree holds, including
+// half-written code; the parser hands analyzers partial ASTs full of
+// Bad* nodes and nil fields, and go/types is known to panic on some
+// parseable trees — the loader must degrade to syntactic mode instead.
 func FuzzVetParse(f *testing.F) {
 	fixtures, _ := filepath.Glob(filepath.Join("testdata", "src", "*.go"))
 	for _, fx := range fixtures {
@@ -25,11 +27,23 @@ func FuzzVetParse(f *testing.F) {
 	f.Add([]byte("package p\ntype t struct { Ns int64 }\nfunc (x t) f(mu sync.Mutex) { mu.Lock(); <-c"))
 	f.Add([]byte(""))
 	f.Add([]byte("\x00\x01\x02"))
+	// Typed-pipeline seeds: compiles-clean, type-error fallback,
+	// module-internal import (fails soft in a single-file module),
+	// recursion to exercise the call-graph depth bound, and channel
+	// plumbing for the liveness facts.
+	f.Add([]byte("package p\nimport \"sync/atomic\"\nvar n int64\nfunc f() int64 { atomic.AddInt64(&n, 1); return n }"))
+	f.Add([]byte("package p\nfunc f() { _ = undefined }"))
+	f.Add([]byte("package p\nimport \"dbo/internal/market\"\nvar c market.DeliveryClock"))
+	f.Add([]byte("package p\nimport \"sync\"\ntype q struct{ mu sync.Mutex; ch chan int }\nfunc (x *q) a() { x.b() }\nfunc (x *q) b() { x.a(); x.ch <- 1 }\nfunc (x *q) c() { x.mu.Lock(); x.a(); x.mu.Unlock() }"))
+	f.Add([]byte("package p\ntype e struct{ open bool; ch chan int }\nfunc (x *e) s() { x.ch <- 1 }\nfunc (x *e) r() { if !x.open { return }; <-x.ch }\nfunc mk() *e { return &e{ch: make(chan int)} }"))
 
 	f.Fuzz(func(t *testing.T, src []byte) {
 		// Two package paths: one rule-scoped, one allowlisted — both
 		// must be panic-free whatever the bytes.
 		_ = CheckSource("fuzz.go", "internal/core", src, Default())
 		_ = CheckSource("fuzz_test.go", "cmd/fuzz", src, Default())
+		// The typed pipeline must degrade (fallback to syntactic),
+		// never crash, on the same inputs.
+		_ = CheckSourceTyped("fuzz.go", "internal/core", src, Default())
 	})
 }

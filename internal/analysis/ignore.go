@@ -19,8 +19,13 @@ type directive struct {
 }
 
 // collectDirectives scans every comment in the package. A directive
-// that trails code covers its own line; a standalone directive covers
-// the following line.
+// that trails code covers exactly its own line; a standalone directive
+// covers exactly the next line — except that a run of consecutive
+// standalone directives chains, all of them covering the first line
+// after the run (so two rules firing on one statement can each be
+// suppressed with its own reasoned directive). Matching is strictly by
+// (file, line, rule): a directive never suppresses findings on any
+// other line.
 func collectDirectives(pkg *Package) []*directive {
 	rules := RuleNames()
 	var out []*directive
@@ -35,7 +40,36 @@ func collectDirectives(pkg *Package) []*directive {
 			}
 		}
 	}
+	chainStandaloneRuns(out)
 	return out
+}
+
+// chainStandaloneRuns retargets stacked standalone directives: when a
+// standalone directive's target line holds another standalone directive
+// in the same file, both must cover the code line below the whole run.
+// Directives arrive in position order per file; walking bottom-up makes
+// each retarget see the already-resolved directive beneath it.
+func chainStandaloneRuns(dirs []*directive) {
+	byLine := make(map[string]map[int]*directive)
+	for _, d := range dirs {
+		if d.target != d.pos.Line { // standalone: targets the next line
+			m := byLine[d.pos.Filename]
+			if m == nil {
+				m = make(map[int]*directive)
+				byLine[d.pos.Filename] = m
+			}
+			m[d.pos.Line] = d
+		}
+	}
+	for i := len(dirs) - 1; i >= 0; i-- {
+		d := dirs[i]
+		if d.target == d.pos.Line {
+			continue
+		}
+		if below, ok := byLine[d.pos.Filename][d.target]; ok {
+			d.target = below.target
+		}
+	}
 }
 
 func parseDirective(pkg *Package, text string, pos token.Position, rules map[string]bool) *directive {
@@ -80,11 +114,11 @@ func standaloneComment(src []byte, pos token.Position) bool {
 	return true
 }
 
-// applyIgnores filters diags through the package's directives. Matching
+// applyDirectives filters diags through the given directives (from one
+// package or, in type-aware mode, the whole selected module). Matching
 // diagnostics are dropped; malformed directives and directives that
 // suppressed nothing become findings themselves.
-func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
-	dirs := collectDirectives(pkg)
+func applyDirectives(dirs []*directive, diags []Diagnostic) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}

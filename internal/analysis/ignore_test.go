@@ -86,6 +86,94 @@ var x = 1
 	}
 }
 
+// Strict line scoping: a directive covering line N must not mask the
+// identical finding on line M, whatever their distance or order. Each
+// call gets its own reasoned annotation or its own finding.
+func TestIgnoreLineNDoesNotMaskLineM(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+import "time"
+
+func f() {
+	//dbo:vet-ignore walltime only THIS call is sanctioned
+	_ = time.Now()
+	_ = time.Now()
+	_ = time.Now()
+}
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	if len(diags) != 2 {
+		t.Fatalf("want the line-8 and line-9 findings to survive, got %v", render(diags))
+	}
+	gotLines := []int{diags[0].Pos.Line, diags[1].Pos.Line}
+	if gotLines[0] != 8 || gotLines[1] != 9 {
+		t.Fatalf("surviving lines = %v, want [8 9]", gotLines)
+	}
+	for _, d := range diags {
+		if d.Rule != "walltime" {
+			t.Fatalf("surviving rule = %s, want walltime: %v", d.Rule, render(diags))
+		}
+	}
+}
+
+// A run of stacked standalone directives chains: every directive in the
+// run covers the first code line below it, so a statement tripping two
+// rules carries one reasoned annotation per rule. None may end up
+// unused, and none may leak onto later lines.
+func TestIgnoreStackedStandaloneDirectives(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+import "time"
+
+func f(timeoutNs int64) {
+	//dbo:vet-ignore walltime the stack's upper directive must reach past the lower one
+	//dbo:vet-ignore lockheld exercises stacking with a second rule that does not fire
+	_ = time.Now()
+	_ = time.Now()
+}
+`
+	diags := CheckSource("fix.go", "internal/sim", []byte(src), Default())
+	// Expected: line-8 walltime suppressed by the first directive; the
+	// second directive names a rule with no finding on line 8, so it is
+	// an unused-ignore; line-9 walltime survives; the naketime finding
+	// on the parameter survives untouched.
+	want := map[string]int{"unused-ignore": 7, "walltime": 9, "naketime": 5}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d finding(s) %v, want %d", len(diags), render(diags), len(want))
+	}
+	for _, d := range diags {
+		line, ok := want[d.Rule]
+		if !ok || d.Pos.Line != line {
+			t.Fatalf("unexpected finding [%s] at line %d, want %v among %v", d.Rule, d.Pos.Line, want, render(diags))
+		}
+		delete(want, d.Rule)
+	}
+
+	// Both directives suppressing real same-line findings: nothing
+	// survives and neither directive is unused.
+	src2 := `package p
+
+import (
+	"sync"
+	"time"
+)
+
+func f(mu *sync.Mutex) {
+	mu.Lock()
+	//dbo:vet-ignore walltime wall-clock read under lock is deliberate here
+	//dbo:vet-ignore lockheld sleep under lock is deliberate here
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}
+`
+	diags = CheckSource("fix.go", "internal/sim", []byte(src2), Default())
+	if len(diags) != 0 {
+		t.Fatalf("want both stacked directives to suppress their rule, got %v", render(diags))
+	}
+}
+
 // The suppressed-diagnostic accounting must mark a directive used even
 // when several same-rule findings share the line (both are silenced by
 // the one directive).

@@ -12,10 +12,10 @@ import (
 	"strings"
 )
 
-// Package is one parsed directory of Go files. dbo-vet does not
-// type-check, so a directory's ordinary and external-test files are
-// lumped into one Package — every analyzer is per-file or per-function
-// and never needs cross-file name resolution beyond struct shapes.
+// Package is one parsed directory of Go files. A directory's ordinary
+// and external-test files are lumped into one Package: the type-aware
+// loader (typecheck.go) type-checks only the non-test files, and every
+// analyzer falls back to syntactic mode for files without type info.
 type Package struct {
 	Path  string // module-relative dir path ("internal/core"; "." for the root)
 	Dir   string // absolute directory
@@ -52,6 +52,13 @@ func ModuleRoot(dir string) (string, error) {
 // directory. Directories named testdata or vendor, and dot/underscore
 // directories, are skipped.
 func LoadModule(root string, patterns []string) ([]*Package, error) {
+	return loadModule(root, patterns, token.NewFileSet())
+}
+
+// loadModule is LoadModule with a caller-supplied FileSet, so the
+// type-aware loader can position every package — and the stdlib
+// packages the source importer pulls in — in one coordinate space.
+func loadModule(root string, patterns []string, fset *token.FileSet) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -86,7 +93,7 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 		if !matchesAny(rel, patterns) {
 			continue
 		}
-		pkg, err := parseDir(dir, rel)
+		pkg, err := parseDir(dir, rel, fset)
 		if err != nil {
 			return nil, err
 		}
@@ -120,12 +127,12 @@ func matchesAny(rel string, patterns []string) bool {
 }
 
 // parseDir parses one directory; nil if it holds no Go files.
-func parseDir(dir, rel string) (*Package, error) {
+func parseDir(dir, rel string, fset *token.FileSet) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{Path: rel, Dir: dir, Fset: token.NewFileSet(), Src: make(map[string][]byte)}
+	pkg := &Package{Path: rel, Dir: dir, Fset: fset, Src: make(map[string][]byte)}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||

@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -18,26 +21,37 @@ import (
 // statements, .Wait() calls, time.Sleep, and calls through func-typed
 // values (parameters, locals assigned func literals, and struct fields
 // or collections of funcs declared in the same package) plus On*-named
-// callback invocations. The analysis is per-function and syntactic; it
-// does not chase calls into other functions.
+// callback invocations.
+//
+// In type-aware mode the rule is additionally *interprocedural*: a call
+// to a statically resolved function (or interface method, through the
+// module's method sets) is flagged when any transitive callee — up to
+// Config.LockHeldDepth call-graph edges — performs a blocking
+// operation, and the diagnostic prints the call chain plus the blocking
+// reason. Type resolution also retires two name heuristics: a selector
+// that resolves to a declared, provably non-blocking function is no
+// longer flagged just for being named On*, and a selector that resolves
+// to a func-typed field or variable is flagged from type identity
+// rather than the package-wide field-name shape table.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
-	Doc:  "mutex held across a blocking operation or user callback",
+	Doc:  "mutex held across a (transitively) blocking operation or user callback",
 	Run:  runLockHeld,
 }
 
 func runLockHeld(p *Pass) {
 	shapes := collectFuncShapes(p)
 	for _, f := range p.Files {
+		typed := p.FileTyped(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					newLockScan(p, shapes, fn.Type).scan(fn.Body.List)
+					newLockScan(p, shapes, fn.Type, typed).scan(fn.Body.List)
 				}
 			case *ast.FuncLit:
 				if fn.Body != nil {
-					newLockScan(p, shapes, fn.Type).scan(fn.Body.List)
+					newLockScan(p, shapes, fn.Type, typed).scan(fn.Body.List)
 				}
 			}
 			return true
@@ -120,15 +134,16 @@ func funcTypeKind(t ast.Expr) typeKind {
 type lockScan struct {
 	p        *Pass
 	shapes   *funcShapes
+	typed    bool            // this file carries type info
 	held     map[string]bool // "r.mu" → explicitly locked
 	deferred map[string]bool // "r.mu" → unlocked only at return
 	funcVals map[string]bool // local/param names that hold funcs
 	funcColl map[string]bool // local names that hold slices/maps of funcs
 }
 
-func newLockScan(p *Pass, shapes *funcShapes, ftype *ast.FuncType) *lockScan {
+func newLockScan(p *Pass, shapes *funcShapes, ftype *ast.FuncType, typed bool) *lockScan {
 	s := &lockScan{
-		p: p, shapes: shapes,
+		p: p, shapes: shapes, typed: typed,
 		held: make(map[string]bool), deferred: make(map[string]bool),
 		funcVals: make(map[string]bool), funcColl: make(map[string]bool),
 	}
@@ -457,6 +472,9 @@ func (s *lockScan) checkExpr(e ast.Expr) {
 }
 
 func (s *lockScan) checkCall(call *ast.CallExpr) {
+	if s.typed && s.checkCallTyped(call) {
+		return
+	}
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if s.funcVals[fun.Name] {
@@ -483,6 +501,69 @@ func (s *lockScan) checkCall(call *ast.CallExpr) {
 				"user-callback invocation %s while holding %s: callbacks must not run under a lock — invoke after Unlock", exprString(fun), s.heldNames())
 		}
 	}
+}
+
+// checkCallTyped resolves the callee through type information. It
+// returns true when resolution succeeded (whether or not it reported),
+// telling the caller the syntactic heuristics are superseded for this
+// call; false falls back to the name-based checks.
+func (s *lockScan) checkCallTyped(call *ast.CallExpr) bool {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = s.p.UseOf(f)
+	case *ast.SelectorExpr:
+		obj = s.p.UseOf(f.Sel)
+	default:
+		// Immediately invoked literals, indexed collections, … — the
+		// syntactic machinery already models these.
+		return false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		if fact := blockingStdCall(o); fact != "" {
+			s.p.Reportf(call.Pos(), "lockheld",
+				"%s while holding %s: blocking under a lock stalls or deadlocks every other caller — move it after Unlock", fact, s.heldNames())
+			return true
+		}
+		if chain := s.p.Graph.BlockingChain(o, s.p.Cfg.lockHeldDepth()); chain != nil {
+			s.p.Reportf(call.Pos(), "lockheld",
+				"call to %s while holding %s: %s — move the call after Unlock or restructure the callee",
+				FuncDisplay(o), s.heldNames(), renderChain(s.p, chain))
+			return true
+		}
+		// Resolved to a declared function with no reachable blocking op
+		// (or an external one we cannot see into): type identity
+		// overrides the On*-name heuristic, so stay silent.
+		return true
+	case *types.Var:
+		if _, isFunc := o.Type().Underlying().(*types.Signature); isFunc {
+			kind := "func value"
+			if o.IsField() {
+				kind = "func-typed field"
+			}
+			s.p.Reportf(call.Pos(), "lockheld",
+				"call through %s %s while holding %s: a user callback may block or re-enter the lock (the Registry.Snapshot deadlock shape) — invoke after Unlock",
+				kind, exprString(call.Fun), s.heldNames())
+		}
+		return true
+	case *types.Builtin, *types.TypeName:
+		return true // len/cap/conversions never block
+	}
+	return false
+}
+
+// renderChain formats a blocking chain: "its callee chain a → b reaches
+// a channel send at file:line".
+func renderChain(p *Pass, chain []ChainStep) string {
+	names := make([]string, len(chain))
+	for i, st := range chain {
+		names[i] = FuncDisplay(st.Fn)
+	}
+	last := chain[len(chain)-1]
+	pos := p.Fset.Position(last.Fact.Pos)
+	return fmt.Sprintf("its callee chain %s reaches a blocking %s at %s:%d",
+		strings.Join(names, " → "), last.Fact.What, filepath.Base(pos.Filename), pos.Line)
 }
 
 // isCallbackName matches the repo's On<Event> hook convention.

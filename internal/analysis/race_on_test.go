@@ -1,0 +1,6 @@
+//go:build race
+
+package analysis
+
+// raceEnabled relaxes wall-clock budgets when the race detector is on.
+const raceEnabled = true

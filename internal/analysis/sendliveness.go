@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SendLiveness flags sends on an unbuffered channel whose only
+// receivers sit behind a conditional early-return.
+//
+// This is the exact shape of the PR-2 Egress.Submit stranding bug: the
+// producer does `ch <- order` unconditionally, but every receiver first
+// checks a gate (`if !e.open { return }`) before draining — so once the
+// gate closes, the producer blocks forever with the order in hand.
+// Appendix E's egress correctness depends on submitted orders either
+// being delivered or being rejected, never silently parked.
+//
+// The rule is type-aware only: channel identity is the *object* of the
+// variable the channel lives in, which needs types.Info. Per channel
+// object (a field or package-level var of channel type, declared in the
+// module) it collects make sites, send sites, and receive sites across
+// the whole package. A send is flagged when
+//
+//   - the channel is provably unbuffered (every make site has no cap
+//     argument or a constant-zero cap),
+//   - at least one receive exists (a channel with no receiver at all is
+//     dead code, not a liveness hazard — and is usually wired up
+//     elsewhere), and
+//   - every receive is "guarded": it appears in a function whose body,
+//     scanned sequentially up to the receive, contains an if whose body
+//     ends in a return — the conditional-bail-out that can strand the
+//     sender. Receives inside a select with a default (or any
+//     select-comm case) count as healthy: select receivers keep
+//     draining.
+//
+// Sends inside a select with a default are never flagged — they cannot
+// block.
+var SendLiveness = &Analyzer{
+	Name: "sendliveness",
+	Doc:  "send on an unbuffered channel whose only receivers are guarded by a conditional return",
+	Run:  runSendLiveness,
+}
+
+type chanInfo struct {
+	obj        types.Object
+	name       string
+	makes      int  // number of make sites seen
+	unbuffered bool // true while every make site is capacity-0
+	sends      []*ast.SendStmt
+	recvs      int // total receive sites
+	guarded    int // receive sites behind a conditional return
+}
+
+func runSendLiveness(p *Pass) {
+	chans := make(map[types.Object]*chanInfo)
+	get := func(id *ast.Ident) *chanInfo {
+		obj := p.UseOf(id)
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return nil
+		}
+		// Only shared channels: fields and package-level vars. A local
+		// channel's whole lifecycle is visible in one function and the
+		// guarded-receiver heuristic is too coarse there.
+		if !sharedVar(v) {
+			return nil
+		}
+		ci := chans[v]
+		if ci == nil {
+			ci = &chanInfo{obj: v, name: v.Name(), unbuffered: true}
+			chans[v] = ci
+		}
+		return ci
+	}
+
+	for _, f := range p.Files {
+		if !p.FileTyped(f) || isTestFile(p.fileName(f)) {
+			continue
+		}
+		collectChanFacts(p, f, get)
+	}
+
+	type finding struct {
+		send *ast.SendStmt
+		ci   *chanInfo
+	}
+	var found []finding
+	for _, ci := range chans {
+		if ci.makes == 0 || !ci.unbuffered || len(ci.sends) == 0 {
+			continue
+		}
+		if ci.recvs == 0 || ci.guarded < ci.recvs {
+			continue // no receivers at all, or at least one always-on receiver
+		}
+		for _, s := range ci.sends {
+			found = append(found, finding{s, ci})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].send.Pos() < found[j].send.Pos() })
+	for _, fd := range found {
+		p.Reportf(fd.send.Pos(), "sendliveness",
+			"send on unbuffered channel %s whose every receiver is behind a conditional return: if the guard trips, this send blocks forever and the order is stranded (Appendix E) — buffer the channel, select with a default, or drain unconditionally",
+			fd.ci.name)
+	}
+}
+
+// collectChanFacts walks one file recording make/send/receive sites for
+// shared channels.
+func collectChanFacts(p *Pass, f *ast.File, get func(*ast.Ident) *chanInfo) {
+	// Make sites can appear anywhere: assignments, var declarations
+	// (including package level), and composite-literal fields
+	// (&egress{ch: make(chan int)}).
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				recordMake(p, get, st.Lhs[i], rhs)
+			}
+		case *ast.ValueSpec:
+			for i, v := range st.Values {
+				if i < len(st.Names) {
+					recordMake(p, get, st.Names[i], v)
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := st.Key.(*ast.Ident); ok {
+				recordMake(p, get, id, st.Value)
+			}
+		}
+		return true
+	})
+
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// selectRecv marks receive expressions that appear as a select
+		// comm clause: those receivers stay live across cases, so they
+		// are not "guarded" in the stranding sense.
+		selectRecv := make(map[ast.Node]bool)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, cl := range sel.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm != nil {
+					selectRecv[cc.Comm] = true
+				}
+			}
+			return true
+		})
+
+		guard := bodyHasConditionalReturn(fn.Body)
+
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.SendStmt:
+				if id := chanIdent(st.Chan); id != nil {
+					if ci := get(id); ci != nil && !sendInSelectDefault(fn.Body, st) {
+						ci.sends = append(ci.sends, st)
+					}
+				}
+			case *ast.AssignStmt:
+				// receive via assignment: v := <-ch or v, ok := <-ch
+				if len(st.Rhs) == 1 {
+					if ue, ok := ast.Unparen(st.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+						recordRecv(get, ue, guard && !selectRecv[st], selectRecv[st])
+					}
+				}
+			case *ast.ExprStmt:
+				if ue, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					recordRecv(get, ue, guard && !selectRecv[st], selectRecv[st])
+				}
+			case *ast.RangeStmt:
+				id := chanIdent(st.X)
+				t := p.TypeOf(st.X)
+				if id == nil || t == nil {
+					break
+				}
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					if ci := get(id); ci != nil {
+						ci.recvs++
+						if guard {
+							ci.guarded++
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recordRecv books one receive site. healthySelect receives (a select
+// comm clause) count as unguarded — they keep draining.
+func recordRecv(get func(*ast.Ident) *chanInfo, ue *ast.UnaryExpr, guarded, inSelect bool) {
+	id := chanIdent(ue.X)
+	if id == nil {
+		return
+	}
+	ci := get(id)
+	if ci == nil {
+		return
+	}
+	ci.recvs++
+	if guarded && !inSelect {
+		ci.guarded++
+	}
+}
+
+// recordMake books a make site when rhs is make(chan T[, cap]).
+func recordMake(p *Pass, get func(*ast.Ident) *chanInfo, lhs ast.Expr, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+		return
+	}
+	t := p.TypeOf(call)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	id := chanIdent(lhs)
+	if id == nil {
+		return
+	}
+	ci := get(id)
+	if ci == nil {
+		return
+	}
+	ci.makes++
+	if len(call.Args) >= 2 && !isConstZero(p, call.Args[1]) {
+		ci.unbuffered = false
+	}
+}
+
+func isConstZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// chanIdent digs out the identifier a channel expression hangs off
+// (ch, s.ch, s.inner.ch).
+func chanIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// bodyHasConditionalReturn reports whether the function body contains,
+// at any statement-list level before its end, an if whose body ends in
+// a bare return — the gate shape that can strand a sender.
+func bodyHasConditionalReturn(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok || len(ifst.Body.List) == 0 {
+			return true
+		}
+		if _, ok := ifst.Body.List[len(ifst.Body.List)-1].(*ast.ReturnStmt); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sendInSelectDefault reports whether st is a comm clause of a select
+// that has a default case (such sends cannot block).
+func sendInSelectDefault(body *ast.BlockStmt, st *ast.SendStmt) bool {
+	blocking := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := selectHasDefault(sel)
+		for _, cl := range sel.Body.List {
+			if cc := cl.(*ast.CommClause); cc.Comm == st && hasDefault {
+				blocking = false
+			}
+		}
+		return true
+	})
+	return !blocking
+}

@@ -1,0 +1,32 @@
+// Fixture for rule errdrop, analyzed as package path
+// "internal/core/ed" (inside ErrDropScope) in a compiled mini-module.
+package ed
+
+import "fmt"
+
+func submit() error { return nil }
+
+func deliver() (int, error) { return 0, nil }
+
+func bad() {
+	submit()          // want "errdrop.*submit"
+	defer submit()    // want "errdrop.*submit"
+	_ = submit()      // want "errdrop"
+	_, _ = deliver()  // want "errdrop.*deliver"
+	n, _ := deliver() // want "errdrop.*deliver"
+	_ = n
+}
+
+func good() error {
+	if err := submit(); err != nil {
+		return err
+	}
+	n, err := deliver()
+	_ = n
+	if err != nil {
+		return err
+	}
+	// fmt printers are exempt: their error is famously useless.
+	fmt.Println("delivered")
+	return nil
+}

@@ -1,0 +1,48 @@
+// Fixture for rule sendliveness, analyzed as package path
+// "internal/exchange/sl" in a compiled mini-module. The bug shape is
+// the PR-2 Egress.Submit stranding: an unconditional send on an
+// unbuffered channel whose every receiver first checks a gate and
+// bails, so a closed gate blocks the producer forever.
+package sl
+
+type egress struct {
+	open    bool
+	orders  chan int // unbuffered, only receiver is gated: hazard
+	backlog chan int // buffered: a burst rides in the buffer
+	events  chan int // unbuffered, but drained by a live select loop
+}
+
+func newEgress() *egress {
+	return &egress{
+		orders:  make(chan int),
+		backlog: make(chan int, 8),
+		events:  make(chan int, 0),
+	}
+}
+
+func (e *egress) submit(v int) {
+	e.orders <- v // want "sendliveness.*orders"
+	e.backlog <- v
+	e.events <- v
+}
+
+func (e *egress) drainOrders() {
+	if !e.open {
+		return
+	}
+	v := <-e.orders
+	_ = v
+	w := <-e.backlog
+	_ = w
+}
+
+func (e *egress) loop(done chan struct{}) {
+	for {
+		select {
+		case v := <-e.events:
+			_ = v
+		case <-done:
+			return
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Module is the type-aware view of one Go module: every package parsed
+// into a shared FileSet, type-checked in dependency order with the
+// stdlib go/types checker (no x/tools), and a static call graph over
+// the declared functions. Packages that do not compile keep their ASTs
+// and are analyzed in syntactic mode — the framework's original
+// contract (partial trees, fuzz-mangled input) still holds, it just
+// loses precision instead of failing.
+type Module struct {
+	Root string // absolute module root (dir of go.mod)
+	Path string // module path from go.mod ("dbo")
+	Fset *token.FileSet
+	Pkgs []*Package // every package in the module, sorted by Path
+
+	// Info merges type information for every package that type-checked;
+	// AST nodes of failed or test files are simply absent from its maps.
+	Info *types.Info
+
+	// Graph is the module call graph (nil until built).
+	Graph *CallGraph
+
+	byRel    map[string]*Package
+	typed    map[string]*types.Package // rel → non-nil on type-check success
+	typedErr map[string]error          // rel → why the fallback happened
+	files    map[*ast.File]bool        // files covered by Info
+	checking map[string]bool           // cycle guard
+	stdImp   types.Importer
+}
+
+var moduleLineRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadModuleTyped parses every package under root and type-checks each
+// in dependency order. It never fails on broken source: a package that
+// does not compile (or whose imports do not) is recorded as a syntactic
+// fallback and analysis proceeds without type info there.
+func LoadModuleTyped(root string) (*Module, error) {
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	mm := moduleLineRe.FindSubmatch(gomod)
+	if mm == nil {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := loadModule(root, []string{"./..."}, fset)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root: root,
+		Path: string(mm[1]),
+		Fset: fset,
+		Pkgs: pkgs,
+		Info: newTypesInfo(),
+
+		byRel:    make(map[string]*Package, len(pkgs)),
+		typed:    make(map[string]*types.Package, len(pkgs)),
+		typedErr: make(map[string]error),
+		files:    make(map[*ast.File]bool),
+		checking: make(map[string]bool),
+		stdImp:   importer.ForCompiler(fset, "source", nil),
+	}
+	for _, p := range pkgs {
+		m.byRel[p.Path] = p
+	}
+	for _, p := range pkgs {
+		m.check(p.Path)
+	}
+	m.Graph = buildCallGraph(m)
+	return m, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// TypedPackage returns the type-checked package for rel, or nil when
+// the package fell back to syntactic mode.
+func (m *Module) TypedPackage(rel string) *types.Package { return m.typed[rel] }
+
+// FallbackReason explains why rel is analyzed syntactically ("" when it
+// type-checked).
+func (m *Module) FallbackReason(rel string) string {
+	if err := m.typedErr[rel]; err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// check type-checks one module package (memoized), returning nil and
+// recording the reason on failure.
+func (m *Module) check(rel string) *types.Package {
+	if tp, done := m.typed[rel]; done {
+		return tp
+	}
+	if _, failed := m.typedErr[rel]; failed {
+		return nil
+	}
+	tp, err := m.checkErr(rel)
+	if err != nil {
+		m.typedErr[rel] = err
+		return nil
+	}
+	m.typed[rel] = tp
+	return tp
+}
+
+func (m *Module) checkErr(rel string) (tp *types.Package, err error) {
+	pkg := m.byRel[rel]
+	if pkg == nil {
+		return nil, fmt.Errorf("no package %q in module", rel)
+	}
+	if len(pkg.ParseErrors) > 0 {
+		return nil, fmt.Errorf("package %s has parse errors", rel)
+	}
+	if m.checking[rel] {
+		return nil, fmt.Errorf("import cycle through %s", rel)
+	}
+	m.checking[rel] = true
+	defer delete(m.checking, rel)
+
+	// Only non-test files participate: external-test files carry a
+	// different package name and in-package test files widen the import
+	// graph (and can legally cycle back). Test files therefore stay in
+	// syntactic mode — documented as a precision bound.
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !isTestFile(pkg.Fset.Position(f.Package).Filename) {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("package %s has no non-test files", rel)
+	}
+
+	// go/types panics on some malformed (but parseable) trees; the
+	// loader must degrade, never crash — FuzzVetParse drives this path.
+	defer func() {
+		if r := recover(); r != nil {
+			tp, err = nil, fmt.Errorf("type-checking %s panicked: %v", rel, r)
+		}
+	}()
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: moduleImporter{m},
+		Error:    func(e error) { typeErrs = append(typeErrs, e) },
+	}
+	tp, err = conf.Check(m.importPathFor(rel), m.Fset, files, m.Info)
+	if err != nil || len(typeErrs) > 0 {
+		if err == nil {
+			err = typeErrs[0]
+		}
+		return nil, err
+	}
+	for _, f := range files {
+		m.files[f] = true
+	}
+	return tp, nil
+}
+
+func (m *Module) importPathFor(rel string) string {
+	if rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + rel
+}
+
+// moduleImporter resolves module-internal import paths through the
+// module's own source and everything else through the stdlib source
+// importer (GOROOT source; no export data, no go command, no x/tools).
+type moduleImporter struct{ m *Module }
+
+func (mi moduleImporter) Import(path string) (*types.Package, error) {
+	m := mi.m
+	if path == m.Path {
+		if tp := m.check("."); tp != nil {
+			return tp, nil
+		}
+		return nil, fmt.Errorf("module package %s failed to type-check", path)
+	}
+	if rel, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		if tp := m.check(rel); tp != nil {
+			return tp, nil
+		}
+		return nil, fmt.Errorf("module package %s failed to type-check: %v", path, m.typedErr[rel])
+	}
+	return m.stdImp.Import(path)
+}
+
+// FileTyped reports whether f was part of a successful type-check (its
+// nodes appear in Info).
+func (m *Module) FileTyped(f *ast.File) bool { return m.files[f] }
+
+// Run analyzes every package selected by patterns (default "./...")
+// using `workers` goroutines, runs the module-level analyzers, applies
+// the ignore filter, and returns the findings sorted. Packages that
+// fell back to syntactic mode are analyzed exactly as RunPackage would.
+func (m *Module) Run(cfg *Config, patterns []string, workers int) []Diagnostic {
+	if cfg == nil {
+		cfg = Default()
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var selected []*Package
+	selectedRel := make(map[string]bool)
+	for _, p := range m.Pkgs {
+		if matchesAny(p.Path, patterns) {
+			selected = append(selected, p)
+			selectedRel[p.Path] = true
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(selected))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				perPkg[i] = m.runPackage(selected[i], cfg)
+			}
+		}()
+	}
+	for i := range selected {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+
+	// Module-level analyzers see the whole module but report only into
+	// the selected packages.
+	mp := &ModulePass{Mod: m, Cfg: cfg, Selected: selectedRel, diags: &diags}
+	for _, a := range AllModule() {
+		a.Run(mp)
+	}
+
+	var dirs []*directive
+	for _, p := range selected {
+		dirs = append(dirs, collectDirectives(p)...)
+	}
+	diags = applyDirectives(dirs, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPackage runs the per-package analyzers over one package with the
+// module's type information attached (when available); the ignore
+// filter is applied later, module-wide.
+func (m *Module) runPackage(pkg *Package, cfg *Config) []Diagnostic {
+	diags := append([]Diagnostic(nil), pkg.ParseErrors...)
+	pass := &Pass{
+		Fset:     pkg.Fset,
+		PkgPath:  pkg.Path,
+		Files:    pkg.Files,
+		Src:      pkg.Src,
+		Cfg:      cfg,
+		TypesPkg: m.typed[pkg.Path],
+		Graph:    m.Graph,
+		diags:    &diags,
+	}
+	if pass.TypesPkg != nil {
+		pass.Info = m.Info
+		pass.Typed = m.files
+	}
+	for _, a := range All() {
+		a.Run(pass)
+	}
+	return diags
+}
+
+// checkTyped holds the shared state behind CheckSourceTyped: the
+// source importer memoizes type-checked stdlib packages per FileSet, so
+// repeated calls (the fuzz loop above all) must reuse one fset+importer
+// pair or every call re-checks the stdlib from GOROOT source. The
+// importer is not safe for concurrent use; the mutex covers the whole
+// parse+check.
+var checkTyped struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// CheckSourceTyped is CheckSource through the type-aware pipeline: one
+// in-memory file is parsed, type-checked as a single-package module
+// (stdlib imports resolved from GOROOT source; module-internal imports
+// fail soft), a call graph is built, and the full analyzer suite runs —
+// module-level rules included. Any failure along the way degrades to
+// the syntactic rules exactly like a non-compiling package in
+// LoadModuleTyped; like CheckSource it must never panic, whatever the
+// bytes. FuzzVetParse drives this entry point.
+func CheckSourceTyped(filename, pkgPath string, src []byte, cfg *Config) []Diagnostic {
+	// The mutex covers only parse+check+graph — the part touching the
+	// shared importer. Run (which spins up a worker pool) happens after
+	// Unlock; it only reads this call's Module plus the shared FileSet,
+	// whose methods are documented as safe for concurrent use.
+	m := checkSourceLocked(filename, pkgPath, src)
+	return m.Run(cfg, []string{"./..."}, 1)
+}
+
+func checkSourceLocked(filename, pkgPath string, src []byte) *Module {
+	checkTyped.mu.Lock()
+	defer checkTyped.mu.Unlock()
+	if checkTyped.fset == nil {
+		checkTyped.fset = token.NewFileSet()
+		checkTyped.imp = importer.ForCompiler(checkTyped.fset, "source", nil)
+	}
+
+	pkg := &Package{Path: pkgPath, Fset: checkTyped.fset, Src: make(map[string][]byte)}
+	pkg.addFile(filename, src)
+	m := &Module{
+		Root: "",
+		Path: "dbo",
+		Fset: pkg.Fset,
+		Pkgs: []*Package{pkg},
+		Info: newTypesInfo(),
+
+		byRel:    map[string]*Package{pkgPath: pkg},
+		typed:    make(map[string]*types.Package, 1),
+		typedErr: make(map[string]error),
+		files:    make(map[*ast.File]bool),
+		checking: make(map[string]bool),
+		stdImp:   checkTyped.imp,
+	}
+	m.check(pkgPath)
+	m.Graph = buildCallGraph(m)
+	return m
+}
+
+// sortedTypedPackages returns the packages that type-checked, by path
+// (module analyzers iterate these for deterministic reports).
+func (m *Module) sortedTypedPackages() []*Package {
+	var out []*Package
+	for _, p := range m.Pkgs {
+		if m.typed[p.Path] != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

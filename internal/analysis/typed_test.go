@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// miniMarket mirrors the real dbo/internal/market surface the typed
+// fixtures need: the DeliveryClock tuple and its id/time scalar types.
+// clockcmp's type-identity match keys on the type name plus the
+// "internal/market" path suffix, so a temp module named "dbo" with this
+// package exercises the same code path as the real tree.
+const miniMarket = `package market
+
+type ParticipantID int32
+
+type PointID uint64
+
+type Time int64
+
+type DeliveryClock struct {
+	Point   PointID
+	Elapsed Time
+}
+`
+
+// typedFixtures maps each type-aware golden fixture to the module path
+// it is compiled under. Paths are chosen so the rule under test is in
+// scope (errdrop wants ErrDropScope, clockcmp wants a non-allowlisted
+// package, …).
+var typedFixtures = []struct {
+	file    string
+	pkgPath string
+}{
+	{"atomicmix.go", "internal/core/cx"},
+	{"errdrop.go", "internal/core/ed"},
+	{"sendliveness.go", "internal/exchange/sl"},
+	{"lockheld_interproc.go", "internal/node/lh"},
+	{"clockcmp_typed.go", "internal/exchange/cc"},
+}
+
+// buildFixtureModule assembles a compiled temp module ("module dbo")
+// holding the mini market package plus every listed fixture in its own
+// package directory, and type-checks it with LoadModuleTyped.
+func buildFixtureModule(t testing.TB, files map[string]string) *Module {
+	t.Helper()
+	root := t.TempDir()
+	tree := map[string]string{
+		"go.mod":                    "module dbo\n\ngo 1.23\n",
+		"internal/market/market.go": miniMarket,
+	}
+	for dst, content := range files {
+		tree[dst] = content
+	}
+	switch tb := t.(type) {
+	case *testing.T:
+		writeTree(tb, root, tree)
+	default:
+		for name, content := range tree {
+			full := filepath.Join(root, filepath.FromSlash(name))
+			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mod, err := LoadModuleTyped(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func readFixture(t testing.TB, name string) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+// TestTypedGolden compiles every type-aware fixture into one temp
+// module, runs the full typed pipeline, and requires an exact match
+// between findings and `// want` expectations — the typed counterpart
+// of TestGolden.
+func TestTypedGolden(t *testing.T) {
+	t.Parallel()
+	files := make(map[string]string)
+	srcByBase := make(map[string]string)
+	for _, fx := range typedFixtures {
+		src := readFixture(t, fx.file)
+		files[fx.pkgPath+"/"+fx.file] = src
+		srcByBase[fx.file] = src
+	}
+	mod := buildFixtureModule(t, files)
+
+	// Every fixture package must actually be type-checked: a fallback
+	// here means the fixture rotted and the typed rules silently skip it.
+	for _, fx := range typedFixtures {
+		if mod.TypedPackage(fx.pkgPath) == nil {
+			t.Fatalf("%s fell back to syntactic mode: %s", fx.pkgPath, mod.FallbackReason(fx.pkgPath))
+		}
+	}
+
+	diags := mod.Run(Default(), []string{"./..."}, 4)
+
+	type key struct {
+		base string
+		line int
+	}
+	byLine := make(map[key][]Diagnostic)
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		if _, ok := srcByBase[base]; !ok && base != "market.go" {
+			t.Errorf("diagnostic in unexpected file %s: [%s] %s", d.Pos.Filename, d.Rule, d.Msg)
+			continue
+		}
+		byLine[key{base, d.Pos.Line}] = append(byLine[key{base, d.Pos.Line}], d)
+	}
+
+	for base, src := range srcByBase {
+		wants := parseWants(t, []byte(src))
+		for line, res := range wants {
+			got := byLine[key{base, line}]
+			if len(got) != len(res) {
+				t.Errorf("%s:%d: got %d diagnostic(s), want %d: %v", base, line, len(got), len(res), render(got))
+				continue
+			}
+			for _, re := range res {
+				matched := false
+				for _, d := range got {
+					if re.MatchString(fmt.Sprintf("[%s] %s", d.Rule, d.Msg)) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: no diagnostic matches %q among %v", base, line, re, render(got))
+				}
+			}
+			delete(byLine, key{base, line})
+		}
+	}
+	for k, got := range byLine {
+		t.Errorf("%s:%d: unexpected diagnostic(s): %v", k.base, k.line, render(got))
+	}
+}
+
+// TestInterprocLockHeldBothModes is the tentpole acceptance check: the
+// cross-function lock-held-across-blocking fixture is invisible to the
+// syntactic rule and caught by the interprocedural one.
+func TestInterprocLockHeldBothModes(t *testing.T) {
+	t.Parallel()
+	src := readFixture(t, "lockheld_interproc.go")
+
+	// Syntactic mode: provably silent on this shape.
+	for _, d := range CheckSource("lockheld_interproc.go", "internal/node/lh", []byte(src), Default()) {
+		if d.Rule == "lockheld" {
+			t.Fatalf("syntactic mode unexpectedly caught the interprocedural shape: %s", d.Msg)
+		}
+	}
+
+	// Typed mode: the call-graph chase reports it, naming the chain and
+	// the blocking reason.
+	mod := buildFixtureModule(t, map[string]string{"internal/node/lh/lockheld_interproc.go": src})
+	var hits []Diagnostic
+	for _, d := range mod.Run(Default(), []string{"./..."}, 1) {
+		if d.Rule == "lockheld" {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("typed mode: want exactly one lockheld finding, got %v", render(hits))
+	}
+	msg := hits[0].Msg
+	for _, frag := range []string{"forward", "emit", "channel send"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("diagnostic should name %q in the blocking chain, got: %s", frag, msg)
+		}
+	}
+}
+
+// TestTypedRuleHasHitAndSuppression extends the acceptance matrix to
+// the type-aware rules: each produces exactly one finding on a minimal
+// compiled module, and a line-scoped //dbo:vet-ignore silences it.
+func TestTypedRuleHasHitAndSuppression(t *testing.T) {
+	t.Parallel()
+	cases := map[string]struct {
+		pkgPath string
+		src     string
+	}{
+		"atomicmix": {"internal/core/am", `package am
+
+import "sync/atomic"
+
+var n int64
+
+func bump() { atomic.AddInt64(&n, 1) }
+
+func read() int64 { return n }
+`},
+		"errdrop": {"internal/core/edx", `package edx
+
+func submit() error { return nil }
+
+func f() { submit() }
+`},
+		"sendliveness": {"internal/exchange/slx", `package slx
+
+type s struct {
+	open bool
+	ch   chan int
+}
+
+func mk() *s { return &s{ch: make(chan int)} }
+
+func (x *s) send(v int) { x.ch <- v }
+
+func (x *s) recv() {
+	if !x.open {
+		return
+	}
+	<-x.ch
+}
+`},
+		"lockheld": {"internal/node/lhx", `package lhx
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *q) emit() { x.ch <- 0 }
+
+func (x *q) pub() {
+	x.mu.Lock()
+	x.emit()
+	x.mu.Unlock()
+}
+`},
+		"clockcmp": {"internal/exchange/ccx", `package ccx
+
+import "dbo/internal/market"
+
+func f(a, b market.DeliveryClock) bool { return a.Elapsed < b.Elapsed }
+`},
+	}
+	for rule, tc := range cases {
+		rule, tc := rule, tc
+		t.Run(rule, func(t *testing.T) {
+			t.Parallel()
+			file := tc.pkgPath + "/fix.go"
+			mod := buildFixtureModule(t, map[string]string{file: tc.src})
+			diags := mod.Run(Default(), []string{"./..."}, 1)
+			if len(diags) != 1 || diags[0].Rule != rule {
+				t.Fatalf("want exactly one %s finding, got %v", rule, render(diags))
+			}
+			hitLine := diags[0].Pos.Line
+
+			lines := strings.Split(tc.src, "\n")
+			directive := "//dbo:vet-ignore " + rule + " fixture exercises typed suppression"
+			patched := strings.Join(append(append(append([]string{}, lines[:hitLine-1]...), directive), lines[hitLine-1:]...), "\n")
+			mod = buildFixtureModule(t, map[string]string{file: patched})
+			if diags := mod.Run(Default(), []string{"./..."}, 1); len(diags) != 0 {
+				t.Fatalf("directive did not suppress the %s finding: %v", rule, render(diags))
+			}
+		})
+	}
+}
+
+// TestTypedFallback: a package that parses but does not compile must
+// degrade to the syntactic rules, not vanish from the report.
+func TestTypedFallback(t *testing.T) {
+	t.Parallel()
+	mod := buildFixtureModule(t, map[string]string{
+		// Type error: undefined identifier. Still parses, so the
+		// syntactic walltime heuristic must fire.
+		"internal/sim/fb/fb.go": `package fb
+
+import "time"
+
+func f() {
+	_ = time.Now()
+	_ = undefinedIdentifier
+}
+`,
+	})
+	if mod.TypedPackage("internal/sim/fb") != nil {
+		t.Fatal("package with a type error should not be reported as typed")
+	}
+	if r := mod.FallbackReason("internal/sim/fb"); r == "" {
+		t.Fatal("fallback reason should be recorded")
+	}
+	var rules []string
+	for _, d := range mod.Run(Default(), []string{"./internal/sim/..."}, 1) {
+		rules = append(rules, d.Rule)
+	}
+	if fmt.Sprint(rules) != "[walltime]" {
+		t.Fatalf("fallback package findings = %v, want [walltime]", rules)
+	}
+}
+
+// TestVetModuleClean runs the full typed pipeline over this repository
+// itself: the swept tree must produce zero findings (the CI gate), and
+// a load+run cycle must fit the wall-clock budget that keeps dbo-vet
+// usable as a pre-commit hook. The budget is generous — CI boxes are
+// slow — and relaxed further under the race detector.
+func TestVetModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	mod, err := LoadModuleTyped(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := mod.Run(Default(), []string{"./..."}, 4)
+	elapsed := time.Since(start)
+
+	for _, d := range diags {
+		t.Errorf("swept tree is not clean: %s", d.String())
+	}
+
+	budget := 120 * time.Second
+	if raceEnabled {
+		budget = 360 * time.Second
+	}
+	if elapsed > budget {
+		t.Errorf("typed vet of the module took %v, over the %v budget", elapsed, budget)
+	}
+
+	// The real tree must actually be analyzed in typed mode: the
+	// flagship packages may not silently fall back.
+	for _, rel := range []string{"internal/core", "internal/gateway", "internal/exchange", "internal/market"} {
+		if mod.TypedPackage(rel) == nil {
+			t.Errorf("%s fell back to syntactic mode: %s", rel, mod.FallbackReason(rel))
+		}
+	}
+}
+
+// BenchmarkVetModule measures a full typed load+analyze cycle over the
+// repository, the number CI's budget guard tracks.
+func BenchmarkVetModule(b *testing.B) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mod, err := LoadModuleTyped(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := mod.Run(Default(), []string{"./..."}, 4); len(diags) != 0 {
+			b.Fatalf("swept tree is not clean: %d finding(s)", len(diags))
+		}
+	}
+}

@@ -72,7 +72,6 @@ func (g *Egress) minDelivered() market.PointID {
 // The Appendix E gate deliberately orders point ids alone — how long
 // ago a point was delivered is irrelevant to whether it may leak.
 func (g *Egress) safe(tag market.DeliveryClock) bool {
-	//dbo:vet-ignore clockcmp egress gate compares point ids only (App. E); Elapsed is irrelevant here
 	return tag.Point <= g.minDelivered()
 }
 
@@ -83,7 +82,6 @@ func (g *Egress) OnReport(mp market.ParticipantID, dc market.DeliveryClock) {
 	if !ok {
 		return
 	}
-	//dbo:vet-ignore clockcmp progress watermark advances on point ids only; Elapsed is irrelevant here
 	if dc.Point > cur {
 		g.delivered[mp] = dc.Point
 		g.drain()
