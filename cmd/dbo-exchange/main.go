@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"dbo"
+	"dbo/internal/flight"
 )
 
 func main() {
@@ -28,6 +30,9 @@ func main() {
 	kappa := flag.Float64("kappa", 0.25, "κ batching gain")
 	tau := flag.Duration("tau", 500*time.Microsecond, "τ heartbeat/maintenance period")
 	straggler := flag.Duration("straggler", 0, "straggler RTT threshold (0 = off)")
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics/prom and /debug/flight here")
+	flightOut := flag.String("flight", "", "write the flight trace to this NDJSON file on exit")
+	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
 	flag.Parse()
 
 	var addrs []dbo.ParticipantAddr
@@ -52,6 +57,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	var rec *dbo.FlightRecorder
+	if *flightOut != "" || *httpAddr != "" {
+		rec = dbo.NewFlightRecorder(*flightBuf)
+	}
 	ex, err := dbo.NewExchange(dbo.ExchangeConfig{
 		Listen:       *listen,
 		TickInterval: *tick,
@@ -60,10 +69,23 @@ func main() {
 		Kappa:        *kappa,
 		Tau:          *tau,
 		StragglerRTT: *straggler,
+		Flight:       rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", ex.Metrics().Handler())
+		mux.Handle("/metrics/prom", ex.Metrics().PromHandler())
+		mux.Handle("/debug/flight", flight.Handler(rec))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/flight on %s\n", *httpAddr)
 	}
 	fmt.Printf("CES listening on %s (udp) / %s (tcp reverse path), %d participants, %d ticks every %v\n",
 		ex.Addr(), ex.TCPAddr(), len(addrs), *ticks, *tick)
@@ -86,5 +108,22 @@ func main() {
 	}
 	for _, a := range addrs {
 		fmt.Printf("  MP %d: %d trades\n", a.ID, perMP[a.ID])
+	}
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		events := rec.Snapshot()
+		if err := flight.Write(f, events); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight: %d events to %s (%d dropped)\n", len(events), *flightOut, rec.Dropped())
 	}
 }

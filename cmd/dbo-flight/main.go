@@ -1,0 +1,202 @@
+// Command dbo-flight analyzes a flight-recorder NDJSON trace: it
+// reconstructs per-trade lifecycle timelines, builds the hold-time
+// attribution leaderboard (which participant's lagging watermark held
+// everyone else up), and checks §4.1.2 pacing conformance.
+//
+//	dbo-sim -scheme dbo -ms 100 -flight trace.ndjson
+//	dbo-flight trace.ndjson                 # full report
+//	dbo-flight -timeline 3:17 trace.ndjson  # one trade's lifecycle
+//	dbo-flight -blockers trace.ndjson       # attribution leaderboard
+//	dbo-flight -pacing 20us trace.ndjson    # δ pacing check
+//	dbo-flight -check trace.ndjson          # CI mode: exit 1 on anomalies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dbo/internal/flight"
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func main() {
+	timeline := flag.String("timeline", "", "print one trade's lifecycle (MP:SEQ)")
+	blockers := flag.Bool("blockers", false, "print only the blocker leaderboard")
+	pacing := flag.Duration("pacing", 0, "check inter-batch delivery gaps against this δ")
+	check := flag.Bool("check", false, "CI mode: exit non-zero unless the trace is sane and every held release is attributed")
+	top := flag.Int("top", 10, "rows to show in leaderboards")
+	flag.Parse()
+
+	events, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *timeline != "":
+		mp, seq, err := parseKey(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		tl, ok := flight.Lookup(events, mp, seq)
+		if !ok {
+			fatal(fmt.Errorf("trade %d:%d not in trace", mp, seq))
+		}
+		printTimeline(tl)
+	case *blockers:
+		printBlockers(flight.Blockers(events), *top)
+	case *pacing > 0:
+		p := flight.CheckPacing(events, sim.FromDuration(*pacing))
+		fmt.Printf("deliveries  %d\n", p.Deliveries)
+		fmt.Printf("min gap     %v (δ = %v)\n", p.MinGap, sim.FromDuration(*pacing))
+		if len(p.Violations) == 0 {
+			fmt.Println("pacing      OK: no inter-batch gap below δ")
+			return
+		}
+		fmt.Printf("pacing      %d VIOLATIONS\n", len(p.Violations))
+		for i, v := range p.Violations {
+			if i >= *top {
+				fmt.Printf("  ... and %d more\n", len(p.Violations)-i)
+				break
+			}
+			fmt.Printf("  MP %d batch %d at %v: gap %v\n", v.MP, v.Batch, v.At, v.Gap)
+		}
+		os.Exit(1)
+	case *check:
+		if err := checkTrace(events); err != nil {
+			fatal(err)
+		}
+		fmt.Println("flight trace OK")
+	default:
+		report(events, *top)
+	}
+}
+
+// load reads a trace from a file, or stdin when path is "" or "-".
+func load(path string) ([]flight.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return flight.Read(r)
+}
+
+func parseKey(s string) (market.ParticipantID, market.TradeSeq, error) {
+	mps, seqs, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -timeline %q (want MP:SEQ)", s)
+	}
+	mp, err1 := strconv.ParseInt(mps, 10, 64)
+	seq, err2 := strconv.ParseUint(seqs, 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -timeline %q (want MP:SEQ)", s)
+	}
+	return market.ParticipantID(mp), market.TradeSeq(seq), nil
+}
+
+func printTimeline(tl flight.Timeline) {
+	fmt.Printf("trade MP %d seq %d  dc=⟨%d,%v⟩\n", tl.MP, tl.Seq, tl.DC.Point, tl.DC.Elapsed)
+	stage := func(name string, at sim.Time) {
+		if at == flight.TimeUnset {
+			fmt.Printf("  %-10s -\n", name)
+			return
+		}
+		fmt.Printf("  %-10s %v\n", name, at)
+	}
+	stage("submitted", tl.Submitted)
+	stage("enqueued", tl.Enqueued)
+	stage("released", tl.Released)
+	stage("matched", tl.Matched)
+	if tl.Hold > 0 {
+		fmt.Printf("  held %v waiting on participant %d\n", tl.Hold, tl.Blocker)
+	} else if tl.Released != flight.TimeUnset {
+		fmt.Println("  released immediately (no watermark wait)")
+	}
+	if tl.FinalPos >= 0 {
+		fmt.Printf("  final position %d\n", tl.FinalPos)
+	}
+}
+
+func printBlockers(stats []flight.BlockerStat, top int) {
+	if len(stats) == 0 {
+		fmt.Println("no held releases: nothing to attribute")
+		return
+	}
+	fmt.Printf("%-10s %8s %14s %14s\n", "blocker", "trades", "total hold", "max hold")
+	for i, st := range stats {
+		if i >= top {
+			fmt.Printf("  ... and %d more\n", len(stats)-i)
+			break
+		}
+		who := fmt.Sprintf("MP %d", st.Blocker)
+		if st.Blocker < 0 {
+			who = fmt.Sprintf("shard %d", -st.Blocker)
+		}
+		fmt.Printf("%-10s %8d %14v %14v\n", who, st.Trades, st.Total, st.Max)
+	}
+}
+
+func report(events []flight.Event, top int) {
+	s := flight.Summarize(events)
+	fmt.Printf("events      %d\n", s.Events)
+	for k := flight.KindGen; k <= flight.KindGate; k++ {
+		if n, ok := s.ByKind[k]; ok {
+			fmt.Printf("  %-10s %d\n", k, n)
+		}
+	}
+	fmt.Printf("releases    %d (%d held by the watermark gate)\n", s.Releases, s.Held)
+	if s.Held > 0 {
+		fmt.Printf("hold        p50 %v  p99 %v  max %v\n", s.HoldP50, s.HoldP99, s.HoldMax)
+	}
+	if n := flight.UnattributedHeld(events); n > 0 {
+		fmt.Printf("WARNING: %d held releases carry no blocker attribution\n", n)
+	}
+	fmt.Println()
+	printBlockers(flight.Blockers(events), top)
+}
+
+// checkTrace is the CI gate: a seeded smoke run must produce a trace
+// with lifecycle coverage and a blocker attributed to every held
+// release.
+func checkTrace(events []flight.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("check: empty trace")
+	}
+	s := flight.Summarize(events)
+	for _, k := range []flight.Kind{flight.KindGen, flight.KindDeliver, flight.KindSubmit, flight.KindEnqueue, flight.KindRelease} {
+		if s.ByKind[k] == 0 {
+			return fmt.Errorf("check: no %v events in trace", k)
+		}
+	}
+	if s.Held == 0 {
+		return fmt.Errorf("check: no held releases (workload too idle to exercise attribution)")
+	}
+	if n := flight.UnattributedHeld(events); n > 0 {
+		return fmt.Errorf("check: %d held releases have no blocker attribution", n)
+	}
+	tls := flight.Timelines(events)
+	incomplete := 0
+	for _, tl := range tls {
+		if tl.Enqueued != flight.TimeUnset && tl.Released == flight.TimeUnset {
+			incomplete++
+		}
+	}
+	fmt.Printf("check: %d events, %d trades, %d held releases all attributed, %d still queued at capture end\n",
+		s.Events, len(tls), s.Held, incomplete)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

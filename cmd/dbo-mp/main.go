@@ -11,11 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"math/rand/v2"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"dbo"
+	"dbo/internal/flight"
 )
 
 func main() {
@@ -29,6 +31,8 @@ func main() {
 	jitter := flag.Duration("jitter", 100*time.Microsecond, "uniform response jitter")
 	prob := flag.Float64("prob", 1.0, "probability of trading per data point")
 	seed := flag.Uint64("seed", 0, "strategy seed (0 = participant id)")
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics/prom and /debug/flight here")
+	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -50,6 +54,10 @@ func main() {
 		return true, d, side, dp.Price, 1
 	}
 
+	var rec *dbo.FlightRecorder
+	if *httpAddr != "" {
+		rec = dbo.NewFlightRecorder(*flightBuf)
+	}
 	mp, err := dbo.NewParticipant(dbo.ParticipantConfig{
 		ID:       dbo.ParticipantID(*id),
 		Listen:   *listen,
@@ -58,12 +66,25 @@ func main() {
 		Delta:    *delta,
 		Tau:      *tau,
 		Strategy: strategy,
+		Flight:   rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer mp.Stop()
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", mp.Metrics().Handler())
+		mux.Handle("/metrics/prom", mp.Metrics().PromHandler())
+		mux.Handle("/debug/flight", flight.Handler(rec))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/flight on %s\n", *httpAddr)
+	}
 	fmt.Printf("MP %d listening on %s, trading towards %s (rt %v±%v)\n",
 		*id, mp.Addr(), *ces, *rt, *jitter)
 

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"dbo"
+	"dbo/internal/flight"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 	drift := flag.Bool("drift", false, "give RBs drifting unsynchronized clocks")
 	rtmin := flag.Int64("rtmin", 5, "min response time in µs")
 	rtmax := flag.Int64("rtmax", 20, "max response time in µs")
+	flightOut := flag.String("flight", "", "write a flight-recorder NDJSON trace here (dbo scheme)")
+	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
 	flag.Parse()
 
 	var sch dbo.Scheme
@@ -72,8 +75,31 @@ func main() {
 		cfg.Trace = dbo.LabTrace(*seed)
 		cfg.Skew = dbo.DefaultSkew(*n, 0.14)
 	}
+	var rec *dbo.FlightRecorder
+	if *flightOut != "" {
+		rec = dbo.NewFlightRecorder(*flightBuf)
+		cfg.Flight = rec
+	}
 
 	r := dbo.Simulate(cfg)
+	if rec != nil {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		events := rec.Snapshot()
+		if err := flight.Write(f, events); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight      %d events to %s (%d dropped by the ring)\n",
+			len(events), *flightOut, rec.Dropped())
+	}
 	fmt.Printf("scheme      %s (%d MPs, seed %d, %dms)\n", r.Scheme, *n, *seed, *ms)
 	fmt.Printf("fairness    %.4f (%d/%d competing pairs)\n", r.Fairness, r.FairRatio.Correct, r.FairRatio.Total)
 	fmt.Printf("latency     %s\n", r.Latency)

@@ -33,6 +33,7 @@ package dbo
 
 import (
 	"dbo/internal/exchange"
+	"dbo/internal/flight"
 	"dbo/internal/market"
 	"dbo/internal/node"
 	"dbo/internal/sim"
@@ -134,3 +135,22 @@ func NewExchange(cfg ExchangeConfig) (*Exchange, error) { return node.NewCES(cfg
 
 // NewParticipant starts a live MP node.
 func NewParticipant(cfg ParticipantConfig) (*Participant, error) { return node.StartMP(cfg) }
+
+// Flight recorder (internal/flight): a bounded, deterministic
+// structured-event trace of the full trade lifecycle. Attach one to
+// SimConfig.Flight, ExchangeConfig.Flight, or ParticipantConfig.Flight,
+// then export with WriteFlight and analyze with cmd/dbo-flight.
+type (
+	// FlightRecorder is a bounded in-memory event ring.
+	FlightRecorder = flight.Recorder
+	// FlightEvent is one lifecycle event.
+	FlightEvent = flight.Event
+)
+
+// DefaultFlightCapacity is the recorder ring size NewFlightRecorder(0)
+// uses.
+const DefaultFlightCapacity = flight.DefaultCapacity
+
+// NewFlightRecorder returns an enabled recorder holding the most recent
+// capacity events (0 = DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder { return flight.NewRecorder(capacity) }

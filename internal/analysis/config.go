@@ -66,11 +66,14 @@ func Default() *Config {
 			"internal/core",
 			"internal/exchange",
 			"internal/gateway",
+			"internal/flight",
 		},
 		ErrDropScope: []string{
 			"internal/core",
 			"internal/exchange",
 			"internal/gateway",
+			"internal/flight",
+			"internal/metrics",
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"dbo/internal/flight"
 	"dbo/internal/market"
 	"dbo/internal/sim"
 )
@@ -55,6 +56,12 @@ type OrderingBufferConfig struct {
 	// (exclusion and re-admission) with the evidence that justified it.
 	// Conformance harnesses use it to check §4.2.1 state-machine legality.
 	OnStraggler func(ev StragglerEvent)
+
+	// Flight, if non-nil, receives enqueue/watermark/release/straggler
+	// lifecycle events. Release events carry hold-time attribution: the
+	// participant whose watermark advance (or straggler exclusion)
+	// finally let a held trade through the gate.
+	Flight *flight.Recorder
 }
 
 // StragglerEvent is one straggler state transition (§4.2.1): a
@@ -74,6 +81,11 @@ type OrderingBuffer struct {
 	cfg   OrderingBufferConfig
 	heap  tradeHeap
 	state map[market.ParticipantID]*mpState
+	// order holds the same states in config order: every scan that can
+	// influence externally visible behaviour (gate checks, straggler
+	// sweeps, event emission) walks this slice, never the map, so a
+	// seeded run's observable event sequence is deterministic.
+	order []*mpState
 	start sim.Time
 
 	Forwarded int
@@ -106,7 +118,9 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 		if _, dup := ob.state[p]; dup {
 			panic(fmt.Sprintf("core: duplicate participant %d", p))
 		}
-		ob.state[p] = &mpState{id: p}
+		st := &mpState{id: p}
+		ob.state[p] = st
+		ob.order = append(ob.order, st)
 	}
 	ob.start = cfg.Sched.Now()
 	return ob
@@ -116,11 +130,18 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 // sender's watermark: in-order delivery plus clock monotonicity mean
 // the OB will never see an earlier clock from that participant again.
 func (ob *OrderingBuffer) OnTrade(t *market.Trade) {
+	t.Enqueued = ob.cfg.Sched.Now()
 	heap.Push(&ob.heap, t)
 	if st, ok := ob.state[t.MP]; ok && st.wm.Less(t.DC) {
 		st.wm = t.DC
 	}
-	ob.drain()
+	if f := ob.cfg.Flight; f.Enabled() {
+		f.Emit(flight.Event{
+			At: t.Enqueued, Kind: flight.KindEnqueue,
+			MP: t.MP, Seq: t.Seq, DC: t.DC, Point: t.Trigger,
+		})
+	}
+	ob.drain(t.MP)
 }
 
 // OnHeartbeat ingests a heartbeat: it sets the sender's watermark to the
@@ -137,6 +158,16 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 		return // unknown participant; ignore rather than corrupt state
 	}
 	now := ob.cfg.Sched.Now()
+	if f := ob.cfg.Flight; f.Enabled() {
+		var staleness sim.Time
+		if st.hasHB {
+			staleness = now - st.lastHB
+		}
+		f.Emit(flight.Event{
+			At: now, Kind: flight.KindWatermark,
+			MP: h.MP, DC: h.DC, Aux: int64(staleness), Aux2: int64(h.Origin),
+		})
+	}
 	st.wm = h.DC
 	st.lastHB = now
 	st.hasHB = true
@@ -146,7 +177,13 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 		st.rtt = now - ob.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
 		ob.setStraggler(st, st.rtt > ob.cfg.StragglerRTT, st.rtt, false)
 	}
-	ob.drain()
+	// Attribute releases to the member that moved a shard minimum when
+	// the heartbeat says which one it was (§5.2), else to the sender.
+	cause := h.MP
+	if h.Origin != 0 {
+		cause = h.Origin
+	}
+	ob.drain(cause)
 }
 
 // Tick performs periodic maintenance: heartbeat-timeout straggler
@@ -155,40 +192,67 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 func (ob *OrderingBuffer) Tick() {
 	if ob.cfg.StragglerRTT > 0 {
 		now := ob.cfg.Sched.Now()
-		for _, st := range ob.state {
+		for _, st := range ob.order {
 			last := st.lastHB
 			if !st.hasHB {
 				last = ob.start
 			}
 			if now-last > ob.cfg.StragglerRTT {
-				ob.setStraggler(st, true, now-last, true)
+				if ob.setStraggler(st, true, now-last, true) {
+					// Excluding st shrank the gate; any trade released
+					// now was waiting on st's watermark.
+					ob.drain(st.id)
+				}
 			}
 		}
 	}
-	ob.drain()
+	// A drain with no state change never releases anything; cause 0 is
+	// the "nothing was waiting on anyone" marker and is asserted on by
+	// flight.UnattributedHeld.
+	ob.drain(0)
 }
 
-func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) {
-	if v && !st.straggler {
+// setStraggler updates a participant's exclusion state, reporting
+// whether the participant was newly excluded.
+func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) bool {
+	excluded := v && !st.straggler
+	if excluded {
 		ob.StragglerEvents++
 	}
-	if v != st.straggler && ob.cfg.OnStraggler != nil {
-		ob.cfg.OnStraggler(StragglerEvent{
-			MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: ob.cfg.Sched.Now(),
-		})
+	if v != st.straggler {
+		if ob.cfg.OnStraggler != nil {
+			ob.cfg.OnStraggler(StragglerEvent{
+				MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: ob.cfg.Sched.Now(),
+			})
+		}
+		if f := ob.cfg.Flight; f.Enabled() {
+			var bits int64
+			if v {
+				bits |= flight.StragglerExcluded
+			}
+			if timeout {
+				bits |= flight.StragglerTimeout
+			}
+			f.Emit(flight.Event{
+				At: ob.cfg.Sched.Now(), Kind: flight.KindStraggler,
+				MP: st.id, Aux: int64(rtt), Aux2: bits,
+			})
+		}
 	}
 	st.straggler = v
+	return excluded
 }
 
 // Queued reports trades currently held.
 func (ob *OrderingBuffer) Queued() int { return len(ob.heap) }
 
-// Stragglers lists participants currently excluded from the gate.
+// Stragglers lists participants currently excluded from the gate, in
+// config order.
 func (ob *OrderingBuffer) Stragglers() []market.ParticipantID {
 	var out []market.ParticipantID
-	for p, st := range ob.state {
+	for _, st := range ob.order {
 		if st.straggler {
-			out = append(out, p)
+			out = append(out, st.id)
 		}
 	}
 	return out
@@ -207,7 +271,7 @@ func (ob *OrderingBuffer) Watermark(p market.ParticipantID) (market.DeliveryCloc
 // every active participant's watermark must be *strictly* greater, so
 // no in-flight trade can still order ahead of (or tie with) it.
 func (ob *OrderingBuffer) releasable(dc market.DeliveryClock) bool {
-	for _, st := range ob.state {
+	for _, st := range ob.order {
 		if st.straggler {
 			continue
 		}
@@ -218,11 +282,31 @@ func (ob *OrderingBuffer) releasable(dc market.DeliveryClock) bool {
 	return true
 }
 
-func (ob *OrderingBuffer) drain() {
+// drain forwards every releasable trade. cause is the participant whose
+// state change triggered this pass (trade/heartbeat sender, shard
+// origin, or excluded straggler): a trade that was already waiting
+// before this pass and releases now was, by elimination, gated on
+// cause's watermark — only cause's gate state changed — so cause is
+// exactly "the last watermark to pass" and becomes the trade's hold
+// attribution. Trades the triggering event itself enqueued release with
+// zero hold and no blocker.
+func (ob *OrderingBuffer) drain(cause market.ParticipantID) {
 	for len(ob.heap) > 0 && ob.releasable(ob.heap[0].DC) {
 		t := heap.Pop(&ob.heap).(*market.Trade)
-		t.Forwarded = ob.cfg.Sched.Now()
+		now := ob.cfg.Sched.Now()
+		t.Forwarded = now
 		t.FinalPos = ob.Forwarded
+		hold := now - t.Enqueued
+		if hold > 0 {
+			t.Blocker = cause
+		}
+		if f := ob.cfg.Flight; f.Enabled() {
+			f.Emit(flight.Event{
+				At: now, Kind: flight.KindRelease,
+				MP: t.MP, Seq: t.Seq, DC: t.DC,
+				Aux: int64(hold), Aux2: int64(t.Blocker),
+			})
+		}
 		ob.Forwarded++
 		ob.cfg.Forward(t)
 	}

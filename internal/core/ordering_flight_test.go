@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"dbo/internal/flight"
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func releaseEvents(rec *flight.Recorder) []flight.Event {
+	var out []flight.Event
+	for _, e := range rec.Snapshot() {
+		if e.Kind == flight.KindRelease {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestOBFlightAttribution: a trade blocked on three watermarks is
+// attributed to the participant whose watermark was the last to pass.
+func TestOBFlightAttribution(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(1)
+	rec := flight.NewRecorder(1024)
+	var out []*market.Trade
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: []market.ParticipantID{1, 2, 3},
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		Sched:        k,
+		Flight:       rec,
+	})
+	k.At(10, func() { ob.OnTrade(trade(1, 1, dc(1, 10))) })
+	k.At(20, func() { ob.OnHeartbeat(hb(2, dc(2, 0))) })
+	k.At(30, func() { ob.OnHeartbeat(hb(1, dc(2, 0))) })
+	k.At(40, func() { ob.OnHeartbeat(hb(3, dc(2, 0))) })
+	k.Run()
+
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d trades", len(out))
+	}
+	tr := out[0]
+	if tr.Enqueued != 10 || tr.Forwarded != 40 {
+		t.Fatalf("stamps: enqueued %v forwarded %v", tr.Enqueued, tr.Forwarded)
+	}
+	if tr.Blocker != 3 {
+		t.Fatalf("blocker = %d, want 3 (the last watermark to pass)", tr.Blocker)
+	}
+	rel := releaseEvents(rec)
+	if len(rel) != 1 {
+		t.Fatalf("release events = %d", len(rel))
+	}
+	if rel[0].Aux != 30 || rel[0].Aux2 != 3 || rel[0].At != 40 {
+		t.Fatalf("release event = %+v", rel[0])
+	}
+	if n := flight.UnattributedHeld(rec.Snapshot()); n != 0 {
+		t.Fatalf("unattributed held releases: %d", n)
+	}
+}
+
+// TestOBFlightAttributionImmediate: a trade that releases in the same
+// drain pass it arrived in has zero hold and no blocker.
+func TestOBFlightAttributionImmediate(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(1)
+	rec := flight.NewRecorder(64)
+	var out []*market.Trade
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: []market.ParticipantID{1, 2},
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		Sched:        k,
+		Flight:       rec,
+	})
+	k.At(10, func() {
+		ob.OnHeartbeat(hb(1, dc(5, 0)))
+		ob.OnHeartbeat(hb(2, dc(5, 0)))
+	})
+	k.At(20, func() { ob.OnTrade(trade(1, 1, dc(1, 10))) })
+	k.Run()
+	if len(out) != 1 || out[0].Blocker != 0 {
+		t.Fatalf("out = %+v", out)
+	}
+	rel := releaseEvents(rec)
+	if len(rel) != 1 || rel[0].Aux != 0 || rel[0].Aux2 != 0 {
+		t.Fatalf("release event = %+v", rel)
+	}
+}
+
+// TestOBFlightAttributionStragglerExclusion: when straggler mitigation
+// unblocks the gate, the hold is attributed to the excluded participant.
+func TestOBFlightAttributionStragglerExclusion(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(1)
+	rec := flight.NewRecorder(1024)
+	var out []*market.Trade
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: []market.ParticipantID{1, 2},
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		Sched:        k,
+		StragglerRTT: 100 * sim.Microsecond,
+		GenTime:      func(market.PointID) sim.Time { return 0 },
+		Flight:       rec,
+	})
+	k.At(10*sim.Microsecond, func() { ob.OnTrade(trade(1, 1, dc(1, 10))) })
+	k.At(20*sim.Microsecond, func() { ob.OnHeartbeat(hb(1, dc(2, 0))) })
+	// MP 2 stays silent past the threshold; the maintenance tick excludes
+	// it and thereby releases the trade.
+	k.At(150*sim.Microsecond, func() { ob.Tick() })
+	k.Run()
+
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d trades", len(out))
+	}
+	if out[0].Blocker != 2 {
+		t.Fatalf("blocker = %d, want the excluded straggler 2", out[0].Blocker)
+	}
+	var straggler *flight.Event
+	for _, e := range rec.Snapshot() {
+		if e.Kind == flight.KindStraggler {
+			e := e
+			straggler = &e
+		}
+	}
+	if straggler == nil {
+		t.Fatal("no straggler event recorded")
+	}
+	if straggler.MP != 2 || straggler.Aux2 != flight.StragglerExcluded|flight.StragglerTimeout {
+		t.Fatalf("straggler event = %+v", straggler)
+	}
+}
+
+// TestShardedOBAttributionUsesOrigin: with sharding, the master only
+// sees shard heartbeats, but Origin lets it attribute holds to the real
+// member participant rather than a synthetic shard id.
+func TestShardedOBAttributionUsesOrigin(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(1)
+	rec := flight.NewRecorder(1024)
+	var out []*market.Trade
+	s := NewShardedOB(ShardedOBConfig{
+		Participants: []market.ParticipantID{1, 2, 3, 4},
+		NumShards:    2,
+		Sched:        k,
+		Forward:      func(tr *market.Trade) { out = append(out, tr) },
+		Flight:       rec,
+	})
+	k.At(10, func() { s.OnTrade(trade(1, 1, dc(1, 10))) })
+	k.At(20, func() { s.OnHeartbeat(hb(3, dc(2, 0))) })
+	k.At(30, func() { s.OnHeartbeat(hb(1, dc(2, 0))) })
+	k.At(40, func() { s.OnHeartbeat(hb(2, dc(2, 0))) })
+	// MP 4's heartbeat finally lifts its shard's minimum: it is the
+	// blocker, even though the master never saw MP 4 directly.
+	k.At(50, func() { s.OnHeartbeat(hb(4, dc(2, 0))) })
+	k.Run()
+
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d trades", len(out))
+	}
+	if out[0].Blocker != 4 {
+		t.Fatalf("blocker = %d, want member 4", out[0].Blocker)
+	}
+	if out[0].Blocker < 0 {
+		t.Fatal("blocker is a synthetic shard id")
+	}
+	if n := flight.UnattributedHeld(rec.Snapshot()); n != 0 {
+		t.Fatalf("unattributed held releases: %d", n)
+	}
+}

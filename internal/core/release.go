@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dbo/internal/clock"
+	"dbo/internal/flight"
 	"dbo/internal/market"
 	"dbo/internal/sim"
 )
@@ -45,6 +46,11 @@ type ReleaseBufferConfig struct {
 	// Send transmits a message (tagged *market.Trade, market.Heartbeat,
 	// or RetxRequest) towards the ordering buffer / CES.
 	Send func(v any)
+
+	// Flight, if non-nil, receives deliver/submit lifecycle events.
+	// Deliver events carry the measured inter-batch gap (§4.1.2) so a
+	// trace is self-auditing for pacing conformance.
+	Flight *flight.Recorder
 }
 
 // ReleaseBuffer implements the RB of §4.1.2 and §5.1: it buffers market
@@ -227,6 +233,17 @@ func (rb *ReleaseBuffer) release() {
 	b := rb.queue[0]
 	rb.queue = rb.queue[1:]
 	now := rb.localNow()
+	if f := rb.cfg.Flight; f.Enabled() {
+		var gap sim.Time
+		if rb.released {
+			gap = now - rb.lastRelease // measured on the RB's own clock
+		}
+		f.Emit(flight.Event{
+			At: rb.cfg.Sched.Now(), Kind: flight.KindDeliver,
+			MP: rb.cfg.MP, Batch: b.ID, Point: b.LastPoint(),
+			Aux: int64(gap), Aux2: int64(len(b.Points)),
+		})
+	}
 	// Update the clock before handing data to the MP: a trade submitted
 	// during delivery must see the new batch (Figure 8: "Set on delivery").
 	rb.dc.OnDeliver(now, b.LastPoint())
@@ -245,5 +262,11 @@ func (rb *ReleaseBuffer) OnTrade(t *market.Trade) {
 		return
 	}
 	t.DC = rb.dc.Read(rb.localNow())
+	if f := rb.cfg.Flight; f.Enabled() {
+		f.Emit(flight.Event{
+			At: rb.cfg.Sched.Now(), Kind: flight.KindSubmit,
+			MP: t.MP, Seq: t.Seq, DC: t.DC, Point: t.Trigger,
+		})
+	}
 	rb.cfg.Send(t)
 }

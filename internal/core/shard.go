@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dbo/internal/flight"
 	"dbo/internal/market"
 	"dbo/internal/sim"
 )
@@ -16,6 +17,9 @@ import (
 type OBShard struct {
 	cfg   ShardConfig
 	state map[market.ParticipantID]*mpState
+	// order mirrors state in config order; all scans that can influence
+	// emission or event order walk it (determinism, as in OrderingBuffer).
+	order []*mpState
 	last  market.DeliveryClock // last minimum emitted to the master
 	sent  bool
 	start sim.Time
@@ -36,7 +40,9 @@ type ShardConfig struct {
 	Sched   Scheduler
 
 	// Emit sends towards the master OB: *market.Trade (pass-through) or
-	// market.Heartbeat{MP: ID} carrying the shard minimum.
+	// market.Heartbeat{MP: ID} carrying the shard minimum. Minimum
+	// heartbeats name the member that moved the minimum in Origin so
+	// the master can attribute holds to a real participant.
 	Emit func(v any)
 
 	// StragglerRTT / GenTime / OnStraggler act exactly as in
@@ -44,6 +50,10 @@ type ShardConfig struct {
 	StragglerRTT sim.Time
 	GenTime      func(p market.PointID) sim.Time
 	OnStraggler  func(ev StragglerEvent)
+
+	// Flight, if non-nil, receives this shard's watermark and straggler
+	// events (member heartbeats absorbed here never reach the master).
+	Flight *flight.Recorder
 }
 
 // NewOBShard validates and builds a shard.
@@ -62,7 +72,9 @@ func NewOBShard(cfg ShardConfig) *OBShard {
 		if _, dup := s.state[m]; dup {
 			panic(fmt.Sprintf("core: duplicate member %d", m))
 		}
-		s.state[m] = &mpState{id: m}
+		st := &mpState{id: m}
+		s.state[m] = st
+		s.order = append(s.order, st)
 	}
 	s.start = cfg.Sched.Now()
 	return s
@@ -75,7 +87,7 @@ func (s *OBShard) OnTrade(t *market.Trade) {
 		st.wm = t.DC
 	}
 	s.cfg.Emit(t)
-	s.maybeEmitMin()
+	s.maybeEmitMin(t.MP)
 }
 
 // OnHeartbeat absorbs a member heartbeat.
@@ -86,6 +98,16 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 	}
 	s.HeartbeatsIn++
 	now := s.cfg.Sched.Now()
+	if f := s.cfg.Flight; f.Enabled() {
+		var staleness sim.Time
+		if st.hasHB {
+			staleness = now - st.lastHB
+		}
+		f.Emit(flight.Event{
+			At: now, Kind: flight.KindWatermark,
+			MP: h.MP, DC: h.DC, Aux: int64(staleness),
+		})
+	}
 	if st.wm.Less(h.DC) {
 		st.wm = h.DC
 	}
@@ -95,43 +117,62 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 		st.rtt = now - s.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
 		s.setStraggler(st, st.rtt > s.cfg.StragglerRTT, st.rtt, false)
 	}
-	s.maybeEmitMin()
+	s.maybeEmitMin(h.MP)
 }
 
 // Tick performs straggler-timeout checks and re-evaluates the minimum.
 func (s *OBShard) Tick() {
 	if s.cfg.StragglerRTT > 0 {
 		now := s.cfg.Sched.Now()
-		for _, st := range s.state {
+		for _, st := range s.order {
 			last := st.lastHB
 			if !st.hasHB {
 				last = s.start
 			}
 			if now-last > s.cfg.StragglerRTT {
-				s.setStraggler(st, true, now-last, true)
+				if s.setStraggler(st, true, now-last, true) {
+					s.maybeEmitMin(st.id)
+				}
 			}
 		}
 	}
-	s.maybeEmitMin()
+	s.maybeEmitMin(0)
 }
 
-func (s *OBShard) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) {
-	if v && !st.straggler {
+func (s *OBShard) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) bool {
+	excluded := v && !st.straggler
+	if excluded {
 		s.StragglerEvents++
 	}
-	if v != st.straggler && s.cfg.OnStraggler != nil {
-		s.cfg.OnStraggler(StragglerEvent{
-			MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: s.cfg.Sched.Now(),
-		})
+	if v != st.straggler {
+		if s.cfg.OnStraggler != nil {
+			s.cfg.OnStraggler(StragglerEvent{
+				MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: s.cfg.Sched.Now(),
+			})
+		}
+		if f := s.cfg.Flight; f.Enabled() {
+			var bits int64
+			if v {
+				bits |= flight.StragglerExcluded
+			}
+			if timeout {
+				bits |= flight.StragglerTimeout
+			}
+			f.Emit(flight.Event{
+				At: s.cfg.Sched.Now(), Kind: flight.KindStraggler,
+				MP: st.id, Aux: int64(rtt), Aux2: bits,
+			})
+		}
 	}
 	st.straggler = v
+	return excluded
 }
 
 // Min returns the shard's current minimum watermark over non-straggler
 // members (MaxDeliveryClock if all members are stragglers).
 func (s *OBShard) Min() market.DeliveryClock {
 	min := market.MaxDeliveryClock
-	for _, st := range s.state {
+	for _, st := range s.order {
 		if st.straggler {
 			continue
 		}
@@ -142,7 +183,10 @@ func (s *OBShard) Min() market.DeliveryClock {
 	return min
 }
 
-func (s *OBShard) maybeEmitMin() {
+// maybeEmitMin re-emits the shard minimum when it changed; origin is
+// the member whose report or exclusion triggered the re-evaluation
+// (0 for a plain maintenance tick).
+func (s *OBShard) maybeEmitMin(origin market.ParticipantID) {
 	min := s.Min()
 	if s.sent && s.last == min {
 		return // unchanged — a regression (straggler re-admission) must be emitted
@@ -150,7 +194,7 @@ func (s *OBShard) maybeEmitMin() {
 	s.last = min
 	s.sent = true
 	s.HeartbeatsOut++
-	s.cfg.Emit(market.Heartbeat{MP: s.cfg.ID, DC: min, Sent: s.cfg.Sched.Now()})
+	s.cfg.Emit(market.Heartbeat{MP: s.cfg.ID, DC: min, Sent: s.cfg.Sched.Now(), Origin: origin})
 }
 
 // ShardedOB composes N shards with a master OrderingBuffer in-process
@@ -176,6 +220,9 @@ type ShardedOBConfig struct {
 	StragglerRTT sim.Time
 	GenTime      func(p market.PointID) sim.Time
 	OnStraggler  func(ev StragglerEvent)
+
+	// Flight is shared by the master and every shard.
+	Flight *flight.Recorder
 }
 
 // NewShardedOB distributes participants round-robin over NumShards
@@ -196,6 +243,7 @@ func NewShardedOB(cfg ShardedOBConfig) *ShardedOB {
 		Participants: shardIDs,
 		Forward:      cfg.Forward,
 		Sched:        cfg.Sched,
+		Flight:       cfg.Flight,
 	})
 	s := &ShardedOB{Master: master, route: make(map[market.ParticipantID]*OBShard, len(cfg.Participants))}
 	for i := 0; i < cfg.NumShards; i++ {
@@ -214,6 +262,7 @@ func NewShardedOB(cfg ShardedOBConfig) *ShardedOB {
 			StragglerRTT: cfg.StragglerRTT,
 			GenTime:      cfg.GenTime,
 			OnStraggler:  cfg.OnStraggler,
+			Flight:       cfg.Flight,
 		})
 		s.Shards = append(s.Shards, shard)
 		for _, m := range members[i] {

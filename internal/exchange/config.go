@@ -6,6 +6,7 @@ import (
 
 	"dbo/internal/clock"
 	"dbo/internal/core"
+	"dbo/internal/flight"
 	"dbo/internal/market"
 	"dbo/internal/sim"
 	"dbo/internal/trace"
@@ -108,6 +109,14 @@ type Config struct {
 	KeepTrades     bool      // retain the forwarded trade log in the Result
 	Audit          io.Writer // stream a replay.Recorder audit log here
 	Hooks          Hooks     // optional taps; zero value = no taps
+
+	// Flight, when non-nil, records the full trade lifecycle (DBO
+	// scheme): CES generation and batch seals, RB deliveries and
+	// delivery-clock tagging, OB enqueue/watermark/release with
+	// hold-time attribution, straggler transitions, and ME matches.
+	// All events are stamped with virtual time, so a seeded run's trace
+	// is byte-identical across runs.
+	Flight *flight.Recorder
 }
 
 // Hooks are optional experiment taps into the simulation.

@@ -13,6 +13,7 @@ import (
 	"dbo/internal/core"
 	"dbo/internal/fairness"
 	"dbo/internal/feed"
+	"dbo/internal/flight"
 	"dbo/internal/lob"
 	"dbo/internal/market"
 	"dbo/internal/netsim"
@@ -227,6 +228,7 @@ func (h *harness) buildScheme() {
 				SyncOffset: h.cfg.SyncOffset,
 				Sched:      h.k,
 				Local:      h.mps[i].local,
+				Flight:     h.cfg.Flight,
 				Deliver:    func(b *market.Batch) { h.mps[i].onBatch(b) },
 				Send: func(v any) {
 					h.countBeat(v)
@@ -246,6 +248,7 @@ func (h *harness) buildScheme() {
 				StragglerRTT: h.cfg.StragglerRTT,
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
+				Flight:       h.cfg.Flight,
 			})
 		} else {
 			h.ob = core.NewOrderingBuffer(core.OrderingBufferConfig{
@@ -255,6 +258,7 @@ func (h *harness) buildScheme() {
 				StragglerRTT: h.cfg.StragglerRTT,
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
+				Flight:       h.cfg.Flight,
 			})
 		}
 	case Direct:
@@ -337,6 +341,12 @@ func (h *harness) start() {
 		h.genPoints = append(h.genPoints, dp)
 		if h.audit != nil {
 			h.audit.Gen(gen, dp)
+		}
+		if f := h.cfg.Flight; f.Enabled() {
+			f.Emit(flight.Event{At: gen, Kind: flight.KindGen, Point: dp.ID, Batch: dp.Batch})
+			if dp.Last {
+				f.Emit(flight.Event{At: gen, Kind: flight.KindSeal, Point: dp.ID, Batch: dp.Batch})
+			}
 		}
 		for _, p := range h.paths {
 			p.Fwd.Send(dp)
@@ -540,6 +550,12 @@ func (h *harness) onForward(t *market.Trade) {
 	_, _, err := h.engine.Submit(t.Symbol, int32(t.MP), side, t.Price, t.Qty)
 	if err != nil {
 		panic(err)
+	}
+	if f := h.cfg.Flight; f.Enabled() {
+		f.Emit(flight.Event{
+			At: h.k.Now(), Kind: flight.KindMatch,
+			MP: t.MP, Seq: t.Seq, Aux: int64(t.FinalPos),
+		})
 	}
 	delete(h.submitted, t.Key())
 	if h.cfg.KeepTrades {

@@ -1,0 +1,238 @@
+package flight
+
+import (
+	"sort"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// This file reconstructs pipeline-level views from a flat event trace:
+// per-trade lifecycle timelines, the hold-time attribution leaderboard
+// ("trade T waited 412µs on participant 7's heartbeat"), and pacing
+// conformance (§4.1.2: inter-batch delivery gap ≥ δ).
+
+// TimeUnset marks a lifecycle stage that never appears in the trace
+// (e.g. a trade submitted but never released inside the capture window).
+const TimeUnset = sim.Time(-1)
+
+// Timeline is one trade's reconstructed lifecycle.
+type Timeline struct {
+	MP  market.ParticipantID
+	Seq market.TradeSeq
+	DC  market.DeliveryClock // tag at submission (or first stage seen)
+
+	Submitted sim.Time // RB tagged and sent (TimeUnset if missing)
+	Enqueued  sim.Time // OB admitted
+	Released  sim.Time // OB forwarded
+	Matched   sim.Time // ME executed
+
+	Hold     sim.Time             // OB hold span (from the release event)
+	Blocker  market.ParticipantID // last watermark to pass (0 = not held)
+	FinalPos int64                // ME execution position (from match event)
+}
+
+// Key returns the trade's identity.
+func (tl Timeline) Key() market.TradeKey { return market.TradeKey{MP: tl.MP, Seq: tl.Seq} }
+
+// Timelines folds a trace into per-trade lifecycles, sorted by
+// (participant, sequence).
+func Timelines(events []Event) []Timeline {
+	byKey := make(map[market.TradeKey]*Timeline)
+	get := func(e Event) *Timeline {
+		k := market.TradeKey{MP: e.MP, Seq: e.Seq}
+		tl, ok := byKey[k]
+		if !ok {
+			tl = &Timeline{
+				MP: e.MP, Seq: e.Seq,
+				Submitted: TimeUnset, Enqueued: TimeUnset,
+				Released: TimeUnset, Matched: TimeUnset,
+				FinalPos: -1,
+			}
+			byKey[k] = tl
+		}
+		return tl
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSubmit:
+			tl := get(e)
+			tl.Submitted = e.At
+			tl.DC = e.DC
+		case KindEnqueue:
+			tl := get(e)
+			tl.Enqueued = e.At
+			if tl.DC == (market.DeliveryClock{}) {
+				tl.DC = e.DC
+			}
+		case KindRelease:
+			tl := get(e)
+			tl.Released = e.At
+			tl.Hold = sim.Time(e.Aux)
+			tl.Blocker = market.ParticipantID(e.Aux2)
+			if tl.DC == (market.DeliveryClock{}) {
+				tl.DC = e.DC
+			}
+		case KindMatch:
+			tl := get(e)
+			tl.Matched = e.At
+			tl.FinalPos = e.Aux
+		}
+	}
+	out := make([]Timeline, 0, len(byKey))
+	for _, tl := range byKey {
+		out = append(out, *tl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MP != out[j].MP {
+			return out[i].MP < out[j].MP
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Lookup finds one trade's timeline in a trace.
+func Lookup(events []Event, mp market.ParticipantID, seq market.TradeSeq) (Timeline, bool) {
+	for _, tl := range Timelines(events) {
+		if tl.MP == mp && tl.Seq == seq {
+			return tl, true
+		}
+	}
+	return Timeline{}, false
+}
+
+// BlockerStat aggregates the trades a participant's lagging watermark
+// held in the ordering buffer.
+type BlockerStat struct {
+	Blocker market.ParticipantID // negative ids are OB shards
+	Trades  int                  // held releases attributed to it
+	Total   sim.Time             // summed hold time
+	Max     sim.Time             // worst single hold
+}
+
+// Blockers builds the per-participant blocker leaderboard from release
+// events, sorted by total hold time (descending), ties by id.
+func Blockers(events []Event) []BlockerStat {
+	agg := make(map[market.ParticipantID]*BlockerStat)
+	for _, e := range events {
+		if e.Kind != KindRelease || e.Aux <= 0 {
+			continue
+		}
+		b := market.ParticipantID(e.Aux2)
+		st, ok := agg[b]
+		if !ok {
+			st = &BlockerStat{Blocker: b}
+			agg[b] = st
+		}
+		st.Trades++
+		st.Total += sim.Time(e.Aux)
+		if h := sim.Time(e.Aux); h > st.Max {
+			st.Max = h
+		}
+	}
+	out := make([]BlockerStat, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Blocker < out[j].Blocker
+	})
+	return out
+}
+
+// UnattributedHeld counts releases that waited in the OB but carry no
+// blocking participant. The OB's drain-cause attribution makes this
+// zero by construction; the analyzer (and CI) treat non-zero as a bug.
+func UnattributedHeld(events []Event) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == KindRelease && e.Aux > 0 && e.Aux2 == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PacingViolation is a batch delivered sooner than δ after its
+// predecessor at the same RB (§4.1.2 forbids this).
+type PacingViolation struct {
+	MP    market.ParticipantID
+	Batch market.BatchID
+	At    sim.Time
+	Gap   sim.Time // measured inter-delivery gap (< delta)
+}
+
+// Pacing checks every RB's inter-batch delivery gaps against delta.
+// First deliveries (gap 0 with no predecessor) are exempt.
+type Pacing struct {
+	Deliveries int
+	MinGap     sim.Time // smallest observed real gap (0 if < 2 deliveries per RB)
+	Violations []PacingViolation
+}
+
+// CheckPacing scans deliver events. A deliver event's Aux carries the
+// gap the RB measured on its own local clock — exactly the clock the
+// §4.1.2 obligation is defined on.
+func CheckPacing(events []Event, delta sim.Time) Pacing {
+	var p Pacing
+	first := make(map[market.ParticipantID]bool)
+	for _, e := range events {
+		if e.Kind != KindDeliver {
+			continue
+		}
+		p.Deliveries++
+		if !first[e.MP] {
+			first[e.MP] = true // Aux is 0 for an RB's first delivery
+			continue
+		}
+		gap := sim.Time(e.Aux)
+		if p.MinGap == 0 || gap < p.MinGap {
+			p.MinGap = gap
+		}
+		if gap < delta {
+			p.Violations = append(p.Violations, PacingViolation{
+				MP: e.MP, Batch: e.Batch, At: e.At, Gap: gap,
+			})
+		}
+	}
+	return p
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Events   int
+	ByKind   map[Kind]int
+	Held     int      // releases with a positive hold
+	Releases int      // total releases
+	HoldP50  sim.Time // percentiles over held releases only
+	HoldP99  sim.Time
+	HoldMax  sim.Time
+}
+
+// Summarize computes trace-wide statistics.
+func Summarize(events []Event) Stats {
+	s := Stats{Events: len(events), ByKind: make(map[Kind]int)}
+	var holds []sim.Time
+	for _, e := range events {
+		s.ByKind[e.Kind]++
+		if e.Kind == KindRelease {
+			s.Releases++
+			if e.Aux > 0 {
+				s.Held++
+				holds = append(holds, sim.Time(e.Aux))
+			}
+		}
+	}
+	if len(holds) > 0 {
+		sort.Slice(holds, func(i, j int) bool { return holds[i] < holds[j] })
+		pick := func(q float64) sim.Time { return holds[int(q*float64(len(holds)-1))] }
+		s.HoldP50 = pick(0.50)
+		s.HoldP99 = pick(0.99)
+		s.HoldMax = holds[len(holds)-1]
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package flight
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// trace builds the lifecycle of two trades: MP1 seq1 released
+// immediately, MP2 seq1 held 30ns on MP3's watermark, plus paced
+// deliveries at two RBs.
+func sampleTrace() []Event {
+	return []Event{
+		{At: 0, Kind: KindGen, Point: 1, Batch: 1},
+		{At: 0, Kind: KindSeal, Point: 1, Batch: 1},
+		{At: 10, Kind: KindDeliver, MP: 1, Batch: 1, Point: 1, Aux: 0, Aux2: 1},
+		{At: 12, Kind: KindDeliver, MP: 2, Batch: 1, Point: 1, Aux: 0, Aux2: 1},
+		{At: 20, Kind: KindSubmit, MP: 1, Seq: 1, Point: 1, DC: market.DeliveryClock{Point: 1, Elapsed: 10}},
+		{At: 25, Kind: KindEnqueue, MP: 1, Seq: 1, DC: market.DeliveryClock{Point: 1, Elapsed: 10}},
+		{At: 25, Kind: KindRelease, MP: 1, Seq: 1, DC: market.DeliveryClock{Point: 1, Elapsed: 10}, Aux: 0, Aux2: 0},
+		{At: 25, Kind: KindMatch, MP: 1, Seq: 1, Aux: 0},
+		{At: 30, Kind: KindSubmit, MP: 2, Seq: 1, Point: 1, DC: market.DeliveryClock{Point: 1, Elapsed: 18}},
+		{At: 35, Kind: KindEnqueue, MP: 2, Seq: 1, DC: market.DeliveryClock{Point: 1, Elapsed: 18}},
+		{At: 60, Kind: KindWatermark, MP: 3, DC: market.DeliveryClock{Point: 1, Elapsed: 40}},
+		{At: 65, Kind: KindRelease, MP: 2, Seq: 1, DC: market.DeliveryClock{Point: 1, Elapsed: 18}, Aux: 30, Aux2: 3},
+		{At: 65, Kind: KindMatch, MP: 2, Seq: 1, Aux: 1},
+		{At: 40, Kind: KindDeliver, MP: 1, Batch: 2, Point: 2, Aux: 30, Aux2: 1},
+		{At: 40, Kind: KindDeliver, MP: 2, Batch: 2, Point: 2, Aux: 28, Aux2: 1},
+	}
+}
+
+func TestTimelines(t *testing.T) {
+	t.Parallel()
+	tls := Timelines(sampleTrace())
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines", len(tls))
+	}
+	a, b := tls[0], tls[1]
+	if a.MP != 1 || b.MP != 2 {
+		t.Fatalf("order: %v %v", a, b)
+	}
+	if a.Submitted != 20 || a.Enqueued != 25 || a.Released != 25 || a.Matched != 25 {
+		t.Fatalf("MP1 stamps: %+v", a)
+	}
+	if a.Hold != 0 || a.Blocker != 0 || a.FinalPos != 0 {
+		t.Fatalf("MP1 hold: %+v", a)
+	}
+	if b.Hold != 30 || b.Blocker != 3 || b.FinalPos != 1 {
+		t.Fatalf("MP2 attribution: %+v", b)
+	}
+	if b.DC != (market.DeliveryClock{Point: 1, Elapsed: 18}) {
+		t.Fatalf("MP2 DC: %+v", b)
+	}
+
+	got, ok := Lookup(sampleTrace(), 2, 1)
+	if !ok || got != b {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := Lookup(sampleTrace(), 9, 9); ok {
+		t.Fatal("Lookup found a trade that is not there")
+	}
+}
+
+func TestTimelinesPartialLifecycle(t *testing.T) {
+	t.Parallel()
+	tls := Timelines([]Event{
+		{At: 5, Kind: KindEnqueue, MP: 4, Seq: 2, DC: market.DeliveryClock{Point: 3}},
+	})
+	if len(tls) != 1 {
+		t.Fatalf("got %d timelines", len(tls))
+	}
+	tl := tls[0]
+	if tl.Submitted != TimeUnset || tl.Released != TimeUnset || tl.Matched != TimeUnset {
+		t.Fatalf("missing stages not TimeUnset: %+v", tl)
+	}
+	if tl.Enqueued != 5 || tl.FinalPos != -1 {
+		t.Fatalf("timeline: %+v", tl)
+	}
+}
+
+func TestBlockers(t *testing.T) {
+	t.Parallel()
+	events := []Event{
+		{Kind: KindRelease, MP: 1, Seq: 1, Aux: 10, Aux2: 5},
+		{Kind: KindRelease, MP: 1, Seq: 2, Aux: 40, Aux2: 5},
+		{Kind: KindRelease, MP: 2, Seq: 1, Aux: 25, Aux2: 7},
+		{Kind: KindRelease, MP: 2, Seq: 2, Aux: 0, Aux2: 0}, // not held
+	}
+	bs := Blockers(events)
+	if len(bs) != 2 {
+		t.Fatalf("got %d blockers", len(bs))
+	}
+	if bs[0].Blocker != 5 || bs[0].Trades != 2 || bs[0].Total != 50 || bs[0].Max != 40 {
+		t.Fatalf("top blocker: %+v", bs[0])
+	}
+	if bs[1].Blocker != 7 || bs[1].Total != 25 {
+		t.Fatalf("second blocker: %+v", bs[1])
+	}
+	if n := UnattributedHeld(events); n != 0 {
+		t.Fatalf("UnattributedHeld = %d", n)
+	}
+	if n := UnattributedHeld([]Event{{Kind: KindRelease, Aux: 3, Aux2: 0}}); n != 1 {
+		t.Fatalf("UnattributedHeld missed a hole: %d", n)
+	}
+}
+
+func TestCheckPacing(t *testing.T) {
+	t.Parallel()
+	p := CheckPacing(sampleTrace(), sim.Time(29))
+	if p.Deliveries != 4 {
+		t.Fatalf("deliveries = %d", p.Deliveries)
+	}
+	if p.MinGap != 28 {
+		t.Fatalf("min gap = %v", p.MinGap)
+	}
+	if len(p.Violations) != 1 {
+		t.Fatalf("violations = %+v", p.Violations)
+	}
+	v := p.Violations[0]
+	if v.MP != 2 || v.Gap != 28 || v.Batch != 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+	// First deliveries are exempt even though their recorded gap is 0.
+	if p := CheckPacing(sampleTrace(), 1); len(p.Violations) != 0 {
+		t.Fatalf("first deliveries flagged: %+v", p.Violations)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s := Summarize(sampleTrace())
+	if s.Events != len(sampleTrace()) {
+		t.Fatalf("events = %d", s.Events)
+	}
+	if s.Releases != 2 || s.Held != 1 {
+		t.Fatalf("releases = %d held = %d", s.Releases, s.Held)
+	}
+	if s.HoldP50 != 30 || s.HoldMax != 30 {
+		t.Fatalf("hold stats: %+v", s)
+	}
+	if s.ByKind[KindDeliver] != 4 || s.ByKind[KindGen] != 1 {
+		t.Fatalf("by kind: %v", s.ByKind)
+	}
+}

@@ -1,0 +1,247 @@
+// Package flight is the exchange's flight recorder: a bounded,
+// structured-event trace of the full trade lifecycle, from market data
+// generation at the CES through batch sealing, paced RB delivery,
+// delivery-clock tagging, ordering-buffer hold, release, and matching.
+//
+// The paper's fairness guarantee rests on quantities that are invisible
+// in aggregate metrics: how long a trade sat in the ordering buffer,
+// *whose* watermark it was waiting on (§4.1.3), whether pacing kept the
+// inter-batch gap ≥ δ (§4.1.2), and when straggler mitigation fired
+// (§4.2.1). The recorder captures all of them as flat, fixed-size
+// events cheap enough to leave on in production.
+//
+// Time discipline: the recorder never reads a clock. Emitters stamp
+// every event with their scheduler's time — virtual sim.Time in
+// simulation, the node's monotonic rt.Loop time in live mode — so a
+// seeded simulation produces byte-identical traces run after run, and
+// the package stays clean under dbo-vet's walltime rule.
+//
+// Overhead contract: a disabled recorder costs one atomic load per
+// instrumentation site (see BenchmarkRecorder). An enabled recorder
+// appends into a mutex-guarded ring of fixed-size structs; when the
+// ring wraps, the oldest events are dropped and counted, never blocking
+// the pipeline.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+const (
+	// KindGen: the CES generated a market data point.
+	// Point, Batch set.
+	KindGen Kind = iota + 1
+	// KindSeal: the CES sealed a batch (its Last point was assigned, or
+	// a close marker ended the window). Point is the final point id,
+	// Batch the sealed batch.
+	KindSeal
+	// KindDeliver: an RB delivered a complete batch to its MP. MP,
+	// Batch set; Point is the batch's last point; Aux is the measured
+	// gap since this RB's previous delivery in nanoseconds (0 for the
+	// first delivery); Aux2 is the number of points in the batch.
+	KindDeliver
+	// KindSubmit: an RB tagged an MP's trade with the delivery clock
+	// and sent it upstream. MP, Seq, DC set; Point is the trade's
+	// trigger point (ground truth where known, 0 otherwise).
+	KindSubmit
+	// KindEnqueue: the ordering buffer enqueued a tagged trade.
+	// MP, Seq, DC set.
+	KindEnqueue
+	// KindWatermark: the ordering buffer absorbed a heartbeat. MP is
+	// the reporting participant (a negative shard id for synthetic
+	// shard minima), DC the reported watermark; Aux is the gap since
+	// that participant's previous heartbeat in nanoseconds (0 for the
+	// first); Aux2 is the originating member participant for shard
+	// minima (0 otherwise).
+	KindWatermark
+	// KindRelease: the ordering buffer released a trade to the matching
+	// engine. MP, Seq, DC set; Aux is the hold time in nanoseconds
+	// (release − enqueue); Aux2 is the blocking participant whose
+	// watermark was the last to pass (0 when the trade was never held).
+	KindRelease
+	// KindMatch: the matching engine executed the trade. MP, Seq set;
+	// Aux is the trade's final position in the execution order.
+	KindMatch
+	// KindStraggler: a straggler state transition (§4.2.1). MP set;
+	// Aux is the evidence RTT (or heartbeat silence) in nanoseconds;
+	// Aux2 is a bit set: 1 = excluded (0 = re-admitted), 2 = caused by
+	// heartbeat timeout rather than a measured RTT.
+	KindStraggler
+	// KindGate: the egress gateway (Appendix E) processed a message.
+	// MP is the sender, Point the message's tag point; Aux is 0 for an
+	// immediate release, 1 when the message was held, 2 for a release
+	// after a hold.
+	KindGate
+)
+
+var kindNames = [...]string{
+	KindGen:       "gen",
+	KindSeal:      "seal",
+	KindDeliver:   "deliver",
+	KindSubmit:    "submit",
+	KindEnqueue:   "enqueue",
+	KindWatermark: "watermark",
+	KindRelease:   "release",
+	KindMatch:     "match",
+	KindStraggler: "straggler",
+	KindGate:      "gate",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString inverts Kind.String (0 for unknown names).
+func KindFromString(s string) Kind {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k)
+		}
+	}
+	return 0
+}
+
+// Straggler event Aux2 bits.
+const (
+	StragglerExcluded = 1 << iota // excluded (absent = re-admitted)
+	StragglerTimeout              // evidence was heartbeat silence
+)
+
+// Gate event Aux values.
+const (
+	GateImmediate = iota // released without waiting
+	GateHeld             // buffered behind the minimum-delivery gate
+	GateReleased         // released after a hold
+)
+
+// Event is one fixed-size lifecycle record. Field meaning is
+// kind-specific; see the Kind constants.
+type Event struct {
+	At    sim.Time // scheduler time at the emitting component
+	Kind  Kind
+	MP    market.ParticipantID
+	Point market.PointID
+	Batch market.BatchID
+	Seq   market.TradeSeq
+	DC    market.DeliveryClock
+	Aux   int64
+	Aux2  int64
+}
+
+// Recorder is a bounded drop-oldest ring of events. A nil *Recorder is
+// a valid, permanently-disabled recorder, so instrumentation sites need
+// no nil guards. Safe for concurrent use: Emit holds a mutex only long
+// enough to copy one fixed-size struct (no callbacks, no I/O — clean
+// under dbo-vet's lockheld rule).
+type Recorder struct {
+	enabled atomic.Bool
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events accepted; next write slot is next % len(buf)
+}
+
+// DefaultCapacity is the ring size used when NewRecorder is given a
+// non-positive capacity: enough for ~1s of a 10-participant sim run.
+const DefaultCapacity = 1 << 17
+
+// NewRecorder returns an enabled recorder holding up to capacity
+// events (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := &Recorder{buf: make([]Event, capacity)}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether Emit currently records. False for nil.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled toggles recording. No-op on nil.
+func (r *Recorder) SetEnabled(v bool) {
+	if r != nil {
+		r.enabled.Store(v)
+	}
+}
+
+// Emit records one event. On a nil or disabled recorder this is a
+// single (nil-or-)atomic check — the whole disabled-path overhead
+// contract. When the ring is full the oldest event is overwritten and
+// counted in Dropped.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.mu.Lock()
+	if r.next >= uint64(len(r.buf)) {
+		r.dropped.Add(1)
+	}
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len reports events currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Dropped reports events lost to ring wrap since the last Reset.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Snapshot copies the retained events, oldest first.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.next <= n {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, n)
+	head := r.next % n // oldest retained slot
+	copy(out, r.buf[head:])
+	copy(out[n-head:], r.buf[:head])
+	return out
+}
+
+// Reset discards all retained events and the dropped counter.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.next = 0
+	r.mu.Unlock()
+	r.dropped.Store(0)
+}

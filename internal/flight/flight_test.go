@@ -1,0 +1,210 @@
+package flight
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func ev(at sim.Time, k Kind, mp market.ParticipantID, seq market.TradeSeq) Event {
+	return Event{At: at, Kind: k, MP: mp, Seq: seq}
+}
+
+func TestRecorderRingDropsOldest(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(4)
+	for i := 1; i <= 7; i++ {
+		r.Emit(ev(sim.Time(i), KindEnqueue, 1, market.TradeSeq(i)))
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if want := sim.Time(i + 4); e.At != want {
+			t.Fatalf("snapshot[%d].At = %v, want %v (oldest-first order)", i, e.At, want)
+		}
+	}
+}
+
+func TestRecorderNilAndDisabled(t *testing.T) {
+	t.Parallel()
+	var nilRec *Recorder
+	if nilRec.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	nilRec.Emit(Event{})    // must not panic
+	nilRec.SetEnabled(true) // must not panic
+	if nilRec.Len() != 0 || nilRec.Dropped() != 0 || nilRec.Snapshot() != nil {
+		t.Fatal("nil recorder has state")
+	}
+
+	r := NewRecorder(8)
+	r.SetEnabled(false)
+	r.Emit(ev(1, KindGen, 0, 0))
+	if r.Len() != 0 {
+		t.Fatal("disabled recorder accepted an event")
+	}
+	r.SetEnabled(true)
+	r.Emit(ev(2, KindGen, 0, 0))
+	if r.Len() != 1 {
+		t.Fatal("re-enabled recorder dropped an event")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(2)
+	r.Emit(ev(1, KindGen, 0, 0))
+	r.Emit(ev(2, KindGen, 0, 0))
+	r.Emit(ev(3, KindGen, 0, 0))
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	r.Emit(ev(4, KindGen, 0, 0))
+	if s := r.Snapshot(); len(s) != 1 || s[0].At != 4 {
+		t.Fatalf("post-Reset snapshot = %v", s)
+	}
+}
+
+// TestRecorderConcurrent hammers Emit/Snapshot/SetEnabled from many
+// goroutines; run under -race this is the recorder's thread-safety
+// proof (the live node emits from its loop while HTTP scrapes snapshot).
+func TestRecorderConcurrent(t *testing.T) {
+	t.Parallel()
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Emit(ev(sim.Time(i), KindEnqueue, market.ParticipantID(g), market.TradeSeq(i)))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+			_ = r.Len()
+			_ = r.Dropped()
+		}
+	}()
+	wg.Wait()
+	if got := int64(r.Len()) + r.Dropped(); got != 8*2000 {
+		t.Fatalf("kept+dropped = %d, want %d", got, 8*2000)
+	}
+}
+
+func randomEvent(rng *rand.Rand) Event {
+	return Event{
+		At:    sim.Time(rng.Int64N(1 << 40)),
+		Kind:  Kind(rng.IntN(int(KindGate)) + 1),
+		MP:    market.ParticipantID(rng.Int64N(40) - 8),
+		Point: market.PointID(rng.Uint64N(1 << 30)),
+		Batch: market.BatchID(rng.Uint64N(1 << 20)),
+		Seq:   market.TradeSeq(rng.Uint64N(1 << 30)),
+		DC: market.DeliveryClock{
+			Point:   market.PointID(rng.Uint64N(1 << 30)),
+			Elapsed: sim.Time(rng.Int64N(1 << 30)),
+		},
+		Aux:  rng.Int64N(1<<40) - (1 << 20),
+		Aux2: rng.Int64N(1 << 20),
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(7, 7))
+	events := make([]Event, 500)
+	for i := range events {
+		events[i] = randomEvent(rng)
+	}
+	// A minimal event (every optional field zero) must survive too.
+	events = append(events, Event{Kind: KindGen})
+
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, got) {
+		t.Fatal("round trip mutated events")
+	}
+}
+
+func TestNDJSONDeterministicEncoding(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(9, 9))
+	events := make([]Event, 100)
+	for i := range events {
+		events[i] = randomEvent(rng)
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same events encoded differently")
+	}
+}
+
+func TestNDJSONRejectsUnknownKeys(t *testing.T) {
+	t.Parallel()
+	if _, err := Read(strings.NewReader(`{"at":1,"kind":"gen","bogus":2}` + "\n")); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// BenchmarkRecorder pins the overhead contract: a nil or disabled
+// recorder must cost a branch plus at most one atomic load per site.
+func BenchmarkRecorder(b *testing.B) {
+	e := ev(1, KindRelease, 3, 9)
+	b.Run("nil", func(b *testing.B) {
+		var r *Recorder
+		for i := 0; i < b.N; i++ {
+			if r.Enabled() {
+				r.Emit(e)
+			}
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		r := NewRecorder(1 << 10)
+		r.SetEnabled(false)
+		for i := 0; i < b.N; i++ {
+			if r.Enabled() {
+				r.Emit(e)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		r := NewRecorder(1 << 10)
+		for i := 0; i < b.N; i++ {
+			if r.Enabled() {
+				r.Emit(e)
+			}
+		}
+	})
+}

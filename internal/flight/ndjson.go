@@ -1,0 +1,203 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// The NDJSON form is one JSON object per line with a fixed key order
+// ("at","kind" always present, remaining keys emitted only when
+// non-zero, always in the same order), so a given event sequence has
+// exactly one byte representation: seeded sim runs export
+// byte-identical traces.
+
+// AppendNDJSON appends one event as a JSON line (with trailing '\n').
+func AppendNDJSON(b []byte, e Event) []byte {
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, int64(e.At), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.MP != 0 {
+		b = append(b, `,"mp":`...)
+		b = strconv.AppendInt(b, int64(e.MP), 10)
+	}
+	if e.Point != 0 {
+		b = append(b, `,"point":`...)
+		b = strconv.AppendUint(b, uint64(e.Point), 10)
+	}
+	if e.Batch != 0 {
+		b = append(b, `,"batch":`...)
+		b = strconv.AppendUint(b, uint64(e.Batch), 10)
+	}
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, uint64(e.Seq), 10)
+	}
+	if e.DC != (market.DeliveryClock{}) {
+		b = append(b, `,"dc_point":`...)
+		b = strconv.AppendUint(b, uint64(e.DC.Point), 10)
+		b = append(b, `,"dc_elapsed":`...)
+		b = strconv.AppendInt(b, int64(e.DC.Elapsed), 10)
+	}
+	if e.Aux != 0 {
+		b = append(b, `,"aux":`...)
+		b = strconv.AppendInt(b, e.Aux, 10)
+	}
+	if e.Aux2 != 0 {
+		b = append(b, `,"aux2":`...)
+		b = strconv.AppendInt(b, e.Aux2, 10)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// Write streams events as NDJSON.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var scratch []byte
+	for _, e := range events {
+		scratch = AppendNDJSON(scratch[:0], e)
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses an NDJSON trace written by Write. Blank lines are
+// skipped; unknown keys are rejected so schema drift fails loudly.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		ev, err := parseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("flight: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine decodes one event object. A hand-rolled scanner keeps the
+// decoder allocation-light on multi-million-line traces and accepts
+// exactly what AppendNDJSON produces (plus arbitrary key order and
+// whitespace-free variants other tools might emit).
+func parseLine(raw []byte) (Event, error) {
+	var ev Event
+	p := raw
+	if len(p) == 0 || p[0] != '{' || p[len(p)-1] != '}' {
+		return ev, fmt.Errorf("not an object: %q", raw)
+	}
+	p = p[1 : len(p)-1]
+	sawKind := false
+	for len(p) > 0 {
+		// key
+		if p[0] != '"' {
+			return ev, fmt.Errorf("expected key at %q", p)
+		}
+		end := bytes.IndexByte(p[1:], '"')
+		if end < 0 {
+			return ev, fmt.Errorf("unterminated key")
+		}
+		key := string(p[1 : 1+end])
+		p = p[2+end:]
+		if len(p) == 0 || p[0] != ':' {
+			return ev, fmt.Errorf("expected ':' after %q", key)
+		}
+		p = p[1:]
+		// value: string or integer
+		var sval string
+		var ival int64
+		var uval uint64
+		if len(p) > 0 && p[0] == '"' {
+			end := bytes.IndexByte(p[1:], '"')
+			if end < 0 {
+				return ev, fmt.Errorf("unterminated string for %q", key)
+			}
+			sval = string(p[1 : 1+end])
+			p = p[2+end:]
+		} else {
+			end := bytes.IndexByte(p, ',')
+			tok := p
+			if end >= 0 {
+				tok = p[:end]
+			}
+			var err error
+			ival, err = strconv.ParseInt(string(tok), 10, 64)
+			if err != nil {
+				return ev, fmt.Errorf("value for %q: %w", key, err)
+			}
+			if ival >= 0 {
+				uval = uint64(ival)
+			}
+			p = p[len(tok):]
+		}
+		if len(p) > 0 {
+			if p[0] != ',' {
+				return ev, fmt.Errorf("expected ',' after %q", key)
+			}
+			p = p[1:]
+		}
+		switch key {
+		case "at":
+			ev.At = sim.Time(ival)
+		case "kind":
+			ev.Kind = KindFromString(sval)
+			if ev.Kind == 0 {
+				return ev, fmt.Errorf("unknown kind %q", sval)
+			}
+			sawKind = true
+		case "mp":
+			ev.MP = market.ParticipantID(ival)
+		case "point":
+			ev.Point = market.PointID(uval)
+		case "batch":
+			ev.Batch = market.BatchID(uval)
+		case "seq":
+			ev.Seq = market.TradeSeq(uval)
+		case "dc_point":
+			ev.DC.Point = market.PointID(uval)
+		case "dc_elapsed":
+			ev.DC.Elapsed = sim.Time(ival)
+		case "aux":
+			ev.Aux = ival
+		case "aux2":
+			ev.Aux2 = ival
+		default:
+			return ev, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if !sawKind {
+		return ev, fmt.Errorf("missing kind")
+	}
+	return ev, nil
+}
+
+// Handler serves the recorder's current contents as NDJSON
+// (application/x-ndjson) — mount it at /debug/flight.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Flight-Dropped", strconv.FormatInt(r.Dropped(), 10))
+		_ = Write(w, r.Snapshot()) //dbo:vet-ignore errdrop best-effort debug dump; a vanished client is not actionable
+	})
+}

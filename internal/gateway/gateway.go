@@ -15,6 +15,7 @@ package gateway
 import (
 	"fmt"
 
+	"dbo/internal/flight"
 	"dbo/internal/market"
 )
 
@@ -33,6 +34,11 @@ type Egress struct {
 
 	Released int
 	Held     int // messages that had to wait at least once
+
+	// Flight, if non-nil, receives a gate event per hold/release
+	// decision. The gateway is clockless (it orders on point ids, not
+	// time — Appendix E), so gate events carry no timestamp.
+	Flight *flight.Recorder
 }
 
 // New builds a gateway for a fixed participant set. release is invoked,
@@ -97,11 +103,21 @@ func (g *Egress) OnReport(mp market.ParticipantID, dc market.DeliveryClock) {
 func (g *Egress) Submit(m Message) {
 	if g.safe(m.Tag) && !g.heldFrom(m.From) {
 		g.Released++
+		g.gateEvent(m, flight.GateImmediate)
 		g.release(m)
 		return
 	}
 	g.Held++
+	g.gateEvent(m, flight.GateHeld)
 	g.queue = append(g.queue, m)
+}
+
+func (g *Egress) gateEvent(m Message, state int64) {
+	if f := g.Flight; f.Enabled() {
+		f.Emit(flight.Event{
+			Kind: flight.KindGate, MP: m.From, Point: m.Tag.Point, Aux: state,
+		})
+	}
 }
 
 // heldFrom reports whether a message from mp is still queued.
@@ -136,6 +152,7 @@ func (g *Egress) drain() {
 			continue
 		}
 		g.Released++
+		g.gateEvent(m, flight.GateReleased)
 		g.release(m)
 	}
 	g.queue = kept

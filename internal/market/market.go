@@ -94,6 +94,14 @@ type Trade struct {
 	DC        DeliveryClock // delivery-clock tag applied by the RB
 	Forwarded sim.Time      // F(i,a): when the OB forwarded it to the ME
 	FinalPos  int           // position in the ME's final execution order
+
+	// Observability stamps (ordering buffer, §4.1.3): when the OB
+	// admitted the trade, and — if it had to wait for the release gate —
+	// the participant whose watermark was the last to pass (a negative
+	// id names an OB shard's synthetic minimum). Neither field crosses
+	// the wire; both are local diagnostics for hold-time attribution.
+	Enqueued sim.Time
+	Blocker  ParticipantID
 }
 
 // Key uniquely identifies a trade.
@@ -158,6 +166,13 @@ type Heartbeat struct {
 	MP   ParticipantID
 	DC   DeliveryClock
 	Sent sim.Time // local RB send time (used by OB straggler tracking)
+
+	// Origin, for the synthetic shard-minimum heartbeats of §5.2, names
+	// the member participant whose report (or straggler transition)
+	// moved the shard minimum, so the master OB can attribute holds to
+	// a real participant instead of a shard id. Zero on ordinary RB
+	// heartbeats; never crosses the wire (shards are in-process).
+	Origin ParticipantID
 }
 
 // Ordering is a trade's position assigned by a scheme; the ME executes

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-linear histogram of non-negative int64
+// observations (nanosecond latencies, queue depths, gaps). Values are
+// bucketed by power-of-two magnitude, each magnitude split into 16
+// linear sub-buckets, giving a worst-case quantile error of ~6% across
+// the full int64 range with a fixed 976-slot footprint. Observe is a
+// single atomic add on one bucket plus two on the aggregates, cheap
+// enough for the OB/RB hot paths; readers see a consistent-enough view
+// without ever taking a lock.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+const (
+	subBits    = 4 // 16 linear sub-buckets per power of two
+	subBuckets = 1 << subBits
+	// Magnitudes 0..3 collapse into the 16 exact buckets [0,16); each
+	// magnitude 4..63 contributes subBuckets more.
+	numBuckets = subBuckets + (63-subBits+1)*subBuckets
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0 (they indicate a caller bug but must not corrupt memory).
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	msb := bits.Len64(u) - 1 // >= subBits
+	sub := int((u >> (uint(msb) - subBits)) & (subBuckets - 1))
+	return subBuckets*(msb-subBits+1) + sub
+}
+
+// bucketLo returns the smallest value mapping to bucket i (saturating
+// at MaxInt64 for the unreachable top-magnitude buckets).
+func bucketLo(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	msb := i/subBuckets + subBits - 1
+	sub := i % subBuckets
+	lo := uint64(subBuckets+sub) << (uint(msb) - subBits)
+	if lo > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(lo)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the running sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistSnapshot is a point-in-time copy of a histogram, safe to query
+// repeatedly without re-reading the live buckets.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	buckets []int64 // sparse-scanned on demand
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{buckets: make([]int64, numBuckets)}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	// Recompute count from buckets so the snapshot is self-consistent
+	// even if Observe raced between the bucket scan and the aggregate
+	// loads; sum stays the (possibly slightly newer) running total.
+	for _, c := range s.buckets {
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the lower bound
+// of the bucket holding that rank. 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count-1))
+	var seen int64
+	for i, c := range s.buckets {
+		seen += c
+		if c > 0 && seen > rank {
+			return bucketLo(i)
+		}
+	}
+	return s.Max()
+}
+
+// Max returns the lower bound of the highest non-empty bucket.
+func (s HistSnapshot) Max() int64 {
+	for i := len(s.buckets) - 1; i >= 0; i-- {
+		if s.buckets[i] > 0 {
+			return bucketLo(i)
+		}
+	}
+	return 0
+}
+
+// Buckets calls fn for every non-empty bucket in ascending order with
+// the bucket's inclusive lower bound, exclusive upper bound, and count.
+func (s HistSnapshot) Buckets(fn func(lo, hi int64, count int64)) {
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		hi := int64(math.MaxInt64)
+		if i+1 < numBuckets {
+			hi = bucketLo(i + 1)
+		}
+		fn(bucketLo(i), hi, c)
+	}
+}

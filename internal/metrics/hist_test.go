@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"math/rand/v2"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketMappingExactBelow16(t *testing.T) {
+	t.Parallel()
+	for v := int64(0); v < 16; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d", v, got)
+		}
+		if got := bucketLo(int(v)); got != v {
+			t.Fatalf("bucketLo(%d) = %d", v, got)
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatal("negative value did not clamp to bucket 0")
+	}
+}
+
+func TestBucketBoundsInvariant(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(3, 3))
+	check := func(v int64) {
+		i := bucketOf(v)
+		lo := bucketLo(i)
+		if lo > v {
+			t.Fatalf("bucketLo(%d)=%d > value %d", i, lo, v)
+		}
+		if i+1 < numBuckets {
+			// hi == MaxInt64 means the true bound 2^63 saturated the
+			// int64 range; MaxInt64 itself still belongs to bucket i.
+			if hi := bucketLo(i + 1); v >= hi && hi != math.MaxInt64 {
+				t.Fatalf("value %d >= next bucket lower bound %d (bucket %d)", v, hi, i)
+			}
+		}
+		// Relative error contract: lower bound within ~6.25% of the value.
+		if v > 0 && float64(v-lo)/float64(v) > 1.0/16+1e-9 {
+			t.Fatalf("value %d bucket lower bound %d: error %.3f", v, lo, float64(v-lo)/float64(v))
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		check(rng.Int64N(math.MaxInt64))
+	}
+	for _, v := range []int64{0, 1, 15, 16, 17, 255, 256, 1 << 30, math.MaxInt64} {
+		check(v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v * 1000) // 1µs .. 1ms in ns
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 1000*1001/2*1000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	within := func(got, want int64, tol float64) bool {
+		return math.Abs(float64(got-want)) <= tol*float64(want)
+	}
+	if got := s.Quantile(0.5); !within(got, 500_000, 0.10) {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := s.Quantile(0.99); !within(got, 990_000, 0.10) {
+		t.Fatalf("p99 = %d", got)
+	}
+	if got := s.Max(); !within(got, 1_000_000, 0.07) {
+		t.Fatalf("max = %d", got)
+	}
+	if got := s.Quantile(0); got > 1000 {
+		t.Fatalf("p0 = %d", got)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Fatal("empty snapshot not zero")
+	}
+}
+
+func TestHistogramBucketsIterator(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram()
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+	var total int64
+	prev := int64(-1)
+	h.Snapshot().Buckets(func(lo, hi, count int64) {
+		if lo <= prev {
+			t.Fatalf("buckets not ascending: %d after %d", lo, prev)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket [%d,%d) empty range", lo, hi)
+		}
+		prev = lo
+		total += count
+	})
+	if total != 3 {
+		t.Fatalf("iterated count = %d", total)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 10000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 80000 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestRegistryHistogramSnapshot(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("hold_ns")
+	if r.Histogram("hold_ns") != h {
+		t.Fatal("re-registration created a new histogram")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 10)
+	}
+	snap := r.Snapshot()
+	if snap["hold_ns_count"] != 100 {
+		t.Fatalf("count entry = %d", snap["hold_ns_count"])
+	}
+	if snap["hold_ns_sum"] != 50500 {
+		t.Fatalf("sum entry = %d", snap["hold_ns_sum"])
+	}
+	if snap["hold_ns_p50"] <= 0 || snap["hold_ns_p99"] < snap["hold_ns_p50"] || snap["hold_ns_max"] < snap["hold_ns_p99"] {
+		t.Fatalf("quantile entries inconsistent: %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "hold_ns" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("trades_forwarded").Add(7)
+	r.Gauge("ob-depth").Set(3) // '-' must sanitize to '_'
+	r.Func("live", func() int64 { return 9 })
+	h := r.Histogram("hold_ns")
+	h.Observe(5)
+	h.Observe(300)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE trades_forwarded counter\ntrades_forwarded 7\n",
+		"# TYPE ob_depth gauge\nob_depth 3\n",
+		"# TYPE live gauge\nlive 9\n",
+		"# TYPE hold_ns histogram\n",
+		`hold_ns_bucket{le="+Inf"} 2`,
+		"hold_ns_sum 305\n",
+		"hold_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the first bucket (value 5) must report 1, and
+	// a later bucket must report 2.
+	if !strings.Contains(out, `hold_ns_bucket{le="6"} 1`) {
+		t.Fatalf("missing cumulative bucket for value 5:\n%s", out)
+	}
+
+	// Deterministic output across renders of an idle registry.
+	var c strings.Builder
+	if err := r.WritePrometheus(&c); err != nil {
+		t.Fatal(err)
+	}
+	if out != c.String() {
+		t.Fatal("two renders of an idle registry differ")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	srv := httptest.NewServer(r.PromHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "# TYPE x counter") {
+		t.Fatalf("unexpected exposition:\n%s", body)
+	}
+}

@@ -46,6 +46,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	fns      map[string]func() int64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -54,6 +55,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		fns:      make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -89,17 +91,36 @@ func (r *Registry) Func(name string, fn func() int64) {
 	r.fns[name] = fn
 }
 
+// Histogram returns (registering if needed) the named log-linear
+// histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Snapshot returns all metric values by name. Func metrics are invoked
 // after the registry lock is released, so a callback may itself read or
 // register metrics (derived metrics would otherwise self-deadlock).
+// Histograms contribute derived entries: <name>_count, <name>_sum, and
+// <name>_p50/_p99/_max.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.fns))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.fns)+5*len(r.hists))
 	for n, c := range r.counters {
 		out[n] = c.Value()
 	}
 	for n, g := range r.gauges {
 		out[n] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
 	}
 	fns := make(map[string]func() int64, len(r.fns))
 	for n, fn := range r.fns {
@@ -109,16 +130,36 @@ func (r *Registry) Snapshot() map[string]int64 {
 	for n, fn := range fns {
 		out[n] = fn()
 	}
+	for n, h := range hists {
+		s := h.Snapshot()
+		out[n+"_count"] = s.Count
+		out[n+"_sum"] = s.Sum
+		out[n+"_p50"] = s.Quantile(0.50)
+		out[n+"_p99"] = s.Quantile(0.99)
+		out[n+"_max"] = s.Max()
+	}
 	return out
 }
 
-// Names returns the registered metric names, sorted.
+// Names returns the registered metric names, sorted. Unlike Snapshot it
+// never invokes Func callbacks: listing what exists must be free of
+// scrape-time side effects (a Func may cross into an event loop).
 func (r *Registry) Names() []string {
-	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
-	for n := range snap {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.fns)+len(r.hists))
+	for n := range r.counters {
 		names = append(names, n)
 	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.fns {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
 	sort.Strings(names)
 	return names
 }
@@ -130,6 +171,6 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort scrape
+		_ = enc.Encode(r.Snapshot()) //dbo:vet-ignore errdrop best-effort scrape; a vanished client is not actionable
 	})
 }

@@ -17,6 +17,7 @@ import (
 
 	"dbo/internal/core"
 	"dbo/internal/feed"
+	"dbo/internal/flight"
 	"dbo/internal/lob"
 	"dbo/internal/market"
 	"dbo/internal/metrics"
@@ -54,6 +55,12 @@ type CESConfig struct {
 	// OnForward, if set, observes each trade as it reaches the ME
 	// (called on the CES loop goroutine).
 	OnForward func(t *market.Trade)
+
+	// Flight, if non-nil, records the CES-side trade lifecycle (data
+	// point generation, batch seals, OB enqueue/watermark/release with
+	// hold attribution, straggler transitions, ME matches). Events are
+	// stamped with the node's monotonic loop clock.
+	Flight *flight.Recorder
 }
 
 // CES is a running central exchange server node.
@@ -68,6 +75,10 @@ type CES struct {
 	quotes *feed.Generator
 	reg    *metrics.Registry
 	addrs  []*net.UDPAddr
+
+	// lastHB tracks per-MP heartbeat arrival for the staleness histogram
+	// (loop goroutine only).
+	lastHB map[market.ParticipantID]sim.Time
 
 	mu        sync.Mutex
 	genTimes  []sim.Time
@@ -95,7 +106,11 @@ func NewCES(cfg CESConfig) (*CES, error) {
 	if cfg.Symbols <= 0 {
 		cfg.Symbols = 1
 	}
-	c := &CES{cfg: cfg, loop: rt.NewLoop(), ep: ep, engine: lob.NewEngine(), reg: metrics.NewRegistry()}
+	c := &CES{
+		cfg: cfg, loop: rt.NewLoop(), ep: ep, engine: lob.NewEngine(),
+		reg:    metrics.NewRegistry(),
+		lastHB: make(map[market.ParticipantID]sim.Time),
+	}
 	c.batch = core.NewBatcher(sim.FromDuration(cfg.Delta), cfg.Kappa)
 	c.quotes = feed.New(feed.Config{Seed: cfg.FeedSeed ^ 0xfeed, Symbols: cfg.Symbols})
 	// The reverse path is also served over framed TCP (same host, its
@@ -138,19 +153,57 @@ func (c *CES) Start(mps []MPAddr) error {
 		Forward:      c.onForward,
 		StragglerRTT: sim.FromDuration(c.cfg.StragglerRTT),
 		GenTime:      c.genTime,
+		Flight:       c.cfg.Flight,
+		OnStraggler: func(ev core.StragglerEvent) {
+			// Runs on the loop goroutine; gauges are atomic, so scrapes
+			// never cross into the loop.
+			v := int64(0)
+			if ev.Straggler {
+				v = 1
+			}
+			c.reg.Gauge(fmt.Sprintf("straggler_mp_%d", ev.MP)).Set(v)
+			c.reg.Counter("straggler_transitions").Inc()
+		},
 	})
 
 	c.reg.Func("ob_queued", func() int64 { return int64(c.Queued()) })
 	c.reg.Func("stragglers", func() int64 {
-		ch := make(chan int, 1)
-		c.loop.Post(func() { ch <- len(c.ob.Stragglers()) })
-		select {
-		case n := <-ch:
-			return int64(n)
-		case <-time.After(time.Second):
-			return -1
-		}
+		return c.askLoop(func() int64 { return int64(len(c.ob.Stragglers())) })
 	})
+	c.reg.Func("batches_delivered_min", func() int64 {
+		return c.askLoop(func() int64 {
+			// Coarse progress gauge: the lowest watermark point across
+			// participants — how far the slowest MP has provably gotten.
+			min := int64(-1)
+			for _, p := range parts {
+				wm, ok := c.ob.Watermark(p)
+				if !ok {
+					continue
+				}
+				if min < 0 || int64(wm.Point) < min {
+					min = int64(wm.Point)
+				}
+			}
+			return min
+		})
+	})
+	for _, p := range parts {
+		p := p
+		// Watermark lag: newest generated point minus the participant's
+		// watermark point — how far behind the gate this MP's reports are.
+		c.reg.Func(fmt.Sprintf("wm_lag_points_mp_%d", p), func() int64 {
+			return c.askLoop(func() int64 {
+				wm, ok := c.ob.Watermark(p)
+				if !ok {
+					return -1
+				}
+				c.mu.Lock()
+				gen := int64(len(c.genPoints))
+				c.mu.Unlock()
+				return gen - int64(wm.Point)
+			})
+		})
+	}
 	go c.loop.Run()
 	go c.ep.Serve(func(v any, from *net.UDPAddr) {
 		c.loop.Post(func() { c.onMessage(v) })
@@ -163,11 +216,27 @@ func (c *CES) Start(mps []MPAddr) error {
 	return nil
 }
 
-// Metrics exposes the node's operational registry: data_points,
-// trades_received, heartbeats_received, retx_requests,
-// trades_forwarded, executions, plus live ob_queued and stragglers.
-// Mount Metrics().Handler() on any HTTP mux to scrape it.
+// Metrics exposes the node's operational registry: counters
+// (data_points, batches_sealed, trades_received, heartbeats_received,
+// retx_requests, trades_forwarded, executions, straggler_transitions),
+// live gauges (ob_queued, stragglers, batches_delivered_min, per-MP
+// wm_lag_points_mp_<id> and straggler_mp_<id>), and histograms
+// (ob_hold_ns, response_ns, hb_staleness_ns). Mount Metrics().Handler()
+// (JSON) or Metrics().PromHandler() (Prometheus text) on any HTTP mux.
 func (c *CES) Metrics() *metrics.Registry { return c.reg }
+
+// askLoop evaluates fn on the event loop and returns its result, or -1
+// if the loop is wedged for a second (a scrape must never hang).
+func (c *CES) askLoop(fn func() int64) int64 {
+	ch := make(chan int64, 1)
+	c.loop.Post(func() { ch <- fn() })
+	select {
+	case n := <-ch:
+		return n
+	case <-time.After(time.Second):
+		return -1
+	}
+}
 
 // StartCES is the one-shot variant of NewCES + Start for configurations
 // whose participant addresses are known upfront.
@@ -242,6 +311,15 @@ func (c *CES) tick(i int) {
 	c.genPoints = append(c.genPoints, dp)
 	c.mu.Unlock()
 	c.reg.Counter("data_points").Inc()
+	if last {
+		c.reg.Counter("batches_sealed").Inc()
+	}
+	if f := c.cfg.Flight; f.Enabled() {
+		f.Emit(flight.Event{At: now, Kind: flight.KindGen, Point: dp.ID, Batch: dp.Batch})
+		if last {
+			f.Emit(flight.Event{At: now, Kind: flight.KindSeal, Point: dp.ID, Batch: dp.Batch})
+		}
+	}
 	for _, a := range c.addrs {
 		c.ep.Send(dp, a) //nolint:errcheck // UDP loss is part of the model
 	}
@@ -258,6 +336,11 @@ func (c *CES) onMessage(v any) {
 		c.ob.OnTrade(m)
 	case market.Heartbeat:
 		c.reg.Counter("heartbeats_received").Inc()
+		now := c.loop.Now()
+		if prev, ok := c.lastHB[m.MP]; ok {
+			c.reg.Histogram("hb_staleness_ns").Observe(int64(now - prev))
+		}
+		c.lastHB[m.MP] = now
 		c.ob.OnHeartbeat(m)
 	case wire.Retx:
 		c.reg.Counter("retx_requests").Inc()
@@ -303,6 +386,14 @@ func (c *CES) onForward(t *market.Trade) {
 	c.mu.Unlock()
 	c.reg.Counter("trades_forwarded").Inc()
 	c.reg.Counter("executions").Add(int64(len(execs)))
+	c.reg.Histogram("ob_hold_ns").Observe(int64(t.Forwarded - t.Enqueued))
+	c.reg.Histogram("response_ns").Observe(int64(t.RT))
+	if f := c.cfg.Flight; f.Enabled() {
+		f.Emit(flight.Event{
+			At: c.loop.Now(), Kind: flight.KindMatch,
+			MP: t.MP, Seq: t.Seq, DC: t.DC, Aux: int64(t.FinalPos),
+		})
+	}
 	// Execution reports go back to both counterparties (the market data
 	// stream is the public side; these are the private fills).
 	for _, e := range execs {
@@ -382,6 +473,11 @@ type MPConfig struct {
 	OnDeliver func(b *market.Batch)
 	// OnExec, if set, observes this participant's fills (loop goroutine).
 	OnExec func(e wire.Exec)
+
+	// Flight, if non-nil, records the RB-side lifecycle (batch delivery
+	// with pacing gap, trade submission with delivery-clock tag) stamped
+	// with this node's monotonic loop clock.
+	Flight *flight.Recorder
 }
 
 // MP is a running market participant node.
@@ -392,9 +488,15 @@ type MP struct {
 	rb    *core.ReleaseBuffer
 	ces   *net.UDPAddr
 	tcp   *transport.TCPClient // non-nil when the reverse path is TCP
+	reg   *metrics.Registry
 	seq   market.TradeSeq
 	fills int
-	stop  sync.Once
+
+	// Delivery pacing state (loop goroutine only).
+	lastDeliver sim.Time
+	delivered   bool
+
+	stop sync.Once
 }
 
 // StartMP binds the participant's socket and starts its release buffer.
@@ -414,7 +516,7 @@ func StartMP(cfg MPConfig) (*MP, error) {
 		ep.Close()
 		return nil, fmt.Errorf("node: CES addr %q: %w", cfg.CES, err)
 	}
-	m := &MP{cfg: cfg, loop: rt.NewLoop(), ep: ep, ces: ces}
+	m := &MP{cfg: cfg, loop: rt.NewLoop(), ep: ep, ces: ces, reg: metrics.NewRegistry()}
 	if cfg.CESTCP != "" {
 		tcp, err := transport.DialTCP(cfg.CESTCP)
 		if err != nil {
@@ -430,6 +532,7 @@ func StartMP(cfg MPConfig) (*MP, error) {
 		Sched:   m.loop,
 		Deliver: m.onBatch,
 		Send:    m.send,
+		Flight:  cfg.Flight,
 	})
 	go m.loop.Run()
 	go m.ep.Serve(func(v any, from *net.UDPAddr) {
@@ -441,6 +544,12 @@ func StartMP(cfg MPConfig) (*MP, error) {
 
 // Addr returns the MP's RB ingress address (for the CES config).
 func (m *MP) Addr() *net.UDPAddr { return m.ep.LocalAddr() }
+
+// Metrics exposes the participant's operational registry: counters
+// (batches_delivered, trades_submitted, fills) and histograms
+// (delivery_gap_ns — inter-batch pacing on this node's clock — and
+// response_ns). Mount Metrics().Handler() or .PromHandler() to scrape.
+func (m *MP) Metrics() *metrics.Registry { return m.reg }
 
 // Stop shuts the node down.
 func (m *MP) Stop() {
@@ -473,6 +582,7 @@ func (m *MP) onMessage(v any) {
 		m.rb.OnData(msg)
 	case wire.Exec:
 		m.fills++
+		m.reg.Counter("fills").Inc()
 		if m.cfg.OnExec != nil {
 			m.cfg.OnExec(msg)
 		}
@@ -496,6 +606,11 @@ func (m *MP) Fills() int {
 // onBatch runs the participant's strategy against each delivered point.
 func (m *MP) onBatch(b *market.Batch) {
 	deliveredAt := m.loop.Now()
+	m.reg.Counter("batches_delivered").Inc()
+	if m.delivered {
+		m.reg.Histogram("delivery_gap_ns").Observe(int64(deliveredAt - m.lastDeliver))
+	}
+	m.lastDeliver, m.delivered = deliveredAt, true
 	if m.cfg.OnDeliver != nil {
 		m.cfg.OnDeliver(b)
 	}
@@ -519,6 +634,8 @@ func (m *MP) onBatch(b *market.Batch) {
 				// timer can fire late, and the trade really was slower.
 				RT: now - deliveredAt,
 			}
+			m.reg.Counter("trades_submitted").Inc()
+			m.reg.Histogram("response_ns").Observe(int64(t.RT))
 			m.rb.OnTrade(t) // tags the delivery clock, then send()
 		})
 	}

@@ -1,0 +1,120 @@
+package node
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dbo/internal/flight"
+	"dbo/internal/market"
+)
+
+// TestLiveFlightAndHistograms boots a small cluster with flight
+// recorders attached and checks that the live instrumentation produces
+// a coherent trace (full lifecycle kinds, attributed holds) and that
+// the operational histograms and gauges populate on both node types.
+func TestLiveFlightAndHistograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	const nMP, ticks = 2, 6
+	cesRec := flight.NewRecorder(1 << 14)
+	mpRec := flight.NewRecorder(1 << 14)
+	ces, err := NewCES(CESConfig{
+		Listen:       "127.0.0.1:0",
+		TickInterval: 40 * time.Millisecond,
+		Ticks:        ticks,
+		Delta:        20 * time.Millisecond,
+		Tau:          2 * time.Millisecond,
+		Flight:       cesRec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mps []*MP
+	var addrs []MPAddr
+	for i := 1; i <= nMP; i++ {
+		id := market.ParticipantID(i)
+		cfg := MPConfig{
+			ID:       id,
+			Listen:   "127.0.0.1:0",
+			CES:      ces.Addr().String(),
+			Delta:    20 * time.Millisecond,
+			Tau:      2 * time.Millisecond,
+			Strategy: strategyFor(id),
+		}
+		if i == 1 {
+			cfg.Flight = mpRec
+		}
+		mp, err := StartMP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mps = append(mps, mp)
+		addrs = append(addrs, MPAddr{ID: id, Addr: mp.Addr().String()})
+	}
+	if err := ces.Start(addrs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ces.Stop()
+		for _, mp := range mps {
+			mp.Stop()
+		}
+	})
+	waitForward(t, ces, nMP*ticks, 10*time.Second)
+
+	// CES-side trace: generation through match, with no attribution holes.
+	events := cesRec.Snapshot()
+	s := flight.Summarize(events)
+	for _, k := range []flight.Kind{flight.KindGen, flight.KindEnqueue, flight.KindWatermark, flight.KindRelease, flight.KindMatch} {
+		if s.ByKind[k] == 0 {
+			t.Errorf("CES trace has no %v events", k)
+		}
+	}
+	if n := flight.UnattributedHeld(events); n != 0 {
+		t.Errorf("%d held releases unattributed in live trace", n)
+	}
+	// MP-side trace: paced deliveries and tagged submissions.
+	mpEvents := mpRec.Snapshot()
+	ms := flight.Summarize(mpEvents)
+	if ms.ByKind[flight.KindDeliver] == 0 || ms.ByKind[flight.KindSubmit] == 0 {
+		t.Errorf("MP trace incomplete: %v", ms.ByKind)
+	}
+
+	// Operational surface: histograms and per-participant gauges.
+	snap := ces.Metrics().Snapshot()
+	if snap["ob_hold_ns_count"] != int64(nMP*ticks) {
+		t.Errorf("ob_hold_ns_count = %d, want %d", snap["ob_hold_ns_count"], nMP*ticks)
+	}
+	if snap["response_ns_count"] == 0 || snap["response_ns_p50"] <= 0 {
+		t.Errorf("response histogram not populated: %v", snap)
+	}
+	if snap["hb_staleness_ns_count"] == 0 {
+		t.Error("heartbeat staleness histogram not populated")
+	}
+	if snap["batches_sealed"] == 0 {
+		t.Error("batches_sealed not counted")
+	}
+	for i := 1; i <= nMP; i++ {
+		if _, ok := snap["wm_lag_points_mp_"+string(rune('0'+i))]; !ok {
+			t.Errorf("wm_lag_points_mp_%d missing: %v", i, snap)
+		}
+	}
+	mpSnap := mps[0].Metrics().Snapshot()
+	if mpSnap["batches_delivered"] == 0 || mpSnap["trades_submitted"] == 0 {
+		t.Errorf("MP counters not populated: %v", mpSnap)
+	}
+	if mpSnap["delivery_gap_ns_count"] == 0 {
+		t.Errorf("delivery gap histogram not populated: %v", mpSnap)
+	}
+
+	// Prometheus exposition renders the histograms.
+	var b strings.Builder
+	if err := ces.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE ob_hold_ns histogram") {
+		t.Errorf("prometheus exposition missing histogram:\n%s", b.String())
+	}
+}
