@@ -6,10 +6,12 @@
 //	go test -bench=. -benchmem
 //
 // doubles as the reproduction harness. cmd/dbo-bench prints the same
-// experiments at full scale in the paper's row format.
+// experiments at full scale in the paper's row format (and, with
+// -json, as a machine-readable BENCH_<date>.json snapshot).
 package dbo_test
 
 import (
+	"slices"
 	"testing"
 
 	"dbo/internal/exchange"
@@ -23,90 +25,192 @@ func benchOpts(seed uint64) experiment.Opts {
 	return experiment.Opts{Seed: seed, Duration: 50 * sim.Millisecond}
 }
 
-func BenchmarkTable2(b *testing.B) {
-	var r *experiment.TableResult
-	for i := 0; i < b.N; i++ {
-		r = experiment.Table2(benchOpts(1))
+// benchMetricNames declares, per benchmark, the exact custom metrics it
+// reports, in order. benchAgg.report enforces the declaration at bench
+// time and TestBenchMetricNamesStable pins it, so downstream tooling
+// that greps -bench output by metric name never silently loses a
+// series to a rename.
+var benchMetricNames = map[string][]string{
+	"BenchmarkTable2":              {"direct_fair_%", "dbo_avg_µs", "dbo_p999_µs"},
+	"BenchmarkTable3":              {"direct_fair_%", "dbo_fair_%", "dbo_p999_µs"},
+	"BenchmarkTable4":              {"dbo_fair_rt10_15", "dbo_fair_rt35_40", "direct_fair_rt10_15"},
+	"BenchmarkFigure2":             {"cloudex_fair_%", "cloudex_overruns", "dbo_fair_%"},
+	"BenchmarkFigure7":             {"drain_slope", "theory_slope", "peak_queue"},
+	"BenchmarkFigure11":            {"rtt_mean_µs", "rtt_max_µs"},
+	"BenchmarkFigure12":            {"dbo_avg_n10_µs", "dbo_avg_n90_µs"},
+	"BenchmarkFigure13":            {"dbo60_fair_%", "dbo60_avg_µs"},
+	"BenchmarkExtensionSync":       {"plain_fair", "assisted_fair"},
+	"BenchmarkExtensionExternal":   {"bypass_fair", "serialized_fair"},
+	"BenchmarkExtensionPnL":        {"direct_fastest_wins_%", "dbo_fastest_wins_%"},
+	"BenchmarkSimulatorThroughput": {"trades/s"},
+	"BenchmarkPipeline":            {"trades/s", "allocs/op_measured"},
+	"BenchmarkPipelineLegacyQueue": {"trades/s", "allocs/op_measured"},
+}
+
+// benchAgg accumulates metric observations across every benchmark
+// iteration and reports the per-iteration mean, instead of whichever
+// iteration happened to run last. The experiments are deterministic in
+// their seed today, so mean == last; the aggregation keeps the metrics
+// honest if an experiment ever becomes iteration-dependent.
+type benchAgg struct {
+	b     *testing.B
+	names []string
+	sums  map[string]float64
+	count map[string]float64
+}
+
+func newBenchAgg(b *testing.B) *benchAgg {
+	return &benchAgg{b: b, sums: map[string]float64{}, count: map[string]float64{}}
+}
+
+func (a *benchAgg) add(name string, v float64) {
+	if _, ok := a.sums[name]; !ok {
+		a.names = append(a.names, name)
 	}
-	b.ReportMetric(100*r.Rows[0].Fairness, "direct_fair_%")
-	b.ReportMetric(r.Rows[2].Latency.Avg.Micros(), "dbo_avg_µs")
-	b.ReportMetric(r.Rows[2].Latency.P999.Micros(), "dbo_p999_µs")
+	a.sums[name] += v
+	a.count[name]++
+}
+
+// report emits the means, after checking the observed metric set
+// against the benchmark's declaration in benchMetricNames.
+func (a *benchAgg) report() {
+	if want := benchMetricNames[a.b.Name()]; !slices.Equal(a.names, want) {
+		a.b.Fatalf("metric names drifted: reported %q, declared %q — update benchMetricNames intentionally", a.names, want)
+	}
+	for _, n := range a.names {
+		a.b.ReportMetric(a.sums[n]/a.count[n], n)
+	}
+}
+
+// TestBenchMetricNamesStable pins the metric vocabulary: renaming or
+// dropping a -bench series requires editing both benchMetricNames and
+// this golden list, so it cannot happen as a silent side effect.
+func TestBenchMetricNamesStable(t *testing.T) {
+	golden := []string{
+		"BenchmarkExtensionExternal: bypass_fair serialized_fair",
+		"BenchmarkExtensionPnL: direct_fastest_wins_% dbo_fastest_wins_%",
+		"BenchmarkExtensionSync: plain_fair assisted_fair",
+		"BenchmarkFigure11: rtt_mean_µs rtt_max_µs",
+		"BenchmarkFigure12: dbo_avg_n10_µs dbo_avg_n90_µs",
+		"BenchmarkFigure13: dbo60_fair_% dbo60_avg_µs",
+		"BenchmarkFigure2: cloudex_fair_% cloudex_overruns dbo_fair_%",
+		"BenchmarkFigure7: drain_slope theory_slope peak_queue",
+		"BenchmarkPipeline: trades/s allocs/op_measured",
+		"BenchmarkPipelineLegacyQueue: trades/s allocs/op_measured",
+		"BenchmarkSimulatorThroughput: trades/s",
+		"BenchmarkTable2: direct_fair_% dbo_avg_µs dbo_p999_µs",
+		"BenchmarkTable3: direct_fair_% dbo_fair_% dbo_p999_µs",
+		"BenchmarkTable4: dbo_fair_rt10_15 dbo_fair_rt35_40 direct_fair_rt10_15",
+	}
+	var got []string
+	for bench, names := range benchMetricNames {
+		line := bench + ":"
+		seen := map[string]bool{}
+		for _, n := range names {
+			if n == "" || seen[n] {
+				t.Errorf("%s declares empty or duplicate metric %q", bench, n)
+			}
+			seen[n] = true
+			line += " " + n
+		}
+		got = append(got, line)
+	}
+	slices.Sort(got)
+	if !slices.Equal(got, golden) {
+		t.Errorf("benchmark metric names drifted — update the golden list intentionally:\ngot:\n  %v\nwant:\n  %v", got, golden)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	a := newBenchAgg(b)
+	for i := 0; i < b.N; i++ {
+		r := experiment.Table2(benchOpts(1))
+		a.add("direct_fair_%", 100*r.Rows[0].Fairness)
+		a.add("dbo_avg_µs", r.Rows[2].Latency.Avg.Micros())
+		a.add("dbo_p999_µs", r.Rows[2].Latency.P999.Micros())
+	}
+	a.report()
 }
 
 func BenchmarkTable3(b *testing.B) {
-	var r *experiment.TableResult
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Table3(benchOpts(1))
+		r := experiment.Table3(benchOpts(1))
+		a.add("direct_fair_%", 100*r.Rows[0].Fairness)
+		a.add("dbo_fair_%", 100*r.Rows[2].Fairness)
+		a.add("dbo_p999_µs", r.Rows[2].Latency.P999.Micros())
 	}
-	b.ReportMetric(100*r.Rows[0].Fairness, "direct_fair_%")
-	b.ReportMetric(100*r.Rows[2].Fairness, "dbo_fair_%")
-	b.ReportMetric(r.Rows[2].Latency.P999.Micros(), "dbo_p999_µs")
+	a.report()
 }
 
 func BenchmarkTable4(b *testing.B) {
-	var r *experiment.Table4Result
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Table4(benchOpts(1))
+		r := experiment.Table4(benchOpts(1))
+		a.add("dbo_fair_rt10_15", r.DBO[0])
+		a.add("dbo_fair_rt35_40", r.DBO[len(r.DBO)-1])
+		a.add("direct_fair_rt10_15", r.Direct[0])
 	}
-	b.ReportMetric(r.DBO[0], "dbo_fair_rt10_15")
-	b.ReportMetric(r.DBO[len(r.DBO)-1], "dbo_fair_rt35_40")
-	b.ReportMetric(r.Direct[0], "direct_fair_rt10_15")
+	a.report()
 }
 
 func BenchmarkFigure2(b *testing.B) {
-	var r *experiment.Figure2Result
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Figure2(benchOpts(2))
+		r := experiment.Figure2(benchOpts(2))
+		a.add("cloudex_fair_%", 100*r.CloudExFairness)
+		a.add("cloudex_overruns", float64(r.CloudExOverruns))
+		a.add("dbo_fair_%", 100*r.DBOFairness)
 	}
-	b.ReportMetric(100*r.CloudExFairness, "cloudex_fair_%")
-	b.ReportMetric(float64(r.CloudExOverruns), "cloudex_overruns")
-	b.ReportMetric(100*r.DBOFairness, "dbo_fair_%")
+	a.report()
 }
 
 func BenchmarkFigure7(b *testing.B) {
-	var r *experiment.Figure7Result
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Figure7(experiment.Opts{Seed: 3})
+		r := experiment.Figure7(experiment.Opts{Seed: 3})
+		a.add("drain_slope", r.DrainSlope)
+		a.add("theory_slope", r.Kappa/(1+r.Kappa))
+		a.add("peak_queue", float64(r.PeakQueue))
 	}
-	b.ReportMetric(r.DrainSlope, "drain_slope")
-	b.ReportMetric(r.Kappa/(1+r.Kappa), "theory_slope")
-	b.ReportMetric(float64(r.PeakQueue), "peak_queue")
+	a.report()
 }
 
 func BenchmarkFigure10(b *testing.B) {
-	var r *experiment.Figure10Result
 	for i := 0; i < b.N; i++ {
-		r = experiment.Figure10(benchOpts(4))
+		experiment.Figure10(benchOpts(4))
 	}
-	_ = r
 }
 
 func BenchmarkFigure11(b *testing.B) {
-	var r *experiment.Figure11Result
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Figure11(experiment.Opts{Seed: 5})
+		r := experiment.Figure11(experiment.Opts{Seed: 5})
+		a.add("rtt_mean_µs", r.Stats.Mean.Micros())
+		a.add("rtt_max_µs", r.Stats.Max.Micros())
 	}
-	b.ReportMetric(r.Stats.Mean.Micros(), "rtt_mean_µs")
-	b.ReportMetric(r.Stats.Max.Micros(), "rtt_max_µs")
+	a.report()
 }
 
 func BenchmarkFigure12(b *testing.B) {
-	var r *experiment.Figure12Result
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Figure12(experiment.Opts{Seed: 6, Duration: 20 * sim.Millisecond})
+		r := experiment.Figure12(experiment.Opts{Seed: 6, Duration: 20 * sim.Millisecond})
+		a.add("dbo_avg_n10_µs", r.DBOMean[0])
+		a.add("dbo_avg_n90_µs", r.DBOMean[len(r.DBOMean)-1])
 	}
-	b.ReportMetric(r.DBOMean[0], "dbo_avg_n10_µs")
-	b.ReportMetric(r.DBOMean[len(r.DBOMean)-1], "dbo_avg_n90_µs")
+	a.report()
 }
 
 func BenchmarkFigure13(b *testing.B) {
-	var r *experiment.Figure13Result
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.Figure13(experiment.Opts{Seed: 7, Duration: 20 * sim.Millisecond})
+		r := experiment.Figure13(experiment.Opts{Seed: 7, Duration: 20 * sim.Millisecond})
+		last := r.Points[len(r.Points)-1]
+		a.add("dbo60_fair_%", 100*last.Fairness)
+		a.add("dbo60_avg_µs", last.Mean)
 	}
-	last := r.Points[len(r.Points)-1]
-	b.ReportMetric(100*last.Fairness, "dbo60_fair_%")
-	b.ReportMetric(last.Mean, "dbo60_avg_µs")
+	a.report()
 }
 
 func BenchmarkAblationTau(b *testing.B) {
@@ -134,36 +238,41 @@ func BenchmarkAblationShards(b *testing.B) {
 }
 
 func BenchmarkExtensionSync(b *testing.B) {
-	var r *experiment.SyncAssistResult
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.AblationSync(experiment.Opts{Seed: 12, Duration: 30 * sim.Millisecond})
+		r := experiment.AblationSync(experiment.Opts{Seed: 12, Duration: 30 * sim.Millisecond})
+		a.add("plain_fair", r.PlainFairness)
+		a.add("assisted_fair", r.AssistedFairness)
 	}
-	b.ReportMetric(r.PlainFairness, "plain_fair")
-	b.ReportMetric(r.AssistedFairness, "assisted_fair")
+	a.report()
 }
 
 func BenchmarkExtensionExternal(b *testing.B) {
-	var r *experiment.ExternalResult
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.ExternalStreams(experiment.Opts{Seed: 13, Duration: 30 * sim.Millisecond})
+		r := experiment.ExternalStreams(experiment.Opts{Seed: 13, Duration: 30 * sim.Millisecond})
+		a.add("bypass_fair", r.BypassFairness)
+		a.add("serialized_fair", r.SerializedFairness)
 	}
-	b.ReportMetric(r.BypassFairness, "bypass_fair")
-	b.ReportMetric(r.SerializedFairness, "serialized_fair")
+	a.report()
 }
 
 func BenchmarkExtensionPnL(b *testing.B) {
-	var r *experiment.PnLResult
+	a := newBenchAgg(b)
 	for i := 0; i < b.N; i++ {
-		r = experiment.SpeedPnL(experiment.Opts{Seed: 14, Duration: 30 * sim.Millisecond})
+		r := experiment.SpeedPnL(experiment.Opts{Seed: 14, Duration: 30 * sim.Millisecond})
+		a.add("direct_fastest_wins_%", 100*r.FastestWinsDirect)
+		a.add("dbo_fastest_wins_%", 100*r.FastestWinsDBO)
 	}
-	b.ReportMetric(100*r.FastestWinsDirect, "direct_fastest_wins_%")
-	b.ReportMetric(100*r.FastestWinsDBO, "dbo_fastest_wins_%")
+	a.report()
 }
 
 // BenchmarkSimulatorThroughput measures raw harness speed: simulated
 // trades processed per second of wall time (useful when sizing longer
-// reproductions).
+// reproductions). The rate is computed over the whole run, so it is an
+// aggregate by construction; the agg only validates the metric name.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	a := newBenchAgg(b)
 	trades := 0
 	for i := 0; i < b.N; i++ {
 		r := exchange.Run(exchange.Config{
@@ -176,5 +285,23 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		})
 		trades += r.Trades
 	}
-	b.ReportMetric(float64(trades)/b.Elapsed().Seconds(), "trades/s")
+	a.add("trades/s", float64(trades)/b.Elapsed().Seconds())
+	a.report()
 }
+
+// benchPipeline measures the tag→enqueue→release micro-benchmark (the
+// BENCH_*.json pipeline section) under go test -bench.
+func benchPipeline(b *testing.B, legacy bool) {
+	a := newBenchAgg(b)
+	res := experiment.RunPipelineBench(
+		experiment.PipelineOpts{Seed: 1, Legacy: legacy},
+		b.N,
+		func() int64 { return int64(b.Elapsed()) },
+	)
+	a.add("trades/s", res.TradesPerSec)
+	a.add("allocs/op_measured", res.AllocsPerOp)
+	a.report()
+}
+
+func BenchmarkPipeline(b *testing.B)            { benchPipeline(b, false) }
+func BenchmarkPipelineLegacyQueue(b *testing.B) { benchPipeline(b, true) }

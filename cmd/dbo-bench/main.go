@@ -5,6 +5,16 @@
 //
 //	dbo-bench [-exp all|table2|table3|table4|fig2|fig7|fig10|fig11|fig12|fig13|tau|kappa|straggler|shards]
 //	          [-seed N] [-ms simulated-milliseconds]
+//	dbo-bench -json [-short] [-out FILE|-] [-compare BASELINE] [-seed N]
+//
+// With -json it instead emits one machine-readable benchmark
+// trajectory snapshot (BENCH_<date>.json; schema in
+// internal/experiment): tag→enqueue→release throughput and allocs/op
+// against the legacy configuration, seeded end-to-end simulation
+// trades/sec with hold-time quantiles, and wire codec throughput.
+// -compare checks the snapshot against a committed baseline and exits
+// non-zero on regression (any allocs/op increase, or a >20% trades/sec
+// drop).
 package main
 
 import (
@@ -48,7 +58,15 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all'); one of: "+names())
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	ms := flag.Int64("ms", 0, "override simulated duration in milliseconds (0 = experiment default)")
+	jsonMode := flag.Bool("json", false, "emit a BENCH_<date>.json trajectory snapshot instead of tables")
+	short := flag.Bool("short", false, "with -json: reduced iteration counts (CI smoke)")
+	out := flag.String("out", "", "with -json: output path ('-' = stdout; default BENCH_<date>.json)")
+	compare := flag.String("compare", "", "with -json: baseline BENCH_*.json; exit 1 on regression")
 	flag.Parse()
+
+	if *jsonMode {
+		os.Exit(runJSON(*seed, *short, *out, *compare))
+	}
 
 	opts := experiment.Opts{Seed: *seed, Duration: sim.Time(*ms) * sim.Millisecond}
 	selected := strings.Split(*exp, ",")
@@ -66,6 +84,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *exp, names())
 		os.Exit(2)
 	}
+}
+
+// runJSON produces one benchmark trajectory snapshot and optionally
+// gates it against a committed baseline.
+func runJSON(seed uint64, short bool, out, compare string) int {
+	date := time.Now().Format("2006-01-02")
+	rep := experiment.RunBench(experiment.BenchOpts{
+		Seed:  seed,
+		Short: short,
+		Date:  date,
+		Now:   func() int64 { return time.Now().UnixNano() },
+	})
+	b, err := experiment.EncodeBenchReport(rep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbo-bench: encode: %v\n", err)
+		return 1
+	}
+	if out == "-" {
+		os.Stdout.Write(b)
+	} else {
+		if out == "" {
+			out = "BENCH_" + date + ".json"
+		}
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dbo-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("  pipeline:  %11.0f trades/s  %7.1f ns/op  %5.2f allocs/op\n",
+			rep.Pipeline.TradesPerSec, rep.Pipeline.NsPerOp, rep.Pipeline.AllocsPerOp)
+		fmt.Printf("  legacy:    %11.0f trades/s  %7.1f ns/op  %5.2f allocs/op  (speedup %.2fx)\n",
+			rep.PipelineLegacy.TradesPerSec, rep.PipelineLegacy.NsPerOp,
+			rep.PipelineLegacy.AllocsPerOp, rep.PipelineSpeedup)
+		fmt.Printf("  sim:       %11.0f trades/s  (%d trades, %d simulated ms)\n",
+			rep.Sim.TradesPerSec, rep.Sim.Trades, int64(rep.Sim.Duration/sim.Millisecond))
+		fmt.Printf("  wire:      %8.1f enc MB/s  %8.1f dec MB/s  %5.2f allocs/op\n",
+			rep.Wire.EncodeMBPerSec, rep.Wire.DecodeMBPerSec, rep.Wire.AllocsPerOp)
+	}
+	if compare != "" {
+		raw, err := os.ReadFile(compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbo-bench: %v\n", err)
+			return 1
+		}
+		base, err := experiment.ParseBenchReport(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbo-bench: baseline: %v\n", err)
+			return 1
+		}
+		if regs := experiment.CompareBenchReports(base, rep, 0.20); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+			}
+			return 1
+		}
+		fmt.Printf("no regression vs %s\n", compare)
+	}
+	return 0
 }
 
 func names() string {

@@ -67,6 +67,8 @@ func Default() *Config {
 			"internal/exchange",
 			"internal/gateway",
 			"internal/flight",
+			"internal/market", // trade pool: a leaked goroutine would race the free list
+			"internal/wire",   // zero-alloc decode paths must stay single-owner
 		},
 		ErrDropScope: []string{
 			"internal/core",
@@ -74,6 +76,8 @@ func Default() *Config {
 			"internal/gateway",
 			"internal/flight",
 			"internal/metrics",
+			"internal/market", // pool/ordering helpers feed the hot path
+			"internal/wire",   // DecodeInto errors must reach the caller
 		},
 	}
 }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"dbo/internal/market"
+)
+
+// QueueKind selects the ordering buffer's internal priority queue.
+type QueueKind int
+
+const (
+	// QueueBucketed is the default: trades bucketed by delivery-clock
+	// point, sorted within a bucket. Releases are watermark-driven and
+	// near-FIFO within a point, so pushes and pops are O(1) amortized
+	// and allocation-free on the steady state.
+	QueueBucketed QueueKind = iota
+	// QueueHeap is the legacy container/heap implementation, kept as the
+	// behavioral reference for differential testing (oracle 7) and as
+	// the pre-optimization baseline for BENCH trajectories.
+	QueueHeap
+)
+
+func (k QueueKind) String() string {
+	if k == QueueHeap {
+		return "heap"
+	}
+	return "bucketed"
+}
+
+// tradeQueue is the ordering buffer's priority-queue contract: Pop
+// yields queued trades in (delivery clock, participant, sequence)
+// order. Both implementations realize the same total order, which the
+// differential oracle in internal/check and FuzzBucketQueue pin.
+type tradeQueue interface {
+	Push(t *market.Trade)
+	// Peek returns the minimum queued trade without removing it, nil
+	// when empty.
+	Peek() *market.Trade
+	// Pop removes and returns the minimum queued trade; callers must
+	// ensure the queue is non-empty.
+	Pop() *market.Trade
+	Len() int
+	// Drain removes and returns all queued trades in order (OB crash).
+	Drain() []*market.Trade
+}
+
+func newTradeQueue(k QueueKind) tradeQueue {
+	if k == QueueHeap {
+		return &heapQueue{}
+	}
+	return &bucketQueue{}
+}
+
+// heapQueue adapts the legacy tradeHeap to the tradeQueue contract.
+type heapQueue struct{ h tradeHeap }
+
+func (q *heapQueue) Push(t *market.Trade) { heap.Push(&q.h, t) }
+func (q *heapQueue) Peek() *market.Trade {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+func (q *heapQueue) Pop() *market.Trade { return heap.Pop(&q.h).(*market.Trade) }
+func (q *heapQueue) Len() int           { return len(q.h) }
+func (q *heapQueue) Drain() []*market.Trade {
+	out := make([]*market.Trade, 0, len(q.h))
+	for len(q.h) > 0 {
+		out = append(out, q.Pop())
+	}
+	return out
+}
+
+// bucketQueue holds trades bucketed by DC.Point. Buckets are kept in a
+// slice sorted by point with a moving head index; trades within a
+// bucket are kept sorted by (Elapsed, MP, Seq), also behind a moving
+// head. The watermark gate only ever admits a DC-prefix of the queue,
+// so pops walk the front bucket forward; exhausted buckets are recycled
+// through a small free list, making the steady state allocation-free.
+//
+// Arrival is near-FIFO within a point (RBs tag with monotone local
+// clocks), so the common insert is an append at the tail of the newest
+// bucket. Out-of-order arrivals — straggler trades with clocks below
+// already-released ones — take the general sorted-insert path, which
+// may place an item at the current head (released items never need to
+// be re-ordered against; only the relative order of the *remaining*
+// items matters).
+type bucketQueue struct {
+	buckets []*pointBucket // sorted by point ascending; live from head on
+	head    int
+	free    []*pointBucket
+	size    int
+}
+
+// maxFreeBuckets bounds the recycling list so a burst (e.g. a straggler
+// backlog spanning many points) does not pin memory forever.
+const maxFreeBuckets = 64
+
+type pointBucket struct {
+	point market.PointID
+	items []*market.Trade // sorted by (Elapsed, MP, Seq); live from head on
+	head  int
+}
+
+// lessWithin orders two trades of the same point via the canonical
+// (DC, MP, Seq) ordering; with equal points it reduces to
+// (Elapsed, MP, Seq).
+func lessWithin(a, b *market.Trade) bool {
+	return ordKey(a).Less(ordKey(b))
+}
+
+func (q *bucketQueue) Len() int { return q.size }
+
+func (q *bucketQueue) Push(t *market.Trade) {
+	q.size++
+	q.bucketFor(t.DC.Point).insert(t)
+}
+
+// bucketFor finds or creates the bucket for point p.
+func (q *bucketQueue) bucketFor(p market.PointID) *pointBucket {
+	live := q.buckets[q.head:]
+	n := len(live)
+	if n == 0 || live[n-1].point < p {
+		// Fast path: a new, newest point.
+		b := q.newBucket(p)
+		q.buckets = append(q.buckets, b)
+		return b
+	}
+	if live[n-1].point == p {
+		return live[n-1] // fast path: the newest point again
+	}
+	i := sort.Search(n, func(i int) bool { return live[i].point >= p })
+	if i < n && live[i].point == p {
+		return live[i]
+	}
+	// Out-of-order point: splice a bucket in at position head+i.
+	b := q.newBucket(p)
+	q.buckets = append(q.buckets, nil)
+	copy(q.buckets[q.head+i+1:], q.buckets[q.head+i:])
+	q.buckets[q.head+i] = b
+	return b
+}
+
+func (q *bucketQueue) newBucket(p market.PointID) *pointBucket {
+	if n := len(q.free); n > 0 {
+		b := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		b.point = p
+		return b
+	}
+	return &pointBucket{point: p}
+}
+
+func (b *pointBucket) insert(t *market.Trade) {
+	live := b.items[b.head:]
+	n := len(live)
+	if n == 0 || lessWithin(live[n-1], t) {
+		b.items = append(b.items, t) // fast path: near-FIFO arrival
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return lessWithin(t, live[i]) })
+	b.items = append(b.items, nil)
+	copy(b.items[b.head+i+1:], b.items[b.head+i:])
+	b.items[b.head+i] = t
+}
+
+func (q *bucketQueue) Peek() *market.Trade {
+	if q.size == 0 {
+		return nil
+	}
+	b := q.buckets[q.head]
+	return b.items[b.head]
+}
+
+func (q *bucketQueue) Pop() *market.Trade {
+	b := q.buckets[q.head]
+	t := b.items[b.head]
+	b.items[b.head] = nil
+	b.head++
+	q.size--
+	if b.head == len(b.items) {
+		q.recycle(b)
+		q.buckets[q.head] = nil
+		q.head++
+		q.compact()
+	}
+	return t
+}
+
+// compact reclaims the dead prefix of the bucket slice once it
+// dominates, keeping the footprint proportional to the live window.
+func (q *bucketQueue) compact() {
+	if q.head == len(q.buckets) {
+		q.buckets = q.buckets[:0]
+		q.head = 0
+		return
+	}
+	if q.head >= 32 && q.head*2 >= len(q.buckets) {
+		n := copy(q.buckets, q.buckets[q.head:])
+		clear(q.buckets[n:])
+		q.buckets = q.buckets[:n]
+		q.head = 0
+	}
+}
+
+func (q *bucketQueue) recycle(b *pointBucket) {
+	b.items = b.items[:0]
+	b.head = 0
+	if len(q.free) < maxFreeBuckets {
+		q.free = append(q.free, b)
+	}
+}
+
+func (q *bucketQueue) Drain() []*market.Trade {
+	out := make([]*market.Trade, 0, q.size)
+	for q.size > 0 {
+		out = append(out, q.Pop())
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"dbo/internal/flight"
@@ -62,6 +61,13 @@ type OrderingBufferConfig struct {
 	// participant whose watermark advance (or straggler exclusion)
 	// finally let a held trade through the gate.
 	Flight *flight.Recorder
+
+	// Queue selects the internal priority queue: QueueBucketed (default,
+	// allocation-free steady state with a cached release gate) or
+	// QueueHeap (the legacy container/heap reference implementation).
+	// Both realize the identical release order; internal/check's
+	// oracle 7 re-runs seeded scenarios under QueueHeap to prove it.
+	Queue QueueKind
 }
 
 // StragglerEvent is one straggler state transition (§4.2.1): a
@@ -79,8 +85,14 @@ type StragglerEvent struct {
 // watermark strictly exceeds the head trade's clock.
 type OrderingBuffer struct {
 	cfg   OrderingBufferConfig
-	heap  tradeHeap
+	queue tradeQueue
 	state map[market.ParticipantID]*mpState
+	// dense is a direct-index fast path for the per-message state
+	// lookup, built when the participant id range is compact (the
+	// common case: MPs 1..N, or shard ids −1..−N). Nil for sparse id
+	// spaces, where the map is used instead.
+	dense     []*mpState
+	denseBase int
 	// order holds the same states in config order: every scan that can
 	// influence externally visible behaviour (gate checks, straggler
 	// sweeps, event emission) walks this slice, never the map, so a
@@ -88,9 +100,37 @@ type OrderingBuffer struct {
 	order []*mpState
 	start sim.Time
 
+	// gate caches the minimum watermark over non-straggler participants
+	// (MaxDeliveryClock when all are excluded); a trade releases iff its
+	// clock is strictly below the gate. gateUpdate maintains it
+	// incrementally — only a change that can *raise* the minimum (the
+	// gate-defining contribution moved up or dropped out) marks it
+	// gateDirty for a lazy O(participants) recompute, so advancing a
+	// non-minimum watermark costs O(1) and a drain pass does at most
+	// one scan. Only the bucketed queue uses it — the heap path keeps
+	// the legacy per-release releasable() scan as the pre-optimization
+	// reference.
+	gate      market.DeliveryClock
+	gateN     int // participants whose contribution equals gate
+	gateDirty bool
+
+	// coalescing defers drains between BeginCoalesce/EndCoalesce while
+	// recording effective gate-contribution changes for attribution.
+	coalescing bool
+	updates    []wmUpdate
+
 	Forwarded int
 	// StragglerEvents counts activations of straggler mitigation.
 	StragglerEvents int
+}
+
+// wmUpdate records one participant's effective gate contribution
+// change during a coalesced window: its watermark moved from old to
+// new (straggler exclusion reads as an advance to MaxDeliveryClock).
+// origin is the participant to attribute unblocked releases to.
+type wmUpdate struct {
+	origin   market.ParticipantID
+	old, new market.DeliveryClock
 }
 
 type mpState struct {
@@ -113,7 +153,12 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 	if cfg.StragglerRTT > 0 && cfg.GenTime == nil {
 		panic("core: straggler mitigation needs GenTime")
 	}
-	ob := &OrderingBuffer{cfg: cfg, state: make(map[market.ParticipantID]*mpState, len(cfg.Participants))}
+	ob := &OrderingBuffer{
+		cfg:       cfg,
+		queue:     newTradeQueue(cfg.Queue),
+		state:     make(map[market.ParticipantID]*mpState, len(cfg.Participants)),
+		gateDirty: true,
+	}
 	for _, p := range cfg.Participants {
 		if _, dup := ob.state[p]; dup {
 			panic(fmt.Sprintf("core: duplicate participant %d", p))
@@ -123,7 +168,29 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 		ob.order = append(ob.order, st)
 	}
 	ob.start = cfg.Sched.Now()
+	lo, hi := int(cfg.Participants[0]), int(cfg.Participants[0])
+	for _, p := range cfg.Participants {
+		lo, hi = min(lo, int(p)), max(hi, int(p))
+	}
+	if span := hi - lo + 1; span <= 4*len(cfg.Participants)+64 {
+		ob.dense = make([]*mpState, span)
+		ob.denseBase = lo
+		for _, st := range ob.order {
+			ob.dense[int(st.id)-lo] = st
+		}
+	}
 	return ob
+}
+
+// lookup resolves a participant's state (nil if unknown).
+func (ob *OrderingBuffer) lookup(id market.ParticipantID) *mpState {
+	if ob.dense != nil {
+		if i := int(id) - ob.denseBase; i >= 0 && i < len(ob.dense) {
+			return ob.dense[i]
+		}
+		return nil
+	}
+	return ob.state[id]
 }
 
 // OnTrade ingests a tagged trade. The trade itself also advances its
@@ -131,9 +198,14 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 // the OB will never see an earlier clock from that participant again.
 func (ob *OrderingBuffer) OnTrade(t *market.Trade) {
 	t.Enqueued = ob.cfg.Sched.Now()
-	heap.Push(&ob.heap, t)
-	if st, ok := ob.state[t.MP]; ok && st.wm.Less(t.DC) {
+	ob.queue.Push(t)
+	if st := ob.lookup(t.MP); st != nil && st.wm.Less(t.DC) {
+		old := ob.contribution(st)
 		st.wm = t.DC
+		ob.gateUpdate(old, ob.contribution(st))
+		if ob.coalescing {
+			ob.noteUpdate(t.MP, old, ob.contribution(st))
+		}
 	}
 	if f := ob.cfg.Flight; f.Enabled() {
 		f.Emit(flight.Event{
@@ -153,8 +225,8 @@ func (ob *OrderingBuffer) OnTrade(t *market.Trade) {
 // wait for the re-admitted member again rather than keep releasing
 // against its stale pre-exclusion watermark.
 func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
-	st, ok := ob.state[h.MP]
-	if !ok {
+	st := ob.lookup(h.MP)
+	if st == nil {
 		return // unknown participant; ignore rather than corrupt state
 	}
 	now := ob.cfg.Sched.Now()
@@ -168,6 +240,7 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 			MP: h.MP, DC: h.DC, Aux: int64(staleness), Aux2: int64(h.Origin),
 		})
 	}
+	old := ob.contribution(st)
 	st.wm = h.DC
 	st.lastHB = now
 	st.hasHB = true
@@ -177,11 +250,16 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 		st.rtt = now - ob.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
 		ob.setStraggler(st, st.rtt > ob.cfg.StragglerRTT, st.rtt, false)
 	}
+	ob.gateUpdate(old, ob.contribution(st))
 	// Attribute releases to the member that moved a shard minimum when
 	// the heartbeat says which one it was (§5.2), else to the sender.
 	cause := h.MP
 	if h.Origin != 0 {
 		cause = h.Origin
+	}
+	if ob.coalescing {
+		ob.noteUpdate(cause, old, ob.contribution(st))
+		return
 	}
 	ob.drain(cause)
 }
@@ -198,10 +276,16 @@ func (ob *OrderingBuffer) Tick() {
 				last = ob.start
 			}
 			if now-last > ob.cfg.StragglerRTT {
+				old := ob.contribution(st)
 				if ob.setStraggler(st, true, now-last, true) {
+					ob.gateUpdate(old, ob.contribution(st))
 					// Excluding st shrank the gate; any trade released
 					// now was waiting on st's watermark.
-					ob.drain(st.id)
+					if ob.coalescing {
+						ob.noteUpdate(st.id, old, ob.contribution(st))
+					} else {
+						ob.drain(st.id)
+					}
 				}
 			}
 		}
@@ -244,7 +328,7 @@ func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt sim.Time, timeou
 }
 
 // Queued reports trades currently held.
-func (ob *OrderingBuffer) Queued() int { return len(ob.heap) }
+func (ob *OrderingBuffer) Queued() int { return ob.queue.Len() }
 
 // Stragglers lists participants currently excluded from the gate, in
 // config order.
@@ -269,7 +353,9 @@ func (ob *OrderingBuffer) Watermark(p market.ParticipantID) (market.DeliveryCloc
 
 // releasable reports whether a trade with clock dc can be forwarded:
 // every active participant's watermark must be *strictly* greater, so
-// no in-flight trade can still order ahead of (or tie with) it.
+// no in-flight trade can still order ahead of (or tie with) it. This
+// full scan is the legacy (heap-mode) gate; the bucketed queue answers
+// the same question against the cached minimum.
 func (ob *OrderingBuffer) releasable(dc market.DeliveryClock) bool {
 	for _, st := range ob.order {
 		if st.straggler {
@@ -282,6 +368,82 @@ func (ob *OrderingBuffer) releasable(dc market.DeliveryClock) bool {
 	return true
 }
 
+// admissible is the release-gate check for the configured queue kind.
+func (ob *OrderingBuffer) admissible(dc market.DeliveryClock) bool {
+	if ob.cfg.Queue == QueueHeap {
+		return ob.releasable(dc)
+	}
+	if ob.gateDirty {
+		ob.recomputeGate()
+	}
+	return dc.Less(ob.gate)
+}
+
+// gateUpdate maintains the cached gate across one participant's
+// contribution change old→new. While the cache is valid, old ≥ gate
+// for every participant (gate is the minimum of the contributions), so
+// the cases below cover everything: a contribution dropping below the
+// gate *is* the new minimum; one moving onto or off the gate value
+// adjusts the minimum's multiplicity, and only when the last holder
+// leaves can the minimum rise (recompute lazily); any other move
+// cannot touch it. Tracking the multiplicity matters: in steady state
+// every participant sits at the same watermark, and without it each
+// advance off the shared minimum would look like a potential rise.
+func (ob *OrderingBuffer) gateUpdate(old, new market.DeliveryClock) {
+	if ob.gateDirty || old == new {
+		return
+	}
+	if new.Less(ob.gate) {
+		ob.gate, ob.gateN = new, 1
+		return
+	}
+	if new == ob.gate {
+		ob.gateN++
+	}
+	if old == ob.gate {
+		ob.gateN--
+		if ob.gateN == 0 {
+			ob.gateDirty = true
+		}
+	}
+}
+
+// recomputeGate refreshes the cached minimum contribution (straggler
+// exclusions read as MaxDeliveryClock) and its multiplicity.
+func (ob *OrderingBuffer) recomputeGate() {
+	gate := market.MaxDeliveryClock
+	n := 0
+	for _, st := range ob.order {
+		c := ob.contribution(st)
+		switch {
+		case c.Less(gate):
+			gate, n = c, 1
+		case c == gate:
+			n++
+		}
+	}
+	ob.gate = gate
+	ob.gateN = n
+	ob.gateDirty = false
+}
+
+// contribution is a participant's effective contribution to the
+// release gate: its watermark, or MaxDeliveryClock while excluded.
+func (ob *OrderingBuffer) contribution(st *mpState) market.DeliveryClock {
+	if st.straggler {
+		return market.MaxDeliveryClock
+	}
+	return st.wm
+}
+
+// noteUpdate records a gate-contribution change during coalescing.
+func (ob *OrderingBuffer) noteUpdate(origin market.ParticipantID, old, new market.DeliveryClock) {
+	if old == new {
+		return
+	}
+	ob.updates = append(ob.updates, wmUpdate{origin: origin, old: old, new: new})
+}
+
 // drain forwards every releasable trade. cause is the participant whose
 // state change triggered this pass (trade/heartbeat sender, shard
 // origin, or excluded straggler): a trade that was already waiting
@@ -291,32 +453,83 @@ func (ob *OrderingBuffer) releasable(dc market.DeliveryClock) bool {
 // attribution. Trades the triggering event itself enqueued release with
 // zero hold and no blocker.
 func (ob *OrderingBuffer) drain(cause market.ParticipantID) {
-	for len(ob.heap) > 0 && ob.releasable(ob.heap[0].DC) {
-		t := heap.Pop(&ob.heap).(*market.Trade)
-		now := ob.cfg.Sched.Now()
-		t.Forwarded = now
-		t.FinalPos = ob.Forwarded
-		hold := now - t.Enqueued
-		if hold > 0 {
-			t.Blocker = cause
+	if ob.coalescing {
+		return // deferred to EndCoalesce
+	}
+	for {
+		t := ob.queue.Peek()
+		if t == nil || !ob.admissible(t.DC) {
+			return
 		}
-		if f := ob.cfg.Flight; f.Enabled() {
-			f.Emit(flight.Event{
-				At: now, Kind: flight.KindRelease,
-				MP: t.MP, Seq: t.Seq, DC: t.DC,
-				Aux: int64(hold), Aux2: int64(t.Blocker),
-			})
-		}
-		ob.Forwarded++
-		ob.cfg.Forward(t)
+		ob.queue.Pop()
+		ob.forward(t, cause)
 	}
 }
 
+// forward stamps and emits one released trade.
+func (ob *OrderingBuffer) forward(t *market.Trade, cause market.ParticipantID) {
+	now := ob.cfg.Sched.Now()
+	t.Forwarded = now
+	t.FinalPos = ob.Forwarded
+	hold := now - t.Enqueued
+	if hold > 0 {
+		t.Blocker = cause
+	}
+	if f := ob.cfg.Flight; f.Enabled() {
+		f.Emit(flight.Event{
+			At: now, Kind: flight.KindRelease,
+			MP: t.MP, Seq: t.Seq, DC: t.DC,
+			Aux: int64(hold), Aux2: int64(t.Blocker),
+		})
+	}
+	ob.Forwarded++
+	ob.cfg.Forward(t)
+}
+
+// BeginCoalesce opens a coalesced window: watermark and straggler
+// updates are applied immediately but drains are deferred until
+// EndCoalesce, which runs a single pass over the queue. ShardedOB.Tick
+// uses it so N shard-minimum heartbeats per tick cost one drain, not N.
+func (ob *OrderingBuffer) BeginCoalesce() {
+	ob.coalescing = true
+	ob.updates = ob.updates[:0]
+}
+
+// EndCoalesce closes the window and drains once. Hold attribution is
+// preserved exactly: each released trade names the origin of the last
+// recorded update whose contribution crossed the trade's clock — the
+// same "last watermark to pass" the per-event drains would have named.
+func (ob *OrderingBuffer) EndCoalesce() {
+	ob.coalescing = false
+	for {
+		t := ob.queue.Peek()
+		if t == nil || !ob.admissible(t.DC) {
+			return
+		}
+		ob.queue.Pop()
+		ob.forward(t, ob.causeFor(t.DC))
+	}
+}
+
+// causeFor finds the latest coalesced update that moved a gate
+// contribution from at-or-below dc to strictly above it — the update
+// that unblocked a trade tagged dc.
+func (ob *OrderingBuffer) causeFor(dc market.DeliveryClock) market.ParticipantID {
+	for i := len(ob.updates) - 1; i >= 0; i-- {
+		u := &ob.updates[i]
+		if !dc.Less(u.old) && dc.Less(u.new) {
+			return u.origin
+		}
+	}
+	if n := len(ob.updates); n > 0 {
+		return ob.updates[n-1].origin
+	}
+	return 0
+}
+
 // Crash models an OB failure: all queued trades are dropped (the system
-// incurs unfairness, §4.2.1 "OB failure"). It returns the lost trades.
+// incurs unfairness, §4.2.1 "OB failure"). It returns the lost trades
+// in queue (delivery-clock) order.
 func (ob *OrderingBuffer) Crash() []*market.Trade {
-	lost := make([]*market.Trade, len(ob.heap))
-	copy(lost, ob.heap)
-	ob.heap = ob.heap[:0]
-	return lost
+	return ob.queue.Drain()
 }

@@ -51,6 +51,14 @@ type ReleaseBufferConfig struct {
 	// Deliver events carry the measured inter-batch gap (§4.1.2) so a
 	// trace is self-auditing for pacing conformance.
 	Flight *flight.Recorder
+
+	// RecycleBatches, when set, returns Batch structs to an internal
+	// free list after Deliver returns, making steady-state batch
+	// delivery allocation-free. Deliver must then treat the batch and
+	// its Points slice as borrowed: both are reused for a later batch
+	// as soon as the callback returns. Harnesses that retain batches
+	// (e.g. the exchange tradeLog) leave this off.
+	RecycleBatches bool
 }
 
 // ReleaseBuffer implements the RB of §4.1.2 and §5.1: it buffers market
@@ -66,6 +74,7 @@ type ReleaseBuffer struct {
 	dc      clock.Delivery
 	current *market.Batch   // batch being accumulated
 	queue   []*market.Batch // completed batches awaiting paced release
+	free    []*market.Batch // recycled batches (RecycleBatches only)
 
 	lastRelease sim.Time // local time of the previous batch release
 	released    bool     // at least one batch released
@@ -169,7 +178,7 @@ func (rb *ReleaseBuffer) OnData(dp market.DataPoint) {
 		rb.completeCurrent()
 	}
 	if rb.current == nil {
-		rb.current = &market.Batch{ID: dp.Batch}
+		rb.current = rb.newBatch(dp.Batch)
 	}
 	rb.current.Points = append(rb.current.Points, dp)
 	if dp.Last {
@@ -229,9 +238,30 @@ func (rb *ReleaseBuffer) tryRelease() {
 	})
 }
 
+// maxFreeBatches bounds the batch free list; a pacing backlog burst
+// must not pin its high-water mark of batches forever.
+const maxFreeBatches = 8
+
+// newBatch takes a batch from the free list when recycling is on,
+// reusing its Points capacity, and allocates otherwise.
+func (rb *ReleaseBuffer) newBatch(id market.BatchID) *market.Batch {
+	if n := len(rb.free); n > 0 {
+		b := rb.free[n-1]
+		rb.free[n-1] = nil
+		rb.free = rb.free[:n-1]
+		b.ID = id
+		return b
+	}
+	return &market.Batch{ID: id}
+}
+
 func (rb *ReleaseBuffer) release() {
 	b := rb.queue[0]
-	rb.queue = rb.queue[1:]
+	// Shift down rather than re-slice: a creeping rb.queue[1:] head
+	// loses the slice's capacity and re-allocates on every backlog.
+	n := copy(rb.queue, rb.queue[1:])
+	rb.queue[n] = nil
+	rb.queue = rb.queue[:n]
 	now := rb.localNow()
 	if f := rb.cfg.Flight; f.Enabled() {
 		var gap sim.Time
@@ -252,6 +282,12 @@ func (rb *ReleaseBuffer) release() {
 	rb.BatchesDelivered++
 	rb.PointsDelivered += len(b.Points)
 	rb.cfg.Deliver(b)
+	if rb.cfg.RecycleBatches {
+		b.Points = b.Points[:0]
+		if len(rb.free) < maxFreeBatches {
+			rb.free = append(rb.free, b)
+		}
+	}
 	rb.tryRelease()
 }
 

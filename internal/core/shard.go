@@ -223,6 +223,10 @@ type ShardedOBConfig struct {
 
 	// Flight is shared by the master and every shard.
 	Flight *flight.Recorder
+
+	// Queue selects the master OB's internal priority queue (see
+	// OrderingBufferConfig.Queue).
+	Queue QueueKind
 }
 
 // NewShardedOB distributes participants round-robin over NumShards
@@ -244,6 +248,7 @@ func NewShardedOB(cfg ShardedOBConfig) *ShardedOB {
 		Forward:      cfg.Forward,
 		Sched:        cfg.Sched,
 		Flight:       cfg.Flight,
+		Queue:        cfg.Queue,
 	})
 	s := &ShardedOB{Master: master, route: make(map[market.ParticipantID]*OBShard, len(cfg.Participants))}
 	for i := 0; i < cfg.NumShards; i++ {
@@ -290,10 +295,20 @@ func (s *ShardedOB) OnHeartbeat(h market.Heartbeat) {
 	sh.OnHeartbeat(h)
 }
 
-// Tick ticks every shard and the master.
+// Tick ticks every shard and the master. Shard-minimum heartbeats
+// emitted during the pass are coalesced at the master: all watermark
+// updates apply first, then a single drain releases everything they
+// admit — N shards cost one release pass per tick instead of N× gate
+// churn. The release order is unchanged (the admissible set is always
+// a delivery-clock prefix of the queue, so one drain after N updates
+// forwards exactly what N interleaved drains would have, in the same
+// order), and hold attribution is preserved by the coalesced update
+// log (see EndCoalesce).
 func (s *ShardedOB) Tick() {
+	s.Master.BeginCoalesce()
 	for _, sh := range s.Shards {
 		sh.Tick()
 	}
+	s.Master.EndCoalesce()
 	s.Master.Tick()
 }

@@ -249,6 +249,7 @@ func (h *harness) buildScheme() {
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
 				Flight:       h.cfg.Flight,
+				Queue:        h.cfg.OBQueue,
 			})
 		} else {
 			h.ob = core.NewOrderingBuffer(core.OrderingBufferConfig{
@@ -259,6 +260,7 @@ func (h *harness) buildScheme() {
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
 				Flight:       h.cfg.Flight,
+				Queue:        h.cfg.OBQueue,
 			})
 		}
 	case Direct:

@@ -1,0 +1,43 @@
+package market
+
+// TradePool is a free list of Trade structs for allocation-free steady
+// state on the tag→enqueue→release path. It is deliberately a plain
+// slice rather than a sync.Pool: sync.Pool may be emptied by any GC
+// cycle, which makes testing.AllocsPerRun budgets flaky, and the hot
+// paths that reuse trades are single-goroutine event loops anyway.
+//
+// Ownership rule: a Trade is owned by exactly one stage at a time —
+// producer (fills it in), queue (holds it), or the Forward callback
+// (last touch). Only the final consumer calls Put, and Put zeroes the
+// struct, so a double-put would require two final consumers of the
+// same pointer — a bug the differential oracle's release-order check
+// would surface as a duplicated (MP, Seq) key.
+type TradePool struct {
+	free []*Trade
+}
+
+// maxPoolSize bounds the free list so a transient backlog does not pin
+// its high-water mark of trades forever.
+const maxPoolSize = 1 << 12
+
+// Get returns a zeroed Trade, reusing a pooled one when available.
+func (p *TradePool) Get() *Trade {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	return &Trade{}
+}
+
+// Put returns a Trade to the pool. The caller must not touch t again.
+func (p *TradePool) Put(t *Trade) {
+	*t = Trade{}
+	if len(p.free) < maxPoolSize {
+		p.free = append(p.free, t)
+	}
+}
+
+// Len reports the number of pooled trades (tests).
+func (p *TradePool) Len() int { return len(p.free) }

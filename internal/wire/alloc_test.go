@@ -1,0 +1,71 @@
+package wire_test
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+	"dbo/internal/wire"
+)
+
+// TestWireZeroAlloc pins the steady-state allocation budget of the
+// codec at zero: encoding appends into a caller-owned buffer and
+// DecodeInto/DecodeTradeInto fill caller-owned structs, so once the
+// buffer has its capacity no message round-trip may touch the heap.
+// A failure names the regressing stage.
+func TestWireZeroAlloc(t *testing.T) {
+	trade := &market.Trade{
+		MP: 3, Seq: 41, Symbol: 7, Side: market.Sell,
+		Price: 101_25, Qty: 200, Trigger: 19,
+		Submitted: 5 * sim.Millisecond, RT: 83 * sim.Microsecond,
+		DC: market.DeliveryClock{Point: 19, Elapsed: 83 * sim.Microsecond},
+	}
+	hb := market.Heartbeat{
+		MP:   2,
+		DC:   market.DeliveryClock{Point: 12, Elapsed: 10 * sim.Microsecond},
+		Sent: 4 * sim.Millisecond,
+	}
+	dp := market.DataPoint{
+		ID: 77, Batch: 9, Last: true, BidSide: true,
+		Gen: 3 * sim.Millisecond, Symbol: 5, Price: 99_75, Qty: 10,
+	}
+
+	buf := make([]byte, 0, wire.MaxSize)
+	var msg wire.Msg
+	var dst market.Trade
+
+	stages := []struct {
+		stage string
+		run   func()
+	}{
+		{"encode-trade", func() { buf = wire.AppendTrade(buf[:0], trade) }},
+		{"decode-trade-into", func() {
+			if err := wire.DecodeTradeInto(&dst, wire.AppendTrade(buf[:0], trade)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"encode-heartbeat", func() { buf = wire.AppendHeartbeat(buf[:0], hb) }},
+		{"decode-heartbeat-into", func() {
+			if err := wire.DecodeInto(&msg, wire.AppendHeartbeat(buf[:0], hb)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"encode-market-data", func() { buf = wire.AppendMarketData(buf[:0], dp) }},
+		{"decode-market-data-into", func() {
+			if err := wire.DecodeInto(&msg, wire.AppendMarketData(buf[:0], dp)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, s := range stages {
+		s.run() // warm: fault in any lazy state before measuring
+		if got := testing.AllocsPerRun(1000, s.run); got != 0 {
+			t.Errorf("wire stage %s: %.2f allocs/op, want 0 — the zero-allocation round-trip budget regressed", s.stage, got)
+		}
+	}
+
+	// Sanity: the decoded trade survived the round-trip.
+	if dst.Key() != trade.Key() || dst.DC != trade.DC {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", dst, *trade)
+	}
+}

@@ -141,18 +141,58 @@ func AppendExec(buf []byte, e Exec) []byte {
 	return buf
 }
 
-// Decode parses one message, returning the typed value:
-// market.DataPoint, *market.Trade, market.Heartbeat, Retx, Close, Exec.
-func Decode(buf []byte) (any, error) {
-	if len(buf) == 0 {
-		return nil, fmt.Errorf("wire: empty message")
+// Msg is a decoded message without interface boxing: Type holds the
+// wire tag and exactly one matching field is meaningful. Receive loops
+// keep one Msg per connection and call DecodeInto so the steady state
+// is allocation-free; Decode remains the boxing convenience wrapper.
+type Msg struct {
+	Type      byte
+	Data      market.DataPoint
+	Trade     market.Trade
+	Heartbeat market.Heartbeat
+	Retx      Retx
+	Close     Close
+	Exec      Exec
+}
+
+// DecodeTradeInto parses a TTrade message into t without allocating,
+// so pooled trades can be refilled straight off the wire.
+func DecodeTradeInto(t *market.Trade, buf []byte) error {
+	if len(buf) == 0 || buf[0] != TTrade {
+		return fmt.Errorf("wire: not a trade message")
 	}
+	if len(buf) < TradeSize {
+		return fmt.Errorf("wire: trade truncated: %d bytes", len(buf))
+	}
+	t.MP = market.ParticipantID(le.Uint32(buf[1:]))
+	t.Seq = market.TradeSeq(le.Uint64(buf[5:]))
+	t.Symbol = le.Uint32(buf[13:])
+	t.Side = market.Side(buf[17])
+	t.Price = int64(le.Uint64(buf[18:]))
+	t.Qty = int64(le.Uint64(buf[26:]))
+	t.Trigger = market.PointID(le.Uint64(buf[34:]))
+	t.Submitted = sim.Time(le.Uint64(buf[42:]))
+	t.RT = sim.Time(le.Uint64(buf[50:]))
+	t.DC = market.DeliveryClock{
+		Point:   market.PointID(le.Uint64(buf[58:])),
+		Elapsed: sim.Time(le.Uint64(buf[66:])),
+	}
+	return nil
+}
+
+// DecodeInto parses one message into m without allocating. On error m
+// is unspecified; on success m.Type selects the populated field.
+func DecodeInto(m *Msg, buf []byte) error {
+	if len(buf) == 0 {
+		return fmt.Errorf("wire: empty message")
+	}
+	m.Type = buf[0]
 	switch buf[0] {
 	case TMarketData:
 		if len(buf) < MarketDataSize {
-			return nil, fmt.Errorf("wire: market data truncated: %d bytes", len(buf))
+			return fmt.Errorf("wire: market data truncated: %d bytes", len(buf))
 		}
-		return market.DataPoint{
+		m.Data = market.DataPoint{
 			ID:      market.PointID(le.Uint64(buf[1:])),
 			Batch:   market.BatchID(le.Uint64(buf[9:])),
 			Last:    buf[17]&1 != 0,
@@ -161,61 +201,48 @@ func Decode(buf []byte) (any, error) {
 			Symbol:  le.Uint32(buf[26:]),
 			Price:   int64(le.Uint64(buf[30:])),
 			Qty:     int64(le.Uint64(buf[38:])),
-		}, nil
-	case TTrade:
-		if len(buf) < TradeSize {
-			return nil, fmt.Errorf("wire: trade truncated: %d bytes", len(buf))
 		}
-		return &market.Trade{
-			MP:        market.ParticipantID(le.Uint32(buf[1:])),
-			Seq:       market.TradeSeq(le.Uint64(buf[5:])),
-			Symbol:    le.Uint32(buf[13:]),
-			Side:      market.Side(buf[17]),
-			Price:     int64(le.Uint64(buf[18:])),
-			Qty:       int64(le.Uint64(buf[26:])),
-			Trigger:   market.PointID(le.Uint64(buf[34:])),
-			Submitted: sim.Time(le.Uint64(buf[42:])),
-			RT:        sim.Time(le.Uint64(buf[50:])),
-			DC: market.DeliveryClock{
-				Point:   market.PointID(le.Uint64(buf[58:])),
-				Elapsed: sim.Time(le.Uint64(buf[66:])),
-			},
-		}, nil
+		return nil
+	case TTrade:
+		return DecodeTradeInto(&m.Trade, buf)
 	case THeartbeat:
 		if len(buf) < HeartbeatSize {
-			return nil, fmt.Errorf("wire: heartbeat truncated: %d bytes", len(buf))
+			return fmt.Errorf("wire: heartbeat truncated: %d bytes", len(buf))
 		}
-		return market.Heartbeat{
+		m.Heartbeat = market.Heartbeat{
 			MP: market.ParticipantID(le.Uint32(buf[1:])),
 			DC: market.DeliveryClock{
 				Point:   market.PointID(le.Uint64(buf[5:])),
 				Elapsed: sim.Time(le.Uint64(buf[13:])),
 			},
 			Sent: sim.Time(le.Uint64(buf[21:])),
-		}, nil
+		}
+		return nil
 	case TRetx:
 		if len(buf) < RetxSize {
-			return nil, fmt.Errorf("wire: retx truncated: %d bytes", len(buf))
+			return fmt.Errorf("wire: retx truncated: %d bytes", len(buf))
 		}
-		return Retx{
+		m.Retx = Retx{
 			MP:   market.ParticipantID(le.Uint32(buf[1:])),
 			From: market.PointID(le.Uint64(buf[5:])),
 			To:   market.PointID(le.Uint64(buf[13:])),
-		}, nil
+		}
+		return nil
 	case TClose:
 		if len(buf) < CloseSize {
-			return nil, fmt.Errorf("wire: close truncated: %d bytes", len(buf))
+			return fmt.Errorf("wire: close truncated: %d bytes", len(buf))
 		}
-		return Close{
+		m.Close = Close{
 			Batch: market.BatchID(le.Uint64(buf[1:])),
 			Final: market.PointID(le.Uint64(buf[9:])),
 			Count: le.Uint32(buf[17:]),
-		}, nil
+		}
+		return nil
 	case TExec:
 		if len(buf) < ExecSize {
-			return nil, fmt.Errorf("wire: exec truncated: %d bytes", len(buf))
+			return fmt.Errorf("wire: exec truncated: %d bytes", len(buf))
 		}
-		return Exec{
+		m.Exec = Exec{
 			Maker:      le.Uint64(buf[1:]),
 			Taker:      le.Uint64(buf[9:]),
 			MakerOwner: int32(le.Uint32(buf[17:])),
@@ -223,9 +250,36 @@ func Decode(buf []byte) (any, error) {
 			Price:      int64(le.Uint64(buf[25:])),
 			Qty:        int64(le.Uint64(buf[33:])),
 			Seq:        le.Uint64(buf[41:]),
-		}, nil
+		}
+		return nil
 	default:
-		return nil, fmt.Errorf("wire: unknown message type 0x%02x", buf[0])
+		return fmt.Errorf("wire: unknown message type 0x%02x", buf[0])
+	}
+}
+
+// Decode parses one message, returning the typed value:
+// market.DataPoint, *market.Trade, market.Heartbeat, Retx, Close, Exec.
+// It boxes the result (and heap-allocates the Trade); hot receive
+// loops use DecodeInto instead.
+func Decode(buf []byte) (any, error) {
+	var m Msg
+	if err := DecodeInto(&m, buf); err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case TMarketData:
+		return m.Data, nil
+	case TTrade:
+		t := m.Trade
+		return &t, nil
+	case THeartbeat:
+		return m.Heartbeat, nil
+	case TRetx:
+		return m.Retx, nil
+	case TClose:
+		return m.Close, nil
+	default:
+		return m.Exec, nil
 	}
 }
 
