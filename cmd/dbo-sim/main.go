@@ -6,6 +6,8 @@
 //	dbo-sim -scheme dbo -n 10 -ms 200 -delta 20 -kappa 0.25 -tau 20
 //	dbo-sim -scheme cloudex -c1 60 -c2 60
 //	dbo-sim -scheme direct -env lab -n 2
+//	dbo-sim -chaos latency-attack
+//	dbo-sim -chaos list
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"dbo"
+	"dbo/internal/check"
 	"dbo/internal/flight"
 )
 
@@ -36,7 +39,13 @@ func main() {
 	rtmax := flag.Int64("rtmax", 20, "max response time in µs")
 	flightOut := flag.String("flight", "", "write a flight-recorder NDJSON trace here (dbo scheme)")
 	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
+	chaos := flag.String("chaos", "", "run a named hostile-network scenario from the chaos library ('list' to enumerate); overrides the workload flags")
 	flag.Parse()
+
+	if *chaos != "" {
+		runChaos(*chaos, *flightOut, *flightBuf)
+		return
+	}
 
 	var sch dbo.Scheme
 	switch *scheme {
@@ -83,24 +92,61 @@ func main() {
 
 	r := dbo.Simulate(cfg)
 	if rec != nil {
-		f, err := os.Create(*flightOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		events := rec.Snapshot()
-		if err := flight.Write(f, events); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("flight      %d events to %s (%d dropped by the ring)\n",
-			len(events), *flightOut, rec.Dropped())
+		writeFlight(rec, *flightOut)
 	}
-	fmt.Printf("scheme      %s (%d MPs, seed %d, %dms)\n", r.Scheme, *n, *seed, *ms)
+	report(r, *n, *seed, *ms)
+}
+
+// runChaos replays one hand-built hostile-network scenario from the
+// conformance chaos library; the scenario fixes the whole deployment,
+// so the workload flags are ignored (flight output still applies).
+func runChaos(name, flightOut string, flightBuf int) {
+	if name == "list" {
+		for _, s := range check.Chaos() {
+			fmt.Printf("%-16s %s\n", s.Name, s)
+		}
+		return
+	}
+	s, ok := check.ChaosByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown chaos scenario %q (try -chaos list)\n", name)
+		os.Exit(2)
+	}
+	cfg := s.Config()
+	var rec *dbo.FlightRecorder
+	if flightOut != "" {
+		rec = dbo.NewFlightRecorder(flightBuf)
+		cfg.Flight = rec
+	}
+	fmt.Printf("chaos       %s\n", s)
+	r := dbo.Simulate(cfg)
+	if rec != nil {
+		writeFlight(rec, flightOut)
+	}
+	report(r, s.N, s.Seed, int64(s.Duration/dbo.Millisecond))
+}
+
+func writeFlight(rec *dbo.FlightRecorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	events := rec.Snapshot()
+	if err := flight.Write(f, events); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("flight      %d events to %s (%d dropped by the ring)\n",
+		len(events), path, rec.Dropped())
+}
+
+func report(r *dbo.SimResult, n int, seed uint64, ms int64) {
+	fmt.Printf("scheme      %s (%d MPs, seed %d, %dms)\n", r.Scheme, n, seed, ms)
 	fmt.Printf("fairness    %.4f (%d/%d competing pairs)\n", r.Fairness, r.FairRatio.Correct, r.FairRatio.Total)
 	fmt.Printf("latency     %s\n", r.Latency)
 	fmt.Printf("max-rtt     %s (Theorem 3 bound)\n", r.MaxRTT)
@@ -114,6 +160,10 @@ func main() {
 	}
 	if r.DroppedPackets > 0 {
 		fmt.Printf("loss        %d packets dropped, %d retransmission requests\n", r.DroppedPackets, r.RetxRequests)
+	}
+	if r.DupPackets > 0 || r.ReorderedPackets > 0 || r.WindowDrops > 0 {
+		fmt.Printf("faults      %d duplicated, %d reordered, %d partition-dropped packets\n",
+			r.DupPackets, r.ReorderedPackets, r.WindowDrops)
 	}
 	if len(r.Violations) > 0 {
 		fmt.Printf("violations  (first %d)\n", len(r.Violations))

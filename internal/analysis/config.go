@@ -76,8 +76,9 @@ func Default() *Config {
 			"internal/gateway",
 			"internal/flight",
 			"internal/metrics",
-			"internal/market", // pool/ordering helpers feed the hot path
-			"internal/wire",   // DecodeInto errors must reach the caller
+			"internal/market",    // pool/ordering helpers feed the hot path
+			"internal/wire",      // DecodeInto errors must reach the caller
+			"internal/transport", // a swallowed framing error hides reverse-path corruption
 		},
 	}
 }

@@ -1,0 +1,116 @@
+package check
+
+import (
+	"dbo/internal/core"
+	"dbo/internal/exchange"
+	"dbo/internal/sim"
+)
+
+// The chaos library: hand-built hostile-network scenarios, each one
+// deterministic (everything derives from the scenario seed) and run
+// under the full oracle set exactly like a generated scenario. Every
+// scenario also exports a flight-trace fixture
+// (testdata/chaos/<name>.ndjson, regenerated with -check.update) so a
+// trace-format or scheduling regression shows up as a fixture diff.
+//
+// The scenarios cover the fault vocabulary one axis at a time —
+// partition, duplication, reordering, RB crash/restart, a coordinated
+// latency attack, a flash burst — plus one kitchen-sink run that stacks
+// them, so a failure names the hostile condition that broke the
+// pipeline.
+
+// chaosBase is the common deployment: small enough that fixtures stay
+// reviewable, busy enough that every oracle sees real work.
+func chaosBase(name string, seed uint64) Scenario {
+	return Scenario{
+		Name:         name,
+		Seed:         seed,
+		N:            3,
+		Shards:       1,
+		SlowMP:       -1,
+		SkewSpread:   0.2,
+		Delta:        20 * sim.Microsecond,
+		Kappa:        0.25,
+		Tau:          20 * sim.Microsecond,
+		TickInterval: 80 * sim.Microsecond,
+		Duration:     10 * sim.Millisecond,
+		Drain:        20 * sim.Millisecond,
+		RTMin:        3 * sim.Microsecond,
+		RTMax:        14 * sim.Microsecond,
+		TradeProb:    0.4,
+		Symbols:      1,
+	}
+}
+
+// Chaos returns the library, rebuilt on every call so callers can
+// mutate their copy freely.
+func Chaos() []Scenario {
+	partition := chaosBase("partition", 101)
+	partition.StragglerRTT = 400 * sim.Microsecond
+	partition.Faults = exchange.FaultPlan{Partitions: []exchange.Partition{
+		// MP 2 loses market data for 2ms (repaired by retransmission);
+		// MP 3 goes reverse-silent for 1.5ms, long enough to be
+		// timeout-excluded and then re-admitted.
+		{MP: 2, From: 3 * sim.Millisecond, To: 5 * sim.Millisecond, Dir: exchange.PartitionFwd},
+		{MP: 3, From: 6 * sim.Millisecond, To: 7500 * sim.Microsecond, Dir: exchange.PartitionRev},
+	}}
+
+	dup := chaosBase("dup", 102)
+	dup.Shards = 2
+	dup.Faults = exchange.FaultPlan{DupRate: 0.08}
+
+	reorder := chaosBase("reorder", 103)
+	reorder.Faults = exchange.FaultPlan{ReorderRate: 0.08}
+
+	rbcrash := chaosBase("rbcrash", 104)
+	rbcrash.StragglerRTT = 500 * sim.Microsecond
+	rbcrash.Faults = exchange.FaultPlan{Outages: []exchange.RBOutage{
+		{MP: 1, From: 4 * sim.Millisecond, To: 6 * sim.Millisecond},
+	}}
+
+	attack := chaosBase("latency-attack", 105)
+	attack.N = 4
+	attack.StragglerRTT = 2 * sim.Millisecond
+	attack.Adaptive = &core.AdaptiveConfig{}
+	attack.Faults = exchange.FaultPlan{Attack: &exchange.LatencyAttack{
+		MP: 2, From: 3 * sim.Millisecond, To: 9 * sim.Millisecond,
+		Extra: 600 * sim.Microsecond,
+	}}
+
+	burst := chaosBase("flashburst", 106)
+	burst.Faults = exchange.FaultPlan{Burst: &exchange.FeedBurst{
+		From: 4 * sim.Millisecond, To: 7 * sim.Millisecond, Factor: 4,
+	}}
+
+	sink := chaosBase("kitchen-sink", 107)
+	sink.N = 4
+	sink.Shards = 2
+	sink.StragglerRTT = 2 * sim.Millisecond
+	sink.Adaptive = &core.AdaptiveConfig{}
+	sink.Faults = exchange.FaultPlan{
+		DupRate:     0.04,
+		ReorderRate: 0.04,
+		Partitions: []exchange.Partition{
+			{MP: 1, From: 2 * sim.Millisecond, To: 3 * sim.Millisecond, Dir: exchange.PartitionFwd},
+		},
+		Outages: []exchange.RBOutage{
+			{MP: 4, From: 5 * sim.Millisecond, To: 6 * sim.Millisecond},
+		},
+		Attack: &exchange.LatencyAttack{MP: 3, From: 4 * sim.Millisecond,
+			To: 8 * sim.Millisecond, Extra: 500 * sim.Microsecond},
+		Burst: &exchange.FeedBurst{From: 7 * sim.Millisecond,
+			To: 8 * sim.Millisecond, Factor: 3},
+	}
+
+	return []Scenario{partition, dup, reorder, rbcrash, attack, burst, sink}
+}
+
+// ChaosByName finds one library scenario.
+func ChaosByName(name string) (Scenario, bool) {
+	for _, s := range Chaos() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,227 @@
+package check
+
+import (
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbo/internal/core"
+	"dbo/internal/exchange"
+	"dbo/internal/flight"
+	"dbo/internal/sim"
+)
+
+var updateFixtures = flag.Bool("check.update", false, "regenerate chaos flight-trace fixtures")
+
+// TestChaosScenarios drives every library scenario through the full
+// oracle set: hostile networks may cost trades (partitions, outages)
+// but never the ordering guarantees the oracles encode.
+func TestChaosScenarios(t *testing.T) {
+	t.Parallel()
+	for _, s := range Chaos() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := RunScenario(s)
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Trades == 0 {
+				t.Fatalf("chaos scenario %q forwarded no trades", s.Name)
+			}
+		})
+	}
+}
+
+// TestChaosFixtures pins each scenario's full flight trace. Virtual
+// time makes the trace byte-identical across runs, so any drift in
+// scheduling, fault injection, or the trace format itself shows up as
+// a fixture diff. Regenerate with:
+//
+//	go test ./internal/check -run TestChaosFixtures -check.update
+func TestChaosFixtures(t *testing.T) {
+	t.Parallel()
+	for _, s := range Chaos() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			rec := flight.NewRecorder(1 << 17)
+			cfg := s.Config()
+			cfg.Flight = rec
+			exchange.Run(cfg)
+			events := rec.Snapshot()
+			if rec.Dropped() > 0 {
+				t.Fatalf("recorder dropped %d events; raise capacity", rec.Dropped())
+			}
+			var buf bytes.Buffer
+			if err := flight.Write(&buf, events); err != nil {
+				t.Fatal(err)
+			}
+			// Fixtures are gzipped NDJSON (traces compress ~10×); CI
+			// feeds them to dbo-flight via gunzip -c ... | dbo-flight -.
+			path := filepath.Join("testdata", "chaos", s.Name+".ndjson.gz")
+			if *updateFixtures {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				var gz bytes.Buffer
+				zw := gzip.NewWriter(&gz)
+				if _, err := zw.Write(buf.Bytes()); err != nil {
+					t.Fatal(err)
+				}
+				if err := zw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, gz.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d events)", path, len(events))
+				return
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -check.update)", err)
+			}
+			defer f.Close()
+			zr, err := gzip.NewReader(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("flight trace for %q diverged from fixture %s (regenerate with -check.update if intended)",
+					s.Name, path)
+			}
+		})
+	}
+}
+
+// TestChaosAdaptiveClampedToCapMatchesStatic is the whole-pipeline
+// differential: an adaptive policy whose multiplier is so large that it
+// always clamps to the StragglerRTT cap must be observationally
+// identical to the static threshold — same forwarded order, same
+// straggler transitions.
+func TestChaosAdaptiveClampedToCapMatchesStatic(t *testing.T) {
+	t.Parallel()
+	s, ok := ChaosByName("latency-attack")
+	if !ok {
+		t.Fatal("latency-attack scenario missing")
+	}
+
+	run := func(adaptive *core.AdaptiveConfig) ([]string, []core.StragglerEvent) {
+		s := s
+		s.Adaptive = adaptive
+		cfg := s.Config()
+		var evs []core.StragglerEvent
+		cfg.Hooks.OnStraggler = func(ev core.StragglerEvent) { evs = append(evs, ev) }
+		res := exchange.Run(cfg)
+		var order []string
+		for _, tr := range res.TradeLog {
+			order = append(order, fmt.Sprintf("%v", tr.Key()))
+		}
+		return order, evs
+	}
+
+	staticOrder, staticEvs := run(nil)
+	// Mult 1e9 pushes every learned threshold far past the cap.
+	clampedOrder, clampedEvs := run(&core.AdaptiveConfig{Mult: 1e9})
+
+	if len(staticOrder) != len(clampedOrder) {
+		t.Fatalf("forwarded %d trades static vs %d clamped-adaptive", len(staticOrder), len(clampedOrder))
+	}
+	for i := range staticOrder {
+		if staticOrder[i] != clampedOrder[i] {
+			t.Fatalf("orders diverge at %d: %s vs %s", i, staticOrder[i], clampedOrder[i])
+		}
+	}
+	if len(staticEvs) != len(clampedEvs) {
+		t.Fatalf("straggler events: %d static vs %d clamped-adaptive", len(staticEvs), len(clampedEvs))
+	}
+	for i := range staticEvs {
+		if staticEvs[i] != clampedEvs[i] {
+			t.Fatalf("straggler events diverge at %d: %+v vs %+v", i, staticEvs[i], clampedEvs[i])
+		}
+	}
+}
+
+// TestChaosAdaptiveExcludesAttackerFaster: on the latency-attack
+// scenario the adaptive policy must cut the attacker off sooner than
+// the static cap would (which here never excludes it at all), without
+// excluding anyone else.
+func TestChaosAdaptiveExcludesAttackerFaster(t *testing.T) {
+	t.Parallel()
+	s, ok := ChaosByName("latency-attack")
+	if !ok {
+		t.Fatal("latency-attack scenario missing")
+	}
+	attacker := s.Faults.Attack.MP
+
+	firstExclusion := func(adaptive *core.AdaptiveConfig) (sim.Time, map[int]bool) {
+		s := s
+		s.Adaptive = adaptive
+		cfg := s.Config()
+		var first sim.Time = -1
+		excluded := map[int]bool{}
+		cfg.Hooks.OnStraggler = func(ev core.StragglerEvent) {
+			if !ev.Straggler {
+				return
+			}
+			excluded[int(ev.MP)] = true
+			if int(ev.MP) == attacker && first < 0 {
+				first = ev.At
+			}
+		}
+		exchange.Run(cfg)
+		return first, excluded
+	}
+
+	staticFirst, staticExcluded := firstExclusion(nil)
+	adaptiveFirst, adaptiveExcluded := firstExclusion(&core.AdaptiveConfig{})
+
+	if staticFirst >= 0 {
+		t.Fatalf("static threshold excluded the attacker at %v; the scenario is tuned so it never does", staticFirst)
+	}
+	if adaptiveFirst < 0 {
+		t.Fatal("adaptive threshold never excluded the attacker")
+	}
+	if adaptiveFirst < s.Faults.Attack.From {
+		t.Fatalf("attacker excluded at %v, before the attack started at %v", adaptiveFirst, s.Faults.Attack.From)
+	}
+	// No new false exclusions: adaptive may exclude only participants
+	// static would have (none here) plus the attacker itself.
+	for mp := range adaptiveExcluded {
+		if mp != attacker && !staticExcluded[mp] {
+			t.Errorf("adaptive excluded honest mp %d", mp)
+		}
+	}
+}
+
+// TestChaosDupReorderLossFree: dup and reorder never destroy data, so
+// conservation must hold exactly even though the network misbehaves.
+func TestChaosDupReorderLossFree(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"dup", "reorder"} {
+		s, ok := ChaosByName(name)
+		if !ok {
+			t.Fatalf("%s scenario missing", name)
+		}
+		res := exchange.Run(s.Config())
+		if res.Lost != 0 {
+			t.Errorf("%s: lost %d trades; dup/reorder are loss-free faults", name, res.Lost)
+		}
+		if name == "dup" && res.DupPackets == 0 {
+			t.Errorf("dup scenario injected no duplicates")
+		}
+		if name == "reorder" && res.ReorderedPackets == 0 {
+			t.Errorf("reorder scenario reordered nothing")
+		}
+	}
+}

@@ -251,5 +251,8 @@ func (s stragglerEventSpec) event() (ev core.StragglerEvent) {
 	ev.MP = market.ParticipantID(s.mp)
 	ev.Straggler = s.straggler
 	ev.RTT = s.rtt
+	// The synthetic scenarios use a static 100µs threshold; a real run
+	// stamps the threshold in force at the transition.
+	ev.Threshold = 100 * sim.Microsecond
 	return ev
 }

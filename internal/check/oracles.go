@@ -218,8 +218,17 @@ func (c *checker) onRelease(t *market.Trade) {
 func (c *checker) finish(r *exchange.Result) {
 	c.checkLRTF(r.TradeLog)
 	c.checkStragglerEvents()
-	if c.s.LossRate == 0 && r.Lost > 0 {
+	if c.s.LossRate == 0 && !c.s.Faults.Lossy() && r.Lost > 0 {
 		c.v.addf("conservation", "%d trade(s) lost on a lossless network", r.Lost)
+	}
+	if c.s.Faults.DupRate > 0 && r.DupPackets == 0 {
+		c.v.addf("fault-fired", "DupRate %v configured but no duplicates injected", c.s.Faults.DupRate)
+	}
+	if c.s.Faults.ReorderRate > 0 && r.ReorderedPackets == 0 {
+		c.v.addf("fault-fired", "ReorderRate %v configured but nothing reordered", c.s.Faults.ReorderRate)
+	}
+	if c.s.Faults.Lossy() && r.WindowDrops == 0 && len(c.s.Faults.Partitions) > 0 {
+		c.v.addf("fault-fired", "partition windows configured but nothing dropped")
 	}
 }
 
@@ -308,12 +317,25 @@ func (c *checker) checkStragglerEvents() {
 		if !seen && !ev.Straggler {
 			c.v.addf("oracle-5", "mp %d re-admitted before ever being excluded", ev.MP)
 		}
-		if ev.Straggler && ev.RTT <= c.s.StragglerRTT {
-			c.v.addf("oracle-5", "mp %d excluded with evidence %v ≤ threshold %v", ev.MP, ev.RTT, c.s.StragglerRTT)
+		// The threshold in force must be legal: exactly the static
+		// constant without a policy, or inside [Floor, cap] with one
+		// (the cap is always the static StragglerRTT).
+		if c.s.Adaptive == nil {
+			if ev.Threshold != c.s.StragglerRTT {
+				c.v.addf("oracle-5", "mp %d transition carries threshold %v, static config says %v",
+					ev.MP, ev.Threshold, c.s.StragglerRTT)
+			}
+		} else if ev.Threshold < c.s.Adaptive.Floor || ev.Threshold > c.s.StragglerRTT {
+			c.v.addf("oracle-5", "mp %d adaptive threshold %v outside [%v, %v]",
+				ev.MP, ev.Threshold, c.s.Adaptive.Floor, c.s.StragglerRTT)
 		}
-		if !ev.Straggler && (ev.Timeout || ev.RTT > c.s.StragglerRTT) {
+		// Evidence must sit on the right side of the threshold in force.
+		if ev.Straggler && ev.RTT <= ev.Threshold {
+			c.v.addf("oracle-5", "mp %d excluded with evidence %v ≤ threshold %v", ev.MP, ev.RTT, ev.Threshold)
+		}
+		if !ev.Straggler && (ev.Timeout || ev.RTT > ev.Threshold) {
 			c.v.addf("oracle-5", "mp %d re-admitted with RTT %v > threshold %v (timeout=%v)",
-				ev.MP, ev.RTT, c.s.StragglerRTT, ev.Timeout)
+				ev.MP, ev.RTT, ev.Threshold, ev.Timeout)
 		}
 		if at, ok := lastAt[ev.MP]; ok && ev.At < at {
 			c.v.addf("oracle-5", "mp %d transition time regressed: %v after %v", ev.MP, ev.At, at)

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"dbo/internal/clock"
+	"dbo/internal/core"
 	"dbo/internal/exchange"
 	"dbo/internal/sim"
 )
@@ -43,6 +44,15 @@ type Scenario struct {
 	LossRate     float64
 	DriftRates   []float64  // per-MP clock drift rate (nil = perfect clocks)
 	DriftOffsets []sim.Time // per-MP clock offset (len N when DriftRates set)
+
+	// Hostile-network faults (the chaos library sets these; Generate
+	// leaves them zero so the seeded sweep's regimes stay unchanged).
+	Faults   exchange.FaultPlan
+	Adaptive *core.AdaptiveConfig // nil = static StragglerRTT threshold
+
+	// Name labels hand-built scenarios (chaos library); empty for
+	// generated ones.
+	Name string
 }
 
 // Generate derives a scenario deterministically from seed. The mix is
@@ -124,7 +134,7 @@ func Generate(seed uint64) Scenario {
 // every oracle hook's prerequisite (explicit clocks, kept trade log).
 func (s Scenario) Config() exchange.Config {
 	skew := exchange.DefaultSkew(s.N, s.SkewSpread)
-	if s.SlowMP >= 0 {
+	if s.SlowMP >= 0 && s.SlowFactor > 0 {
 		skew[s.SlowMP] *= s.SlowFactor
 	}
 	var locals []clock.Local
@@ -155,6 +165,8 @@ func (s Scenario) Config() exchange.Config {
 		SyncOffset:   s.SyncOffset,
 		Symbols:      s.Symbols,
 		LossRate:     s.LossRate,
+		Faults:       s.Faults,
+		Adaptive:     s.Adaptive,
 		LocalClocks:  locals,
 		KeepTrades:   true,
 	}
@@ -175,7 +187,17 @@ func (s Scenario) maxDriftRate() float64 {
 }
 
 func (s Scenario) String() string {
-	return fmt.Sprintf("seed=%d N=%d shards=%d δ=%v κ=%.2f τ=%v tick=%v jitter=%.2f loss=%.4f drift=%v straggler=%v slow=%d sync=%v rt=[%v,%v]",
+	base := fmt.Sprintf("seed=%d N=%d shards=%d δ=%v κ=%.2f τ=%v tick=%v jitter=%.2f loss=%.4f drift=%v straggler=%v slow=%d sync=%v rt=[%v,%v]",
 		s.Seed, s.N, s.Shards, s.Delta, s.Kappa, s.Tau, s.TickInterval, s.TickJitter,
 		s.LossRate, s.DriftRates != nil, s.StragglerRTT, s.SlowMP, s.SyncOffset, s.RTMin, s.RTMax)
+	if s.Name != "" {
+		base = "chaos:" + s.Name + " " + base
+	}
+	if s.Faults.Active() {
+		base += " faults=on"
+	}
+	if s.Adaptive != nil {
+		base += " adaptive=on"
+	}
+	return base
 }

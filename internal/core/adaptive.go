@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+	"dbo/internal/stats"
+)
+
+// ThresholdPolicy supplies the straggler RTT threshold (§4.2.1) the
+// ordering buffer compares measured round trips against. The static
+// baseline is "no policy": the OB then uses its configured StragglerRTT
+// constant. An adaptive policy sees every RTT measurement the OB makes
+// (and, in a live deployment, probe RTTs) and may move the threshold —
+// but only within (0, StragglerRTT]: the constant stays the hard cap,
+// so adaptivity can tighten exclusion, never loosen it.
+//
+// Implementations need not be goroutine-safe; the OB calls them from
+// its own event loop. A policy instance must be fresh per run (it
+// accumulates state), and when one ordering domain is split over
+// shards, all shards must share the one instance so each sees the full
+// population.
+type ThresholdPolicy interface {
+	// Observe feeds one measured RTT for mp at global time now.
+	Observe(mp market.ParticipantID, rtt, now sim.Time)
+	// Threshold returns the exclusion threshold in force at now.
+	Threshold(now sim.Time) sim.Time
+}
+
+// AdaptiveConfig parameterizes NewAdaptiveThreshold. Zero values take
+// the documented defaults, so the zero config is usable as-is.
+type AdaptiveConfig struct {
+	// Window is the per-participant RTT sample window (default 64).
+	Window int
+	// Quantile is the per-participant order statistic summarizing its
+	// window (default 0.9): high enough to ignore isolated spikes, low
+	// enough to track a genuine shift within a few samples.
+	Quantile float64
+	// Mult scales the population median of the per-participant
+	// quantiles into the threshold (default 2.0). The *median* across
+	// participants is deliberate: a coordinated minority inflating its
+	// own RTTs (frog-boiling) cannot move the median until it controls
+	// more than half the population.
+	Mult float64
+	// Floor is the lower clamp on the threshold (default 0 = none).
+	// Deployments set it to several τ so heartbeat-silence timeouts
+	// cannot fire between healthy heartbeats.
+	Floor sim.Time
+	// Alpha is the EWMA smoothing factor for Estimate (default 0.1).
+	Alpha float64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.9
+	}
+	if c.Mult == 0 {
+		c.Mult = 2.0
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	return c
+}
+
+// AdaptiveThreshold is the default ThresholdPolicy: each participant's
+// recent RTTs feed a sliding-window quantile, the population median of
+// those quantiles times Mult is the threshold, clamped to [Floor, cap].
+// Before any sample arrives the threshold is cap — exactly the static
+// baseline — so adaptivity phases in only once evidence exists.
+type AdaptiveThreshold struct {
+	cfg AdaptiveConfig
+	cap sim.Time
+
+	mps map[market.ParticipantID]*mpEstimate
+	// order holds the estimates in first-observed order so recomputes
+	// are deterministic across seeded replays.
+	order []*mpEstimate
+
+	dirty   bool
+	cached  sim.Time
+	scratch []sim.Time
+}
+
+type mpEstimate struct {
+	id  market.ParticipantID
+	win *stats.Window
+	ew  *stats.EWMA
+}
+
+// NewAdaptiveThreshold builds a policy capped at cap (normally the
+// static StragglerRTT). cap must be positive; Floor must not exceed it.
+func NewAdaptiveThreshold(cfg AdaptiveConfig, cap sim.Time) *AdaptiveThreshold {
+	cfg = cfg.withDefaults()
+	if cap <= 0 {
+		panic("core: adaptive threshold needs a positive cap")
+	}
+	if cfg.Floor > cap {
+		panic(fmt.Sprintf("core: adaptive floor %v exceeds cap %v", cfg.Floor, cap))
+	}
+	if cfg.Quantile < 0 || cfg.Quantile > 1 {
+		panic(fmt.Sprintf("core: adaptive quantile %v outside [0, 1]", cfg.Quantile))
+	}
+	if cfg.Mult <= 0 {
+		panic("core: adaptive mult must be positive")
+	}
+	return &AdaptiveThreshold{cfg: cfg, cap: cap, cached: cap, mps: make(map[market.ParticipantID]*mpEstimate)}
+}
+
+// Observe implements ThresholdPolicy.
+func (a *AdaptiveThreshold) Observe(mp market.ParticipantID, rtt, _ sim.Time) {
+	e := a.mps[mp]
+	if e == nil {
+		e = &mpEstimate{id: mp, win: stats.NewWindow(a.cfg.Window), ew: stats.NewEWMA(a.cfg.Alpha)}
+		a.mps[mp] = e
+		a.order = append(a.order, e)
+	}
+	e.win.Add(rtt)
+	e.ew.Observe(rtt)
+	a.dirty = true
+}
+
+// Threshold implements ThresholdPolicy: population median of per-MP
+// quantiles × Mult, clamped to [Floor, cap]. Lazily recomputed — calls
+// between observations are O(1).
+func (a *AdaptiveThreshold) Threshold(_ sim.Time) sim.Time {
+	if !a.dirty {
+		return a.cached
+	}
+	a.dirty = false
+	a.scratch = a.scratch[:0]
+	for _, e := range a.order {
+		if e.win.Len() > 0 {
+			a.scratch = append(a.scratch, e.win.Quantile(a.cfg.Quantile))
+		}
+	}
+	if len(a.scratch) == 0 {
+		a.cached = a.cap
+		return a.cached
+	}
+	slices.Sort(a.scratch)
+	med := a.scratch[int(math.Ceil(0.5*float64(len(a.scratch))))-1]
+	thr := sim.Time(a.cfg.Mult * float64(med))
+	if thr < a.cfg.Floor {
+		thr = a.cfg.Floor
+	}
+	if thr > a.cap {
+		thr = a.cap
+	}
+	a.cached = thr
+	return a.cached
+}
+
+// Estimate returns the smoothed RTT estimate for one participant (0
+// before any sample) — the telemetry surface live deployments export.
+func (a *AdaptiveThreshold) Estimate(mp market.ParticipantID) sim.Time {
+	if e := a.mps[mp]; e != nil {
+		return e.ew.Value()
+	}
+	return 0
+}
+
+// Samples reports how many RTT observations mp has contributed.
+func (a *AdaptiveThreshold) Samples(mp market.ParticipantID) int {
+	if e := a.mps[mp]; e != nil {
+		return e.win.N()
+	}
+	return 0
+}

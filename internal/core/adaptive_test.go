@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+func TestAdaptivePreSampleEqualsCap(t *testing.T) {
+	t.Parallel()
+	a := NewAdaptiveThreshold(AdaptiveConfig{}, 500*sim.Microsecond)
+	if got := a.Threshold(0); got != 500*sim.Microsecond {
+		t.Fatalf("pre-sample threshold %v, want the cap", got)
+	}
+}
+
+func TestAdaptiveTracksPopulation(t *testing.T) {
+	t.Parallel()
+	a := NewAdaptiveThreshold(AdaptiveConfig{Quantile: 1, Mult: 2}, sim.Time(1e9))
+	// Three MPs whose max RTTs are 100, 200, 300: population median of
+	// the per-MP quantiles is 200, threshold 2×200 = 400.
+	for mp, rtt := range map[market.ParticipantID]sim.Time{1: 100, 2: 200, 3: 300} {
+		for i := 0; i < 5; i++ {
+			a.Observe(mp, rtt, 0)
+		}
+	}
+	if got := a.Threshold(0); got != 400 {
+		t.Fatalf("threshold %v, want 400", got)
+	}
+}
+
+func TestAdaptiveFrogBoilingResistance(t *testing.T) {
+	t.Parallel()
+	// A minority attacker slowly inflating its own RTTs must not move
+	// the threshold: the population median is held by the honest
+	// majority.
+	a := NewAdaptiveThreshold(AdaptiveConfig{Quantile: 1, Mult: 2}, sim.Time(1e9))
+	for i := 0; i < 20; i++ {
+		a.Observe(1, 100, 0)
+		a.Observe(2, 100, 0)
+		a.Observe(3, sim.Time(100+i*50), 0) // attacker creeping upward
+	}
+	if got := a.Threshold(0); got != 200 {
+		t.Fatalf("threshold %v, want 200 (median pinned by honest majority)", got)
+	}
+}
+
+func TestAdaptiveClamps(t *testing.T) {
+	t.Parallel()
+	a := NewAdaptiveThreshold(AdaptiveConfig{Quantile: 1, Mult: 2, Floor: 150}, 300)
+	a.Observe(1, 10, 0)
+	if got := a.Threshold(0); got != 150 {
+		t.Fatalf("threshold %v, want floor 150", got)
+	}
+	a.Observe(1, 100000, 0)
+	if got := a.Threshold(0); got != 300 {
+		t.Fatalf("threshold %v, want cap 300", got)
+	}
+}
+
+func TestAdaptiveEstimateAndSamples(t *testing.T) {
+	t.Parallel()
+	a := NewAdaptiveThreshold(AdaptiveConfig{}, 1000)
+	if a.Estimate(7) != 0 || a.Samples(7) != 0 {
+		t.Fatal("unknown MP should answer zeros")
+	}
+	a.Observe(7, 120, 0)
+	if a.Estimate(7) != 120 || a.Samples(7) != 1 {
+		t.Fatalf("estimate %v samples %d", a.Estimate(7), a.Samples(7))
+	}
+}
+
+func TestAdaptiveConfigPanics(t *testing.T) {
+	t.Parallel()
+	for name, fn := range map[string]func(){
+		"zero cap":      func() { NewAdaptiveThreshold(AdaptiveConfig{}, 0) },
+		"floor>cap":     func() { NewAdaptiveThreshold(AdaptiveConfig{Floor: 2}, 1) },
+		"bad quantile":  func() { NewAdaptiveThreshold(AdaptiveConfig{Quantile: 1.5}, 10) },
+		"negative mult": func() { NewAdaptiveThreshold(AdaptiveConfig{Mult: -1}, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	k := sim.NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("policy without StragglerRTT cap: no panic")
+		}
+	}()
+	NewOrderingBuffer(OrderingBufferConfig{
+		Participants: []market.ParticipantID{1},
+		Forward:      func(*market.Trade) {},
+		Sched:        k,
+		Threshold:    NewAdaptiveThreshold(AdaptiveConfig{}, 100),
+	})
+}
+
+// constThreshold is a stub policy pinning the threshold to a constant —
+// the differential-testing bridge between adaptive plumbing and the
+// static baseline.
+type constThreshold struct{ v sim.Time }
+
+func (c constThreshold) Observe(market.ParticipantID, sim.Time, sim.Time) {}
+func (c constThreshold) Threshold(sim.Time) sim.Time                      { return c.v }
+
+// TestOBConstantPolicyMatchesStatic pins the adaptive plumbing: an OB
+// running a policy that always answers StragglerRTT must produce the
+// exact straggler transitions and releases of the static OB on the
+// same event schedule.
+func TestOBConstantPolicyMatchesStatic(t *testing.T) {
+	t.Parallel()
+	run := func(policy ThresholdPolicy) (events []StragglerEvent, released []market.TradeSeq) {
+		k := sim.NewKernel(1)
+		ob := NewOrderingBuffer(OrderingBufferConfig{
+			Participants: []market.ParticipantID{1, 2, 3},
+			Forward:      func(tr *market.Trade) { released = append(released, tr.Seq) },
+			Sched:        k,
+			StragglerRTT: 100 * sim.Microsecond,
+			GenTime:      func(market.PointID) sim.Time { return 0 },
+			OnStraggler:  func(ev StragglerEvent) { events = append(events, ev) },
+			Threshold:    policy,
+		})
+		// A schedule that exercises RTT exclusion, timeout exclusion and
+		// re-admission: MP 2 runs slow, MP 3 goes silent, MP 1 is healthy.
+		k.At(10*sim.Microsecond, func() {
+			ob.OnTrade(trade(1, 1, dc(1, 5*sim.Microsecond)))
+			ob.OnHeartbeat(hb(1, dc(1, 8*sim.Microsecond)))
+			ob.OnHeartbeat(hb(3, dc(1, 9*sim.Microsecond)))
+		})
+		k.At(250*sim.Microsecond, func() {
+			ob.OnHeartbeat(hb(2, dc(1, 10*sim.Microsecond))) // RTT 240µs → excluded
+			ob.Tick()                                        // MP 3 now silent past threshold
+		})
+		k.At(400*sim.Microsecond, func() {
+			ob.OnHeartbeat(hb(2, dc(1, 395*sim.Microsecond))) // RTT 5µs → re-admitted
+			ob.OnHeartbeat(hb(1, dc(1, 390*sim.Microsecond)))
+			ob.Tick()
+		})
+		k.Run()
+		return events, released
+	}
+	wantEv, wantRel := run(nil) // static baseline
+	gotEv, gotRel := run(constThreshold{v: 100 * sim.Microsecond})
+	if len(wantEv) == 0 || len(wantRel) == 0 {
+		t.Fatalf("degenerate baseline: %d events, %d releases", len(wantEv), len(wantRel))
+	}
+	if len(gotEv) != len(wantEv) {
+		t.Fatalf("event counts differ: adaptive %d, static %d", len(gotEv), len(wantEv))
+	}
+	for i := range wantEv {
+		if gotEv[i] != wantEv[i] {
+			t.Fatalf("event %d differs: adaptive %+v, static %+v", i, gotEv[i], wantEv[i])
+		}
+	}
+	if len(gotRel) != len(wantRel) {
+		t.Fatalf("release counts differ: adaptive %d, static %d", len(gotRel), len(wantRel))
+	}
+	for i := range wantRel {
+		if gotRel[i] != wantRel[i] {
+			t.Fatalf("release %d differs", i)
+		}
+	}
+}
+
+// TestOBAdaptiveTightensExclusion shows the point of the policy: an RTT
+// below the static cap but above the learned threshold is excluded.
+func TestOBAdaptiveTightensExclusion(t *testing.T) {
+	t.Parallel()
+	k := sim.NewKernel(1)
+	var events []StragglerEvent
+	pol := NewAdaptiveThreshold(AdaptiveConfig{Quantile: 1, Mult: 2}, 1000*sim.Microsecond)
+	ob := NewOrderingBuffer(OrderingBufferConfig{
+		Participants: []market.ParticipantID{1, 2, 3},
+		Forward:      func(*market.Trade) {},
+		Sched:        k,
+		StragglerRTT: 1000 * sim.Microsecond,
+		GenTime:      func(market.PointID) sim.Time { return 0 },
+		OnStraggler:  func(ev StragglerEvent) { events = append(events, ev) },
+		Threshold:    pol,
+	})
+	// Healthy population: RTT ~10µs for everyone → threshold 2×10µs.
+	k.At(10*sim.Microsecond, func() {
+		for _, mp := range []market.ParticipantID{1, 2, 3} {
+			ob.OnHeartbeat(hb(mp, dc(1, 0)))
+		}
+	})
+	// MP 3 degrades to 100µs: well under the 1ms static cap, 5× over
+	// the adaptive threshold.
+	k.At(100*sim.Microsecond, func() {
+		ob.OnHeartbeat(hb(3, dc(1, 0)))
+	})
+	k.Run()
+	if len(events) != 1 || events[0].MP != 3 || !events[0].Straggler {
+		t.Fatalf("events = %+v, want one exclusion of MP 3", events)
+	}
+	if ev := events[0]; ev.Threshold >= 1000*sim.Microsecond || ev.Threshold <= 0 {
+		t.Fatalf("recorded threshold %v should be the learned one, not the cap", ev.Threshold)
+	}
+}

@@ -46,6 +46,13 @@ type OrderingBufferConfig struct {
 	// from the release gate until its latency recovers.
 	StragglerRTT sim.Time
 
+	// Threshold, if non-nil, supplies an adaptive threshold in place of
+	// the StragglerRTT constant (which remains the policy's hard cap
+	// and the differential baseline). Mitigation is still enabled by
+	// StragglerRTT > 0; the policy only moves the comparison value. In
+	// a sharded deployment every shard must share one instance.
+	Threshold ThresholdPolicy
+
 	// GenTime maps a data point to its generation time at the CES; the
 	// OB is colocated with the CES (§5.2), so this is local knowledge.
 	// Required for RTT tracking when StragglerRTT > 0.
@@ -76,6 +83,7 @@ type StragglerEvent struct {
 	MP        market.ParticipantID
 	Straggler bool     // true = excluded, false = re-admitted
 	RTT       sim.Time // measured RTT; for Timeout exclusions, the heartbeat silence
+	Threshold sim.Time // exclusion threshold in force at the transition
 	Timeout   bool     // exclusion caused by heartbeat silence, not a measured RTT
 	At        sim.Time // global time of the transition
 }
@@ -152,6 +160,9 @@ func NewOrderingBuffer(cfg OrderingBufferConfig) *OrderingBuffer {
 	}
 	if cfg.StragglerRTT > 0 && cfg.GenTime == nil {
 		panic("core: straggler mitigation needs GenTime")
+	}
+	if cfg.Threshold != nil && cfg.StragglerRTT <= 0 {
+		panic("core: adaptive threshold needs StragglerRTT > 0 as its cap")
 	}
 	ob := &OrderingBuffer{
 		cfg:       cfg,
@@ -248,7 +259,11 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 		// RTT ≈ (delivery latency of the latest point) + (heartbeat
 		// network latency): heartbeat arrival − G(point) − elapsed.
 		st.rtt = now - ob.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
-		ob.setStraggler(st, st.rtt > ob.cfg.StragglerRTT, st.rtt, false)
+		if ob.cfg.Threshold != nil {
+			ob.cfg.Threshold.Observe(h.MP, st.rtt, now)
+		}
+		thr := ob.threshold(now)
+		ob.setStraggler(st, st.rtt > thr, st.rtt, thr, false)
 	}
 	ob.gateUpdate(old, ob.contribution(st))
 	// Attribute releases to the member that moved a shard minimum when
@@ -270,14 +285,15 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 func (ob *OrderingBuffer) Tick() {
 	if ob.cfg.StragglerRTT > 0 {
 		now := ob.cfg.Sched.Now()
+		thr := ob.threshold(now)
 		for _, st := range ob.order {
 			last := st.lastHB
 			if !st.hasHB {
 				last = ob.start
 			}
-			if now-last > ob.cfg.StragglerRTT {
+			if now-last > thr {
 				old := ob.contribution(st)
-				if ob.setStraggler(st, true, now-last, true) {
+				if ob.setStraggler(st, true, now-last, thr, true) {
 					ob.gateUpdate(old, ob.contribution(st))
 					// Excluding st shrank the gate; any trade released
 					// now was waiting on st's watermark.
@@ -296,9 +312,18 @@ func (ob *OrderingBuffer) Tick() {
 	ob.drain(0)
 }
 
+// threshold resolves the exclusion threshold in force: the adaptive
+// policy's answer when one is configured, the static constant otherwise.
+func (ob *OrderingBuffer) threshold(now sim.Time) sim.Time {
+	if ob.cfg.Threshold != nil {
+		return ob.cfg.Threshold.Threshold(now)
+	}
+	return ob.cfg.StragglerRTT
+}
+
 // setStraggler updates a participant's exclusion state, reporting
 // whether the participant was newly excluded.
-func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) bool {
+func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt, thr sim.Time, timeout bool) bool {
 	excluded := v && !st.straggler
 	if excluded {
 		ob.StragglerEvents++
@@ -306,7 +331,7 @@ func (ob *OrderingBuffer) setStraggler(st *mpState, v bool, rtt sim.Time, timeou
 	if v != st.straggler {
 		if ob.cfg.OnStraggler != nil {
 			ob.cfg.OnStraggler(StragglerEvent{
-				MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: ob.cfg.Sched.Now(),
+				MP: st.id, Straggler: v, RTT: rtt, Threshold: thr, Timeout: timeout, At: ob.cfg.Sched.Now(),
 			})
 		}
 		if f := ob.cfg.Flight; f.Enabled() {

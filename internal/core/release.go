@@ -82,6 +82,7 @@ type ReleaseBuffer struct {
 	expectNext  market.PointID
 	missing     map[market.PointID]bool
 	stopped     bool
+	epoch       int // heartbeat-chain generation; bumped by Resume
 
 	// Counters for tests and ops.
 	BatchesDelivered int
@@ -107,14 +108,17 @@ func NewReleaseBuffer(cfg ReleaseBufferConfig) *ReleaseBuffer {
 
 func (rb *ReleaseBuffer) localNow() sim.Time { return rb.cfg.Local.Now(rb.cfg.Sched.Now()) }
 
-// Start begins the heartbeat loop (if Tau > 0).
+// Start begins the heartbeat loop (if Tau > 0). Each call starts a
+// fresh chain stamped with the current epoch, so a closure left over
+// from before a Stop/Resume cycle exits instead of doubling the rate.
 func (rb *ReleaseBuffer) Start() {
 	if rb.cfg.Tau <= 0 {
 		return
 	}
+	epoch := rb.epoch
 	var beat func()
 	beat = func() {
-		if rb.stopped {
+		if rb.stopped || rb.epoch != epoch {
 			return
 		}
 		rb.sendHeartbeat()
@@ -123,8 +127,27 @@ func (rb *ReleaseBuffer) Start() {
 	after(rb.cfg.Sched, rb.cfg.Tau, beat)
 }
 
-// Stop halts heartbeats (e.g. to model an RB crash for straggler tests).
+// Stop halts the RB: heartbeats cease and incoming data, close markers
+// and trades are dropped — the crash half of a crash/restart scenario
+// (§4.2.1 treats a crashed RB exactly like an unbounded straggler).
 func (rb *ReleaseBuffer) Stop() { rb.stopped = true }
+
+// Resume restarts a stopped RB with its pre-crash state intact except
+// for whatever arrived while it was down: the next data point exposes
+// the gap, triggering retransmission, and heartbeats resume on a new
+// epoch. The OB keeps the RB excluded until a fresh heartbeat shows a
+// healthy RTT again.
+func (rb *ReleaseBuffer) Resume() {
+	if !rb.stopped {
+		return
+	}
+	rb.stopped = false
+	rb.epoch++
+	rb.Start()
+	// A release scheduled before the crash fired as a no-op while
+	// stopped; re-arm pacing for anything still queued.
+	rb.tryRelease()
+}
 
 func (rb *ReleaseBuffer) sendHeartbeat() {
 	rb.cfg.Send(market.Heartbeat{MP: rb.cfg.MP, DC: rb.dc.Read(rb.localNow()), Sent: rb.localNow()})

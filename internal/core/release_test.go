@@ -210,6 +210,61 @@ func TestRBStopHaltsHeartbeatsAndData(t *testing.T) {
 	}
 }
 
+func TestRBResumeRestartsHeartbeatsWithoutDoubling(t *testing.T) {
+	t.Parallel()
+	tau := 10 * sim.Microsecond
+	f := newRBFixture(t, 20*sim.Microsecond, tau, nil)
+	f.rb.Start()
+	// Crash at 25µs, restart at 55µs. Beats land at 10, 20 (pre-crash)
+	// and 65, 75, 85, 95 (fresh chain): six total. A doubled chain —
+	// the pre-crash closure surviving Resume — would beat ~every 5µs.
+	f.k.At(25*sim.Microsecond, func() { f.rb.Stop() })
+	f.k.At(55*sim.Microsecond, func() { f.rb.Resume() })
+	f.k.RunUntil(100 * sim.Microsecond)
+	preResume := 0
+	for _, v := range f.sent {
+		if _, ok := v.(market.Heartbeat); ok {
+			preResume++
+		}
+	}
+	if preResume != 6 {
+		t.Fatalf("heartbeats = %d, want 6 (2 pre-crash + 4 post-resume)", preResume)
+	}
+	// Resume on a running RB is a no-op: no extra chain.
+	f.rb.Resume()
+	f.k.RunUntil(140 * sim.Microsecond)
+	beats := 0
+	for _, v := range f.sent {
+		if _, ok := v.(market.Heartbeat); ok {
+			beats++
+		}
+	}
+	if beats != 10 {
+		t.Fatalf("heartbeats = %d, want 10 (no chain doubling)", beats)
+	}
+}
+
+func TestRBResumeReleasesQueuedBatch(t *testing.T) {
+	t.Parallel()
+	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)
+	// Two complete batches arrive back-to-back: the first delivers
+	// immediately, the second is pacing-held for δ. The RB crashes
+	// before the scheduled release fires, so the batch stays queued.
+	f.k.At(0, func() {
+		f.rb.OnData(dp(1, 1, true))
+		f.rb.OnData(dp(2, 2, true))
+	})
+	f.k.At(5*sim.Microsecond, func() { f.rb.Stop() })
+	f.k.At(50*sim.Microsecond, func() { f.rb.Resume() })
+	f.k.RunUntil(100 * sim.Microsecond)
+	if len(f.dlv) != 2 {
+		t.Fatalf("delivered %d batches, want 2 (second released after Resume)", len(f.dlv))
+	}
+	if f.dlvAt[1] < 50*sim.Microsecond {
+		t.Fatalf("second batch delivered at %v, before the restart", f.dlvAt[1])
+	}
+}
+
 func TestRBLossTriggersRetx(t *testing.T) {
 	t.Parallel()
 	f := newRBFixture(t, 20*sim.Microsecond, 0, nil)

@@ -51,6 +51,12 @@ type ShardConfig struct {
 	GenTime      func(p market.PointID) sim.Time
 	OnStraggler  func(ev StragglerEvent)
 
+	// Threshold, if non-nil, supplies the adaptive exclusion threshold
+	// (see OrderingBufferConfig.Threshold). Shards of one ordering
+	// domain must share a single instance so the population estimate
+	// spans every member.
+	Threshold ThresholdPolicy
+
 	// Flight, if non-nil, receives this shard's watermark and straggler
 	// events (member heartbeats absorbed here never reach the master).
 	Flight *flight.Recorder
@@ -66,6 +72,9 @@ func NewOBShard(cfg ShardConfig) *OBShard {
 	}
 	if cfg.StragglerRTT > 0 && cfg.GenTime == nil {
 		panic("core: straggler mitigation needs GenTime")
+	}
+	if cfg.Threshold != nil && cfg.StragglerRTT <= 0 {
+		panic("core: adaptive threshold needs StragglerRTT > 0 as its cap")
 	}
 	s := &OBShard{cfg: cfg, state: make(map[market.ParticipantID]*mpState, len(cfg.Members))}
 	for _, m := range cfg.Members {
@@ -115,7 +124,11 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 	st.hasHB = true
 	if s.cfg.StragglerRTT > 0 && h.DC.HasDelivered() {
 		st.rtt = now - s.cfg.GenTime(h.DC.Point) - h.DC.Elapsed
-		s.setStraggler(st, st.rtt > s.cfg.StragglerRTT, st.rtt, false)
+		if s.cfg.Threshold != nil {
+			s.cfg.Threshold.Observe(h.MP, st.rtt, now)
+		}
+		thr := s.threshold(now)
+		s.setStraggler(st, st.rtt > thr, st.rtt, thr, false)
 	}
 	s.maybeEmitMin(h.MP)
 }
@@ -124,13 +137,14 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 func (s *OBShard) Tick() {
 	if s.cfg.StragglerRTT > 0 {
 		now := s.cfg.Sched.Now()
+		thr := s.threshold(now)
 		for _, st := range s.order {
 			last := st.lastHB
 			if !st.hasHB {
 				last = s.start
 			}
-			if now-last > s.cfg.StragglerRTT {
-				if s.setStraggler(st, true, now-last, true) {
+			if now-last > thr {
+				if s.setStraggler(st, true, now-last, thr, true) {
 					s.maybeEmitMin(st.id)
 				}
 			}
@@ -139,7 +153,15 @@ func (s *OBShard) Tick() {
 	s.maybeEmitMin(0)
 }
 
-func (s *OBShard) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) bool {
+// threshold mirrors OrderingBuffer.threshold for this shard's members.
+func (s *OBShard) threshold(now sim.Time) sim.Time {
+	if s.cfg.Threshold != nil {
+		return s.cfg.Threshold.Threshold(now)
+	}
+	return s.cfg.StragglerRTT
+}
+
+func (s *OBShard) setStraggler(st *mpState, v bool, rtt, thr sim.Time, timeout bool) bool {
 	excluded := v && !st.straggler
 	if excluded {
 		s.StragglerEvents++
@@ -147,7 +169,7 @@ func (s *OBShard) setStraggler(st *mpState, v bool, rtt sim.Time, timeout bool) 
 	if v != st.straggler {
 		if s.cfg.OnStraggler != nil {
 			s.cfg.OnStraggler(StragglerEvent{
-				MP: st.id, Straggler: v, RTT: rtt, Timeout: timeout, At: s.cfg.Sched.Now(),
+				MP: st.id, Straggler: v, RTT: rtt, Threshold: thr, Timeout: timeout, At: s.cfg.Sched.Now(),
 			})
 		}
 		if f := s.cfg.Flight; f.Enabled() {
@@ -221,6 +243,10 @@ type ShardedOBConfig struct {
 	GenTime      func(p market.PointID) sim.Time
 	OnStraggler  func(ev StragglerEvent)
 
+	// Threshold is the one adaptive policy instance shared by every
+	// shard (nil = static StragglerRTT).
+	Threshold ThresholdPolicy
+
 	// Flight is shared by the master and every shard.
 	Flight *flight.Recorder
 
@@ -267,6 +293,7 @@ func NewShardedOB(cfg ShardedOBConfig) *ShardedOB {
 			StragglerRTT: cfg.StragglerRTT,
 			GenTime:      cfg.GenTime,
 			OnStraggler:  cfg.OnStraggler,
+			Threshold:    cfg.Threshold,
 			Flight:       cfg.Flight,
 		})
 		s.Shards = append(s.Shards, shard)

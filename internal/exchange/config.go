@@ -105,6 +105,18 @@ type Config struct {
 	LossRate   float64 // i.i.d. packet loss on every link
 	ClockDrift bool    // give each RB an unsynchronized drifting clock
 
+	// Faults is the deterministic hostile-network plan: partitions,
+	// duplicates, reordering, RB crash/restart, latency attacks, feed
+	// bursts. The zero value injects nothing.
+	Faults FaultPlan
+
+	// Adaptive, when non-nil, switches straggler mitigation from the
+	// static StragglerRTT constant to an adaptive threshold learned
+	// from measured RTTs (StragglerRTT stays the hard cap, so it must
+	// be positive). A fresh policy is built per run; sharded OBs share
+	// one instance across shards.
+	Adaptive *core.AdaptiveConfig
+
 	// LocalClocks, when non-nil, pins each RB's local clock explicitly
 	// (len N); it overrides ClockDrift. Conformance harnesses use it so
 	// oracles know the exact drift model each RB measures with.
@@ -123,6 +135,87 @@ type Config struct {
 	// All events are stamped with virtual time, so a seeded run's trace
 	// is byte-identical across runs.
 	Flight *flight.Recorder
+}
+
+// PartitionDir selects which direction(s) of a participant's path a
+// partition window severs.
+type PartitionDir int
+
+const (
+	PartitionBoth PartitionDir = iota // both directions (default)
+	PartitionFwd                      // CES → RB only (market data)
+	PartitionRev                      // RB → CES only (trades, heartbeats)
+)
+
+// Partition is a deterministic drop window: every packet sent on the
+// selected direction(s) of MP's path during [From, To) is lost.
+type Partition struct {
+	MP       int // 1-based participant; 0 = every participant
+	From, To sim.Time
+	Dir      PartitionDir
+}
+
+// RBOutage crashes MP's release buffer at From and restarts it at To
+// (DBO scheme only). While down the RB drops market data and trades;
+// on restart the first data point exposes the gap and triggers
+// retransmission, and heartbeats resume on a fresh chain.
+type RBOutage struct {
+	MP       int // 1-based participant
+	From, To sim.Time
+}
+
+// LatencyAttack elevates one participant's reverse-path latency by
+// Extra during [From, To) — the adversary of the probabilistic
+// fair-ordering analysis, farming straggler handling by looking slow:
+// its delayed heartbeats hold the release gate (raising everyone's
+// latency) until the OB excludes it. How fast that exclusion lands is
+// exactly what adaptive thresholds improve over the static baseline.
+type LatencyAttack struct {
+	MP       int // 1-based participant
+	From, To sim.Time
+	Extra    sim.Time
+}
+
+// FeedBurst multiplies the market-data tick rate by Factor during
+// [From, To) — a flash event stressing RB pacing and OB backlog.
+type FeedBurst struct {
+	From, To sim.Time
+	Factor   int // ≥ 2
+}
+
+// FaultPlan aggregates every deterministic fault a run injects. All
+// randomness is drawn from per-link sub-rngs of the run's seed, so a
+// plan replays identically.
+type FaultPlan struct {
+	// Duplicate injection on the market-data (forward) links: each
+	// point is delivered twice with probability DupRate, the copy
+	// arriving DupLag late (default 5µs when a rate is set).
+	DupRate float64
+	DupLag  sim.Time
+
+	// Reorder injection on the forward links: each point is, with
+	// probability ReorderRate, held up to ReorderJitter past its FIFO
+	// slot so later points overtake it (default jitter 20µs). The
+	// reverse path is deliberately exempt from dup/reorder: it models
+	// the framed-TCP channel whose in-order delivery DBO assumes (§3).
+	ReorderRate   float64
+	ReorderJitter sim.Time
+
+	Partitions []Partition
+	Outages    []RBOutage
+	Attack     *LatencyAttack
+	Burst      *FeedBurst
+}
+
+// Lossy reports whether the plan can destroy packets or trades — the
+// conservation oracle must then tolerate losses.
+func (f *FaultPlan) Lossy() bool {
+	return len(f.Partitions) > 0 || len(f.Outages) > 0
+}
+
+// Active reports whether any fault is configured.
+func (f *FaultPlan) Active() bool {
+	return f.DupRate > 0 || f.ReorderRate > 0 || f.Lossy() || f.Attack != nil || f.Burst != nil
 }
 
 // Hooks are optional experiment taps into the simulation.
@@ -226,7 +319,54 @@ func (c Config) withDefaults() Config {
 	if c.LibraWindow == 0 {
 		c.LibraWindow = 50 * sim.Microsecond
 	}
+	c.validateFaults()
 	return c
+}
+
+func (c *Config) validateFaults() {
+	f := &c.Faults
+	if f.DupRate > 0 && f.DupLag == 0 {
+		f.DupLag = 5 * sim.Microsecond
+	}
+	if f.ReorderRate > 0 && f.ReorderJitter == 0 {
+		f.ReorderJitter = 20 * sim.Microsecond
+	}
+	mpInRange := func(kind string, mp int) {
+		if mp < 1 || mp > c.N {
+			panic(fmt.Sprintf("exchange: %s MP %d out of range 1..%d", kind, mp, c.N))
+		}
+	}
+	for _, p := range f.Partitions {
+		if p.MP != 0 {
+			mpInRange("partition", p.MP)
+		}
+		if p.To <= p.From {
+			panic("exchange: empty partition window")
+		}
+	}
+	for _, o := range f.Outages {
+		mpInRange("outage", o.MP)
+		if o.To <= o.From {
+			panic("exchange: empty outage window")
+		}
+		if c.Scheme != DBO {
+			panic("exchange: RB outages need the DBO scheme")
+		}
+	}
+	if a := f.Attack; a != nil {
+		mpInRange("attack", a.MP)
+		if a.To <= a.From || a.Extra <= 0 {
+			panic("exchange: latency attack needs a window and positive Extra")
+		}
+	}
+	if b := f.Burst; b != nil {
+		if b.To <= b.From || b.Factor < 2 {
+			panic("exchange: feed burst needs a window and Factor ≥ 2")
+		}
+	}
+	if c.Adaptive != nil && c.StragglerRTT <= 0 {
+		panic("exchange: Adaptive thresholds need StragglerRTT > 0 as the cap")
+	}
 }
 
 // DefaultSkew spreads N static latency multipliers evenly over

@@ -43,6 +43,11 @@ type Result struct {
 	HeartbeatsSent   int
 	MasterHeartbeats int // heartbeats absorbed by (sharded) master OB
 
+	// Fault-plan effect counters, summed over all links.
+	DupPackets       int // duplicate copies injected
+	ReorderedPackets int // packets delivered out of FIFO order
+	WindowDrops      int // packets destroyed by partition windows
+
 	// External-stream races (§4.2.6): fairness over trades triggered by
 	// external events (1.0 when none were configured).
 	ExternalFairness float64
@@ -186,6 +191,7 @@ func (h *harness) buildNetwork() {
 		Skew:     h.cfg.Skew,
 		LossRate: h.cfg.LossRate,
 	}, fwdRecv, revRecv)
+	h.wireFaults()
 	for i := 0; i < h.cfg.N; i++ {
 		i := i
 		h.slow = append(h.slow, netsim.NewLink(h.k, netsim.Constant(slowPathDelay),
@@ -204,6 +210,39 @@ func (h *harness) buildNetwork() {
 	}
 }
 
+// wireFaults applies the FaultPlan to the freshly built topology.
+// Dup/reorder touch only the forward (market data, UDP-like) links;
+// the reverse path keeps the in-order delivery its framed-TCP model
+// guarantees. Each fault draws from its own sub-rng so plans replay
+// identically and adding one fault never perturbs another.
+func (h *harness) wireFaults() {
+	fp := &h.cfg.Faults
+	for i, p := range h.paths {
+		if fp.DupRate > 0 {
+			p.Fwd.EnableDup(fp.DupRate, fp.DupLag, h.k.SubRand(uint64(i)*2+4000))
+		}
+		if fp.ReorderRate > 0 {
+			p.Fwd.EnableReorder(fp.ReorderRate, fp.ReorderJitter, h.k.SubRand(uint64(i)*2+4001))
+		}
+	}
+	for _, part := range fp.Partitions {
+		for i, p := range h.paths {
+			if part.MP != 0 && part.MP != i+1 {
+				continue
+			}
+			if part.Dir != PartitionRev {
+				p.Fwd.DropDuring(part.From, part.To)
+			}
+			if part.Dir != PartitionFwd {
+				p.Rev.DropDuring(part.From, part.To)
+			}
+		}
+	}
+	if a := fp.Attack; a != nil {
+		h.paths[a.MP-1].Rev.Elevate(a.From, a.To, a.Extra)
+	}
+}
+
 func (h *harness) buildScheme() {
 	parts := make([]market.ParticipantID, h.cfg.N)
 	for i := range parts {
@@ -214,6 +253,13 @@ func (h *harness) buildScheme() {
 			return 0
 		}
 		return h.genTimes[p-1]
+	}
+
+	// One policy instance per run (fresh learning state), shared across
+	// shards so the population median sees every participant.
+	var policy core.ThresholdPolicy
+	if h.cfg.Adaptive != nil {
+		policy = core.NewAdaptiveThreshold(*h.cfg.Adaptive, h.cfg.StragglerRTT)
 	}
 
 	switch h.cfg.Scheme {
@@ -246,6 +292,7 @@ func (h *harness) buildScheme() {
 				Sched:        h.k,
 				Forward:      h.onForward,
 				StragglerRTT: h.cfg.StragglerRTT,
+				Threshold:    policy,
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
 				Flight:       h.cfg.Flight,
@@ -257,6 +304,7 @@ func (h *harness) buildScheme() {
 				Forward:      h.onForward,
 				Sched:        h.k,
 				StragglerRTT: h.cfg.StragglerRTT,
+				Threshold:    policy,
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
 				Flight:       h.cfg.Flight,
@@ -371,7 +419,7 @@ func (h *harness) start() {
 			}
 		}
 	}
-	if h.cfg.TickJitter == 0 {
+	if h.cfg.TickJitter == 0 && h.cfg.Faults.Burst == nil {
 		h.k.Every(0, h.cfg.TickInterval, func() bool {
 			gen := h.k.Now()
 			if gen >= h.cfg.Duration {
@@ -384,6 +432,8 @@ func (h *harness) start() {
 		// Bursty generation: i.i.d. gaps of TickInterval·U[1−j, 1+j]. The
 		// next gap is drawn before emitting so the batcher still knows
 		// the following point's generation time (Last flags stay exact).
+		// A FeedBurst further compresses gaps by Factor inside its
+		// window — the flash-event tick-rate multiplier.
 		jrng := h.k.SubRand(h.cfg.Seed ^ 0xb245)
 		var tick func()
 		tick = func() {
@@ -393,6 +443,9 @@ func (h *harness) start() {
 			}
 			f := 1 - h.cfg.TickJitter + 2*h.cfg.TickJitter*jrng.Float64()
 			gap := sim.Time(float64(h.cfg.TickInterval) * f)
+			if b := h.cfg.Faults.Burst; b != nil && gen >= b.From && gen < b.To {
+				gap /= sim.Time(b.Factor)
+			}
 			if gap < 1 {
 				gap = 1
 			}
@@ -405,6 +458,11 @@ func (h *harness) start() {
 	if h.rbs != nil {
 		for _, rb := range h.rbs {
 			rb.Start()
+		}
+		for _, o := range h.cfg.Faults.Outages {
+			rb := h.rbs[o.MP-1]
+			h.k.At(o.From, rb.Stop)
+			h.k.At(o.To, rb.Resume)
 		}
 		tick := h.cfg.Tau
 		h.k.Every(tick, tick, func() bool {
@@ -675,6 +733,12 @@ func (h *harness) score() *Result {
 		_, d1 := p.Fwd.Stats()
 		_, d2 := p.Rev.Stats()
 		r.DroppedPackets += d1 + d2
+		for _, l := range [2]*netsim.Link{p.Fwd, p.Rev} {
+			dup, reord, wdrop := l.FaultStats()
+			r.DupPackets += dup
+			r.ReorderedPackets += reord
+			r.WindowDrops += wdrop
+		}
 	}
 	if h.cfg.CollectSamples {
 		r.LatencySamples = &h.latency

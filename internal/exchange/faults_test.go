@@ -1,0 +1,187 @@
+package exchange
+
+import (
+	"testing"
+
+	"dbo/internal/core"
+	"dbo/internal/sim"
+)
+
+// Hostile-network FaultPlan wiring tests: the plan must actually fire,
+// replay deterministically, and interact sanely with the DBO pipeline.
+
+func faultBase(seed uint64) Config {
+	return Config{
+		Scheme:       DBO,
+		Seed:         seed,
+		N:            4,
+		Duration:     15 * sim.Millisecond,
+		Warmup:       2 * sim.Millisecond,
+		Drain:        30 * sim.Millisecond,
+		StragglerRTT: 2 * sim.Millisecond,
+	}
+}
+
+func TestFaultDupReorderFire(t *testing.T) {
+	t.Parallel()
+	cfg := faultBase(21)
+	cfg.Faults = FaultPlan{DupRate: 0.05, ReorderRate: 0.05}
+	r := Run(cfg)
+	if r.DupPackets == 0 {
+		t.Error("DupRate set but no duplicates injected")
+	}
+	if r.ReorderedPackets == 0 {
+		t.Error("ReorderRate set but no packets reordered")
+	}
+	// Dup/reorder never destroy data: every trade still arrives, and
+	// LRTF holds because the RB dedups and the OB reorders by DC anyway.
+	if r.Lost != 0 {
+		t.Errorf("dup/reorder lost %d trades; they are loss-free faults", r.Lost)
+	}
+	if r.Fairness != 1 {
+		t.Errorf("fairness %v under dup/reorder, want 1", r.Fairness)
+	}
+}
+
+func TestFaultPartitionDropsAndRecovers(t *testing.T) {
+	t.Parallel()
+	cfg := faultBase(22)
+	cfg.Faults = FaultPlan{Partitions: []Partition{
+		{MP: 2, From: 5 * sim.Millisecond, To: 7 * sim.Millisecond, Dir: PartitionFwd},
+	}}
+	r := Run(cfg)
+	if r.WindowDrops == 0 {
+		t.Error("partition window destroyed nothing")
+	}
+	// A forward-only partition starves MP 2 of market data for 2ms; the
+	// retransmission path must repair the gap once it heals.
+	if r.RetxRequests == 0 {
+		t.Error("partition healed without any retransmission requests")
+	}
+}
+
+func TestFaultBurstRaisesTickRate(t *testing.T) {
+	t.Parallel()
+	base := faultBase(23)
+	plain := Run(base)
+	cfg := faultBase(23)
+	cfg.Faults = FaultPlan{Burst: &FeedBurst{
+		From: 5 * sim.Millisecond, To: 10 * sim.Millisecond, Factor: 4,
+	}}
+	r := Run(cfg)
+	// 5ms at 4× adds ~3/4·(5ms/40µs) = ~94 extra points.
+	if r.DataPoints <= plain.DataPoints+50 {
+		t.Errorf("burst produced %d points vs %d plain; want a clear surge",
+			r.DataPoints, plain.DataPoints)
+	}
+}
+
+func TestFaultRBOutageRecovers(t *testing.T) {
+	t.Parallel()
+	cfg := faultBase(24)
+	cfg.Faults = FaultPlan{Outages: []RBOutage{
+		{MP: 3, From: 6 * sim.Millisecond, To: 8 * sim.Millisecond},
+	}}
+	r := Run(cfg)
+	// The crashed RB drops everything while down; what matters is that
+	// the system keeps running and the restart resumes delivery (trades
+	// triggered after the outage flow again).
+	if r.Trades == 0 || r.DataPoints == 0 {
+		t.Fatalf("run died after RB outage: %+v", r)
+	}
+	if r.RetxRequests == 0 {
+		t.Error("restarted RB never requested the missed points")
+	}
+}
+
+func TestFaultLatencyAttackExcludedFasterWithAdaptive(t *testing.T) {
+	t.Parallel()
+	// An attacker elevates its reverse path by 600µs — under the 2ms
+	// static threshold it is never excluded and silently taxes everyone.
+	// The adaptive policy learns the ~honest RTT population and cuts the
+	// attacker off.
+	attack := &LatencyAttack{MP: 2, From: 5 * sim.Millisecond,
+		To: 12 * sim.Millisecond, Extra: 600 * sim.Microsecond}
+
+	static := faultBase(25)
+	static.Faults = FaultPlan{Attack: attack}
+	rs := Run(static)
+
+	adaptive := faultBase(25)
+	adaptive.Faults = FaultPlan{Attack: attack}
+	adaptive.Adaptive = &core.AdaptiveConfig{}
+	var firstExcl sim.Time = -1
+	falseExcl := 0
+	adaptive.Hooks.OnStraggler = func(ev core.StragglerEvent) {
+		if !ev.Straggler {
+			return
+		}
+		if ev.MP != 2 {
+			falseExcl++
+		} else if firstExcl < 0 {
+			firstExcl = ev.At
+		}
+	}
+	ra := Run(adaptive)
+
+	if rs.StragglerEvents != 0 {
+		t.Errorf("static threshold saw %d straggler events; the 600µs attack should fly under the 2ms bar", rs.StragglerEvents)
+	}
+	if ra.StragglerEvents == 0 {
+		t.Fatal("adaptive threshold never excluded the attacker")
+	}
+	if falseExcl != 0 {
+		t.Errorf("%d honest participants excluded", falseExcl)
+	}
+	if firstExcl < 5*sim.Millisecond || firstExcl > 12*sim.Millisecond {
+		t.Errorf("first exclusion at %d, want inside the attack window", firstExcl)
+	}
+	// Under static thresholds the attacker's delayed heartbeats hold the
+	// release gate for everyone for the whole attack window; exclusion
+	// buys that latency back (at the price of the excluded attacker's
+	// own ordering guarantee — the §4.2.1 tradeoff).
+	if ra.Latency.Avg >= rs.Latency.Avg {
+		t.Errorf("adaptive mean latency %v not below static %v",
+			ra.Latency.Avg, rs.Latency.Avg)
+	}
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	t.Parallel()
+	mk := func() *Result {
+		cfg := faultBase(26)
+		cfg.Faults = FaultPlan{
+			DupRate:     0.03,
+			ReorderRate: 0.03,
+			Partitions: []Partition{
+				{MP: 1, From: 4 * sim.Millisecond, To: 5 * sim.Millisecond},
+			},
+			Outages: []RBOutage{
+				{MP: 4, From: 8 * sim.Millisecond, To: 9 * sim.Millisecond},
+			},
+			Attack: &LatencyAttack{MP: 2, From: 6 * sim.Millisecond,
+				To: 10 * sim.Millisecond, Extra: 400 * sim.Microsecond},
+			Burst: &FeedBurst{From: 11 * sim.Millisecond,
+				To: 12 * sim.Millisecond, Factor: 3},
+		}
+		cfg.Adaptive = &core.AdaptiveConfig{}
+		return Run(cfg)
+	}
+	a, b := mk(), mk()
+	if a.DataPoints != b.DataPoints || a.Trades != b.Trades ||
+		a.DupPackets != b.DupPackets || a.ReorderedPackets != b.ReorderedPackets ||
+		a.WindowDrops != b.WindowDrops || a.StragglerEvents != b.StragglerEvents ||
+		a.Fairness != b.Fairness || a.Lost != b.Lost {
+		t.Errorf("same seed, different runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFaultAdaptiveOffMatchesStatic(t *testing.T) {
+	t.Parallel()
+	// With no Adaptive config the Threshold field stays nil and the run
+	// must be bit-identical to the pre-policy code path.
+	a, b := Run(faultBase(27)), Run(faultBase(27))
+	if a.Fairness != b.Fairness || a.Trades != b.Trades || a.StragglerEvents != b.StragglerEvents {
+		t.Errorf("static runs diverged: %+v vs %+v", a, b)
+	}
+}

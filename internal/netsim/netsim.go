@@ -32,7 +32,10 @@ func FromTrace(tr *trace.Trace) LatencyFunc { return tr.OneWayAt }
 
 // Link is a unidirectional, in-order, lossy channel. Send schedules the
 // receiver callback on the kernel after the link's current latency,
-// clamped so delivery order matches send order.
+// clamped so delivery order matches send order. Fault injection can
+// additionally duplicate, reorder, window-drop (partition), or elevate
+// (latency attack) traffic; every fault is driven by its own seeded rng
+// or a deterministic time window, so chaos runs replay exactly.
 type Link struct {
 	k       *sim.Kernel
 	latency LatencyFunc
@@ -43,8 +46,38 @@ type Link struct {
 	dropNext  int
 	lastArrAt sim.Time
 
+	// Partition windows: a send inside any [from, to) is dropped.
+	partitions []timeWindow
+
+	// Latency elevations: extra one-way delay inside [from, to).
+	elevations []elevation
+
+	// Duplicate injection: with probability dupRate the message is
+	// delivered twice, the copy lagging dupLag behind the original.
+	dupRate float64
+	dupLag  sim.Time
+	dupRng  *rand.Rand
+
+	// Reorder injection: with probability reorderRate a message is held
+	// an extra U[1, reorderJitter] without advancing the FIFO clamp, so
+	// later sends may overtake it.
+	reorderRate   float64
+	reorderJitter sim.Time
+	reorderRng    *rand.Rand
+
 	sent    int
 	dropped int
+
+	duplicated    int
+	reordered     int
+	windowDropped int
+}
+
+type timeWindow struct{ from, to sim.Time }
+
+type elevation struct {
+	from, to sim.Time
+	extra    sim.Time
 }
 
 // Option configures a Link.
@@ -72,24 +105,54 @@ func NewLink(k *sim.Kernel, latency LatencyFunc, recv func(v any), opts ...Optio
 // It returns the scheduled arrival time, or -1 if the message was dropped.
 func (l *Link) Send(v any) sim.Time {
 	l.sent++
+	now := l.k.Now()
 	if l.dropNext > 0 {
 		l.dropNext--
 		l.dropped++
 		return -1
 	}
+	for _, w := range l.partitions {
+		if now >= w.from && now < w.to {
+			l.dropped++
+			l.windowDropped++
+			return -1
+		}
+	}
 	if l.lossRate > 0 && l.rng != nil && l.rng.Float64() < l.lossRate {
 		l.dropped++
 		return -1
 	}
-	now := l.k.Now()
-	at := now + l.latency(now)
+	lat := l.latency(now)
+	for _, e := range l.elevations {
+		if now >= e.from && now < e.to {
+			lat += e.extra
+		}
+	}
+	at := now + lat
 	if at < l.lastArrAt {
 		// FIFO: a later send may not overtake an earlier arrival. Equal
 		// timestamps preserve order because the kernel breaks ties FIFO.
 		at = l.lastArrAt
 	}
-	l.lastArrAt = at
-	l.k.At(at, func() { l.recv(v) })
+	if l.reorderRate > 0 && l.reorderRng.Float64() < l.reorderRate {
+		// Reordered: the message is held past its FIFO slot and the clamp
+		// is NOT advanced, so later sends may arrive before it. Relative
+		// to *earlier* messages it is still in order (it only ever gets
+		// later), matching a packet stuck in a queue.
+		at += 1 + sim.Time(l.reorderRng.Int64N(int64(l.reorderJitter)))
+		l.reordered++
+		l.k.At(at, func() { l.recv(v) })
+	} else {
+		l.lastArrAt = at
+		l.k.At(at, func() { l.recv(v) })
+	}
+	if l.dupRate > 0 && l.dupRng.Float64() < l.dupRate {
+		// The duplicate trails the original and never advances the FIFO
+		// clamp: copies arrive late, as duplicated packets do.
+		l.duplicated++
+		dupAt := at + l.dupLag
+		l.k.At(dupAt, func() { l.recv(v) })
+	}
 	return at
 }
 
@@ -97,8 +160,58 @@ func (l *Link) Send(v any) sim.Time {
 // injection for failure tests (Appendix D scenarios).
 func (l *Link) DropNext(n int) { l.dropNext = n }
 
+// DropDuring adds a deterministic partition window: every send in
+// [from, to) is dropped. Windows may overlap and are checked in order.
+func (l *Link) DropDuring(from, to sim.Time) {
+	if to <= from {
+		panic("netsim: empty partition window")
+	}
+	l.partitions = append(l.partitions, timeWindow{from: from, to: to})
+}
+
+// Elevate adds extra one-way latency to every send in [from, to) — the
+// primitive behind coordinated latency attacks and brownout scenarios.
+// Elevated messages still obey the FIFO clamp.
+func (l *Link) Elevate(from, to, extra sim.Time) {
+	if to <= from {
+		panic("netsim: empty elevation window")
+	}
+	if extra < 0 {
+		panic("netsim: negative elevation")
+	}
+	l.elevations = append(l.elevations, elevation{from: from, to: to, extra: extra})
+}
+
+// EnableDup turns on duplicate injection: each sent message is delivered
+// a second time with probability rate, the copy arriving lag after the
+// original. The rng must be deterministically seeded.
+func (l *Link) EnableDup(rate float64, lag sim.Time, rng *rand.Rand) {
+	if rate > 0 && (lag <= 0 || rng == nil) {
+		panic("netsim: dup injection needs positive lag and an rng")
+	}
+	l.dupRate, l.dupLag, l.dupRng = rate, lag, rng
+}
+
+// EnableReorder turns on reorder injection: each sent message is, with
+// probability rate, held an extra U[1, jitter] beyond its FIFO slot
+// without advancing the clamp, so later sends can overtake it. The rng
+// must be deterministically seeded.
+func (l *Link) EnableReorder(rate float64, jitter sim.Time, rng *rand.Rand) {
+	if rate > 0 && (jitter <= 0 || rng == nil) {
+		panic("netsim: reorder injection needs positive jitter and an rng")
+	}
+	l.reorderRate, l.reorderJitter, l.reorderRng = rate, jitter, rng
+}
+
 // Stats reports (sent, dropped) counters.
 func (l *Link) Stats() (sent, dropped int) { return l.sent, l.dropped }
+
+// FaultStats reports injected-fault counters: duplicated deliveries,
+// reordered (clamp-skipping) deliveries, and partition-window drops
+// (the latter are also included in Stats' dropped).
+func (l *Link) FaultStats() (dup, reorder, windowDrop int) {
+	return l.duplicated, l.reordered, l.windowDropped
+}
 
 // LatencyAt exposes the link's latency model so harnesses can compute
 // the paper's Max-RTT lower bound (Theorem 3) from ground truth.
@@ -145,13 +258,17 @@ func Star(k *sim.Kernel, cfg StarConfig, fwdRecv, revRecv func(i int) func(v any
 			fwdTr = fwdTr.Scale(cfg.Skew[i])
 			revTr = revTr.Scale(cfg.Skew[i])
 		}
-		var opts []Option
+		var fwdOpts, revOpts []Option
 		if cfg.LossRate > 0 {
-			opts = append(opts, WithLoss(cfg.LossRate, k.SubRand(uint64(i)+1000)))
+			// Each direction gets its own sub-rng: sharing one stream
+			// couples the loss processes, so an extra send on one link
+			// would perturb which packets the other drops.
+			fwdOpts = append(fwdOpts, WithLoss(cfg.LossRate, k.SubRand(uint64(i)*2+1000)))
+			revOpts = append(revOpts, WithLoss(cfg.LossRate, k.SubRand(uint64(i)*2+1001)))
 		}
 		paths[i] = &Path{
-			Fwd: NewLink(k, FromTrace(fwdTr), fwdRecv(i), opts...),
-			Rev: NewLink(k, FromTrace(revTr), revRecv(i), opts...),
+			Fwd: NewLink(k, FromTrace(fwdTr), fwdRecv(i), fwdOpts...),
+			Rev: NewLink(k, FromTrace(revTr), revRecv(i), revOpts...),
 		}
 	}
 	return paths

@@ -52,6 +52,17 @@ type CESConfig struct {
 	Symbols      int           // instruments in the data feed (default 1)
 	FeedSeed     uint64        // market data generator seed
 
+	// ProbeInterval enables TWAMP-light RTT probing of every MP at this
+	// cadence (0 = off; defaults to Tau when Adaptive is set). Probe
+	// RTTs feed the probe_rtt_ns histogram and, when Adaptive is set,
+	// the threshold policy alongside the OB's heartbeat measurements.
+	ProbeInterval time.Duration
+
+	// Adaptive switches straggler mitigation to an adaptive threshold
+	// learned from measured RTTs; StragglerRTT (required > 0) stays the
+	// hard cap. See core.AdaptiveConfig.
+	Adaptive *core.AdaptiveConfig
+
 	// OnForward, if set, observes each trade as it reaches the ME
 	// (called on the CES loop goroutine).
 	OnForward func(t *market.Trade)
@@ -76,6 +87,11 @@ type CES struct {
 	reg    *metrics.Registry
 	addrs  []*net.UDPAddr
 
+	// RTT probing (loop goroutine only, except the Prober internals
+	// which are safe anywhere).
+	policy  *core.AdaptiveThreshold
+	probers []*transport.Prober
+
 	// lastHB tracks per-MP heartbeat arrival for the staleness histogram
 	// (loop goroutine only).
 	lastHB map[market.ParticipantID]sim.Time
@@ -95,6 +111,14 @@ type CES struct {
 func NewCES(cfg CESConfig) (*CES, error) {
 	if cfg.TickInterval <= 0 || cfg.Ticks <= 0 || cfg.Delta <= 0 || cfg.Tau <= 0 {
 		return nil, fmt.Errorf("node: CES needs positive TickInterval, Ticks, Delta and Tau")
+	}
+	if cfg.Adaptive != nil {
+		if cfg.StragglerRTT <= 0 {
+			return nil, fmt.Errorf("node: Adaptive thresholds need StragglerRTT > 0 as the cap")
+		}
+		if cfg.ProbeInterval == 0 {
+			cfg.ProbeInterval = cfg.Tau
+		}
 	}
 	if cfg.Kappa <= 0 {
 		cfg.Kappa = 0.25
@@ -147,10 +171,18 @@ func (c *CES) Start(mps []MPAddr) error {
 	for i, mp := range mps {
 		parts[i] = mp.ID
 	}
+	if c.cfg.Adaptive != nil {
+		c.policy = core.NewAdaptiveThreshold(*c.cfg.Adaptive, sim.FromDuration(c.cfg.StragglerRTT))
+	}
+	var policy core.ThresholdPolicy // typed-nil pitfall: only set when present
+	if c.policy != nil {
+		policy = c.policy
+	}
 	c.ob = core.NewOrderingBuffer(core.OrderingBufferConfig{
 		Participants: parts,
 		Sched:        c.loop,
 		Forward:      c.onForward,
+		Threshold:    policy,
 		StragglerRTT: sim.FromDuration(c.cfg.StragglerRTT),
 		GenTime:      c.genTime,
 		Flight:       c.cfg.Flight,
@@ -213,16 +245,46 @@ func (c *CES) Start(mps []MPAddr) error {
 	})
 	c.loop.Post(func() { c.tick(0) })
 	c.scheduleOBTick()
+	if c.cfg.ProbeInterval > 0 {
+		for _, p := range parts {
+			c.probers = append(c.probers, transport.NewProber(p, 0))
+		}
+		c.scheduleProbes()
+	}
+	if c.policy != nil {
+		c.reg.Func("adaptive_threshold_ns", func() int64 {
+			return c.askLoop(func() int64 { return int64(c.policy.Threshold(c.loop.Now())) })
+		})
+	}
 	return nil
+}
+
+// scheduleProbes runs the TWAMP-light loop: one probe per MP per
+// interval, sent on the market-data socket; replies come back on the
+// reverse path and land in onMessage.
+func (c *CES) scheduleProbes() {
+	ival := sim.FromDuration(c.cfg.ProbeInterval)
+	var probe func()
+	probe = func() {
+		now := c.loop.Now()
+		for i, pr := range c.probers {
+			c.ep.Send(pr.Next(now), c.addrs[i]) //nolint:errcheck // UDP loss is part of the model
+		}
+		c.reg.Counter("probes_sent").Add(int64(len(c.probers)))
+		c.loop.At(now+ival, probe)
+	}
+	c.loop.At(c.loop.Now()+ival, probe)
 }
 
 // Metrics exposes the node's operational registry: counters
 // (data_points, batches_sealed, trades_received, heartbeats_received,
-// retx_requests, trades_forwarded, executions, straggler_transitions),
-// live gauges (ob_queued, stragglers, batches_delivered_min, per-MP
-// wm_lag_points_mp_<id> and straggler_mp_<id>), and histograms
-// (ob_hold_ns, response_ns, hb_staleness_ns). Mount Metrics().Handler()
-// (JSON) or Metrics().PromHandler() (Prometheus text) on any HTTP mux.
+// retx_requests, trades_forwarded, executions, straggler_transitions,
+// probes_sent, probe_rtt_invalid), live gauges (ob_queued, stragglers,
+// batches_delivered_min, adaptive_threshold_ns when Adaptive is on,
+// per-MP wm_lag_points_mp_<id> and straggler_mp_<id>), and histograms
+// (ob_hold_ns, response_ns, hb_staleness_ns, probe_rtt_ns). Mount
+// Metrics().Handler() (JSON) or Metrics().PromHandler() (Prometheus
+// text) on any HTTP mux.
 func (c *CES) Metrics() *metrics.Registry { return c.reg }
 
 // askLoop evaluates fn on the event loop and returns its result, or -1
@@ -345,6 +407,17 @@ func (c *CES) onMessage(v any) {
 	case wire.Retx:
 		c.reg.Counter("retx_requests").Inc()
 		c.retransmit(core.RetxRequest{MP: m.MP, From: m.From, To: m.To})
+	case wire.ProbeReply:
+		now := c.loop.Now()
+		rtt := transport.ProbeRTT(m, now)
+		if rtt < 0 {
+			c.reg.Counter("probe_rtt_invalid").Inc()
+			return
+		}
+		c.reg.Histogram("probe_rtt_ns").Observe(int64(rtt))
+		if c.policy != nil {
+			c.policy.Observe(m.MP, rtt, now)
+		}
 	}
 }
 
@@ -546,9 +619,10 @@ func StartMP(cfg MPConfig) (*MP, error) {
 func (m *MP) Addr() *net.UDPAddr { return m.ep.LocalAddr() }
 
 // Metrics exposes the participant's operational registry: counters
-// (batches_delivered, trades_submitted, fills) and histograms
-// (delivery_gap_ns — inter-batch pacing on this node's clock — and
-// response_ns). Mount Metrics().Handler() or .PromHandler() to scrape.
+// (batches_delivered, trades_submitted, fills, probes_reflected) and
+// histograms (delivery_gap_ns — inter-batch pacing on this node's
+// clock — and response_ns). Mount Metrics().Handler() or
+// .PromHandler() to scrape.
 func (m *MP) Metrics() *metrics.Registry { return m.reg }
 
 // Stop shuts the node down.
@@ -580,6 +654,14 @@ func (m *MP) onMessage(v any) {
 	switch msg := v.(type) {
 	case market.DataPoint:
 		m.rb.OnData(msg)
+	case wire.Probe:
+		// TWAMP-light reflection: stamp receive and transmit on this
+		// node's clock, reply over the reverse path (same channel the
+		// heartbeats use, so the probe RTT measures what the OB's own
+		// straggler estimate experiences).
+		t2 := m.loop.Now()
+		m.reg.Counter("probes_reflected").Inc()
+		m.send(transport.Reflect(msg, t2, m.loop.Now()))
 	case wire.Exec:
 		m.fills++
 		m.reg.Counter("fills").Inc()

@@ -1,0 +1,89 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"dbo/internal/core"
+	"dbo/internal/market"
+)
+
+// TestLiveProbeTelemetry boots a cluster with TWAMP-light probing and
+// adaptive thresholds on: probes must flow CES → MP → CES, land in the
+// RTT histogram, and pull the adaptive threshold below its cap once
+// the population has been measured.
+func TestLiveProbeTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster test needs real time")
+	}
+	cap := 500 * time.Millisecond // generous cap; loopback RTTs are ~µs
+	ces, err := NewCES(CESConfig{
+		Listen:        "127.0.0.1:0",
+		TickInterval:  60 * time.Millisecond,
+		Ticks:         6,
+		Delta:         25 * time.Millisecond,
+		Kappa:         0.25,
+		Tau:           2 * time.Millisecond,
+		StragglerRTT:  cap,
+		ProbeInterval: 5 * time.Millisecond,
+		Adaptive:      &core.AdaptiveConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mps []*MP
+	var addrs []MPAddr
+	for i := 1; i <= 2; i++ {
+		id := market.ParticipantID(i)
+		mp, err := StartMP(MPConfig{
+			ID:       id,
+			Listen:   "127.0.0.1:0",
+			CES:      ces.Addr().String(),
+			Delta:    25 * time.Millisecond,
+			Tau:      2 * time.Millisecond,
+			Strategy: strategyFor(id),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mps = append(mps, mp)
+		addrs = append(addrs, MPAddr{ID: id, Addr: mp.Addr().String()})
+	}
+	if err := ces.Start(addrs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ces.Stop()
+		for _, mp := range mps {
+			mp.Stop()
+		}
+	})
+	waitForward(t, ces, 12, 15*time.Second)
+
+	reg := ces.Metrics()
+	if n := reg.Counter("probes_sent").Value(); n == 0 {
+		t.Error("no probes sent")
+	}
+	for i, mp := range mps {
+		if n := mp.Metrics().Counter("probes_reflected").Value(); n == 0 {
+			t.Errorf("mp %d reflected no probes", i+1)
+		}
+	}
+	hist := reg.Histogram("probe_rtt_ns")
+	if hist.Count() == 0 {
+		t.Fatal("no probe RTTs measured")
+	}
+	if mean := hist.Sum() / hist.Count(); mean <= 0 || mean > int64(cap) {
+		t.Errorf("implausible mean probe RTT %dns", mean)
+	}
+	// Loopback RTTs are microseconds; with dozens of samples banked the
+	// learned threshold must sit far below the 500ms cap, yet above 0.
+	snap := reg.Snapshot()
+	thr, ok := snap["adaptive_threshold_ns"]
+	if !ok {
+		t.Fatal("adaptive_threshold_ns gauge missing")
+	}
+	if thr <= 0 || thr >= int64(cap) {
+		t.Errorf("adaptive threshold %dns; want inside (0, %dns)", thr, int64(cap))
+	}
+}

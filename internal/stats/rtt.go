@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"dbo/internal/sim"
+)
+
+// EWMA is an exponentially weighted moving average over time samples —
+// the smoothed point estimate of a link's RTT. The first observation
+// seeds the average directly (no zero bias).
+type EWMA struct {
+	alpha float64
+	v     float64
+	n     int
+}
+
+// NewEWMA builds an estimator with smoothing factor alpha in (0, 1]:
+// higher alpha weights recent samples more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v outside (0, 1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(v sim.Time) {
+	if e.n == 0 {
+		e.v = float64(v)
+	} else {
+		e.v += e.alpha * (float64(v) - e.v)
+	}
+	e.n++
+}
+
+// Value returns the current smoothed estimate (0 before any sample).
+func (e *EWMA) Value() sim.Time { return sim.Time(e.v) }
+
+// N reports samples observed.
+func (e *EWMA) N() int { return e.n }
+
+// Window keeps the most recent samples in a fixed-size ring and answers
+// order statistics over them — the sliding-window quantile estimator
+// behind adaptive straggler thresholds. Unlike Latencies it forgets:
+// an RTT spike ages out after capacity further samples.
+type Window struct {
+	buf     []sim.Time
+	scratch []sim.Time
+	n       int // total samples ever observed
+}
+
+// NewWindow builds a window holding the last capacity samples.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stats: window capacity %d must be positive", capacity))
+	}
+	return &Window{buf: make([]sim.Time, 0, capacity), scratch: make([]sim.Time, 0, capacity)}
+}
+
+// Add records one sample, evicting the oldest when full.
+func (w *Window) Add(v sim.Time) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.n%cap(w.buf)] = v
+	}
+	w.n++
+}
+
+// Len reports samples currently held (≤ capacity).
+func (w *Window) Len() int { return len(w.buf) }
+
+// N reports total samples ever observed.
+func (w *Window) N() int { return w.n }
+
+// Quantile returns the q-quantile of the held samples, q in [0, 1],
+// using the same nearest-rank method as Latencies.Percentile. Empty
+// windows return 0.
+func (w *Window) Quantile(q float64) sim.Time {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	w.scratch = append(w.scratch[:0], w.buf...)
+	slices.Sort(w.scratch)
+	i := int(math.Ceil(q*float64(len(w.scratch)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return w.scratch[i]
+}
+
+// Max returns the largest held sample (0 when empty).
+func (w *Window) Max() sim.Time {
+	var m sim.Time
+	for _, v := range w.buf {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dbo/internal/sim"
+)
+
+func TestEWMAFirstSampleSeeds(t *testing.T) {
+	t.Parallel()
+	e := NewEWMA(0.1)
+	if e.Value() != 0 || e.N() != 0 {
+		t.Fatalf("fresh EWMA: value=%v n=%d", e.Value(), e.N())
+	}
+	e.Observe(1000)
+	if e.Value() != 1000 {
+		t.Fatalf("first sample should seed directly, got %v", e.Value())
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	t.Parallel()
+	e := NewEWMA(0.2)
+	e.Observe(0)
+	for i := 0; i < 200; i++ {
+		e.Observe(500)
+	}
+	if v := e.Value(); v < 499 || v > 500 {
+		t.Fatalf("EWMA should converge to 500, got %v", v)
+	}
+}
+
+func TestEWMATracksShift(t *testing.T) {
+	t.Parallel()
+	slow := NewEWMA(0.05)
+	fast := NewEWMA(0.5)
+	for i := 0; i < 50; i++ {
+		slow.Observe(100)
+		fast.Observe(100)
+	}
+	slow.Observe(1000)
+	fast.Observe(1000)
+	if fast.Value() <= slow.Value() {
+		t.Fatalf("higher alpha must react faster: fast=%v slow=%v", fast.Value(), slow.Value())
+	}
+}
+
+func TestEWMAInvalidAlpha(t *testing.T) {
+	t.Parallel()
+	for _, a := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v should panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// TestWindowQuantileMatchesLatencies pins the window's nearest-rank
+// method to Latencies.Percentile: over identical sample sets (window
+// not yet wrapped) the two must agree exactly.
+func TestWindowQuantileMatchesLatencies(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(64)
+		w := NewWindow(64)
+		var l Latencies
+		for i := 0; i < n; i++ {
+			v := sim.Time(rng.Int64N(100000))
+			w.Add(v)
+			l.Add(v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got, want := w.Quantile(q), l.Percentile(q); got != want {
+				t.Fatalf("trial %d n=%d q=%v: window %v, latencies %v", trial, n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	t.Parallel()
+	w := NewWindow(4)
+	for i := 1; i <= 4; i++ {
+		w.Add(sim.Time(i * 100))
+	}
+	if w.Quantile(1) != 400 {
+		t.Fatalf("max = %v, want 400", w.Quantile(1))
+	}
+	// Push the 100 out; max sample lives on until overwritten.
+	w.Add(50)
+	if w.Len() != 4 || w.N() != 5 {
+		t.Fatalf("len=%d n=%d, want 4, 5", w.Len(), w.N())
+	}
+	if w.Quantile(0) != 50 {
+		t.Fatalf("min = %v, want 50 (oldest evicted)", w.Quantile(0))
+	}
+	// Three more evict 200, 300, 400: only the last four writes remain.
+	w.Add(60)
+	w.Add(70)
+	w.Add(80)
+	if got := w.Quantile(1); got != 80 {
+		t.Fatalf("max after full wrap = %v, want 80", got)
+	}
+	if got := w.Max(); got != 80 {
+		t.Fatalf("Max after full wrap = %v, want 80", got)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	t.Parallel()
+	w := NewWindow(8)
+	if w.Quantile(0.5) != 0 || w.Max() != 0 || w.Len() != 0 {
+		t.Fatal("empty window should answer zeros")
+	}
+}

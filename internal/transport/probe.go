@@ -1,0 +1,62 @@
+// TWAMP-light RTT probing (the telemetry behind adaptive straggler
+// thresholds): the CES stamps T1 and sends a wire.Probe to each MP; the
+// MP reflects it as a wire.ProbeReply stamped with its own receive (T2)
+// and transmit (T3) times; on return at T4 the prober computes
+//
+//	RTT = (T4 − T1) − (T3 − T2)
+//
+// Both sides use only their own clocks — the reflector's processing
+// time cancels out and no synchronization is needed, exactly the
+// two-way measurement the paper's §3 network model calls for.
+
+package transport
+
+import (
+	"sync/atomic"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+	"dbo/internal/wire"
+)
+
+// Prober mints probes with monotone sequence numbers. Safe for
+// concurrent use.
+type Prober struct {
+	mp  market.ParticipantID
+	seq atomic.Uint64
+	pad []byte
+}
+
+// NewProber builds a prober whose probes carry mp (the *target*
+// participant, so replies can be attributed) and pad bytes of padding.
+func NewProber(mp market.ParticipantID, pad int) *Prober {
+	if pad < 0 || pad > wire.MaxProbePad {
+		panic("transport: probe padding out of range")
+	}
+	return &Prober{mp: mp, pad: make([]byte, pad)}
+}
+
+// Next mints the next probe, stamped with the prober's clock reading t1.
+func (p *Prober) Next(t1 sim.Time) wire.Probe {
+	return wire.Probe{MP: p.mp, Seq: p.seq.Add(1), T1: t1, Pad: p.pad}
+}
+
+// Reflect turns a received probe into its reply: t2 is the reflector's
+// receive timestamp, t3 its transmit timestamp (both on its own clock).
+// The probe's padding is deliberately not echoed — the reply is minimal
+// so the reverse leg measures latency, not bandwidth.
+func Reflect(p wire.Probe, t2, t3 sim.Time) wire.ProbeReply {
+	return wire.ProbeReply{MP: p.MP, Seq: p.Seq, T1: p.T1, T2: t2, T3: t3}
+}
+
+// ProbeRTT computes the round trip from a reply received at t4 on the
+// prober's clock, excluding the reflector's processing time. Replies
+// that would yield a negative RTT (clock retreat, corrupt stamps)
+// report -1 so callers can drop them.
+func ProbeRTT(r wire.ProbeReply, t4 sim.Time) sim.Time {
+	rtt := (t4 - r.T1) - (r.T3 - r.T2)
+	if rtt < 0 {
+		return -1
+	}
+	return rtt
+}

@@ -23,13 +23,19 @@ import (
 // maxFrame bounds a frame to catch corrupt prefixes early.
 const maxFrame = 1 << 16
 
-// writeFrame appends one framed message to w.
+// writeFrame appends one framed message to w. Frames the receiver would
+// reject as corrupt (payload larger than maxFrame) are refused at
+// encode time: sending one would poison the stream and kill the
+// connection on the far side.
 func writeFrame(w io.Writer, buf []byte, v any) ([]byte, error) {
 	buf = buf[:0]
 	buf = append(buf, 0, 0, 0, 0)
 	buf, err := wire.Append(buf, v)
 	if err != nil {
 		return buf, err
+	}
+	if n := len(buf) - 4; n > maxFrame {
+		return buf, fmt.Errorf("transport: frame of %d bytes exceeds limit %d for %T", n, maxFrame, v)
 	}
 	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
 	_, err = w.Write(buf)
@@ -65,7 +71,15 @@ type TCPServer struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
-	received atomic.Int64
+	// OnConnClose, if set before Serve, observes every connection
+	// teardown: nil for a clean close (peer EOF between frames, or
+	// server shutdown), non-nil for an abnormal one (corrupt frame,
+	// truncated frame, decode failure, socket error). It runs on the
+	// connection's goroutine.
+	OnConnClose func(err error)
+
+	received                atomic.Int64
+	cleanCloses, connErrors atomic.Int64
 }
 
 // ListenTCP binds a framed-TCP server.
@@ -100,7 +114,7 @@ func (s *TCPServer) Serve(h Handler) error {
 
 func (s *TCPServer) serveConn(conn net.Conn, h Handler) {
 	defer func() {
-		conn.Close()
+		_ = conn.Close() //dbo:vet-ignore errdrop teardown of an already-failed or drained conn
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -116,15 +130,40 @@ func (s *TCPServer) serveConn(conn net.Conn, h Handler) {
 		v, sc, err := readFrame(r, scratch)
 		scratch = sc
 		if err != nil {
-			return // connection-fatal: framing is broken or peer left
+			s.finishConn(err)
+			return
 		}
 		s.received.Add(1)
 		h(v, udpFrom)
 	}
 }
 
+// finishConn classifies one connection's terminal error and reports it.
+// A bare EOF on a frame boundary is the peer hanging up cleanly, and a
+// closed socket during shutdown is the server's own doing; everything
+// else — truncated frames, bad prefixes, decode failures, transport
+// errors — is abnormal and must not be silently swallowed.
+func (s *TCPServer) finishConn(err error) {
+	if err == io.EOF || errors.Is(err, net.ErrClosed) || s.closed.Load() {
+		s.cleanCloses.Add(1)
+		if s.OnConnClose != nil {
+			s.OnConnClose(nil)
+		}
+		return
+	}
+	s.connErrors.Add(1)
+	if s.OnConnClose != nil {
+		s.OnConnClose(err)
+	}
+}
+
 // Received reports messages dispatched so far.
 func (s *TCPServer) Received() int64 { return s.received.Load() }
+
+// ConnStats reports (clean closes, abnormal closes) so far.
+func (s *TCPServer) ConnStats() (clean, errored int64) {
+	return s.cleanCloses.Load(), s.connErrors.Load()
+}
 
 // Close stops accepting and closes every live connection.
 func (s *TCPServer) Close() error {
@@ -132,7 +171,9 @@ func (s *TCPServer) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {
-		c.Close()
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	s.mu.Unlock()
 	return err
@@ -156,7 +197,9 @@ func DialTCP(addr string) (*TCPClient, error) {
 		return nil, fmt.Errorf("transport: tcp dial %q: %w", addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true) // latency over throughput, always
+		// Latency over throughput, always; on failure the socket just
+		// keeps Nagle, which costs latency but not correctness.
+		_ = tc.SetNoDelay(true) //dbo:vet-ignore errdrop best-effort latency knob
 	}
 	return &TCPClient{conn: conn, buf: make([]byte, 0, wire.MaxSize+4), w: bufio.NewWriter(conn)}, nil
 }

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dbo/internal/market"
+	"dbo/internal/wire"
+)
+
+func newHardenedServer(t *testing.T) (*TCPServer, chan error, chan any) {
+	t.Helper()
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closes := make(chan error, 16)
+	srv.OnConnClose = func(err error) { closes <- err }
+	got := make(chan any, 64)
+	go srv.Serve(func(v any, from *net.UDPAddr) { got <- v })
+	t.Cleanup(func() { srv.Close() })
+	return srv, closes, got
+}
+
+// TestTCPOversizedFrameRejectedAtEncode is the regression test for the
+// missing maxFrame check in writeFrame: a message whose encoding
+// exceeds the frame limit must be refused locally — before the bytes
+// hit the wire — leaving the connection healthy. A maximally padded
+// probe is the one protocol message big enough to trip it.
+func TestTCPOversizedFrameRejectedAtEncode(t *testing.T) {
+	srv, _, got := newHardenedServer(t)
+	cli, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	huge := wire.Probe{MP: 1, Seq: 1, Pad: make([]byte, wire.MaxProbePad)}
+	err = cli.Send(huge)
+	if err == nil {
+		t.Fatal("oversized frame was sent; want encode-time rejection")
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	// The connection must still work: the poison frame never left.
+	if err := cli.Send(market.Heartbeat{MP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if _, ok := v.(market.Heartbeat); !ok {
+			t.Fatalf("got %T", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("connection dead after rejected frame")
+	}
+	if clean, errored := srv.ConnStats(); clean != 0 || errored != 0 {
+		t.Fatalf("conn stats (%d, %d); nothing should have closed", clean, errored)
+	}
+}
+
+// TestTCPLargeProbeWithinLimitTraverses pins the boundary from the
+// other side: a probe padded to just under the frame limit goes through.
+func TestTCPLargeProbeWithinLimitTraverses(t *testing.T) {
+	srv, _, got := newHardenedServer(t)
+	cli, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	pad := 1<<16 - wire.ProbeHeaderSize // frame == maxFrame exactly
+	if err := cli.Send(wire.Probe{MP: 2, Seq: 7, T1: 9, Pad: make([]byte, pad)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		p, ok := v.(wire.Probe)
+		if !ok || p.MP != 2 || p.Seq != 7 || len(p.Pad) != pad {
+			t.Fatalf("got %T %+v", v, v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("probe at the frame limit not delivered")
+	}
+}
+
+// TestTCPCleanCloseCounted: a peer hanging up between frames is a clean
+// close — OnConnClose(nil), counted separately from errors.
+func TestTCPCleanCloseCounted(t *testing.T) {
+	srv, closes, got := newHardenedServer(t)
+	cli, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send(market.Heartbeat{MP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	cli.Close()
+	select {
+	case err := <-closes:
+		if err != nil {
+			t.Fatalf("clean EOF reported as error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no close notification")
+	}
+	if clean, errored := srv.ConnStats(); clean != 1 || errored != 0 {
+		t.Fatalf("conn stats (%d, %d), want (1, 0)", clean, errored)
+	}
+}
+
+// TestTCPCorruptFrameCloseCounted is the regression test for serveConn
+// swallowing read errors: a corrupt frame must surface through
+// OnConnClose with a non-nil error and count as an abnormal teardown.
+func TestTCPCorruptFrameCloseCounted(t *testing.T) {
+	srv, closes, _ := newHardenedServer(t)
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	select {
+	case err := <-closes:
+		if err == nil {
+			t.Fatal("corrupt frame reported as clean close")
+		}
+		if !strings.Contains(err.Error(), "frame length") {
+			t.Fatalf("error does not name the cause: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no close notification")
+	}
+	if clean, errored := srv.ConnStats(); clean != 0 || errored != 1 {
+		t.Fatalf("conn stats (%d, %d), want (0, 1)", clean, errored)
+	}
+}
+
+// TestTCPTruncatedFrameIsError: hanging up mid-frame is not a clean EOF.
+func TestTCPTruncatedFrameIsError(t *testing.T) {
+	srv, closes, _ := newHardenedServer(t)
+	raw, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Announce a 40-byte frame, deliver 3 bytes, vanish.
+	if _, err := raw.Write([]byte{40, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	select {
+	case err := <-closes:
+		if err == nil {
+			t.Fatal("mid-frame hangup reported as clean close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no close notification")
+	}
+	if clean, errored := srv.ConnStats(); clean != 0 || errored != 1 {
+		t.Fatalf("conn stats (%d, %d), want (0, 1)", clean, errored)
+	}
+}
+
+func TestProberMonotoneAndRTT(t *testing.T) {
+	t.Parallel()
+	p := NewProber(4, 8)
+	a := p.Next(100)
+	b := p.Next(200)
+	if a.Seq != 1 || b.Seq != 2 || a.MP != 4 || len(a.Pad) != 8 {
+		t.Fatalf("probes %+v %+v", a, b)
+	}
+	// Reflector stamps T2/T3 on its own (arbitrary) clock; processing
+	// time T3−T2 = 30 cancels out of the RTT.
+	r := Reflect(a, 5000, 5030)
+	if r.Seq != a.Seq || r.T1 != a.T1 || r.T2 != 5000 || r.T3 != 5030 {
+		t.Fatalf("reply %+v", r)
+	}
+	if rtt := ProbeRTT(r, 180); rtt != 50 {
+		t.Fatalf("rtt = %v, want (180−100)−(5030−5000) = 50", rtt)
+	}
+	// Corrupt stamps yielding negative RTT are flagged, not propagated.
+	if rtt := ProbeRTT(Reflect(b, 0, 1000000), 210); rtt != -1 {
+		t.Fatalf("negative rtt not rejected: %v", rtt)
+	}
+}

@@ -16,6 +16,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add(AppendRetx(nil, Retx{MP: 1, From: 2, To: 3}))
 	f.Add(AppendClose(nil, Close{Batch: 1, Final: 2, Count: 3}))
 	f.Add(AppendExec(nil, Exec{Maker: 1, Taker: 2, Seq: 3}))
+	f.Add(AppendProbe(nil, Probe{MP: 1, Seq: 2, T1: 3, Pad: []byte{4, 5, 6}}))
+	f.Add(AppendProbeReply(nil, ProbeReply{MP: 1, Seq: 2, T1: 3, T2: 4, T3: 5}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00})
 

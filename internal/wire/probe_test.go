@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestProbeRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := Probe{MP: 3, Seq: 17, T1: 123456, Pad: []byte{0xaa, 0xbb, 0xcc}}
+	buf := AppendProbe(nil, in)
+	if len(buf) != ProbeHeaderSize+len(in.Pad) {
+		t.Fatalf("size = %d, want %d", len(buf), ProbeHeaderSize+len(in.Pad))
+	}
+	out, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(Probe)
+	if got.MP != in.MP || got.Seq != in.Seq || got.T1 != in.T1 || !bytes.Equal(got.Pad, in.Pad) {
+		t.Fatalf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestProbeEmptyPad(t *testing.T) {
+	t.Parallel()
+	out, err := Decode(AppendProbe(nil, Probe{MP: 1, Seq: 2, T1: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(Probe); got.MP != 1 || got.Seq != 2 || got.T1 != 3 || len(got.Pad) != 0 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestProbeMaxPadRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := Probe{MP: 1, Seq: 1, Pad: make([]byte, MaxProbePad)}
+	for i := range in.Pad {
+		in.Pad[i] = byte(i)
+	}
+	out, err := Decode(AppendProbe(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(Probe); !bytes.Equal(got.Pad, in.Pad) {
+		t.Fatal("max pad did not survive the round trip")
+	}
+}
+
+func TestProbeOversizedPadPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pad beyond MaxProbePad must panic")
+		}
+	}()
+	AppendProbe(nil, Probe{Pad: make([]byte, MaxProbePad+1)})
+}
+
+func TestProbeTruncatedPadErrors(t *testing.T) {
+	t.Parallel()
+	buf := AppendProbe(nil, Probe{MP: 1, Seq: 1, Pad: make([]byte, 16)})
+	if _, err := Decode(buf[:len(buf)-4]); err == nil {
+		t.Fatal("truncated pad must error")
+	}
+	if _, err := Decode(buf[:ProbeHeaderSize-1]); err == nil {
+		t.Fatal("truncated header must error")
+	}
+}
+
+func TestProbeDecodeIntoDoesNotAliasInput(t *testing.T) {
+	t.Parallel()
+	buf := AppendProbe(nil, Probe{MP: 1, Seq: 1, Pad: []byte{1, 2, 3, 4}})
+	var m Msg
+	if err := DecodeInto(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := ProbeHeaderSize; i < len(buf); i++ {
+		buf[i] = 0xff // receive loops reuse this buffer for the next frame
+	}
+	if !bytes.Equal(m.Probe.Pad, []byte{1, 2, 3, 4}) {
+		t.Fatalf("pad %v aliased the wire buffer", m.Probe.Pad)
+	}
+}
+
+func TestProbeReplyRoundTrip(t *testing.T) {
+	t.Parallel()
+	in := ProbeReply{MP: 3, Seq: 9, T1: 10, T2: 20, T3: 30}
+	buf := AppendProbeReply(nil, in)
+	if len(buf) != ProbeReplySize {
+		t.Fatalf("size = %d, want %d", len(buf), ProbeReplySize)
+	}
+	out, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(ProbeReply) != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestProbeAppendDynamic(t *testing.T) {
+	t.Parallel()
+	for _, v := range []any{Probe{MP: 1, Pad: []byte{9}}, ProbeReply{MP: 1}} {
+		buf, err := Append(nil, v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if _, err := Decode(buf); err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+	}
+}

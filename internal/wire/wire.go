@@ -24,6 +24,8 @@ const (
 	TRetx
 	TClose
 	TExec
+	TProbe
+	TProbeReply
 )
 
 // Sizes of the fixed-layout messages (including the type byte).
@@ -34,10 +36,21 @@ const (
 	RetxSize       = 1 + 4 + 8 + 8
 	CloseSize      = 1 + 8 + 8 + 4
 	ExecSize       = 1 + 8 + 8 + 4 + 4 + 8 + 8 + 8
+
+	// ProbeHeaderSize is a probe's size before its variable padding; a
+	// full probe occupies ProbeHeaderSize + len(Pad) bytes.
+	ProbeHeaderSize = 1 + 4 + 8 + 8 + 2
+	ProbeReplySize  = 1 + 4 + 8 + 8 + 8 + 8
 )
 
-// MaxSize is the largest message size; receive buffers of this size
-// always fit one message.
+// MaxProbePad bounds a probe's padding (it must fit the u16 length
+// prefix). Note a maximally padded probe exceeds MaxSize — probes are
+// the protocol's only variable-length message.
+const MaxProbePad = 1<<16 - 1
+
+// MaxSize is the largest *fixed-layout* message size; receive buffers
+// of this size always fit one fixed message and are grown on demand by
+// the only variable-length message, the RTT probe.
 const MaxSize = TradeSize
 
 var le = binary.LittleEndian
@@ -141,18 +154,64 @@ func AppendExec(buf []byte, e Exec) []byte {
 	return buf
 }
 
+// Probe is a TWAMP-light RTT probe (CES → MP). T1 is the sender's send
+// timestamp on its own clock; Pad optionally inflates the datagram so
+// probes share the market-data path's size-dependent behavior.
+type Probe struct {
+	MP  market.ParticipantID
+	Seq uint64
+	T1  sim.Time
+	Pad []byte
+}
+
+// ProbeReply is the reflected probe (MP → CES): T1 is echoed, T2/T3 are
+// the reflector's receive and transmit timestamps on its own clock, so
+// the prober computes RTT = (T4−T1) − (T3−T2) without any clock sync.
+type ProbeReply struct {
+	MP         market.ParticipantID
+	Seq        uint64
+	T1, T2, T3 sim.Time
+}
+
+// AppendProbe encodes a probe. Panics if the padding exceeds
+// MaxProbePad — a static protocol limit, not a runtime condition.
+func AppendProbe(buf []byte, p Probe) []byte {
+	if len(p.Pad) > MaxProbePad {
+		panic(fmt.Sprintf("wire: probe pad %d exceeds %d", len(p.Pad), MaxProbePad))
+	}
+	buf = append(buf, TProbe)
+	buf = le.AppendUint32(buf, uint32(p.MP))
+	buf = le.AppendUint64(buf, p.Seq)
+	buf = le.AppendUint64(buf, uint64(p.T1))
+	buf = le.AppendUint16(buf, uint16(len(p.Pad)))
+	return append(buf, p.Pad...)
+}
+
+// AppendProbeReply encodes a probe reply.
+func AppendProbeReply(buf []byte, r ProbeReply) []byte {
+	buf = append(buf, TProbeReply)
+	buf = le.AppendUint32(buf, uint32(r.MP))
+	buf = le.AppendUint64(buf, r.Seq)
+	buf = le.AppendUint64(buf, uint64(r.T1))
+	buf = le.AppendUint64(buf, uint64(r.T2))
+	buf = le.AppendUint64(buf, uint64(r.T3))
+	return buf
+}
+
 // Msg is a decoded message without interface boxing: Type holds the
 // wire tag and exactly one matching field is meaningful. Receive loops
 // keep one Msg per connection and call DecodeInto so the steady state
 // is allocation-free; Decode remains the boxing convenience wrapper.
 type Msg struct {
-	Type      byte
-	Data      market.DataPoint
-	Trade     market.Trade
-	Heartbeat market.Heartbeat
-	Retx      Retx
-	Close     Close
-	Exec      Exec
+	Type       byte
+	Data       market.DataPoint
+	Trade      market.Trade
+	Heartbeat  market.Heartbeat
+	Retx       Retx
+	Close      Close
+	Exec       Exec
+	Probe      Probe // Pad reuses the Msg's own storage, never aliasing the input
+	ProbeReply ProbeReply
 }
 
 // DecodeTradeInto parses a TTrade message into t without allocating,
@@ -191,6 +250,9 @@ func DecodeInto(m *Msg, buf []byte) error {
 	case TMarketData:
 		if len(buf) < MarketDataSize {
 			return fmt.Errorf("wire: market data truncated: %d bytes", len(buf))
+		}
+		if buf[17]&^3 != 0 {
+			return fmt.Errorf("wire: market data has undefined flag bits 0x%02x", buf[17])
 		}
 		m.Data = market.DataPoint{
 			ID:      market.PointID(le.Uint64(buf[1:])),
@@ -252,13 +314,41 @@ func DecodeInto(m *Msg, buf []byte) error {
 			Seq:        le.Uint64(buf[41:]),
 		}
 		return nil
+	case TProbe:
+		if len(buf) < ProbeHeaderSize {
+			return fmt.Errorf("wire: probe truncated: %d bytes", len(buf))
+		}
+		pad := int(le.Uint16(buf[21:]))
+		if len(buf) < ProbeHeaderSize+pad {
+			return fmt.Errorf("wire: probe pad truncated: %d of %d bytes", len(buf)-ProbeHeaderSize, pad)
+		}
+		m.Probe = Probe{
+			MP:  market.ParticipantID(le.Uint32(buf[1:])),
+			Seq: le.Uint64(buf[5:]),
+			T1:  sim.Time(le.Uint64(buf[13:])),
+			Pad: append(m.Probe.Pad[:0], buf[ProbeHeaderSize:ProbeHeaderSize+pad]...),
+		}
+		return nil
+	case TProbeReply:
+		if len(buf) < ProbeReplySize {
+			return fmt.Errorf("wire: probe reply truncated: %d bytes", len(buf))
+		}
+		m.ProbeReply = ProbeReply{
+			MP:  market.ParticipantID(le.Uint32(buf[1:])),
+			Seq: le.Uint64(buf[5:]),
+			T1:  sim.Time(le.Uint64(buf[13:])),
+			T2:  sim.Time(le.Uint64(buf[21:])),
+			T3:  sim.Time(le.Uint64(buf[29:])),
+		}
+		return nil
 	default:
 		return fmt.Errorf("wire: unknown message type 0x%02x", buf[0])
 	}
 }
 
 // Decode parses one message, returning the typed value:
-// market.DataPoint, *market.Trade, market.Heartbeat, Retx, Close, Exec.
+// market.DataPoint, *market.Trade, market.Heartbeat, Retx, Close, Exec,
+// Probe, ProbeReply.
 // It boxes the result (and heap-allocates the Trade); hot receive
 // loops use DecodeInto instead.
 func Decode(buf []byte) (any, error) {
@@ -278,6 +368,10 @@ func Decode(buf []byte) (any, error) {
 		return m.Retx, nil
 	case TClose:
 		return m.Close, nil
+	case TProbe:
+		return m.Probe, nil
+	case TProbeReply:
+		return m.ProbeReply, nil
 	default:
 		return m.Exec, nil
 	}
@@ -299,6 +393,10 @@ func Append(buf []byte, v any) ([]byte, error) {
 		return AppendClose(buf, m), nil
 	case Exec:
 		return AppendExec(buf, m), nil
+	case Probe:
+		return AppendProbe(buf, m), nil
+	case ProbeReply:
+		return AppendProbeReply(buf, m), nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", v)
 	}
