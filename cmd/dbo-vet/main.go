@@ -1,28 +1,34 @@
 // Command dbo-vet runs the repository's custom analyzer suite
 // (internal/analysis) over the module and reports every violation of
-// DBO's determinism, lock-discipline and clock-ordering invariants,
-// exiting 1 when there are findings and 2 when the tree cannot be
-// loaded.
+// DBO's determinism, lock-discipline, clock-ordering, pool-ownership
+// and zero-allocation invariants, exiting 1 when there are findings
+// and 2 when the tree cannot be loaded.
 //
 // By default the module is type-checked (stdlib go/types — no external
 // tooling) and the analyzers run with resolved types and a static call
 // graph: lockheld chases calls made under a lock through the call graph
 // to transitive blocking operations, clockcmp/walltime match by type
 // identity instead of name heuristics, and the type-aware-only rules
-// (atomicmix, errdrop, sendliveness) come alive. Packages that fail to
-// compile degrade per-file to the syntactic rules; `-mode=syntactic`
-// forces that everywhere.
+// (atomicmix, errdrop, sendliveness, poolowner, allocfree, lockorder)
+// come alive — the last three on the flow-sensitive CFG/dataflow
+// engine. Packages that fail to compile degrade per-file to the
+// syntactic rules; `-mode=syntactic` forces that everywhere.
 //
 // Rules: walltime, lockheld, clockcmp, goexit, naketime, errdrop,
-// sendliveness, atomicmix — `dbo-vet -rules` describes them. A
+// sendliveness, poolowner, atomicmix, allocfree, lockorder —
+// `dbo-vet -describe` describes them; `-rules=a,b` runs a subset. A
 // deliberate exception is annotated in place with
 // `//dbo:vet-ignore <rule> <reason>` (strictly line-scoped); unused or
-// malformed directives are findings themselves.
+// malformed directives are findings themselves. `-baseline=<file>`
+// additionally suppresses the findings frozen in a JSON snapshot
+// (the `-format=json` output) so a new rule can gate incrementally.
 //
 // Usage:
 //
 //	go run ./cmd/dbo-vet ./...
 //	go run ./cmd/dbo-vet -format=sarif ./... > dbo-vet.sarif
+//	go run ./cmd/dbo-vet -rules=poolowner,allocfree,lockorder ./internal/core
+//	go run ./cmd/dbo-vet -baseline=vet-baseline.json ./...
 //	go run ./cmd/dbo-vet -mode=syntactic ./internal/core
 package main
 
@@ -31,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 
 	"dbo/internal/analysis"
 )
@@ -40,13 +48,15 @@ func main() {
 }
 
 func run() int {
-	describe := flag.Bool("rules", false, "describe the analyzer rules and exit")
+	describe := flag.Bool("describe", false, "describe the analyzer rules and exit")
+	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all rules)")
+	baseline := flag.String("baseline", "", "JSON baseline file of findings to suppress (see -format=json)")
 	format := flag.String("format", "text", "output format: text, json, or sarif")
 	mode := flag.String("mode", "typed", "analysis mode: typed (type-aware + call graph) or syntactic")
 	depth := flag.Int("depth", 0, "lockheld call-graph depth bound (0 = default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel package analyses")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dbo-vet [-rules] [-format=text|json|sarif] [-mode=typed|syntactic] [-depth=N] [packages]\n\npackages default to ./... (the whole module)\n")
+		fmt.Fprintf(os.Stderr, "usage: dbo-vet [-describe] [-rules=a,b] [-baseline=file] [-format=text|json|sarif] [-mode=typed|syntactic] [-depth=N] [packages]\n\npackages default to ./... (the whole module)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,14 +71,33 @@ func run() int {
 		return 0
 	}
 
+	cfg := analysis.Default()
+	cfg.LockHeldDepth = *depth
+	if *rules != "" {
+		valid := analysis.RuleNames()
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !valid[r] {
+				var known []string
+				for name := range valid {
+					known = append(known, name)
+				}
+				sort.Strings(known)
+				fmt.Fprintf(os.Stderr, "dbo-vet: unknown rule %q in -rules (known: %s)\n", r, strings.Join(known, ", "))
+				return 2
+			}
+			cfg.EnabledRules = append(cfg.EnabledRules, r)
+		}
+	}
+
 	root, err := analysis.ModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbo-vet:", err)
 		return 2
 	}
-
-	cfg := analysis.Default()
-	cfg.LockHeldDepth = *depth
 
 	var diags []analysis.Diagnostic
 	switch *mode {
@@ -92,6 +121,19 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "dbo-vet: unknown -mode %q (want typed or syntactic)\n", *mode)
 		return 2
+	}
+
+	if *baseline != "" {
+		entries, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbo-vet:", err)
+			return 2
+		}
+		var suppressed, stale int
+		diags, suppressed, stale = analysis.ApplyBaseline(diags, entries, root)
+		if suppressed > 0 || stale > 0 {
+			fmt.Fprintf(os.Stderr, "dbo-vet: baseline suppressed %d finding(s); %d stale entr(y/ies) — shrink the baseline as findings are fixed\n", suppressed, stale)
+		}
 	}
 
 	// Text output is rendered relative to the working directory so the

@@ -1,0 +1,470 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllocFree proves the zero-allocation contract of the hot path
+// statically: every function reachable in the module call graph from
+// the pinned roots (Config.AllocFreeRoots — the same functions the
+// runtime probes TestPipelineZeroAlloc/TestWireZeroAlloc drive) is
+// scanned for allocation sites, so the contract covers every reachable
+// branch, not just the ones a benchmark iteration happens to execute.
+//
+// Allocation sites (escape-lite — no escape analysis, the compiler may
+// stack-allocate some of these; a site that is provably amortized or
+// cold carries a reasoned //dbo:vet-ignore):
+//
+//   - &T{…} composite literals, and slice/map composite literals
+//   - new(T), make(…)
+//   - append (may grow its backing array), except the amortized shapes
+//     below
+//   - func literals in escaping positions (assigned, returned, sent,
+//     stored in a composite); a literal passed directly as a call
+//     argument is assumed non-escaping (sort.Search comparators stay
+//     on the stack) and only its body is scanned
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface boxing: a non-pointer-shaped concrete value passed as
+//     an interface-typed argument
+//   - variadic calls (the argument slice), go statements
+//
+// Deliberately NOT counted (each a documented soundness caveat, backed
+// by the runtime probes):
+//
+//   - self-appends `x = append(x, …)` and capacity-reuse appends
+//     `append(x[:0], …)`: growth is amortized and the steady state the
+//     zero-alloc benchmarks pin is allocation-free;
+//   - argument subtrees of panic(…) and calls to the error constructors
+//     fmt.Errorf / errors.New: terminal diagnostics are off the steady
+//     state by construction;
+//   - map inserts: Go maps amortize growth invisibly and the hot-path
+//     maps are pre-sized.
+//
+// The reachability walk is bounded to Config.AllocFreeScope: edges
+// into packages outside the scope are not traversed (out-of-scope
+// callees are vouched for by the runtime probes).
+var AllocFree = &ModuleAnalyzer{
+	Name: "allocfree",
+	Doc:  "allocation site in a function reachable from a pinned zero-alloc hot-path root",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(mp *ModulePass) {
+	m := mp.Mod
+	if m.Graph == nil || len(mp.Cfg.AllocFreeRoots) == 0 {
+		return
+	}
+
+	// Resolve the pinned roots. A root that does not resolve is skipped
+	// silently — fixture modules only define a slice of the surface;
+	// TestAllocFreeRootsResolve pins full resolution on the real tree.
+	type attr struct {
+		root string
+		fn   *types.Func
+	}
+	var queue []attr
+	seen := make(map[*types.Func]string) // fn → root display
+	for _, root := range mp.Cfg.AllocFreeRoots {
+		for fn := range m.Graph.nodes {
+			if moduleRel(m, fn) == root.Pkg && FuncDisplay(fn) == root.Func {
+				if _, ok := seen[fn]; !ok {
+					seen[fn] = root.Func
+					queue = append(queue, attr{root.Func, fn})
+				}
+			}
+		}
+	}
+	// Map iteration above is unordered but each root matches at most
+	// one declared function; order the worklist by config then source.
+	sort.SliceStable(queue, func(i, j int) bool {
+		if queue[i].root != queue[j].root {
+			return rootIndex(mp.Cfg, queue[i].root) < rootIndex(mp.Cfg, queue[j].root)
+		}
+		return queue[i].fn.Pos() < queue[j].fn.Pos()
+	})
+
+	// BFS the call-graph closure, staying inside AllocFreeScope.
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		node := m.Graph.nodes[cur.fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Calls {
+			for _, callee := range m.Graph.resolve(e.Callee) {
+				if _, ok := seen[callee]; ok {
+					continue
+				}
+				if !underAny(moduleRel(m, callee), mp.Cfg.AllocFreeScope) {
+					continue
+				}
+				seen[callee] = seen[cur.fn]
+				queue = append(queue, attr{cur.root, callee})
+			}
+		}
+	}
+
+	// Scan every reachable body, in deterministic source order.
+	var fns []*types.Func
+	for fn := range seen {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		node := m.Graph.nodes[fn]
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		scanAllocs(mp, moduleRel(m, fn), fn, seen[fn], node.Decl.Body)
+	}
+}
+
+// moduleRel maps a function's package path to the module-relative
+// form the config speaks ("dbo/internal/core" → "internal/core").
+func moduleRel(m *Module, fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if path == m.Path {
+		return "."
+	}
+	if rel, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		return rel
+	}
+	return path
+}
+
+func rootIndex(cfg *Config, fnDisplay string) int {
+	for i, r := range cfg.AllocFreeRoots {
+		if r.Func == fnDisplay {
+			return i
+		}
+	}
+	return len(cfg.AllocFreeRoots)
+}
+
+// scanAllocs reports every allocation site in body.
+func scanAllocs(mp *ModulePass, pkgRel string, fn *types.Func, root string, body *ast.BlockStmt) {
+	m := mp.Mod
+	where := fmt.Sprintf("%s (hot path via %s)", FuncDisplay(fn), root)
+	report := func(pos token.Pos, format string, args ...any) {
+		mp.Reportf(pkgRel, pos, "allocfree",
+			fmt.Sprintf(format, args...)+" in "+where+": the zero-alloc contract forbids heap traffic here — preallocate, pool, or annotate a reasoned exception")
+	}
+	amortized, escaping, goBodies := classifyAllocShapes(m, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if goBodies[x] {
+				return false // async body; the go statement is the reported site
+			}
+			if escaping[x] {
+				report(x.Pos(), "func literal escapes and allocates a closure")
+			}
+			return true // a call-arg literal runs synchronously: scan its body
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal heap-allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := m.Info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					report(x.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := m.Info.TypeOf(x); t != nil && isStringType(t) {
+					report(x.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.CallExpr:
+			if coldCall(m, x) {
+				return false // panic/error-constructor subtree: off the steady state
+			}
+			scanCallAlloc(m, x, amortized, report)
+		}
+		return true
+	})
+}
+
+// classifyAllocShapes pre-walks body and picks out the syntax shapes the
+// main scan treats specially: amortized appends (`x = append(x, …)` and
+// `append(x[:0], …)`), func literals in escaping positions, and func
+// literals that are goroutine bodies.
+func classifyAllocShapes(m *Module, body *ast.BlockStmt) (amortized map[*ast.CallExpr]bool, escaping, goBodies map[*ast.FuncLit]bool) {
+	amortized = make(map[*ast.CallExpr]bool)
+	escaping = make(map[*ast.FuncLit]bool)
+	goBodies = make(map[*ast.FuncLit]bool)
+	markLit := func(e ast.Expr) {
+		if fl, ok := unparen(e).(*ast.FuncLit); ok {
+			escaping[fl] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				markLit(rhs)
+				if x.Tok != token.ASSIGN || i >= len(x.Lhs) {
+					continue
+				}
+				if call := appendCall(m, rhs); call != nil && len(call.Args) > 0 &&
+					sameRef(m, x.Lhs[i], sliceBase(call.Args[0])) {
+					amortized[call] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range x.Values {
+				markLit(v)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				markLit(r)
+			}
+		case *ast.SendStmt:
+			markLit(x.Value)
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				markLit(el)
+			}
+		case *ast.GoStmt:
+			if fl, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				goBodies[fl] = true
+			}
+		case *ast.CallExpr:
+			// Capacity-reuse idiom: append(x[:0], …) writes into the
+			// existing backing array; amortized regardless of context.
+			if call := appendCall(m, x); call != nil && len(call.Args) > 0 {
+				if sl, ok := unparen(call.Args[0]).(*ast.SliceExpr); ok &&
+					sl.Low == nil && isZeroExpr(m, sl.High) {
+					amortized[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return amortized, escaping, goBodies
+}
+
+// appendCall returns e as a call to the append builtin, or nil.
+func appendCall(m *Module, e ast.Expr) *ast.CallExpr {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := m.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return call
+}
+
+// sliceBase strips one level of slicing: append(x[:n], …) targets x.
+func sliceBase(e ast.Expr) ast.Expr {
+	if sl, ok := unparen(e).(*ast.SliceExpr); ok {
+		return sl.X
+	}
+	return e
+}
+
+// isZeroExpr reports whether e is the constant 0.
+func isZeroExpr(m *Module, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := m.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// sameRef reports whether two expressions statically denote the same
+// storage location: identical resolved identifiers, or identical
+// selector/index/deref chains over the same base. Conservative — when
+// unsure it answers false and the append stays reported.
+func sameRef(m *Module, a, b ast.Expr) bool {
+	a, b = unparen(a), unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		xo, yo := identObj(m, x), identObj(m, y)
+		if xo != nil || yo != nil {
+			return xo == yo
+		}
+		return x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameRef(m, x.X, y.X)
+	case *ast.StarExpr:
+		y, ok := b.(*ast.StarExpr)
+		return ok && sameRef(m, x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameRef(m, x.X, y.X) && sameRef(m, x.Index, y.Index)
+	case *ast.BasicLit:
+		y, ok := b.(*ast.BasicLit)
+		return ok && x.Kind == y.Kind && x.Value == y.Value
+	}
+	return false
+}
+
+func identObj(m *Module, id *ast.Ident) types.Object {
+	if o := m.Info.Uses[id]; o != nil {
+		return o
+	}
+	return m.Info.Defs[id]
+}
+
+// coldCall reports whether call is terminal diagnostics — a panic(…) or
+// a call to an error constructor — whose subtree the scan skips.
+func coldCall(m *Module, call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := m.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := m.Info.Uses[fun.Sel].(*types.Func); ok {
+			switch fn.FullName() {
+			case "fmt.Errorf", "errors.New":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func scanCallAlloc(m *Module, call *ast.CallExpr, amortized map[*ast.CallExpr]bool, report func(token.Pos, string, ...any)) {
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := m.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "new":
+				report(call.Pos(), "new(…) heap-allocates")
+			case "make":
+				report(call.Pos(), "make(…) allocates")
+			case "append":
+				if !amortized[call] {
+					report(call.Pos(), "append may grow its backing array")
+				}
+			}
+			return
+		}
+	}
+	// Conversions to/from string allocate (string↔[]byte/[]rune).
+	if tv, ok := m.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := m.Info.TypeOf(call.Args[0])
+		if from != nil && stringConversionAllocs(from, to) {
+			report(call.Pos(), "string conversion copies and allocates")
+		}
+		return
+	}
+	// Interface boxing at argument positions, and the variadic slice.
+	sig, ok := typeAsSignature(m.Info.TypeOf(call.Fun))
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			if params.Len() > 0 {
+				if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := m.Info.TypeOf(arg)
+		if at == nil || isPointerShaped(at) {
+			continue
+		}
+		report(arg.Pos(), "passing %s as %s boxes the value (interface conversion allocates)",
+			types.TypeString(at, types.RelativeTo(nil)), types.TypeString(pt, types.RelativeTo(nil)))
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
+		report(call.Pos(), "variadic call allocates its argument slice")
+	}
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringConversionAllocs reports whether converting from→to copies
+// (string↔[]byte, string↔[]rune).
+func stringConversionAllocs(from, to types.Type) bool {
+	return (isStringType(from) && isByteOrRuneSlice(to)) ||
+		(isByteOrRuneSlice(from) && isStringType(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether boxing a value of type t into an
+// interface is allocation-free (the value already is a single pointer
+// word, or is itself an interface).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer || b.Kind() == types.UntypedNil
+	}
+	return false
+}

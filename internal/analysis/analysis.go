@@ -155,12 +155,12 @@ type ModuleAnalyzer struct {
 
 // All returns every per-package analyzer, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{WallTime, LockHeld, ClockCmp, GoExit, NakeTime, ErrDrop, SendLiveness}
+	return []*Analyzer{WallTime, LockHeld, ClockCmp, GoExit, NakeTime, ErrDrop, SendLiveness, PoolOwner}
 }
 
 // AllModule returns every module-level analyzer.
 func AllModule() []*ModuleAnalyzer {
-	return []*ModuleAnalyzer{AtomicMix}
+	return []*ModuleAnalyzer{AtomicMix, AllocFree, LockOrder}
 }
 
 // RuleNames returns the set of valid rule names (used to validate
@@ -193,9 +193,11 @@ func RunPackage(pkg *Package, cfg *Config) []Diagnostic {
 		diags:   &diags,
 	}
 	for _, a := range All() {
-		a.Run(pass)
+		if cfg.ruleEnabled(a.Name) {
+			a.Run(pass)
+		}
 	}
-	diags = applyDirectives(collectDirectives(pkg), diags)
+	diags = applyDirectives(cfg, collectDirectives(pkg), diags)
 	SortDiagnostics(diags)
 	return diags
 }

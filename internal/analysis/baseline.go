@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline suppression: `dbo-vet -baseline=<file>` drops findings that
+// appear in a checked-in snapshot, so CI can gate a new rule
+// incrementally — the tree's pre-existing findings are frozen, only
+// *new* ones fail the build. The file is exactly what
+// `dbo-vet -format=json` prints (extra fields tolerated), and matching
+// deliberately ignores line/column: edits above a finding must not
+// un-suppress it. A baseline entry that matches nothing is *stale* and
+// reported to the caller so baselines shrink over time instead of
+// fossilizing.
+
+// BaselineEntry is one suppressed finding. The JSON field names match
+// FormatJSON output so a report can be used as a baseline directly.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file (a JSON array of entries).
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.File == "" || e.Rule == "" {
+			return nil, fmt.Errorf("analysis: baseline %s entry %d: file and rule are required", path, i)
+		}
+	}
+	return entries, nil
+}
+
+// ApplyBaseline filters diags against the baseline. Matching is by
+// (file, rule, message), with the diagnostic's file rendered relative
+// to root the way FormatJSON would. Each baseline entry suppresses any
+// number of identical findings. Returns the surviving diagnostics, the
+// number suppressed, and the number of stale entries (matched nothing).
+func ApplyBaseline(diags []Diagnostic, entries []BaselineEntry, root string) (kept []Diagnostic, suppressed, stale int) {
+	type key struct{ file, rule, msg string }
+	matched := make(map[key]bool, len(entries))
+	index := make(map[key]bool, len(entries))
+	for _, e := range entries {
+		index[key{e.File, e.Rule, e.Message}] = true
+	}
+	kept = make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		k := key{relPath(root, d.Pos.Filename), d.Rule, d.Msg}
+		if index[k] {
+			matched[k] = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	seen := make(map[key]bool, len(entries))
+	for _, e := range entries {
+		k := key{e.File, e.Rule, e.Message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if !matched[k] {
+			stale++
+		}
+	}
+	return kept, suppressed, stale
+}

@@ -1,0 +1,566 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Basic-block control-flow graphs over go/ast function bodies — the
+// substrate of the flow-sensitive rules (poolowner, lockorder). The
+// builder is deliberately *shallow*: a block's node list holds simple
+// statements and decomposed condition leaves, never a nested body, so a
+// rule's transfer function can scan each node without double-visiting
+// statements that live in another block. The only compound node a
+// block may hold is an *ast.RangeStmt (standing for the evaluation of
+// its X/Key/Value in the loop head); rules must treat it shallowly.
+// Func-literal bodies are never part of the enclosing CFG — they run
+// at another time and get their own graph.
+//
+// Like the rest of the framework, the builder must survive arbitrary
+// fuzz-mangled ASTs (Bad* nodes, nil fields) without panicking; FuzzCFG
+// drives that contract.
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	index int
+	kind  string // "entry", "exit", "if.then", … — for rendering/tests
+	nodes []ast.Node
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// funcCFG is the graph of one function body. blocks[0] is the entry;
+// exit is the (possibly pruned) synthetic return target.
+type funcCFG struct {
+	blocks []*cfgBlock
+	exit   *cfgBlock
+}
+
+// cfgTargets is one entry of the break/continue resolution stack.
+type cfgTargets struct {
+	label string
+	brk   *cfgBlock
+	cont  *cfgBlock // nil for switch/select
+}
+
+type cfgBuilder struct {
+	blocks  []*cfgBlock
+	cur     *cfgBlock // nil after a terminator (return/branch/goto)
+	exit    *cfgBlock
+	targets []cfgTargets
+	labels  map[string]*cfgBlock // goto/label targets, created lazily
+	fallTo  *cfgBlock            // fallthrough target inside a switch clause
+	label   string               // pending label for the next loop/switch
+}
+
+// buildCFG constructs the basic-block graph of body and prunes blocks
+// unreachable from the entry. A nil body yields a one-block graph.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{labels: make(map[string]*cfgBlock)}
+	entry := b.newBlock("entry")
+	b.exit = &cfgBlock{kind: "exit"} // appended at finish, keeps last index
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.exit)
+	b.blocks = append(b.blocks, b.exit)
+	return b.finish()
+}
+
+func (b *cfgBuilder) newBlock(kind string) *cfgBlock {
+	blk := &cfgBlock{kind: kind}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// edge adds from→to (nil-safe: a nil from means the edge source is
+// unreachable and the edge is dropped).
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// add appends a node to the current block, reviving flow into a fresh
+// dead block after a terminator so later passes still see the nodes
+// (the block is pruned as unreachable at finish).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, st := range list {
+		b.stmt(st)
+	}
+}
+
+func (b *cfgBuilder) stmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		b.add(x)
+		if isPanicCall(x.X) {
+			b.edge(b.cur, b.exit)
+			b.cur = nil
+		}
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.BadStmt:
+		b.add(x)
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edge(b.cur, b.exit)
+		b.cur = nil
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+	case *ast.LabeledStmt:
+		b.labeledStmt(x)
+	case *ast.BranchStmt:
+		b.branchStmt(x)
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(x, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(x, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(x, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(x, b.takeLabel())
+	default:
+		b.add(st)
+	}
+}
+
+// takeLabel consumes the pending label set by a LabeledStmt wrapper.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) labeledStmt(x *ast.LabeledStmt) {
+	name := ""
+	if x.Label != nil {
+		name = x.Label.Name
+	}
+	lb := b.labelBlock(name)
+	b.edge(b.cur, lb)
+	b.cur = lb
+	switch x.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.label = name
+	}
+	b.stmt(x.Stmt)
+}
+
+// labelBlock returns (creating on first use, e.g. a forward goto) the
+// block a label names.
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if name == "" {
+		return b.newBlock("label")
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) branchStmt(x *ast.BranchStmt) {
+	label := ""
+	if x.Label != nil {
+		label = x.Label.Name
+	}
+	switch x.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.brk)
+				b.cur = nil
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont == nil {
+				continue
+			}
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.cont)
+				b.cur = nil
+				return
+			}
+		}
+	case token.GOTO:
+		if label != "" {
+			b.edge(b.cur, b.labelBlock(label))
+			b.cur = nil
+			return
+		}
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.edge(b.cur, b.fallTo)
+			b.cur = nil
+			return
+		}
+	}
+	// Malformed branch (unknown label, stray fallthrough): treat as a
+	// terminator with no target rather than panicking.
+	b.cur = nil
+}
+
+// cond decomposes a boolean expression into branch edges: && and ||
+// split into chained blocks so each leaf condition sits in the block
+// where short-circuit evaluation actually reaches it, and ! swaps the
+// arms. The leaf expression is recorded in the block evaluating it.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *cfgBlock) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	if e != nil {
+		b.add(e)
+	}
+	b.edge(b.cur, t)
+	b.edge(b.cur, f)
+	b.cur = nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func (b *cfgBuilder) ifStmt(x *ast.IfStmt) {
+	b.stmt(x.Init)
+	then := b.newBlock("if.then")
+	after := b.newBlock("if.after")
+	if x.Else != nil {
+		els := b.newBlock("if.else")
+		b.cond(x.Cond, then, els)
+		b.cur = els
+		b.stmt(x.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.cond(x.Cond, then, after)
+	}
+	b.cur = then
+	if x.Body != nil {
+		b.stmtList(x.Body.List)
+	}
+	b.edge(b.cur, after)
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(x *ast.ForStmt, label string) {
+	b.stmt(x.Init)
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	contTo := head
+	var post *cfgBlock
+	if x.Post != nil {
+		post = b.newBlock("for.post")
+		contTo = post
+	}
+	b.edge(b.cur, head)
+	b.cur = head
+	if x.Cond != nil {
+		b.cond(x.Cond, body, after)
+	} else {
+		b.edge(b.cur, body)
+		b.cur = nil
+	}
+	b.cur = body
+	b.targets = append(b.targets, cfgTargets{label: label, brk: after, cont: contTo})
+	if x.Body != nil {
+		b.stmtList(x.Body.List)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, contTo)
+	if post != nil {
+		b.cur = post
+		b.add(x.Post)
+		b.edge(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(x *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(x) // shallow: stands for X/Key/Value evaluation only
+	b.edge(b.cur, body)
+	b.edge(b.cur, after)
+	b.cur = body
+	b.targets = append(b.targets, cfgTargets{label: label, brk: after, cont: head})
+	if x.Body != nil {
+		b.stmtList(x.Body.List)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(x *ast.SwitchStmt, label string) {
+	b.stmt(x.Init)
+	if x.Tag != nil {
+		b.add(x.Tag)
+	}
+	b.caseClauses(x.Body, label, func(cc *ast.CaseClause, blk *cfgBlock) {
+		for _, e := range cc.List {
+			if e != nil {
+				blk.nodes = append(blk.nodes, e)
+			}
+		}
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(x *ast.TypeSwitchStmt, label string) {
+	b.stmt(x.Init)
+	if x.Assign != nil {
+		b.add(x.Assign)
+	}
+	b.caseClauses(x.Body, label, func(cc *ast.CaseClause, blk *cfgBlock) {})
+}
+
+// caseClauses builds the shared switch shape: the head fans out to
+// every clause block (and to after when there is no default); clause
+// bodies run with fallthrough wired to the next clause in source order.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, label string, fill func(*ast.CaseClause, *cfgBlock)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	after := b.newBlock("switch.after")
+	var clauses []*ast.CaseClause
+	if body != nil {
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				clauses = append(clauses, cc)
+			}
+		}
+	}
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock("case")
+		if cc.List == nil {
+			hasDefault = true
+		}
+		fill(cc, blocks[i])
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.targets = append(b.targets, cfgTargets{label: label, brk: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		b.fallTo = nil
+		if i+1 < len(clauses) {
+			b.fallTo = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.fallTo = nil
+		b.edge(b.cur, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(x *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+	}
+	after := b.newBlock("select.after")
+	var clauses []*ast.CommClause
+	if x.Body != nil {
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				clauses = append(clauses, cc)
+			}
+		}
+	}
+	b.targets = append(b.targets, cfgTargets{label: label, brk: after})
+	for _, cc := range clauses {
+		blk := b.newBlock("comm")
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmt(cc.Comm)
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	// select{} with no cases blocks forever: after is unreachable and
+	// gets pruned, which is exactly the semantics.
+	b.cur = after
+}
+
+// isPanicCall reports a direct builtin panic(...) call. Shadowed panic
+// identifiers are rare enough that a false terminator edge (to exit)
+// is an acceptable imprecision.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// finish prunes blocks unreachable from the entry, rebuilds pred
+// lists, and assigns final indices.
+func (b *cfgBuilder) finish() *funcCFG {
+	reach := map[*cfgBlock]bool{b.blocks[0]: true}
+	queue := []*cfgBlock{b.blocks[0]}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, s := range blk.succs {
+			if !reach[s] {
+				reach[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	var kept []*cfgBlock
+	for _, blk := range b.blocks {
+		if reach[blk] {
+			kept = append(kept, blk)
+		}
+	}
+	for i, blk := range kept {
+		blk.index = i
+		blk.preds = blk.preds[:0]
+	}
+	for _, blk := range kept {
+		var succs []*cfgBlock
+		for _, s := range blk.succs {
+			if reach[s] {
+				succs = append(succs, s)
+				s.preds = append(s.preds, blk)
+			}
+		}
+		blk.succs = succs
+	}
+	g := &funcCFG{blocks: kept}
+	if reach[b.exit] {
+		g.exit = b.exit
+	}
+	return g
+}
+
+// debugString renders the graph for golden tests: one line per block,
+// "bN kind: node, node -> bM bK".
+func (g *funcCFG) debugString() string {
+	var sb strings.Builder
+	for _, blk := range g.blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.index, blk.kind)
+		for i, n := range blk.nodes {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(" " + nodeDesc(n))
+		}
+		if len(blk.succs) > 0 {
+			idx := make([]int, len(blk.succs))
+			for i, s := range blk.succs {
+				idx[i] = s.index
+			}
+			sort.Ints(idx)
+			sb.WriteString(" ->")
+			for _, i := range idx {
+				fmt.Fprintf(&sb, " b%d", i)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeDesc summarizes a block node for rendering.
+func nodeDesc(n ast.Node) string {
+	switch x := n.(type) {
+	case ast.Expr:
+		return exprString(x)
+	case *ast.ExprStmt:
+		return exprString(x.X)
+	case *ast.AssignStmt:
+		if len(x.Lhs) > 0 {
+			return exprString(x.Lhs[0]) + x.Tok.String() + "…"
+		}
+		return "assign"
+	case *ast.IncDecStmt:
+		return exprString(x.X) + x.Tok.String()
+	case *ast.SendStmt:
+		return exprString(x.Chan) + "<-"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		if x.Call != nil {
+			return "defer " + exprString(x.Call)
+		}
+		return "defer"
+	case *ast.GoStmt:
+		if x.Call != nil {
+			return "go " + exprString(x.Call)
+		}
+		return "go"
+	case *ast.RangeStmt:
+		return "range " + exprString(x.X)
+	case *ast.DeclStmt:
+		return "var"
+	}
+	return fmt.Sprintf("%T", n)
+}

@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncCFGs parses src (a package-less function list) and builds a
+// CFG for every function declaration, keyed by name.
+func parseFuncCFGs(t testing.TB, src string) map[string]*funcCFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := make(map[string]*funcCFG)
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			out[fn.Name.Name] = buildCFG(fn.Body)
+		}
+	}
+	return out
+}
+
+// TestCFGGolden pins the block structure the dataflow rules stand on,
+// over the control-flow shapes that historically break CFG builders:
+// labeled break/continue, select, type switch, short-circuit &&/||
+// (with ! swapping the arms), goto, fallthrough, unreachable exits,
+// panic as a terminator, and range loops.
+func TestCFGGolden(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"ifElse", `func ifElse(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, `b0 entry: x:=…, c -> b1 b3
+b1 if.then: x=… -> b2
+b2 if.after: return -> b4
+b3 if.else: x=… -> b2
+b4 exit:
+`},
+		{"labeledLoops", `func loops() {
+outer:
+	for i := 0; i < 10; i++ {
+		for {
+			if i > 5 {
+				break outer
+			}
+			continue outer
+		}
+	}
+}`, `b0 entry: -> b1
+b1 label.outer: i:=… -> b2
+b2 for.head: … -> b3 b4
+b3 for.body: -> b6
+b4 for.after: -> b10
+b5 for.post: i++ -> b2
+b6 for.head: -> b7
+b7 for.body: … -> b8 b9
+b8 if.then: -> b4
+b9 if.after: -> b5
+b10 exit:
+`},
+		{"selectComms", `func sel(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+	default:
+	}
+	return 0
+}`, `b0 entry: -> b2 b3 b4
+b1 select.after: return -> b5
+b2 comm: v:=…, return -> b5
+b3 comm: b<- -> b1
+b4 comm: -> b1
+b5 exit:
+`},
+		{"typeSwitch", `func tsw(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	}
+	return -1
+}`, `b0 entry: x:=… -> b1 b2 b3
+b1 switch.after: return -> b4
+b2 case: return -> b4
+b3 case: return -> b4
+b4 exit:
+`},
+		{"shortCircuit", `func shortcircuit(a, b, c bool) bool {
+	if a && (b || !c) {
+		return true
+	}
+	return false
+}`, `b0 entry: a -> b2 b3
+b1 if.then: return -> b5
+b2 if.after: return -> b5
+b3 cond.and: b -> b1 b4
+b4 cond.or: c -> b1 b2
+b5 exit:
+`},
+		{"gotoForward", `func jump(n int) {
+	if n > 0 {
+		goto done
+	}
+	n++
+done:
+	n--
+}`, `b0 entry: … -> b1 b2
+b1 if.then: -> b3
+b2 if.after: n++ -> b3
+b3 label.done: n-- -> b4
+b4 exit:
+`},
+		{"fallthroughChain", `func fall(n int) int {
+	switch n {
+	case 0:
+		n = 1
+		fallthrough
+	case 1:
+		n = 2
+	default:
+		n = 3
+	}
+	return n
+}`, `b0 entry: n -> b2 b3 b4
+b1 switch.after: return -> b5
+b2 case: …, n=… -> b3
+b3 case: …, n=… -> b1
+b4 case: n=… -> b1
+b5 exit:
+`},
+		{"infiniteLoop", `func forever() {
+	for {
+	}
+}`, `b0 entry: -> b1
+b1 for.head: -> b2
+b2 for.body: -> b1
+`},
+		{"deferAndPanic", `func deferPanic(c bool) {
+	defer cleanup()
+	if c {
+		panic("boom")
+	}
+}`, `b0 entry: defer cleanup(…), c -> b1 b2
+b1 if.then: panic(…) -> b3
+b2 if.after: -> b3
+b3 exit:
+`},
+		{"rangeLoop", `func ranger(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, `b0 entry: s:=… -> b1
+b1 range.head: range xs -> b2 b3
+b2 range.body: s+=… -> b1
+b3 range.after: return -> b4
+b4 exit:
+`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			graphs := parseFuncCFGs(t, tc.src)
+			if len(graphs) != 1 {
+				t.Fatalf("want one function, got %d", len(graphs))
+			}
+			for _, g := range graphs {
+				if got := g.debugString(); got != tc.want {
+					t.Errorf("CFG mismatch:\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+				}
+				checkCFGInvariants(t, g)
+			}
+		})
+	}
+}
+
+// checkCFGInvariants asserts the structural properties every consumer
+// of a funcCFG relies on: indexes match slice positions, succ/pred
+// lists mirror each other, and every block is reachable from the entry
+// (finish() prunes the rest).
+func checkCFGInvariants(t testing.TB, g *funcCFG) {
+	t.Helper()
+	if len(g.blocks) == 0 {
+		t.Fatal("CFG has no blocks")
+	}
+	pos := make(map[*cfgBlock]int, len(g.blocks))
+	for i, b := range g.blocks {
+		if b.index != i {
+			t.Errorf("block at slice position %d has index %d", i, b.index)
+		}
+		pos[b] = i
+	}
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if _, ok := pos[s]; !ok {
+				t.Errorf("b%d has succ outside the block list", b.index)
+			}
+			if !containsBlock(s.preds, b) {
+				t.Errorf("b%d -> b%d edge missing the reverse pred", b.index, s.index)
+			}
+		}
+		for _, p := range b.preds {
+			if !containsBlock(p.succs, b) {
+				t.Errorf("b%d pred b%d missing the forward succ", b.index, p.index)
+			}
+		}
+	}
+	reach := map[*cfgBlock]bool{g.blocks[0]: true}
+	work := []*cfgBlock{g.blocks[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.blocks {
+		if !reach[b] {
+			t.Errorf("b%d is unreachable but was not pruned", b.index)
+		}
+	}
+}
+
+func containsBlock(bs []*cfgBlock, b *cfgBlock) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSolveForwardDefiniteAssignment exercises the worklist solver with
+// a real lattice: definite assignment, whose join is set intersection —
+// exactly the operation that goes wrong when a solver mishandles joins
+// or visits blocks in the wrong order. A name assigned on only one
+// branch must not be "definitely assigned" after the merge.
+func TestSolveForwardDefiniteAssignment(t *testing.T) {
+	t.Parallel()
+	graphs := parseFuncCFGs(t, `func f(c bool) int {
+	x := 0
+	if c {
+		y := 1
+		x = y
+	}
+	return x
+}`)
+	g := graphs["f"]
+	if g == nil {
+		t.Fatal("no CFG built")
+	}
+
+	type fact = map[string]bool
+	assigned := func(n ast.Node, into fact) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				into[id.Name] = true
+			}
+		}
+	}
+	clone := func(f fact) fact {
+		g := make(fact, len(f))
+		for k := range f {
+			g[k] = true
+		}
+		return g
+	}
+	in := solveForward(g, flowProblem[fact]{
+		entry: fact{},
+		join: func(a, b fact) fact {
+			out := make(fact)
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		transfer: func(b *cfgBlock, f fact) fact {
+			out := clone(f)
+			for _, n := range b.nodes {
+				assigned(n, out)
+			}
+			return out
+		},
+	})
+
+	var retBlock *cfgBlock
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = b
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no block holds the return")
+	}
+	got := in[retBlock]
+	if !got["x"] {
+		t.Errorf("x assigned on every path but missing from the merged fact: %v", got)
+	}
+	if got["y"] {
+		t.Errorf("y assigned on one branch only but survived the intersection join: %v", got)
+	}
+}
+
+// FuzzCFG throws arbitrary (parseable) Go at the CFG builder: it must
+// never panic, and the graph must satisfy the structural invariants
+// regardless of how contorted the control flow is. The solver runs a
+// trivial problem over each graph so its iteration budget is fuzzed
+// too.
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		"func a(c bool) { if c { return } }",
+		"func b() {\nouter:\n\tfor i := 0; i < 3; i++ {\n\t\tfor {\n\t\t\tbreak outer\n\t\t}\n\t}\n}",
+		"func c(ch chan int) { select { case <-ch: case ch <- 1: default: } }",
+		"func d(v any) { switch v.(type) { case int: case string: } }",
+		"func e(a, b bool) { _ = a && !b || a }",
+		"func g(n int) { goto l; l: n++; _ = n }",
+		"func h(n int) { switch n { case 0: fallthrough; case 1: } }",
+		"func i() { for { } }",
+		"func j() { defer func() { recover() }(); panic(1) }",
+		"func k(xs []int) { for _, x := range xs { _ = x } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", "package x\n"+src, 0)
+		if err != nil {
+			return
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			g := buildCFG(body)
+			checkCFGInvariants(t, g)
+			// A trivial monotone problem: block visit counts must hit a
+			// fixed point within the solver's iteration budget.
+			solveForward(g, flowProblem[int]{
+				entry: 0,
+				join: func(a, b int) int {
+					if a > b {
+						return a
+					}
+					return b
+				},
+				equal:    func(a, b int) bool { return a == b },
+				transfer: func(b *cfgBlock, in int) int { return min(in+1, 3) },
+			})
+			return true
+		})
+	})
+}

@@ -33,6 +33,62 @@ type Config struct {
 	// edges looking for a transitive blocking operation. 0 uses
 	// DefaultLockHeldDepth.
 	LockHeldDepth int
+
+	// PoolAPIs lists the pooled-object APIs whose single-owner contract
+	// the poolowner rule enforces: objects handed out by Type.Get are
+	// owned until Type.Put, after which any use, second Put, or
+	// previously escaped reference is a finding.
+	PoolAPIs []PoolAPI
+
+	// AllocFreeRoots pins the hot-path entry points whose entire static
+	// call-graph closure (bounded to AllocFreeScope) must be free of
+	// allocation sites. The set mirrors exactly what the runtime probes
+	// (TestPipelineZeroAlloc, TestWireZeroAlloc) drive, plus the sharded
+	// tick path, so the static rule covers every reachable branch — not
+	// just the ones a benchmark iteration happens to execute.
+	AllocFreeRoots []HotPathRoot
+
+	// AllocFreeScope bounds the allocfree reachability walk: edges into
+	// packages outside these prefixes are not traversed (documented
+	// soundness caveat — external callees are vouched for by the runtime
+	// probes instead).
+	AllocFreeScope []string
+
+	// EnabledRules selects which rules run (nil or empty = all). The
+	// driver's -rules flag and CI's incremental gating set this; the
+	// bad-ignore/unused-ignore directive pseudo-rules always run, except
+	// that a directive naming a disabled rule is never reported unused.
+	EnabledRules []string
+}
+
+// PoolAPI names one pooled-object API by the fully qualified type that
+// owns the free list plus its acquire/release method names.
+type PoolAPI struct {
+	Type string // fully qualified type name, e.g. "dbo/internal/market.TradePool"
+	Get  string // method returning an owned object
+	Put  string // method releasing ownership
+}
+
+// HotPathRoot names one allocfree entry point: a module-relative
+// package path and a function display name as FuncDisplay renders it
+// ("DecodeInto", "(OrderingBuffer).OnTrade").
+type HotPathRoot struct {
+	Pkg  string
+	Func string
+}
+
+// ruleEnabled reports whether a rule is selected by EnabledRules
+// (everything is, when the list is empty).
+func (c *Config) ruleEnabled(name string) bool {
+	if len(c.EnabledRules) == 0 {
+		return true
+	}
+	for _, r := range c.EnabledRules {
+		if r == name {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultLockHeldDepth is the call-graph bound used when
@@ -79,6 +135,43 @@ func Default() *Config {
 			"internal/market",    // pool/ordering helpers feed the hot path
 			"internal/wire",      // DecodeInto errors must reach the caller
 			"internal/transport", // a swallowed framing error hides reverse-path corruption
+		},
+		PoolAPIs: []PoolAPI{
+			// The trade pool: Get hands out a zeroed *Trade owned by the
+			// caller until Put returns it to the free list.
+			{Type: "dbo/internal/market.TradePool", Get: "Get", Put: "Put"},
+			// The bucketed queue's free list: newBucket acquires,
+			// recycle releases.
+			{Type: "dbo/internal/core.bucketQueue", Get: "newBucket", Put: "recycle"},
+		},
+		AllocFreeRoots: []HotPathRoot{
+			// The tag→enqueue→release pipeline exactly as
+			// TestPipelineZeroAlloc drives it (experiment.Pipeline.Step).
+			{Pkg: "internal/core", Func: "(OrderingBuffer).OnTrade"},
+			{Pkg: "internal/core", Func: "(OrderingBuffer).OnHeartbeat"},
+			{Pkg: "internal/core", Func: "(OrderingBuffer).BeginCoalesce"},
+			{Pkg: "internal/core", Func: "(OrderingBuffer).EndCoalesce"},
+			{Pkg: "internal/core", Func: "(OrderingBuffer).Tick"},
+			{Pkg: "internal/core", Func: "(ReleaseBuffer).OnData"},
+			{Pkg: "internal/core", Func: "(ReleaseBuffer).OnTrade"},
+			{Pkg: "internal/core", Func: "(ShardedOB).Tick"},
+			{Pkg: "internal/market", Func: "(TradePool).Get"},
+			{Pkg: "internal/market", Func: "(TradePool).Put"},
+			// The codec surface TestWireZeroAlloc pins.
+			{Pkg: "internal/wire", Func: "DecodeInto"},
+			{Pkg: "internal/wire", Func: "DecodeTradeInto"},
+			{Pkg: "internal/wire", Func: "AppendTrade"},
+			{Pkg: "internal/wire", Func: "AppendHeartbeat"},
+			{Pkg: "internal/wire", Func: "AppendMarketData"},
+		},
+		AllocFreeScope: []string{
+			// internal/flight is deliberately outside the scope: flight
+			// recording is an opt-in diagnostic gated by Recorder.Enabled
+			// and the zero-alloc contract is only claimed with it off.
+			"internal/core",
+			"internal/market",
+			"internal/wire",
+			"internal/clock",
 		},
 	}
 }

@@ -1,0 +1,72 @@
+package analysis
+
+// A tiny forward dataflow solver over funcCFG. Rules supply the
+// lattice as plain functions; facts are whatever the rule likes (maps,
+// sets) as long as join/equal/transfer treat them as values — the
+// solver never mutates a fact it was handed, and transfer must return
+// a fresh fact rather than writing through its input.
+//
+// Termination is the rule's responsibility (a finite lattice joined
+// monotonically); as a backstop against a buggy non-monotone transfer
+// the solver bounds its iterations at 64×blocks+256 and simply stops
+// there — dropping precision, never hanging dbo-vet.
+
+// flowProblem packages one rule's lattice for solveForward.
+type flowProblem[F any] struct {
+	entry    F                         // fact at function entry
+	join     func(a, b F) F            // least upper bound
+	equal    func(a, b F) bool         // fixed-point test
+	transfer func(b *cfgBlock, in F) F // flow one block
+}
+
+// solveForward iterates to a fixed point and returns the fact holding
+// at the *entry* of every reachable block. The caller re-runs its
+// transfer per block to inspect intra-block program points.
+func solveForward[F any](g *funcCFG, p flowProblem[F]) map[*cfgBlock]F {
+	in := make(map[*cfgBlock]F, len(g.blocks))
+	out := make(map[*cfgBlock]F, len(g.blocks))
+	if len(g.blocks) == 0 {
+		return in
+	}
+	entry := g.blocks[0]
+	in[entry] = p.entry
+
+	work := make([]*cfgBlock, 0, len(g.blocks))
+	queued := make(map[*cfgBlock]bool, len(g.blocks))
+	push := func(b *cfgBlock) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	push(entry)
+
+	budget := 64*len(g.blocks) + 256
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		o := p.transfer(b, in[b])
+		prev, seen := out[b]
+		if seen && p.equal(prev, o) {
+			continue
+		}
+		out[b] = o
+		for _, s := range b.succs {
+			cur, ok := in[s]
+			var next F
+			if !ok {
+				next = o
+			} else {
+				next = p.join(cur, o)
+			}
+			if !ok || !p.equal(cur, next) {
+				in[s] = next
+				push(s)
+			}
+		}
+	}
+	return in
+}

@@ -36,6 +36,15 @@ func FuzzVetParse(f *testing.F) {
 	f.Add([]byte("package p\nimport \"dbo/internal/market\"\nvar c market.DeliveryClock"))
 	f.Add([]byte("package p\nimport \"sync\"\ntype q struct{ mu sync.Mutex; ch chan int }\nfunc (x *q) a() { x.b() }\nfunc (x *q) b() { x.a(); x.ch <- 1 }\nfunc (x *q) c() { x.mu.Lock(); x.a(); x.mu.Unlock() }"))
 	f.Add([]byte("package p\ntype e struct{ open bool; ch chan int }\nfunc (x *e) s() { x.ch <- 1 }\nfunc (x *e) r() { if !x.open { return }; <-x.ch }\nfunc mk() *e { return &e{ch: make(chan int)} }"))
+	// Dataflow-rule seeds: pool Get/Put shapes for the poolowner CFG
+	// walk (use-after-Put, branchy maybe-Put, alias copy, a pool whose
+	// type name matches the default bucketQueue config under
+	// internal/core), and nested AB/BA locking for the lockorder graph.
+	f.Add([]byte("package core\ntype bucketQueue struct{ free []*int }\nfunc (q *bucketQueue) newBucket() *int { return nil }\nfunc (q *bucketQueue) recycle(b *int) {}\nfunc f(q *bucketQueue) { b := q.newBucket(); q.recycle(b); _ = *b }"))
+	f.Add([]byte("package p\ntype pool struct{}\nfunc (pool) Get() *int { return nil }\nfunc (pool) Put(*int) {}\nfunc f(p pool, c bool) { t := p.Get(); u := t; if c { p.Put(u) }; _ = *t; p.Put(t) }"))
+	f.Add([]byte("package p\nimport \"sync\"\nvar a, b sync.Mutex\nfunc f() { a.Lock(); b.Lock(); b.Unlock(); a.Unlock() }\nfunc g() { b.Lock(); a.Lock(); a.Unlock(); b.Unlock() }"))
+	f.Add([]byte("package p\nimport \"sync\"\ntype s struct{ mu, mv sync.Mutex }\nfunc (x *s) f() { x.mu.Lock(); defer x.mu.Unlock(); x.g() }\nfunc (x *s) g() { x.mv.Lock(); x.mu.Lock(); x.mu.Unlock(); x.mv.Unlock() }"))
+	f.Add([]byte("package p\ntype pool struct{}\nfunc (pool) Get() *int { return nil }\nfunc (pool) Put(*int) {}\nfunc f(p pool) {\nloop:\n\tfor {\n\t\tt := p.Get()\n\t\tselect {\n\t\tdefault:\n\t\t\tp.Put(t)\n\t\t\tcontinue loop\n\t\t}\n\t}\n}"))
 
 	f.Fuzz(func(t *testing.T, src []byte) {
 		// Two package paths: one rule-scoped, one allowlisted — both

@@ -117,8 +117,11 @@ func standaloneComment(src []byte, pos token.Position) bool {
 // applyDirectives filters diags through the given directives (from one
 // package or, in type-aware mode, the whole selected module). Matching
 // diagnostics are dropped; malformed directives and directives that
-// suppressed nothing become findings themselves.
-func applyDirectives(dirs []*directive, diags []Diagnostic) []Diagnostic {
+// suppressed nothing become findings themselves — except that a
+// directive naming a rule the current run disabled (Config.EnabledRules)
+// is never reported unused: when CI gates a rule subset, the other
+// rules' annotations must not turn into noise.
+func applyDirectives(cfg *Config, dirs []*directive, diags []Diagnostic) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}
@@ -140,7 +143,7 @@ func applyDirectives(dirs []*directive, diags []Diagnostic) []Diagnostic {
 		switch {
 		case d.bad != "":
 			kept = append(kept, Diagnostic{Pos: d.pos, Rule: "bad-ignore", Msg: d.bad})
-		case !d.used:
+		case !d.used && (cfg == nil || cfg.ruleEnabled(d.rule)):
 			kept = append(kept, Diagnostic{
 				Pos:  d.pos,
 				Rule: "unused-ignore",

@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// LockOrder builds a module-wide lock-acquisition-order graph and
+// flags cycles — the AB/BA shape that deadlocks the moment two
+// goroutines interleave. Lock identity is the *types.Var of the mutex
+// (a struct field or package-level variable of type sync.Mutex or
+// sync.RWMutex), so every instance of a struct shares one node: the
+// classic field-level approximation. Within each function a CFG
+// dataflow pass computes the may-held set at every program point
+// (union join — a lock held on any path counts); acquiring B with A
+// held adds the edge A→B. Calls add edges to every lock the callee may
+// transitively acquire (memoized summaries over the call graph, with
+// interface calls fanning out to module implementers).
+//
+// Self-edges (A→A) are skipped: with field-level identity they mostly
+// mean "lock the same field of two different instances", which is an
+// ordering question this rule cannot decide — a documented precision
+// bound. Goroutine bodies launched with `go` start with an empty held
+// set (they do not inherit the caller's critical section); each
+// declared function is analyzed as its own entry point.
+var LockOrder = &ModuleAnalyzer{
+	Name: "lockorder",
+	Doc:  "lock-acquisition-order cycle (AB/BA deadlock potential) across the module",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one ordered acquisition: from is held when to is taken.
+type lockEdge struct{ from, to *types.Var }
+
+// lockSite is where an edge was first observed.
+type lockSite struct {
+	pos    token.Pos
+	pkgRel string
+	via    *types.Func // non-nil: the call whose summary supplied `to`
+}
+
+type lockOrderState struct {
+	mp    *ModulePass
+	m     *Module
+	edges map[lockEdge]lockSite
+	order []lockEdge // recording order, for deterministic reports
+
+	direct map[*types.Func][]*types.Var        // per-function direct acquires
+	trans  map[*types.Func]map[*types.Var]bool // memoized transitive acquires
+	onPath map[*types.Func]bool                // DFS guard
+}
+
+func runLockOrder(mp *ModulePass) {
+	m := mp.Mod
+	if m.Graph == nil {
+		return
+	}
+	st := &lockOrderState{
+		mp:     mp,
+		m:      m,
+		edges:  make(map[lockEdge]lockSite),
+		direct: make(map[*types.Func][]*types.Var),
+		trans:  make(map[*types.Func]map[*types.Var]bool),
+		onPath: make(map[*types.Func]bool),
+	}
+
+	// Deterministic function order.
+	var fns []*types.Func
+	for fn := range m.Graph.nodes {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	for _, fn := range fns {
+		st.direct[fn] = st.collectDirectAcquires(m.Graph.nodes[fn])
+	}
+	for _, fn := range fns {
+		st.scanFunc(fn, m.Graph.nodes[fn])
+	}
+	st.reportCycles()
+}
+
+// collectDirectAcquires lists the locks fn's own body may take
+// (flow-insensitive — a conditional acquire still counts), excluding
+// func-literal and goroutine subtrees.
+func (st *lockOrderState) collectDirectAcquires(node *FuncNode) []*types.Var {
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil
+	}
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if v, locks, _ := st.lockCallTyped(x); locks && v != nil && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// transAcquires returns every lock reachable through fn's call-graph
+// closure (fn's own acquires included), memoized. Recursion through a
+// cycle contributes the partial set computed so far.
+func (st *lockOrderState) transAcquires(fn *types.Func) map[*types.Var]bool {
+	if got, ok := st.trans[fn]; ok {
+		return got
+	}
+	if st.onPath[fn] {
+		return nil
+	}
+	st.onPath[fn] = true
+	defer delete(st.onPath, fn)
+
+	out := make(map[*types.Var]bool)
+	for _, v := range st.direct[fn] {
+		out[v] = true
+	}
+	if node := st.m.Graph.nodes[fn]; node != nil {
+		for _, e := range node.Calls {
+			for _, callee := range st.m.Graph.resolve(e.Callee) {
+				for v := range st.transAcquires(callee) {
+					out[v] = true
+				}
+			}
+		}
+	}
+	st.trans[fn] = out
+	return out
+}
+
+// heldFact is the may-held lock set. Union join.
+type heldFact map[*types.Var]bool
+
+func heldEqual(a, b heldFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func heldJoin(a, b heldFact) heldFact {
+	out := make(heldFact, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// scanFunc runs the held-set dataflow over fn and records acquisition
+// edges during a replay of the converged facts.
+func (st *lockOrderState) scanFunc(fn *types.Func, node *FuncNode) {
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return
+	}
+	g := buildCFG(node.Decl.Body)
+	pkgRel := moduleRel(st.m, fn)
+	transfer := func(b *cfgBlock, in heldFact, record bool) heldFact {
+		out := make(heldFact, len(in))
+		for k := range in {
+			out[k] = true
+		}
+		for _, n := range b.nodes {
+			st.transferNode(n, out, record, pkgRel)
+		}
+		return out
+	}
+	in := solveForward(g, flowProblem[heldFact]{
+		entry: heldFact{},
+		join:  heldJoin,
+		equal: heldEqual,
+		transfer: func(b *cfgBlock, f heldFact) heldFact {
+			return transfer(b, f, false)
+		},
+	})
+	for _, b := range g.blocks {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		transfer(b, f, true)
+	}
+}
+
+// transferNode updates the held set for one shallow CFG node and, when
+// recording, registers the ordering edges it implies.
+func (st *lockOrderState) transferNode(n ast.Node, held heldFact, record bool, pkgRel string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock releases at return, not here: keep the
+			// lock held for the rest of the body. Other deferred calls
+			// are treated at the defer site (approximation).
+			if x.Call != nil {
+				if v, _, unlocks := st.lockCallTyped(x.Call); unlocks && v != nil {
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if v, locks, unlocks := st.lockCallTyped(x); v != nil {
+				if locks {
+					if record {
+						for _, h := range sortedLocks(held) {
+							st.addEdge(h, v, lockSite{pos: x.Pos(), pkgRel: pkgRel})
+						}
+					}
+					held[v] = true
+				} else if unlocks {
+					delete(held, v)
+				}
+				return true
+			}
+			// Summary edges: the callee may acquire these locks while
+			// we hold ours.
+			if record && len(held) > 0 {
+				if callee := calleeFunc(st.m.Info, x); callee != nil {
+					for _, target := range st.m.Graph.resolve(callee) {
+						for _, v := range sortedLocks(st.transAcquires(target)) {
+							for _, h := range sortedLocks(held) {
+								st.addEdge(h, v, lockSite{pos: x.Pos(), pkgRel: pkgRel, via: target})
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedLocks orders a lock set by declaration position so edge
+// recording (and therefore cycle reports) is deterministic.
+func sortedLocks(set map[*types.Var]bool) []*types.Var {
+	out := make([]*types.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func (st *lockOrderState) addEdge(from, to *types.Var, site lockSite) {
+	if from == to {
+		return // field-level identity cannot order an instance pair
+	}
+	e := lockEdge{from, to}
+	if _, ok := st.edges[e]; ok {
+		return
+	}
+	st.edges[e] = site
+	st.order = append(st.order, e)
+}
+
+// lockCallTyped classifies call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex variable, returning the lock's object identity.
+func (st *lockOrderState) lockCallTyped(call *ast.CallExpr) (v *types.Var, locks, unlocks bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel == nil {
+		return nil, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		unlocks = true
+	default:
+		return nil, false, false
+	}
+	id := baseIdent(sel.X)
+	if id == nil {
+		return nil, false, false
+	}
+	obj, ok := st.m.Info.Uses[id].(*types.Var)
+	if !ok || !isMutexVar(obj) || !sharedVar(obj) {
+		return nil, false, false
+	}
+	return obj, locks, unlocks
+}
+
+// isMutexVar reports whether v is (a pointer to) sync.Mutex/RWMutex.
+func isMutexVar(v *types.Var) bool {
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// reportCycles reports every recorded edge that lies on a cycle of the
+// acquisition graph, naming the counter-path that closes it.
+func (st *lockOrderState) reportCycles() {
+	adj := make(map[*types.Var][]*types.Var)
+	for _, e := range st.order {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range st.order {
+		path := st.findPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		site := st.edges[e]
+		counter := st.edges[lockEdge{path[0], path[1]}]
+		cpos := st.m.Fset.Position(counter.pos)
+		via := ""
+		if site.via != nil {
+			via = fmt.Sprintf(" (via call to %s)", FuncDisplay(site.via))
+		}
+		st.mp.Reportf(site.pkgRel, site.pos, "lockorder",
+			"%s is acquired while holding %s%s, but the reverse order %s holds at %s:%d: lock-order cycle — two goroutines interleaving these paths deadlock; pick one global order",
+			st.lockDisplay(e.to), st.lockDisplay(e.from), via,
+			st.pathDisplay(path), filepath.Base(cpos.Filename), cpos.Line)
+	}
+}
+
+// findPath BFSes from→to over adj, returning the shortest node path
+// (nil when unreachable).
+func (st *lockOrderState) findPath(adj map[*types.Var][]*types.Var, from, to *types.Var) []*types.Var {
+	if from == to {
+		return []*types.Var{from, to}
+	}
+	prev := map[*types.Var]*types.Var{from: nil}
+	queue := []*types.Var{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []*types.Var
+				for n := to; n != nil; n = prev[n] {
+					path = append(path, n)
+					if n == from {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func (st *lockOrderState) pathDisplay(path []*types.Var) string {
+	s := ""
+	for i, v := range path {
+		if i > 0 {
+			s += " → "
+		}
+		s += st.lockDisplay(v)
+	}
+	return s
+}
+
+// lockDisplay renders a lock for diagnostics: its name plus its
+// declaration site, which disambiguates same-named fields.
+func (st *lockOrderState) lockDisplay(v *types.Var) string {
+	pos := st.m.Fset.Position(v.Pos())
+	return fmt.Sprintf("%s (%s:%d)", v.Name(), filepath.Base(pos.Filename), pos.Line)
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocFreeRootsResolve pins the contract between the static rule
+// and the runtime probes: every pinned hot-path root in the default
+// config must resolve to a declared function in the real module's call
+// graph, and every PoolAPI must name a real type with both methods. A
+// rename that silently empties the root set would turn allocfree into
+// a vacuous pass — this test makes that a loud failure instead.
+func TestAllocFreeRootsResolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModuleTyped(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+
+	resolved := make(map[HotPathRoot]int)
+	for fn := range mod.Graph.nodes {
+		for _, r := range cfg.AllocFreeRoots {
+			if moduleRel(mod, fn) == r.Pkg && FuncDisplay(fn) == r.Func {
+				resolved[r]++
+			}
+		}
+	}
+	for _, r := range cfg.AllocFreeRoots {
+		switch n := resolved[r]; n {
+		case 1:
+		case 0:
+			t.Errorf("allocfree root %s.%s resolves to nothing in the call graph", r.Pkg, r.Func)
+		default:
+			t.Errorf("allocfree root %s.%s resolves to %d functions; want exactly one", r.Pkg, r.Func, n)
+		}
+	}
+
+	for _, api := range cfg.PoolAPIs {
+		dot := strings.LastIndex(api.Type, ".")
+		if dot < 0 {
+			t.Errorf("PoolAPI type %q is not fully qualified", api.Type)
+			continue
+		}
+		pkgPath, typeName := api.Type[:dot], api.Type[dot+1:]
+		rel := strings.TrimPrefix(pkgPath, mod.Path+"/")
+		tp := mod.TypedPackage(rel)
+		if tp == nil {
+			t.Errorf("PoolAPI package %s did not type-check", pkgPath)
+			continue
+		}
+		obj := tp.Scope().Lookup(typeName)
+		if obj == nil {
+			t.Errorf("PoolAPI type %s not found in %s", typeName, pkgPath)
+			continue
+		}
+		for _, method := range []string{api.Get, api.Put} {
+			m, _, _ := types.LookupFieldOrMethod(obj.Type(), true, tp, method)
+			if _, ok := m.(*types.Func); !ok {
+				t.Errorf("PoolAPI %s has no method %s", api.Type, method)
+			}
+		}
+	}
+
+	for _, scope := range cfg.AllocFreeScope {
+		if fi, err := os.Stat(filepath.Join(root, filepath.FromSlash(scope))); err != nil || !fi.IsDir() {
+			t.Errorf("AllocFreeScope entry %s is not a directory in the module", scope)
+		}
+	}
+}
+
+func writeBaselineFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBaselineLoad(t *testing.T) {
+	t.Parallel()
+	t.Run("roundTrip", func(t *testing.T) {
+		t.Parallel()
+		path := writeBaselineFile(t, `[
+			{"file": "internal/core/a.go", "line": 10, "col": 2, "rule": "allocfree", "message": "make(…) allocates"},
+			{"file": "internal/core/b.go", "rule": "poolowner", "message": "t is used after being put back"}
+		]`)
+		entries, err := LoadBaseline(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 2 {
+			t.Fatalf("got %d entries, want 2", len(entries))
+		}
+		if entries[0].Line != 10 || entries[0].Rule != "allocfree" {
+			t.Errorf("first entry misparsed: %+v", entries[0])
+		}
+	})
+	t.Run("missingFile", func(t *testing.T) {
+		t.Parallel()
+		if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+			t.Error("want error for missing file")
+		}
+	})
+	t.Run("badJSON", func(t *testing.T) {
+		t.Parallel()
+		if _, err := LoadBaseline(writeBaselineFile(t, `{"not": "an array"}`)); err == nil {
+			t.Error("want error for non-array JSON")
+		}
+	})
+	t.Run("missingRequiredFields", func(t *testing.T) {
+		t.Parallel()
+		if _, err := LoadBaseline(writeBaselineFile(t, `[{"file": "a.go", "message": "no rule"}]`)); err == nil {
+			t.Error("want error for entry without rule")
+		}
+	})
+}
+
+func TestBaselineApply(t *testing.T) {
+	t.Parallel()
+	root := string(filepath.Separator) + "repo"
+	diag := func(file string, line int, rule, msg string) Diagnostic {
+		d := Diagnostic{Rule: rule, Msg: msg}
+		d.Pos.Filename = filepath.Join(root, filepath.FromSlash(file))
+		d.Pos.Line = line
+		return d
+	}
+	diags := []Diagnostic{
+		diag("internal/core/a.go", 10, "allocfree", "make allocates"),
+		diag("internal/core/a.go", 55, "allocfree", "make allocates"), // same finding, moved line
+		diag("internal/core/a.go", 20, "poolowner", "t used after Put"),
+	}
+	entries := []BaselineEntry{
+		{File: "internal/core/a.go", Line: 999, Rule: "allocfree", Message: "make allocates"}, // line ignored
+		{File: "internal/core/gone.go", Rule: "lockorder", Message: "old cycle"},              // stale
+		{File: "internal/core/gone.go", Rule: "lockorder", Message: "old cycle"},              // duplicate: still one stale
+	}
+	kept, suppressed, stale := ApplyBaseline(diags, entries, root)
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2 (matching ignores line/col)", suppressed)
+	}
+	if stale != 1 {
+		t.Errorf("stale = %d, want 1 (duplicate entries count once)", stale)
+	}
+	if len(kept) != 1 || kept[0].Rule != "poolowner" {
+		t.Errorf("kept = %v, want only the poolowner finding", kept)
+	}
+}
+
+// TestEnabledRulesSelector pins -rules semantics end to end through the
+// typed pipeline: a finding from a deselected rule must not surface,
+// and reselecting the rule brings it back unchanged.
+func TestEnabledRulesSelector(t *testing.T) {
+	t.Parallel()
+	mod := buildFixtureModule(t, map[string]string{
+		"internal/core/sel/sel.go": `package sel
+
+import "dbo/internal/market"
+
+var pool market.TradePool
+
+func useAfterPut() {
+	t := pool.Get()
+	pool.Put(t)
+	t.Seq = 1
+}
+`,
+	})
+	run := func(rules ...string) []Diagnostic {
+		cfg := Default()
+		cfg.EnabledRules = rules
+		return mod.Run(cfg, []string{"./internal/core/sel"}, 1)
+	}
+
+	if diags := run("poolowner"); len(diags) != 1 || diags[0].Rule != "poolowner" {
+		t.Fatalf("with poolowner enabled: got %v, want one poolowner finding", diags)
+	}
+	for _, d := range run("lockorder") {
+		t.Errorf("with poolowner disabled, finding leaked through: %s", d.String())
+	}
+	if diags := run(); len(diags) != 1 {
+		t.Errorf("empty selector must mean all rules: got %v", diags)
+	}
+}
+
+// TestDisabledRuleIgnoreNotUnused pins the directive interaction: when
+// CI gates a rule subset, //dbo:vet-ignore annotations for the *other*
+// rules must not be reported as unused noise — but a genuinely stale
+// directive still is when its rule runs.
+func TestDisabledRuleIgnoreNotUnused(t *testing.T) {
+	t.Parallel()
+	mod := buildFixtureModule(t, map[string]string{
+		"internal/core/ig/ig.go": `package ig
+
+import "dbo/internal/market"
+
+var pool market.TradePool
+
+func cleanRoundTrip() {
+	t := pool.Get()
+	//dbo:vet-ignore poolowner stale by design: the round trip below is clean
+	pool.Put(t)
+}
+`,
+	})
+	run := func(rules ...string) []Diagnostic {
+		cfg := Default()
+		cfg.EnabledRules = rules
+		return mod.Run(cfg, []string{"./internal/core/ig"}, 1)
+	}
+
+	diags := run()
+	if len(diags) != 1 || diags[0].Rule != "unused-ignore" {
+		t.Errorf("with all rules: got %v, want exactly one unused-ignore", diags)
+	}
+	for _, d := range run("lockorder") {
+		t.Errorf("directive for a disabled rule reported: %s", d.String())
+	}
+}

@@ -1,0 +1,92 @@
+// Lockorder golden fixture: the module-wide acquisition graph must
+// catch the AB/BA deadlock shape — directly, and through a call that
+// acquires transitively. A cycle reports once per participating edge,
+// at the acquisition site that created it.
+package lo
+
+import "sync"
+
+var (
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+)
+
+func lockForward() {
+	mu1.Lock()
+	mu2.Lock() // want "\[lockorder\] mu2 .* is acquired while holding mu1 .* lock-order cycle"
+	mu2.Unlock()
+	mu1.Unlock()
+}
+
+func lockBackward() {
+	mu2.Lock()
+	mu1.Lock() // want "\[lockorder\] mu1 .* is acquired while holding mu2 .* lock-order cycle"
+	mu1.Unlock()
+	mu2.Unlock()
+}
+
+var (
+	mu3 sync.Mutex
+	mu4 sync.Mutex
+)
+
+// The interprocedural variant: grab4 acquires mu4 on behalf of its
+// caller, so transHold creates the mu3→mu4 edge at the call site.
+func transHold() {
+	mu3.Lock()
+	grab4() // want "\[lockorder\] mu4 .* is acquired while holding mu3 .*via call to grab4.* lock-order cycle"
+	mu3.Unlock()
+}
+
+func grab4() {
+	mu4.Lock()
+	mu4.Unlock()
+}
+
+func reverseHold() {
+	mu4.Lock()
+	mu3.Lock() // want "\[lockorder\] mu3 .* is acquired while holding mu4 .* lock-order cycle"
+	mu3.Unlock()
+	mu4.Unlock()
+}
+
+var (
+	mu5 sync.Mutex
+	mu6 sync.Mutex
+)
+
+// A consistent global order is clean: both paths take mu5 before mu6.
+func orderedA() {
+	mu5.Lock()
+	mu6.Lock()
+	mu6.Unlock()
+	mu5.Unlock()
+}
+
+func orderedB() {
+	mu5.Lock()
+	defer mu5.Unlock()
+	mu6.Lock()
+	defer mu6.Unlock()
+}
+
+var (
+	mu7 sync.Mutex
+	mu8 sync.Mutex
+)
+
+func suppressedForward() {
+	mu7.Lock()
+	//dbo:vet-ignore lockorder fixture proves a reasoned exception on one edge of a known cycle
+	mu8.Lock()
+	mu8.Unlock()
+	mu7.Unlock()
+}
+
+func suppressedBackward() {
+	mu8.Lock()
+	//dbo:vet-ignore lockorder fixture proves a reasoned exception on the counter edge of a known cycle
+	mu7.Lock()
+	mu7.Unlock()
+	mu8.Unlock()
+}

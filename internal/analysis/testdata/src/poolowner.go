@@ -1,0 +1,79 @@
+// Poolowner golden fixture: pooled-object ownership tracked by the
+// flow-sensitive dataflow engine. The pool API matched here is the
+// default config's dbo/internal/market.TradePool.
+package po
+
+import "dbo/internal/market"
+
+var pool market.TradePool
+
+var sink []*market.Trade
+
+func useAfterPut() {
+	t := pool.Get()
+	pool.Put(t)
+	t.Seq = 1 // want "\[poolowner\] t is used after being put back to the pool"
+}
+
+func doublePut() {
+	t := pool.Get()
+	pool.Put(t)
+	pool.Put(t) // want "\[poolowner\] t is put back to the pool twice"
+}
+
+func retainedReference() {
+	t := pool.Get()
+	sink = append(sink, t)
+	pool.Put(t) // want "\[poolowner\] t is put back to the pool but a reference escaped"
+}
+
+func maybePutOnBranch(cond bool) {
+	t := pool.Get()
+	if cond {
+		pool.Put(t)
+	}
+	t.Seq = 2 // want "\[poolowner\] t may be used after being put back"
+}
+
+func aliasedPut() {
+	t := pool.Get()
+	u := t
+	pool.Put(u)
+	t.Seq = 3 // want "\[poolowner\] t is used after being put back to the pool"
+}
+
+// cleanRoundTrip is the blessed shape: use, then release, then stop.
+func cleanRoundTrip() {
+	t := pool.Get()
+	t.Seq = 4
+	pool.Put(t)
+}
+
+// cleanDeferred releases at function exit; uses before then are fine.
+func cleanDeferred() {
+	t := pool.Get()
+	defer pool.Put(t)
+	t.Seq = 5
+}
+
+// cleanLoop re-acquires each iteration; the loop back-edge must not
+// smear last iteration's release into this iteration's use.
+func cleanLoop() {
+	for i := 0; i < 4; i++ {
+		t := pool.Get()
+		t.Seq = uint64(i)
+		pool.Put(t)
+	}
+}
+
+// cleanHandoff returns the owned object: ownership transfers to the
+// caller and tracking stops.
+func cleanHandoff() *market.Trade {
+	return pool.Get()
+}
+
+func suppressed() {
+	t := pool.Get()
+	pool.Put(t)
+	t.Seq = 6 //dbo:vet-ignore poolowner fixture proves the escape hatch silences a deliberate use-after-put
+}

@@ -269,14 +269,16 @@ func (m *Module) Run(cfg *Config, patterns []string, workers int) []Diagnostic {
 	// the selected packages.
 	mp := &ModulePass{Mod: m, Cfg: cfg, Selected: selectedRel, diags: &diags}
 	for _, a := range AllModule() {
-		a.Run(mp)
+		if cfg.ruleEnabled(a.Name) {
+			a.Run(mp)
+		}
 	}
 
 	var dirs []*directive
 	for _, p := range selected {
 		dirs = append(dirs, collectDirectives(p)...)
 	}
-	diags = applyDirectives(dirs, diags)
+	diags = applyDirectives(cfg, dirs, diags)
 	SortDiagnostics(diags)
 	return diags
 }
@@ -301,7 +303,9 @@ func (m *Module) runPackage(pkg *Package, cfg *Config) []Diagnostic {
 		pass.Typed = m.files
 	}
 	for _, a := range All() {
-		a.Run(pass)
+		if cfg.ruleEnabled(a.Name) {
+			a.Run(pass)
+		}
 	}
 	return diags
 }

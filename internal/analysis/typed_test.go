@@ -26,6 +26,40 @@ type DeliveryClock struct {
 	Point   PointID
 	Elapsed Time
 }
+
+type Trade struct {
+	MP  ParticipantID
+	Seq uint64
+	DC  DeliveryClock
+}
+
+// TradePool mirrors the real pool's Get/Put API so the default
+// PoolAPIs config matches "dbo/internal/market.TradePool" inside the
+// fixture module too. The free list is a fixed-size array: the default
+// allocfree roots also resolve here, and the pool body itself must not
+// trip them.
+type TradePool struct {
+	free [8]*Trade
+	n    int
+}
+
+func (p *TradePool) Get() *Trade {
+	if p.n == 0 {
+		return nil
+	}
+	p.n--
+	t := p.free[p.n]
+	p.free[p.n] = nil
+	return t
+}
+
+func (p *TradePool) Put(t *Trade) {
+	if t == nil || p.n == len(p.free) {
+		return
+	}
+	p.free[p.n] = t
+	p.n++
+}
 `
 
 // typedFixtures maps each type-aware golden fixture to the module path
@@ -41,6 +75,9 @@ var typedFixtures = []struct {
 	{"sendliveness.go", "internal/exchange/sl"},
 	{"lockheld_interproc.go", "internal/node/lh"},
 	{"clockcmp_typed.go", "internal/exchange/cc"},
+	{"poolowner.go", "internal/core/po"},
+	{"allocfree.go", "internal/wire"},
+	{"lockorder.go", "internal/node/lo"},
 }
 
 // buildFixtureModule assembles a compiled temp module ("module dbo")
@@ -253,6 +290,24 @@ import "dbo/internal/market"
 
 func f(a, b market.DeliveryClock) bool { return a.Elapsed < b.Elapsed }
 `},
+		"poolowner": {"internal/core/pox", `package pox
+
+import "dbo/internal/market"
+
+var pool market.TradePool
+
+func f() {
+	t := pool.Get()
+	pool.Put(t)
+	t.Seq = 1
+}
+`},
+		"allocfree": {"internal/wire", `package wire
+
+func DecodeInto(dst, buf []byte) []byte {
+	return make([]byte, len(buf))
+}
+`},
 	}
 	for rule, tc := range cases {
 		rule, tc := rule, tc
@@ -274,6 +329,48 @@ func f(a, b market.DeliveryClock) bool { return a.Elapsed < b.Elapsed }
 				t.Fatalf("directive did not suppress the %s finding: %v", rule, render(diags))
 			}
 		})
+	}
+}
+
+// TestLockOrderHitAndSuppression is lockorder's counterpart to the
+// exactly-one matrix above: a minimal AB/BA cycle inherently yields one
+// finding per edge (two), and suppressing both sites with reasoned
+// directives silences the rule.
+func TestLockOrderHitAndSuppression(t *testing.T) {
+	t.Parallel()
+	src := `package lox
+
+import "sync"
+
+var a, b sync.Mutex
+
+func ab() {
+	a.Lock()
+	b.Lock()%s
+	b.Unlock()
+	a.Unlock()
+}
+
+func ba() {
+	b.Lock()
+	a.Lock()%s
+	a.Unlock()
+	b.Unlock()
+}
+`
+	file := "internal/node/lox/fix.go"
+	mod := buildFixtureModule(t, map[string]string{file: fmt.Sprintf(src, "", "")})
+	diags := mod.Run(Default(), []string{"./..."}, 1)
+	if len(diags) != 2 || diags[0].Rule != "lockorder" || diags[1].Rule != "lockorder" {
+		t.Fatalf("want exactly two lockorder findings (one per edge), got %v", render(diags))
+	}
+
+	patched := fmt.Sprintf(src,
+		" //dbo:vet-ignore lockorder test suppresses the forward edge",
+		" //dbo:vet-ignore lockorder test suppresses the reverse edge")
+	mod = buildFixtureModule(t, map[string]string{file: patched})
+	if diags := mod.Run(Default(), []string{"./..."}, 1); len(diags) != 0 {
+		t.Fatalf("directives did not suppress the cycle: %v", render(diags))
 	}
 }
 
@@ -348,6 +445,25 @@ func TestVetModuleClean(t *testing.T) {
 		if mod.TypedPackage(rel) == nil {
 			t.Errorf("%s fell back to syntactic mode: %s", rel, mod.FallbackReason(rel))
 		}
+	}
+
+	// The dataflow-backed rules get their own wall-clock guard: the CFG
+	// construction + fixed-point solve over every function in the module
+	// must stay a small fraction of the overall budget, or dbo-vet stops
+	// being usable as a pre-commit hook.
+	cfg := Default()
+	cfg.EnabledRules = []string{"poolowner", "allocfree", "lockorder"}
+	start = time.Now()
+	if diags := mod.Run(cfg, []string{"./..."}, 4); len(diags) != 0 {
+		t.Errorf("dataflow rules not clean on the swept tree: %v", diags)
+	}
+	dfElapsed := time.Since(start)
+	dfBudget := 30 * time.Second
+	if raceEnabled {
+		dfBudget = 90 * time.Second
+	}
+	if dfElapsed > dfBudget {
+		t.Errorf("dataflow pass took %v, over the %v budget", dfElapsed, dfBudget)
 	}
 }
 

@@ -117,6 +117,7 @@ func NewAdaptiveThreshold(cfg AdaptiveConfig, cap sim.Time) *AdaptiveThreshold {
 func (a *AdaptiveThreshold) Observe(mp market.ParticipantID, rtt, _ sim.Time) {
 	e := a.mps[mp]
 	if e == nil {
+		//dbo:vet-ignore allocfree first sighting of a participant only — bounded by the member count, never in steady state
 		e = &mpEstimate{id: mp, win: stats.NewWindow(a.cfg.Window), ew: stats.NewEWMA(a.cfg.Alpha)}
 		a.mps[mp] = e
 		a.order = append(a.order, e)

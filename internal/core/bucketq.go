@@ -151,6 +151,7 @@ func (q *bucketQueue) newBucket(p market.PointID) *pointBucket {
 		b.point = p
 		return b
 	}
+	//dbo:vet-ignore allocfree free-list miss only — steady state recycles buckets, TestPipelineZeroAlloc pins it
 	return &pointBucket{point: p}
 }
 

@@ -191,6 +191,7 @@ func (rb *ReleaseBuffer) OnData(dp market.DataPoint) {
 		for id := rb.expectNext; id < dp.ID; id++ {
 			rb.missing[id] = true
 		}
+		//dbo:vet-ignore allocfree loss-recovery path — boxing a retransmit request only happens on a sequence gap
 		rb.cfg.Send(RetxRequest{MP: rb.cfg.MP, From: rb.expectNext, To: dp.ID - 1})
 	}
 	rb.expectNext = dp.ID + 1
@@ -275,6 +276,7 @@ func (rb *ReleaseBuffer) newBatch(id market.BatchID) *market.Batch {
 		b.ID = id
 		return b
 	}
+	//dbo:vet-ignore allocfree free-list miss only — RecycleBatches keeps the steady state allocation-free
 	return &market.Batch{ID: id}
 }
 

@@ -39,11 +39,15 @@ type ShardConfig struct {
 	Members []market.ParticipantID // RBs assigned to this shard
 	Sched   Scheduler
 
-	// Emit sends towards the master OB: *market.Trade (pass-through) or
-	// market.Heartbeat{MP: ID} carrying the shard minimum. Minimum
-	// heartbeats name the member that moved the minimum in Origin so
-	// the master can attribute holds to a real participant.
-	Emit func(v any)
+	// EmitTrade / EmitHeartbeat send towards the master OB: member
+	// trades pass through unchanged; market.Heartbeat{MP: ID} carries
+	// the shard minimum, naming the member that moved it in Origin so
+	// the master can attribute holds to a real participant. Two typed
+	// callbacks (rather than one func(any)) keep the per-tick heartbeat
+	// emit free of interface boxing — (ShardedOB).Tick is on the
+	// zero-alloc hot path and dbo-vet's allocfree rule watches it.
+	EmitTrade     func(t *market.Trade)
+	EmitHeartbeat func(h market.Heartbeat)
 
 	// StragglerRTT / GenTime / OnStraggler act exactly as in
 	// OrderingBufferConfig but scoped to this shard's members.
@@ -67,8 +71,8 @@ func NewOBShard(cfg ShardConfig) *OBShard {
 	if len(cfg.Members) == 0 {
 		panic("core: shard needs members")
 	}
-	if cfg.Emit == nil || cfg.Sched == nil {
-		panic("core: shard needs Emit and Sched")
+	if cfg.EmitTrade == nil || cfg.EmitHeartbeat == nil || cfg.Sched == nil {
+		panic("core: shard needs EmitTrade, EmitHeartbeat and Sched")
 	}
 	if cfg.StragglerRTT > 0 && cfg.GenTime == nil {
 		panic("core: straggler mitigation needs GenTime")
@@ -95,7 +99,7 @@ func (s *OBShard) OnTrade(t *market.Trade) {
 	if st, ok := s.state[t.MP]; ok && st.wm.Less(t.DC) {
 		st.wm = t.DC
 	}
-	s.cfg.Emit(t)
+	s.cfg.EmitTrade(t)
 	s.maybeEmitMin(t.MP)
 }
 
@@ -216,7 +220,7 @@ func (s *OBShard) maybeEmitMin(origin market.ParticipantID) {
 	s.last = min
 	s.sent = true
 	s.HeartbeatsOut++
-	s.cfg.Emit(market.Heartbeat{MP: s.cfg.ID, DC: min, Sent: s.cfg.Sched.Now(), Origin: origin})
+	s.cfg.EmitHeartbeat(market.Heartbeat{MP: s.cfg.ID, DC: min, Sent: s.cfg.Sched.Now(), Origin: origin})
 }
 
 // ShardedOB composes N shards with a master OrderingBuffer in-process
@@ -279,22 +283,16 @@ func NewShardedOB(cfg ShardedOBConfig) *ShardedOB {
 	s := &ShardedOB{Master: master, route: make(map[market.ParticipantID]*OBShard, len(cfg.Participants))}
 	for i := 0; i < cfg.NumShards; i++ {
 		shard := NewOBShard(ShardConfig{
-			ID:      shardIDs[i],
-			Members: members[i],
-			Sched:   cfg.Sched,
-			Emit: func(v any) {
-				switch m := v.(type) {
-				case *market.Trade:
-					master.OnTrade(m)
-				case market.Heartbeat:
-					master.OnHeartbeat(m)
-				}
-			},
-			StragglerRTT: cfg.StragglerRTT,
-			GenTime:      cfg.GenTime,
-			OnStraggler:  cfg.OnStraggler,
-			Threshold:    cfg.Threshold,
-			Flight:       cfg.Flight,
+			ID:            shardIDs[i],
+			Members:       members[i],
+			Sched:         cfg.Sched,
+			EmitTrade:     master.OnTrade,
+			EmitHeartbeat: master.OnHeartbeat,
+			StragglerRTT:  cfg.StragglerRTT,
+			GenTime:       cfg.GenTime,
+			OnStraggler:   cfg.OnStraggler,
+			Threshold:     cfg.Threshold,
+			Flight:        cfg.Flight,
 		})
 		s.Shards = append(s.Shards, shard)
 		for _, m := range members[i] {

@@ -32,9 +32,11 @@ func TestShardsBehindNetworkLinks(t *testing.T) {
 	}
 	shards := []*OBShard{
 		NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1, 2}, Sched: k,
-			Emit: func(v any) { links[0].Send(v) }}),
+			EmitTrade:     func(t *market.Trade) { links[0].Send(t) },
+			EmitHeartbeat: func(h market.Heartbeat) { links[0].Send(h) }}),
 		NewOBShard(ShardConfig{ID: -2, Members: []market.ParticipantID{3, 4}, Sched: k,
-			Emit: func(v any) { links[1].Send(v) }}),
+			EmitTrade:     func(t *market.Trade) { links[1].Send(t) },
+			EmitHeartbeat: func(h market.Heartbeat) { links[1].Send(h) }}),
 	}
 	shardOf := map[market.ParticipantID]*OBShard{1: shards[0], 2: shards[0], 3: shards[1], 4: shards[1]}
 

@@ -14,10 +14,11 @@ func TestShardFiltersHeartbeats(t *testing.T) {
 	k := sim.NewKernel(1)
 	var emitted []any
 	s := NewOBShard(ShardConfig{
-		ID:      -1,
-		Members: []market.ParticipantID{1, 2},
-		Sched:   k,
-		Emit:    func(v any) { emitted = append(emitted, v) },
+		ID:            -1,
+		Members:       []market.ParticipantID{1, 2},
+		Sched:         k,
+		EmitTrade:     func(t *market.Trade) { emitted = append(emitted, t) },
+		EmitHeartbeat: func(h market.Heartbeat) { emitted = append(emitted, h) },
 	})
 	// First heartbeat establishes a minimum (still ⟨0,0⟩ because MP 2
 	// has not reported).
@@ -50,7 +51,8 @@ func TestShardMinExcludesStragglers(t *testing.T) {
 	gen := func(market.PointID) sim.Time { return 0 }
 	s := NewOBShard(ShardConfig{
 		ID: -1, Members: []market.ParticipantID{1, 2}, Sched: k,
-		Emit: func(any) {}, StragglerRTT: 100 * sim.Microsecond, GenTime: gen,
+		EmitTrade: func(*market.Trade) {}, EmitHeartbeat: func(market.Heartbeat) {},
+		StragglerRTT: 100 * sim.Microsecond, GenTime: gen,
 	})
 	k.At(10*sim.Microsecond, func() { s.OnHeartbeat(hb(1, dc(2, 5*sim.Microsecond))) })
 	// At 105µs MP 2 (silent since 0) is past the threshold but MP 1
@@ -70,7 +72,8 @@ func TestShardAllStragglersMinIsMax(t *testing.T) {
 	gen := func(market.PointID) sim.Time { return 0 }
 	s := NewOBShard(ShardConfig{
 		ID: -1, Members: []market.ParticipantID{1}, Sched: k,
-		Emit: func(any) {}, StragglerRTT: 10, GenTime: gen,
+		EmitTrade: func(*market.Trade) {}, EmitHeartbeat: func(market.Heartbeat) {},
+		StragglerRTT: 10, GenTime: gen,
 	})
 	k.At(100, func() {
 		s.Tick()
@@ -84,17 +87,18 @@ func TestShardAllStragglersMinIsMax(t *testing.T) {
 func TestShardPanics(t *testing.T) {
 	t.Parallel()
 	k := sim.NewKernel(1)
-	emit := func(any) {}
+	emitT := func(*market.Trade) {}
+	emitH := func(market.Heartbeat) {}
 	for name, fn := range map[string]func(){
-		"no members": func() { NewOBShard(ShardConfig{ID: -1, Sched: k, Emit: emit}) },
+		"no members": func() { NewOBShard(ShardConfig{ID: -1, Sched: k, EmitTrade: emitT, EmitHeartbeat: emitH}) },
 		"nil emit": func() {
 			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1}, Sched: k})
 		},
 		"dup member": func() {
-			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1, 1}, Sched: k, Emit: emit})
+			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1, 1}, Sched: k, EmitTrade: emitT, EmitHeartbeat: emitH})
 		},
 		"straggler no gentime": func() {
-			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1}, Sched: k, Emit: emit, StragglerRTT: 1})
+			NewOBShard(ShardConfig{ID: -1, Members: []market.ParticipantID{1}, Sched: k, EmitTrade: emitT, EmitHeartbeat: emitH, StragglerRTT: 1})
 		},
 	} {
 		func() {
@@ -210,5 +214,38 @@ func TestShardedOBReducesMasterHeartbeatLoad(t *testing.T) {
 	}
 	if in == 0 || out >= in {
 		t.Fatalf("heartbeats in=%d out=%d; sharding must filter", in, out)
+	}
+}
+
+// TestShardEmitZeroAlloc pins the fix for the heartbeat-boxing
+// allocation dbo-vet's allocfree rule found on the (ShardedOB).Tick hot
+// path: ShardConfig carries typed EmitTrade/EmitHeartbeat callbacks
+// precisely so that re-emitting the shard minimum does not box a
+// market.Heartbeat into an interface on every advance.
+func TestShardEmitZeroAlloc(t *testing.T) {
+	k := sim.NewKernel(1)
+	var got int
+	s := NewOBShard(ShardConfig{
+		ID:            -1,
+		Members:       []market.ParticipantID{1, 2},
+		Sched:         k,
+		EmitTrade:     func(*market.Trade) {},
+		EmitHeartbeat: func(market.Heartbeat) { got++ },
+	})
+	seq := market.PointID(0)
+	step := func() {
+		seq++
+		s.OnHeartbeat(hb(1, dc(seq, 0)))
+		s.OnHeartbeat(hb(2, dc(seq, 0))) // min(1,2) advances → emit
+		s.Tick()
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm: establish state entries
+	}
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Fatalf("shard heartbeat/tick path allocates %.1f per step, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("no heartbeats emitted; the test exercised nothing")
 	}
 }
