@@ -36,9 +36,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"dbo/internal/analysis"
 )
@@ -47,19 +51,66 @@ func main() {
 	os.Exit(run())
 }
 
+// options carries every flag, so validation is unit-testable apart from
+// flag.Parse and os.Exit.
+type options struct {
+	describe bool
+	ignores  bool
+	cache    bool
+	rules    string
+	baseline string
+	format   string
+	mode     string
+	depth    int
+	workers  int
+}
+
+// validateFlags rejects flag combinations the analyzers would silently
+// misbehave under. Returns "" when the options are usable.
+func validateFlags(o options) string {
+	if o.workers <= 0 {
+		return fmt.Sprintf("-workers must be positive (got %d)", o.workers)
+	}
+	if o.depth < 0 {
+		return fmt.Sprintf("-depth must be >= 0 (got %d)", o.depth)
+	}
+	if o.mode != "typed" && o.mode != "syntactic" {
+		return fmt.Sprintf("unknown -mode %q (want typed or syntactic)", o.mode)
+	}
+	if o.format != "text" && o.format != "json" && o.format != "sarif" {
+		return fmt.Sprintf("unknown -format %q (want text, json, or sarif)", o.format)
+	}
+	if o.cache && o.mode != "typed" {
+		return "-cache requires -mode=typed (the cache keys type-aware runs)"
+	}
+	return ""
+}
+
 func run() int {
-	describe := flag.Bool("describe", false, "describe the analyzer rules and exit")
-	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all rules)")
-	baseline := flag.String("baseline", "", "JSON baseline file of findings to suppress (see -format=json)")
-	format := flag.String("format", "text", "output format: text, json, or sarif")
-	mode := flag.String("mode", "typed", "analysis mode: typed (type-aware + call graph) or syntactic")
-	depth := flag.Int("depth", 0, "lockheld call-graph depth bound (0 = default)")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel package analyses")
+	var o options
+	flag.BoolVar(&o.describe, "describe", false, "describe the analyzer rules and exit")
+	flag.BoolVar(&o.ignores, "ignores", false, "list every //dbo:vet-ignore directive with rule, reason and age, then exit")
+	flag.BoolVar(&o.cache, "cache", false, "incremental mode: reuse .dbovet-cache/ results keyed by content hashes")
+	flag.StringVar(&o.rules, "rules", "", "comma-separated rule subset to run (default: all rules)")
+	flag.StringVar(&o.baseline, "baseline", "", "JSON baseline file of findings to suppress (see -format=json)")
+	flag.StringVar(&o.format, "format", "text", "output format: text, json, or sarif")
+	flag.StringVar(&o.mode, "mode", "typed", "analysis mode: typed (type-aware + call graph) or syntactic")
+	flag.IntVar(&o.depth, "depth", 0, "lockheld call-graph depth bound (0 = default)")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel package analyses")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dbo-vet [-describe] [-rules=a,b] [-baseline=file] [-format=text|json|sarif] [-mode=typed|syntactic] [-depth=N] [packages]\n\npackages default to ./... (the whole module)\n")
+		fmt.Fprintf(os.Stderr, "usage: dbo-vet [-describe] [-ignores] [-cache] [-rules=a,b] [-baseline=file] [-format=text|json|sarif] [-mode=typed|syntactic] [-depth=N] [packages]\n\npackages default to ./... (the whole module)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if msg := validateFlags(o); msg != "" {
+		fmt.Fprintln(os.Stderr, "dbo-vet:", msg)
+		flag.Usage()
+		return 2
+	}
+
+	describe, rules, baseline := &o.describe, &o.rules, &o.baseline
+	format, mode, depth, workers := &o.format, &o.mode, &o.depth, &o.workers
 
 	if *describe {
 		for _, a := range analysis.All() {
@@ -99,15 +150,42 @@ func run() int {
 		return 2
 	}
 
+	if o.ignores {
+		return listIgnores(root, flag.Args())
+	}
+
 	var diags []analysis.Diagnostic
 	switch *mode {
 	case "typed":
+		var cacheKey string
+		var pkgDigests map[string]string
+		if o.cache {
+			cacheKey, pkgDigests, err = analysis.CacheKey(root, *mode, flag.Args(), cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dbo-vet:", err)
+				return 2
+			}
+			if e := analysis.LoadCacheEntry(root, cacheKey); e != nil {
+				diags = e.FinalDiagnostics(root)
+				break
+			}
+		}
 		mod, err := analysis.LoadModuleTyped(root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dbo-vet:", err)
 			return 2
 		}
-		diags = mod.Run(cfg, flag.Args(), *workers)
+		if o.cache {
+			var entry *analysis.CacheEntry
+			diags, entry = mod.RunCached(cfg, flag.Args(), *workers, pkgDigests, analysis.LatestCacheEntry(root))
+			entry.Key = cacheKey
+			if err := analysis.StoreCacheEntry(root, entry); err != nil {
+				// A write failure only costs the next run its warm start.
+				fmt.Fprintln(os.Stderr, "dbo-vet: cache write failed:", err)
+			}
+		} else {
+			diags = mod.Run(cfg, flag.Args(), *workers)
+		}
 	case "syntactic":
 		pkgs, err := analysis.LoadModule(root, flag.Args())
 		if err != nil {
@@ -118,9 +196,6 @@ func run() int {
 			diags = append(diags, analysis.RunPackage(pkg, cfg)...)
 		}
 		analysis.SortDiagnostics(diags)
-	default:
-		fmt.Fprintf(os.Stderr, "dbo-vet: unknown -mode %q (want typed or syntactic)\n", *mode)
-		return 2
 	}
 
 	if *baseline != "" {
@@ -162,4 +237,66 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// listIgnores is the -ignores audit mode: every //dbo:vet-ignore in the
+// selected packages with its rule, age (from git blame, "?" when
+// unavailable) and reason. Exit 0 regardless — the mode is an
+// inventory, not a gate.
+func listIgnores(root string, patterns []string) int {
+	pkgs, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbo-vet:", err)
+		return 2
+	}
+	entries := analysis.ListIgnores(pkgs)
+	if len(entries) == 0 {
+		fmt.Println("no //dbo:vet-ignore directives")
+		return 0
+	}
+	base, _ := os.Getwd()
+	for _, e := range entries {
+		file := e.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		rule := e.Rule
+		if e.Bad != "" {
+			rule = "MALFORMED"
+		}
+		reason := e.Reason
+		if e.Bad != "" {
+			reason = e.Bad
+		}
+		fmt.Printf("%s:%d: %-12s %-10s %s\n", file, e.Pos.Line, rule, ignoreAge(root, e.Pos.Filename, e.Pos.Line), reason)
+	}
+	fmt.Fprintf(os.Stderr, "dbo-vet: %d ignore directive(s)\n", len(entries))
+	return 0
+}
+
+// ignoreAge asks git when the directive's line last changed ("2025-11-03"),
+// returning "?" outside a repo or when git is missing.
+func ignoreAge(root, file string, line int) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return "?"
+	}
+	cmd := exec.Command("git", "blame", "-L", fmt.Sprintf("%d,%d", line, line), "--porcelain", "--", rel)
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return "?"
+	}
+	for _, l := range strings.Split(string(out), "\n") {
+		if ts, ok := strings.CutPrefix(l, "committer-time "); ok {
+			sec, err := strconv.ParseInt(strings.TrimSpace(ts), 10, 64)
+			if err != nil {
+				return "?"
+			}
+			return time.Unix(sec, 0).UTC().Format("2006-01-02")
+		}
+	}
+	return "?"
 }

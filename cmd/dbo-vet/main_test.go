@@ -1,0 +1,55 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// defaults mirrors the flag defaults run() registers.
+func defaults() options {
+	return options{format: "text", mode: "typed", workers: runtime.NumCPU()}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string // substring of the error, "" for valid
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"syntactic", func(o *options) { o.mode = "syntactic" }, ""},
+		{"cache-typed", func(o *options) { o.cache = true }, ""},
+		{"zero-workers", func(o *options) { o.workers = 0 }, "-workers must be positive"},
+		{"negative-workers", func(o *options) { o.workers = -4 }, "-workers must be positive"},
+		{"negative-depth", func(o *options) { o.depth = -1 }, "-depth must be >= 0"},
+		{"bad-mode", func(o *options) { o.mode = "turbo" }, `unknown -mode "turbo"`},
+		{"bad-format", func(o *options) { o.format = "xml" }, `unknown -format "xml"`},
+		{"cache-syntactic", func(o *options) { o.mode = "syntactic"; o.cache = true }, "-cache requires -mode=typed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaults()
+			tc.mut(&o)
+			got := validateFlags(o)
+			if tc.want == "" {
+				if got != "" {
+					t.Fatalf("validateFlags(%+v) = %q, want no error", o, got)
+				}
+				return
+			}
+			if !strings.Contains(got, tc.want) {
+				t.Fatalf("validateFlags(%+v) = %q, want it to mention %q", o, got, tc.want)
+			}
+		})
+	}
+}
+
+// The first failing check must win: a fully broken options struct still
+// produces the workers message, so scripts see a stable diagnostic.
+func TestValidateFlagsOrder(t *testing.T) {
+	o := options{workers: 0, depth: -1, mode: "nope", format: "nope"}
+	if got := validateFlags(o); !strings.Contains(got, "-workers") {
+		t.Fatalf("validateFlags = %q, want the workers error first", got)
+	}
+}

@@ -160,7 +160,7 @@ func All() []*Analyzer {
 
 // AllModule returns every module-level analyzer.
 func AllModule() []*ModuleAnalyzer {
-	return []*ModuleAnalyzer{AtomicMix, AllocFree, LockOrder}
+	return []*ModuleAnalyzer{AtomicMix, AllocFree, LockOrder, ChanLeak, CloseLiveness, DetSource}
 }
 
 // RuleNames returns the set of valid rule names (used to validate

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Incremental engine: content-hash-keyed caching of full vet runs under
+// <module>/.dbovet-cache/, two levels deep.
+//
+//   - Level 1 (full hit): the cache key digests every .go file in the
+//     module plus everything that shapes the analysis — schema version,
+//     Go version, mode, the Config, enabled rules, and the package
+//     patterns. An exact key match replays the stored post-filter
+//     findings without parsing or type-checking anything: the warm path
+//     costs one directory walk and a JSON read.
+//
+//   - Level 2 (partial reuse): on a key miss the module is loaded as
+//     usual, but each selected package whose own content digest AND
+//     module-internal import-closure digest match the most recent cache
+//     entry reuses its stored per-package (pre-filter) diagnostics
+//     instead of re-running the per-package analyzers. The closure
+//     digest is what makes this sound for the type-aware rules:
+//     lockheld and friends only see other packages through the import
+//     graph, so an unchanged closure pins their inputs. Module-level
+//     analyzers always re-run — their input is the whole module by
+//     definition — and ignore directives are re-collected fresh so a
+//     directive edit invalidates filtering without invalidating
+//     analysis.
+//
+// Entries are pruned to the newest few so the cache directory stays
+// bounded; corrupt or alien files are ignored, never trusted.
+
+const (
+	cacheSchema  = 1
+	cacheDirName = ".dbovet-cache"
+	cacheKeep    = 16 // newest entries kept by the pruner
+)
+
+// CacheEntry is one stored run.
+type CacheEntry struct {
+	Schema   int                       `json:"schema"`
+	Key      string                    `json:"key"`
+	Final    []Diagnostic              `json:"final"` // post-filter, module-relative filenames
+	Packages map[string]*CachedPackage `json:"packages"`
+}
+
+// CachedPackage holds one package's reusable analysis products.
+type CachedPackage struct {
+	Digest  string       `json:"digest"`  // content digest of the package's files
+	Closure string       `json:"closure"` // digest of its module-internal import closure
+	Diags   []Diagnostic `json:"diags"`   // pre-filter per-package findings, relative filenames
+}
+
+// CacheKey digests the whole module (every package directory, whether
+// selected or not — module-level rules see everything) together with
+// the analysis configuration. It never parses: the cold cost of a warm
+// run is file I/O only. The returned map carries each package's content
+// digest for level-2 reuse.
+func CacheKey(root, mode string, patterns []string, cfg *Config) (string, map[string]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\ngo=%s\nmode=%s\n", cacheSchema, runtime.Version(), mode)
+	fmt.Fprintf(h, "config=%#v\n", *cfg)
+	sorted := append([]string(nil), patterns...)
+	sort.Strings(sorted)
+	fmt.Fprintf(h, "patterns=%s\n", strings.Join(sorted, ","))
+
+	digests, err := packageDigests(root)
+	if err != nil {
+		return "", nil, err
+	}
+	rels := make([]string, 0, len(digests))
+	for rel := range digests {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		fmt.Fprintf(h, "pkg %s %s\n", rel, digests[rel])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], digests, nil
+}
+
+// packageDigests walks the module exactly like loadModule (same skip
+// rules: testdata, vendor, dot/underscore dirs and files) and digests
+// each package directory's .go file contents.
+func packageDigests(root string) (map[string]string, error) {
+	digests := make(map[string]string)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		ph := sha256.New()
+		n := 0
+		for _, e := range entries { // ReadDir sorts by name
+			fn := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fn, ".go") ||
+				strings.HasPrefix(fn, ".") || strings.HasPrefix(fn, "_") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(path, fn))
+			if err != nil {
+				return err
+			}
+			sum := sha256.Sum256(src)
+			fmt.Fprintf(ph, "%s %s\n", fn, hex.EncodeToString(sum[:]))
+			n++
+		}
+		if n == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		digests[filepath.ToSlash(rel)] = hex.EncodeToString(ph.Sum(nil))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return digests, nil
+}
+
+func cacheDir(root string) string { return filepath.Join(root, cacheDirName) }
+
+// LoadCacheEntry returns the stored entry for key, or nil when absent,
+// corrupt, or from another schema — a cache read must never fail a run.
+func LoadCacheEntry(root, key string) *CacheEntry {
+	data, err := os.ReadFile(filepath.Join(cacheDir(root), key+".json"))
+	if err != nil {
+		return nil
+	}
+	var e CacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Key != key {
+		return nil
+	}
+	return &e
+}
+
+// LatestCacheEntry returns the most recently written entry (any key),
+// for level-2 partial reuse after a key miss. nil when the cache is
+// empty or unreadable.
+func LatestCacheEntry(root string) *CacheEntry {
+	entries, err := os.ReadDir(cacheDir(root))
+	if err != nil {
+		return nil
+	}
+	var newest string
+	var newestMod int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if mt := info.ModTime().UnixNano(); newest == "" || mt > newestMod {
+			newest, newestMod = e.Name(), mt
+		}
+	}
+	if newest == "" {
+		return nil
+	}
+	return LoadCacheEntry(root, strings.TrimSuffix(newest, ".json"))
+}
+
+// StoreCacheEntry writes the entry atomically and prunes old entries.
+func StoreCacheEntry(root string, e *CacheEntry) error {
+	dir := cacheDir(root)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	e.Schema = cacheSchema
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, e.Key+".json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, e.Key+".json")); err != nil {
+		return err
+	}
+	pruneCache(dir)
+	return nil
+}
+
+// pruneCache keeps the cacheKeep newest entries.
+func pruneCache(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var files []aged
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{e.Name(), info.ModTime().UnixNano()})
+	}
+	if len(files) <= cacheKeep {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod > files[j].mod })
+	for _, f := range files[cacheKeep:] {
+		os.Remove(filepath.Join(dir, f.name))
+	}
+}
+
+// FinalDiagnostics rehydrates the stored post-filter findings with
+// root-absolute filenames (the in-memory convention).
+func (e *CacheEntry) FinalDiagnostics(root string) []Diagnostic {
+	return rehydrateDiags(e.Final, root)
+}
+
+func relativizeDiags(diags []Diagnostic, root string) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func rehydrateDiags(diags []Diagnostic, root string) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if !filepath.IsAbs(d.Pos.Filename) && d.Pos.Filename != "" {
+			d.Pos.Filename = filepath.Join(root, filepath.FromSlash(d.Pos.Filename))
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// closureDigests combines each package's content digest with those of
+// its module-internal import closure (self included): the level-2 reuse
+// key. Import lists come from the parsed ASTs — test files included,
+// which only widens invalidation, never narrows it.
+func (m *Module) closureDigests(pkgDigests map[string]string) map[string]string {
+	imports := make(map[string][]string, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		seen := map[string]bool{}
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				if im.Path == nil {
+					continue
+				}
+				path := strings.Trim(im.Path.Value, `"`)
+				var dep string
+				switch {
+				case path == m.Path:
+					dep = "."
+				default:
+					rel, ok := strings.CutPrefix(path, m.Path+"/")
+					if !ok {
+						continue
+					}
+					dep = rel
+				}
+				if !seen[dep] {
+					seen[dep] = true
+					imports[p.Path] = append(imports[p.Path], dep)
+				}
+			}
+		}
+	}
+	out := make(map[string]string, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		closure := map[string]bool{p.Path: true}
+		queue := []string{p.Path}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, dep := range imports[cur] {
+				if !closure[dep] {
+					closure[dep] = true
+					queue = append(queue, dep)
+				}
+			}
+		}
+		members := make([]string, 0, len(closure))
+		for rel := range closure {
+			members = append(members, rel)
+		}
+		sort.Strings(members)
+		h := sha256.New()
+		for _, rel := range members {
+			fmt.Fprintf(h, "%s %s\n", rel, pkgDigests[rel])
+		}
+		out[p.Path] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
+}
+
+// RunCached is Run with level-2 reuse: selected packages whose content
+// and import-closure digests match prev replay their stored pre-filter
+// diagnostics; everything else runs live. The returned entry holds this
+// run's products, ready to store under the caller's key.
+func (m *Module) RunCached(cfg *Config, patterns []string, workers int, pkgDigests map[string]string, prev *CacheEntry) ([]Diagnostic, *CacheEntry) {
+	if cfg == nil {
+		cfg = Default()
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	closures := m.closureDigests(pkgDigests)
+
+	var selected []*Package
+	selectedRel := make(map[string]bool)
+	for _, p := range m.Pkgs {
+		if matchesAny(p.Path, patterns) {
+			selected = append(selected, p)
+			selectedRel[p.Path] = true
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(selected))
+	reused := make([]bool, len(selected))
+	if prev != nil && prev.Schema == cacheSchema {
+		for i, p := range selected {
+			pp := prev.Packages[p.Path]
+			if pp != nil && pp.Digest != "" && pp.Digest == pkgDigests[p.Path] && pp.Closure == closures[p.Path] {
+				perPkg[i] = rehydrateDiags(pp.Diags, m.Root)
+				reused[i] = true
+			}
+		}
+	}
+	m.runPackagesParallel(cfg, selected, perPkg, reused, workers)
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	diags = append(diags, m.runModuleAnalyzers(cfg, selectedRel)...)
+
+	var dirs []*directive
+	for _, p := range selected {
+		dirs = append(dirs, collectDirectives(p)...)
+	}
+	diags = applyDirectives(cfg, dirs, diags)
+	SortDiagnostics(diags)
+
+	entry := &CacheEntry{Schema: cacheSchema, Packages: make(map[string]*CachedPackage, len(selected))}
+	entry.Final = relativizeDiags(diags, m.Root)
+	for i, p := range selected {
+		entry.Packages[p.Path] = &CachedPackage{
+			Digest:  pkgDigests[p.Path],
+			Closure: closures[p.Path],
+			Diags:   relativizeDiags(perPkg[i], m.Root),
+		}
+	}
+	return diags, entry
+}

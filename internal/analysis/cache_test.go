@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// cacheTestTree is a small on-disk module with one known finding (a
+// wall-clock call on the deterministic surface) and one clean package
+// that imports nothing module-internal.
+func cacheTestTree() map[string]string {
+	return map[string]string{
+		"go.mod": "module dbo\n\ngo 1.23\n",
+		"internal/sim/w/w.go": `package w
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/core/ok/ok.go": `package ok
+
+func Add(a, b int) int { return a + b }
+`,
+	}
+}
+
+// runCachedOnce mirrors the driver's -cache path: key the tree, try a
+// full-key hit, otherwise load + RunCached + store.
+func runCachedOnce(t *testing.T, root string, cfg *Config) ([]Diagnostic, bool, time.Duration) {
+	t.Helper()
+	start := time.Now()
+	key, digests, err := CacheKey(root, "typed", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := LoadCacheEntry(root, key); e != nil {
+		return e.FinalDiagnostics(root), true, time.Since(start)
+	}
+	mod, err := LoadModuleTyped(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, entry := mod.RunCached(cfg, nil, 4, digests, LatestCacheEntry(root))
+	entry.Key = key
+	if err := StoreCacheEntry(root, entry); err != nil {
+		t.Fatal(err)
+	}
+	return diags, false, time.Since(start)
+}
+
+// TestCacheWarmRun pins the incremental engine's contract: a warm run
+// must return byte-identical findings to the cold run it replays, and
+// must be measurably faster (it never loads or type-checks the module).
+func TestCacheWarmRun(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	writeTree(t, root, cacheTestTree())
+	cfg := Default()
+
+	cold, hit, coldTime := runCachedOnce(t, root, cfg)
+	if hit {
+		t.Fatal("first run reported a cache hit")
+	}
+	if len(cold) != 1 || cold[0].Rule != "walltime" {
+		t.Fatalf("cold run findings = %v, want exactly one walltime finding", render(cold))
+	}
+
+	warm, hit, warmTime := runCachedOnce(t, root, cfg)
+	if !hit {
+		t.Fatal("unchanged tree missed the cache")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm findings differ from cold:\ncold: %v\nwarm: %v", render(cold), render(warm))
+	}
+	// The margin is deliberately loose for CI noise: the cold path
+	// type-checks the stdlib from source, the warm path reads one JSON
+	// file — orders of magnitude apart in practice.
+	if warmTime*2 >= coldTime {
+		t.Errorf("warm run (%v) not measurably faster than cold (%v)", warmTime, coldTime)
+	}
+}
+
+// TestCacheInvalidation: editing a file must change the key (no stale
+// full-key hit), re-analyze the edited package, and still reuse the
+// untouched package's cached diagnostics through the per-package level.
+func TestCacheInvalidation(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	writeTree(t, root, cacheTestTree())
+	cfg := Default()
+
+	cold, _, _ := runCachedOnce(t, root, cfg)
+	keyBefore, _, err := CacheKey(root, "typed", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit the clean package: the finding in internal/sim/w must survive
+	// byte-identically, served from the per-package cache.
+	okFile := filepath.Join(root, "internal/core/ok/ok.go")
+	if err := os.WriteFile(okFile, []byte("package ok\n\nfunc Add(a, b int) int { return a + b }\n\nfunc Mul(a, b int) int { return a * b }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keyAfter, _, err := CacheKey(root, "typed", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyBefore == keyAfter {
+		t.Fatal("editing a file did not change the cache key")
+	}
+	if e := LoadCacheEntry(root, keyAfter); e != nil {
+		t.Fatal("edited tree got a full-key cache hit")
+	}
+
+	again, hit, _ := runCachedOnce(t, root, cfg)
+	if hit {
+		t.Fatal("edited tree reported a full-key hit")
+	}
+	if !reflect.DeepEqual(cold, again) {
+		t.Fatalf("findings changed after an unrelated edit:\nbefore: %v\nafter: %v", render(cold), render(again))
+	}
+
+	// And the edited tree's own entry now serves warm hits again.
+	warm, hit, _ := runCachedOnce(t, root, cfg)
+	if !hit || !reflect.DeepEqual(again, warm) {
+		t.Fatalf("re-run after store: hit=%v, findings equal=%v", hit, reflect.DeepEqual(again, warm))
+	}
+}
+
+// TestCachePerPackageReuse asserts the level-2 mechanism directly: the
+// second entry must carry the untouched package's digest and cached
+// diagnostics forward from the first.
+func TestCachePerPackageReuse(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	writeTree(t, root, cacheTestTree())
+	cfg := Default()
+
+	key1, digests1, err := CacheKey(root, "typed", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModuleTyped(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e1 := mod.RunCached(cfg, nil, 2, digests1, nil)
+	e1.Key = key1
+	if err := StoreCacheEntry(root, e1); err != nil {
+		t.Fatal(err)
+	}
+	p1, ok := e1.Packages["internal/sim/w"]
+	if !ok {
+		t.Fatal("entry missing per-package record for internal/sim/w")
+	}
+	if len(p1.Diags) == 0 {
+		t.Fatal("per-package record for internal/sim/w holds no diagnostics")
+	}
+
+	okFile := filepath.Join(root, "internal/core/ok/ok.go")
+	if err := os.WriteFile(okFile, []byte("package ok\n\nfunc Add(a, b int) int { return a + b + 0 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key2, digests2, err := CacheKey(root, "typed", nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod2, err := LoadModuleTyped(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2 := mod2.RunCached(cfg, nil, 2, digests2, LatestCacheEntry(root))
+	e2.Key = key2
+	p2 := e2.Packages["internal/sim/w"]
+	if p2 == nil {
+		t.Fatal("second entry missing internal/sim/w")
+	}
+	if p2.Digest != p1.Digest || p2.Closure != p1.Closure {
+		t.Errorf("untouched package's digests changed: %q/%q → %q/%q", p1.Digest, p1.Closure, p2.Digest, p2.Closure)
+	}
+	if !reflect.DeepEqual(p1.Diags, p2.Diags) {
+		t.Errorf("untouched package's cached diagnostics changed:\nfirst: %v\nsecond: %v", p1.Diags, p2.Diags)
+	}
+	if e2.Packages["internal/core/ok"].Digest == e1.Packages["internal/core/ok"].Digest {
+		t.Error("edited package's digest did not change")
+	}
+}

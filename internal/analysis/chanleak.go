@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/token"
+)
+
+// ChanLeak flags `go` statements that spawn a goroutine whose only
+// blocking operations are on channels with no live counterpart endpoint
+// anywhere else in the module: the stdlib-shaped goroutine-leak
+// detector. A goroutine blocked forever on a send nobody receives (or a
+// receive nobody sends or closes) never exits, pins its stack and every
+// captured reference, and — in this codebase — can strand a pooled
+// Trade or a release-buffer shard across symbol reshards.
+//
+// The rule is deliberately conservative on the topology model's open
+// classes: a channel that escapes precise tracking (stored in a map,
+// sent over another channel, handed to an unresolved callee) is assumed
+// to have every counterpart, and a spawned body hidden behind a
+// func-value call is assumed to make progress. Imprecision therefore
+// silences the rule rather than producing false leaks. Buffered sends
+// are likewise exempt — they may complete without a receiver.
+var ChanLeak = &ModuleAnalyzer{
+	Name: "chanleak",
+	Doc:  "spawned goroutine blocks forever on a channel with no live counterpart endpoint",
+	Run:  runChanLeak,
+}
+
+// chanLeakDepth bounds how many call-graph edges the spawned body is
+// chased through when collecting its blocking operations; deeper call
+// chains mark the set incomplete (silent) rather than guessing.
+const chanLeakDepth = 4
+
+func runChanLeak(mp *ModulePass) {
+	m := mp.Mod
+	if m.Graph == nil {
+		return
+	}
+	cm := m.ConcModel()
+	for _, s := range cm.Spawns {
+		if s.Unresolved {
+			continue
+		}
+		ops, complete := cm.spawnOps(m, s, chanLeakDepth)
+		if !complete {
+			continue
+		}
+		blocking := blockingOps(ops)
+		if len(blocking) == 0 {
+			continue
+		}
+		// The spawned body's own endpoints cannot unblock the goroutine;
+		// counterparts must live outside the collected set.
+		inside := make(map[token.Pos]bool, len(ops))
+		for _, ep := range ops {
+			inside[ep.Pos] = true
+		}
+		if canProgress(blocking, inside) {
+			continue
+		}
+		first := blocking[0]
+		mp.Reportf(s.PkgRel, s.Pos, "chanleak",
+			"goroutine leaks: it blocks on %s on %q (%s) and no other code provides the counterpart endpoint (%s); the goroutine, its stack, and everything it captures are pinned forever",
+			first.Kind, first.Class.Name(), mp.position(first.Pos), counterpartFor(first.Kind))
+	}
+}
+
+// blockingOps filters the endpoints that can block the goroutine
+// forever: unbuffered/any sends, receives and ranges, excluding comms
+// of a select with a default case (those never block).
+func blockingOps(ops []*ChanEndpoint) []*ChanEndpoint {
+	var out []*ChanEndpoint
+	for _, ep := range ops {
+		if ep.NonBlock {
+			continue
+		}
+		switch ep.Kind {
+		case epSend:
+			if ep.Class != nil && ep.Class.Buffered {
+				continue // may complete without a receiver
+			}
+			out = append(out, ep)
+		case epRecv, epRange:
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// canProgress reports whether any blocking op has a possible counterpart
+// outside the spawned body — or operates on a class the model cannot
+// pin down (open, made elsewhere), which counts as progress.
+func canProgress(blocking []*ChanEndpoint, inside map[token.Pos]bool) bool {
+	for _, ep := range blocking {
+		c := ep.Class
+		if c == nil || c.Open || len(c.Makes) == 0 {
+			return true // untracked channel: assume live counterparts
+		}
+		switch ep.Kind {
+		case epSend:
+			if c.has(epRecv, inside) || c.has(epRange, inside) {
+				return true
+			}
+		case epRecv, epRange:
+			if c.has(epSend, inside) || c.has(epClose, inside) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func counterpartFor(k endpointKind) string {
+	if k == epSend {
+		return "no receive or range anywhere"
+	}
+	return "no send or close anywhere"
+}
+
+// position renders a token.Pos as file:line for a message.
+func (p *ModulePass) position(pos token.Pos) string {
+	pp := p.Mod.Fset.Position(pos)
+	return shortBase(pp.Filename) + ":" + itoa(pp.Line)
+}

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseLiveness checks the close discipline of the channel-endpoint
+// graph from two directions:
+//
+//   - *liveness*: a channel that a spawned goroutine ranges over (or
+//     receives from in a bare loop, outside any select) must have a
+//     reachable close somewhere, or a lifecycle tie (a carrier named
+//     like done/stop/quit/ctx — shutdown machinery the topology model
+//     cannot always see). Without either, the consuming goroutine can
+//     never observe end-of-stream and never exits.
+//
+//   - *safety*: a flow-sensitive pass over each function's CFG reports
+//     a channel local that is definitely closed twice (panic) or sent
+//     to after a definite close (panic). Only definite states report:
+//     a close on one branch joins to "maybe" and stays silent, so
+//     guarded close idioms (sync.Once, select-on-done) do not trip it.
+//
+// Open classes — channels that escaped precise alias tracking — are
+// exempt from the liveness half entirely: the close may well live
+// behind the escape.
+var CloseLiveness = &ModuleAnalyzer{
+	Name: "closeliveness",
+	Doc:  "ranged/looped channel with no reachable close, double-close, or send-after-close",
+	Run:  runCloseLiveness,
+}
+
+func runCloseLiveness(mp *ModulePass) {
+	m := mp.Mod
+	if m.Graph == nil {
+		return
+	}
+	closeLivenessClasses(mp, m.ConcModel())
+	closeSafety(mp)
+}
+
+// closeLivenessClasses is the class-level liveness half.
+func closeLivenessClasses(mp *ModulePass, cm *ConcModel) {
+	for _, c := range cm.Classes {
+		if c.Open || len(c.Makes) == 0 || c.lifecycleTied() {
+			continue
+		}
+		if c.has(epClose, nil) {
+			continue
+		}
+		for _, ep := range c.Endpoints {
+			consuming := ep.Kind == epRange || (ep.Kind == epRecv && ep.InLoop && !ep.InSelect && !ep.NonBlock)
+			if !consuming {
+				continue
+			}
+			if !ep.InSpawn && !cm.SpawnedIn(ep.Fn) {
+				continue // runs on the caller's goroutine; its exit is the caller's problem
+			}
+			verb := "ranges over"
+			if ep.Kind == epRecv {
+				verb = "receives in a loop from"
+			}
+			mp.Reportf(ep.PkgRel, ep.Pos, "closeliveness",
+				"spawned goroutine %s %q but the channel is never closed and has no lifecycle tie: the consumer cannot observe end-of-stream and never exits",
+				verb, c.Name())
+			break // one finding per class reads better than one per endpoint
+		}
+	}
+}
+
+// ---- flow-sensitive double-close / send-after-close ----
+
+// closeState is the per-local lattice value for the safety half.
+type closeState uint8
+
+const (
+	chOpen   closeState = iota // definitely open (made or assigned here)
+	chClosed                   // definitely closed on every path
+	chMaybe                    // closed on some path
+)
+
+type closeInfo struct {
+	state    closeState
+	closedAt token.Pos
+}
+
+type closeFact map[*types.Var]closeInfo
+
+func closeClone(f closeFact) closeFact {
+	g := make(closeFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+func closeEqual(a, b closeFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func closeJoin(a, b closeFact) closeFact {
+	out := make(closeFact, len(a))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			ji := va
+			if vb.state != va.state {
+				ji.state = chMaybe
+			}
+			if ji.closedAt == token.NoPos {
+				ji.closedAt = vb.closedAt
+			}
+			out[k] = ji
+		} else {
+			if va.state == chClosed {
+				va.state = chMaybe
+			}
+			out[k] = va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			if vb.state == chClosed {
+				vb.state = chMaybe
+			}
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+// closeSafety runs the CFG pass over every typed function body.
+func closeSafety(mp *ModulePass) {
+	m := mp.Mod
+	for _, pkg := range m.sortedTypedPackages() {
+		if !mp.Selected[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if !m.files[f] {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						closeSafetyFunc(mp, pkg.Path, fn.Body)
+					}
+				case *ast.FuncLit:
+					if fn.Body != nil {
+						closeSafetyFunc(mp, pkg.Path, fn.Body)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func closeSafetyFunc(mp *ModulePass, pkgRel string, body *ast.BlockStmt) {
+	g := buildCFG(body)
+	ca := &closeAnalysis{mp: mp, pkgRel: pkgRel}
+	in := solveForward(g, flowProblem[closeFact]{
+		entry: closeFact{},
+		join:  closeJoin,
+		equal: closeEqual,
+		transfer: func(b *cfgBlock, f closeFact) closeFact {
+			return ca.transferBlock(b, f)
+		},
+	})
+	// Replay the converged facts with reporting on; each block is
+	// visited exactly once, so every site reports at most once.
+	ca.report = true
+	for _, b := range g.blocks {
+		if f, ok := in[b]; ok {
+			ca.transferBlock(b, f)
+		}
+	}
+}
+
+type closeAnalysis struct {
+	mp     *ModulePass
+	pkgRel string
+	report bool
+}
+
+func (ca *closeAnalysis) transferBlock(b *cfgBlock, f closeFact) closeFact {
+	out := closeClone(f)
+	for _, n := range b.nodes {
+		ca.transferNode(n, out)
+	}
+	return out
+}
+
+func (ca *closeAnalysis) transferNode(n ast.Node, f closeFact) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			for i := range x.Lhs {
+				ca.assignOne(x.Lhs[i], x.Rhs[i], f)
+			}
+		} else {
+			for _, lhs := range x.Lhs {
+				if v := ca.localChan(lhs); v != nil {
+					delete(f, v)
+				}
+			}
+		}
+		for _, r := range x.Rhs {
+			ca.scanCalls(r, f)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i, name := range vs.Names {
+						if name != nil {
+							ca.assignOne(name, vs.Values[i], f)
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		ca.scanCalls(x.X, f)
+	case *ast.SendStmt:
+		if v := ca.localChan(x.Chan); v != nil {
+			if info, ok := f[v]; ok && info.state == chClosed {
+				ca.reportf(x.Arrow, "send on %q after close (closed at %s): send on a closed channel panics",
+					v.Name(), ca.mp.position(info.closedAt))
+			}
+		}
+		ca.scanCalls(x.Value, f)
+	case *ast.DeferStmt:
+		// A deferred close runs at exit: flipping the state here would
+		// wrongly poison the rest of the body, so only a definite
+		// already-closed state reports.
+		if x.Call != nil {
+			if v, pos := ca.closeCallTarget(x.Call); v != nil {
+				if info, ok := f[v]; ok && info.state == chClosed {
+					ca.reportf(pos, "deferred close of %q but it is already closed (at %s): close of a closed channel panics",
+						v.Name(), ca.mp.position(info.closedAt))
+				}
+			}
+		}
+	case ast.Expr:
+		ca.scanCalls(x, f)
+	}
+}
+
+func (ca *closeAnalysis) assignOne(lhs, rhs ast.Expr, f closeFact) {
+	v := ca.localChan(lhs)
+	if v == nil {
+		return
+	}
+	// Any reassignment (fresh make, received channel, copy) makes the
+	// local definitely open again — or untracked, which is the same for
+	// a definite-only analysis.
+	f[v] = closeInfo{state: chOpen}
+	if src := ca.localChan(rhs); src != nil {
+		if info, ok := f[src]; ok {
+			f[v] = info // alias copy: closing one closed the other
+		}
+	}
+}
+
+// scanCalls finds close(v) calls (including nested in expressions) and
+// applies the close transfer. Func literals are skipped: their bodies
+// run at another time and are analyzed as their own CFGs.
+func (ca *closeAnalysis) scanCalls(e ast.Expr, f closeFact) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		v, pos := ca.closeCallTarget(call)
+		if v == nil {
+			return true
+		}
+		info, tracked := f[v]
+		if tracked && info.state == chClosed {
+			ca.reportf(pos, "%q is closed twice (first close at %s): close of a closed channel panics",
+				v.Name(), ca.mp.position(info.closedAt))
+		}
+		f[v] = closeInfo{state: chClosed, closedAt: pos}
+		return true
+	})
+}
+
+// closeCallTarget matches close(v) on a local channel variable.
+func (ca *closeAnalysis) closeCallTarget(call *ast.CallExpr) (*types.Var, token.Pos) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil, token.NoPos
+	}
+	if _, isBuiltin := ca.mp.Mod.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, token.NoPos
+	}
+	return ca.localChan(call.Args[0]), call.Pos()
+}
+
+// localChan resolves e to a local (non-field, non-global) channel
+// variable; the safety half tracks only those — a field or global may
+// be closed from another goroutine or method, which a per-function
+// definite analysis cannot see.
+func (ca *closeAnalysis) localChan(e ast.Expr) *types.Var {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	info := ca.mp.Mod.Info
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok {
+		obj = d
+	} else {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil // package-level
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return v
+}
+
+func (ca *closeAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	if !ca.report {
+		return
+	}
+	ca.mp.Reportf(ca.pkgRel, pos, "closeliveness", format, args...)
+}

@@ -1,0 +1,1178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Whole-program concurrency topology — the substrate of the v4 rules
+// (chanleak, closeliveness, detsource's spawn context). Two graphs are
+// built over the typed module in one deterministic walk:
+//
+//   - the *goroutine-spawn graph*: every `go` statement, resolved to
+//     the function it spawns — a declared function or method through
+//     the call graph, a func literal in place, or a local func-valued
+//     variable chased to its single assignment (method value or
+//     closure). A spawn that cannot be resolved is recorded as such
+//     and the leak rules skip it (documented soundness bound).
+//
+//   - the *channel-endpoint graph*: every `make(chan T)` site joined
+//     with every send/receive/close/range endpoint that can reach the
+//     same channel value, through a conservative unification-based
+//     alias analysis (Steensgaard-style, flow-insensitive — the same
+//     "identity is the carrier object" approximation poolowner and
+//     lockorder use). Carriers are locals, params, struct fields and
+//     package vars of channel type, plus synthetic carriers for the
+//     channel-typed results of module functions; assignments, calls,
+//     returns, and composite-literal fields union their carriers'
+//     classes. A channel that leaves this vocabulary — stored in a
+//     map/slice element, sent over another channel, passed to an
+//     unresolved or external callee — marks its class *open*: the
+//     rules treat an open class as having every counterpart endpoint,
+//     so imprecision degrades to silence, never to false findings.
+//
+// The model is package-independent structure: it is built once per
+// Module (lazily, behind a sync.Once) and shared by every rule that
+// runs over it, including when module analyzers execute in parallel.
+
+// endpointKind classifies one channel operation.
+type endpointKind uint8
+
+const (
+	epSend endpointKind = iota
+	epRecv
+	epClose
+	epRange
+)
+
+func (k endpointKind) String() string {
+	switch k {
+	case epSend:
+		return "send"
+	case epRecv:
+		return "receive"
+	case epClose:
+		return "close"
+	case epRange:
+		return "range"
+	}
+	return "?"
+}
+
+// ChanEndpoint is one channel operation site.
+type ChanEndpoint struct {
+	Kind   endpointKind
+	Pos    token.Pos
+	PkgRel string
+	Fn     *types.Func // enclosing declared function (nil at package level)
+	Class  *ChanClass  // set when the model is frozen
+
+	InSpawn  bool      // lexically inside a go-statement func literal
+	GoSite   token.Pos // the spawning go statement when InSpawn
+	NonBlock bool      // comm of a select that has a default case
+	InSelect bool      // comm clause of any select
+	InLoop   bool      // inside a for/range loop
+}
+
+// ChanClass is one alias class of channel carriers: the make sites and
+// endpoints that may denote the same channel value.
+type ChanClass struct {
+	ID        int
+	Makes     []token.Pos
+	Buffered  bool // some make site has a non-zero capacity
+	Endpoints []*ChanEndpoint
+	Carriers  []*types.Var // named carriers, sorted by declaration
+	Open      bool         // escaped precise tracking; treat as fully connected
+	OpenWhy   string
+}
+
+// Name renders the class for diagnostics: its first named carrier, or
+// "chan" for a purely anonymous flow.
+func (c *ChanClass) Name() string {
+	if len(c.Carriers) > 0 {
+		return c.Carriers[0].Name()
+	}
+	return "chan"
+}
+
+// lifecycleTied reports whether any carrier of the class is named like
+// lifecycle machinery (done/stop/quit/ctx...): such channels are closed
+// or abandoned by a shutdown path the topology cannot always see.
+func (c *ChanClass) lifecycleTied() bool {
+	for _, v := range c.Carriers {
+		if nameIsLifecycle(v.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// has reports whether the class holds an endpoint of kind k outside the
+// excluded position set.
+func (c *ChanClass) has(k endpointKind, excluded map[token.Pos]bool) bool {
+	for _, ep := range c.Endpoints {
+		if ep.Kind == k && !excluded[ep.Pos] {
+			return true
+		}
+	}
+	return false
+}
+
+// SpawnSite is one `go` statement.
+type SpawnSite struct {
+	Pos    token.Pos
+	PkgRel string
+	Caller *types.Func  // enclosing declared function
+	Callee *types.Func  // resolved spawned function, nil when Lit or unresolved
+	Lit    *ast.FuncLit // the spawned literal, when `go func(){…}()`
+	// LitChased marks a closure resolved through a local func variable
+	// (`f := func(){…}; go f()`): its body was walked at the assignment
+	// site, so its endpoints live under the spawner, not the spawn.
+	LitChased  bool
+	Unresolved bool // spawned through a func value we could not chase
+}
+
+// ConcModel is the frozen topology.
+type ConcModel struct {
+	Spawns  []*SpawnSite
+	Classes []*ChanClass
+
+	byFn    map[*types.Func][]*ChanEndpoint // endpoints outside go-literals, per enclosing function
+	bySpawn map[token.Pos][]*ChanEndpoint   // endpoints lexically inside the go literal at Pos
+
+	spawnReach     map[*types.Func]bool // functions reachable from any spawn via the call graph
+	unresolvedCall map[*types.Func]bool // function body calls through a func value
+	litUnresolved  map[token.Pos]bool   // go-literal at Pos calls through a func value
+	litCalls       map[token.Pos][]*types.Func
+}
+
+// ConcModel returns the module's concurrency topology, building it on
+// first use. Safe for concurrent callers (module analyzers run in
+// parallel).
+func (m *Module) ConcModel() *ConcModel {
+	m.concOnce.Do(func() { m.conc = buildConcModel(m) })
+	return m.conc
+}
+
+// carrierKey identifies one alias-class member: a *types.Var, or a
+// resultCarrier for the i'th channel-typed result of a module function.
+type resultCarrier struct {
+	fn  *types.Func
+	idx int
+}
+
+// concBuilder accumulates the model during the walk.
+type concBuilder struct {
+	m *Module
+
+	parent map[any]any       // union-find forest over carrier keys
+	class  map[any]*classAcc // root → accumulating class
+
+	spawns    []*SpawnSite
+	endpoints []*ChanEndpoint
+
+	unresolvedCall map[*types.Func]bool
+	litUnresolved  map[token.Pos]bool
+	litCalls       map[token.Pos][]*types.Func
+}
+
+type classAcc struct {
+	makes    []token.Pos
+	buffered bool
+	eps      []*ChanEndpoint
+	carriers []*types.Var
+	open     bool
+	openWhy  string
+}
+
+func buildConcModel(m *Module) *ConcModel {
+	b := &concBuilder{
+		m:              m,
+		parent:         make(map[any]any),
+		class:          make(map[any]*classAcc),
+		unresolvedCall: make(map[*types.Func]bool),
+		litUnresolved:  make(map[token.Pos]bool),
+		litCalls:       make(map[token.Pos][]*types.Func),
+	}
+	for _, pkg := range m.sortedTypedPackages() {
+		for _, f := range pkg.Files {
+			if !m.files[f] {
+				continue
+			}
+			b.walkFile(pkg.Path, f)
+		}
+	}
+	return b.freeze()
+}
+
+// ---- union-find ----
+
+func (b *concBuilder) find(k any) any {
+	p, ok := b.parent[k]
+	if !ok {
+		b.parent[k] = k
+		b.class[k] = &classAcc{}
+		if v, isVar := k.(*types.Var); isVar {
+			b.class[k].carriers = append(b.class[k].carriers, v)
+		}
+		return k
+	}
+	if p == k {
+		return k
+	}
+	root := b.find(p)
+	b.parent[k] = root
+	return root
+}
+
+func (b *concBuilder) union(a, c any) {
+	ra, rc := b.find(a), b.find(c)
+	if ra == rc {
+		return
+	}
+	ca, cc := b.class[ra], b.class[rc]
+	ca.makes = append(ca.makes, cc.makes...)
+	ca.buffered = ca.buffered || cc.buffered
+	ca.eps = append(ca.eps, cc.eps...)
+	ca.carriers = append(ca.carriers, cc.carriers...)
+	if cc.open && !ca.open {
+		ca.open, ca.openWhy = true, cc.openWhy
+	}
+	b.parent[rc] = ra
+	delete(b.class, rc)
+}
+
+func (b *concBuilder) markOpen(k any, why string) {
+	c := b.class[b.find(k)]
+	if !c.open {
+		c.open, c.openWhy = true, why
+	}
+}
+
+// ---- the walk ----
+
+// walkCtx is the lexical context a walker carries into nested nodes.
+type walkCtx struct {
+	fn     *types.Func // enclosing declared function
+	goSite token.Pos   // innermost go-literal spawn site (NoPos outside)
+	loop   bool        // inside a for/range
+	// comm maps a statement that is a select comm clause to whether the
+	// select has a default case.
+	comm map[ast.Node]commCtx
+}
+
+type commCtx struct {
+	inSelect   bool
+	hasDefault bool
+}
+
+func (b *concBuilder) walkFile(pkgRel string, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body == nil {
+				continue
+			}
+			fn, _ := b.m.Info.Defs[d.Name].(*types.Func)
+			b.walkBody(pkgRel, d.Body, walkCtx{fn: fn, comm: map[ast.Node]commCtx{}})
+		case *ast.GenDecl:
+			// Package-level channel vars: var ch = make(chan T).
+			for _, spec := range d.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					b.valueSpec(pkgRel, vs, walkCtx{comm: map[ast.Node]commCtx{}})
+				}
+			}
+		}
+	}
+}
+
+// walkBody traverses stmts in ctx, recording carriers, endpoints and
+// spawns. It recurses manually so the context (enclosing go literal,
+// loops, select comms) stays exact.
+func (b *concBuilder) walkBody(pkgRel string, body *ast.BlockStmt, ctx walkCtx) {
+	if body == nil {
+		return
+	}
+	for _, st := range body.List {
+		b.stmt(pkgRel, st, ctx)
+	}
+}
+
+func (b *concBuilder) stmt(pkgRel string, st ast.Stmt, ctx walkCtx) {
+	switch x := st.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		b.assign(pkgRel, x, ctx)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					b.valueSpec(pkgRel, vs, ctx)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		b.expr(pkgRel, x.X, ctx, b.commCtxFor(x, ctx))
+	case *ast.SendStmt:
+		cc := b.commCtxFor(x, ctx)
+		b.endpoint(pkgRel, epSend, x.Arrow, x.Chan, ctx, cc)
+		if b.chanTyped(x.Value) {
+			if k := b.carrier(x.Value); k != nil {
+				b.markOpen(k, "sent over another channel")
+			}
+		}
+		b.expr(pkgRel, x.Value, ctx, commCtx{})
+	case *ast.GoStmt:
+		b.goStmt(pkgRel, x, ctx)
+	case *ast.DeferStmt:
+		if x.Call != nil {
+			b.expr(pkgRel, x.Call, ctx, commCtx{})
+		}
+	case *ast.ReturnStmt:
+		b.returnStmt(pkgRel, x, ctx)
+	case *ast.IfStmt:
+		b.stmt(pkgRel, x.Init, ctx)
+		b.expr(pkgRel, x.Cond, ctx, commCtx{})
+		b.walkBody(pkgRel, x.Body, ctx)
+		b.stmt(pkgRel, x.Else, ctx)
+	case *ast.ForStmt:
+		b.stmt(pkgRel, x.Init, ctx)
+		inner := ctx
+		inner.loop = true
+		if x.Cond != nil {
+			b.expr(pkgRel, x.Cond, inner, commCtx{})
+		}
+		b.stmt(pkgRel, x.Post, inner)
+		b.walkBody(pkgRel, x.Body, inner)
+	case *ast.RangeStmt:
+		if b.chanTyped(x.X) {
+			b.endpoint(pkgRel, epRange, x.For, x.X, ctx, commCtx{})
+		} else {
+			b.expr(pkgRel, x.X, ctx, commCtx{})
+		}
+		inner := ctx
+		inner.loop = true
+		b.walkBody(pkgRel, x.Body, inner)
+	case *ast.SwitchStmt:
+		b.stmt(pkgRel, x.Init, ctx)
+		if x.Tag != nil {
+			b.expr(pkgRel, x.Tag, ctx, commCtx{})
+		}
+		b.clauses(pkgRel, x.Body, ctx)
+	case *ast.TypeSwitchStmt:
+		b.stmt(pkgRel, x.Init, ctx)
+		b.stmt(pkgRel, x.Assign, ctx)
+		b.clauses(pkgRel, x.Body, ctx)
+	case *ast.SelectStmt:
+		b.selectStmt(pkgRel, x, ctx)
+	case *ast.BlockStmt:
+		b.walkBody(pkgRel, x, ctx)
+	case *ast.LabeledStmt:
+		b.stmt(pkgRel, x.Stmt, ctx)
+	case *ast.IncDecStmt:
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+	default:
+		// BranchStmt, EmptyStmt, BadStmt: nothing channel-shaped.
+	}
+}
+
+func (b *concBuilder) clauses(pkgRel string, body *ast.BlockStmt, ctx walkCtx) {
+	if body == nil {
+		return
+	}
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				b.expr(pkgRel, e, ctx, commCtx{})
+			}
+			for _, st := range cc.Body {
+				b.stmt(pkgRel, st, ctx)
+			}
+		}
+	}
+}
+
+// selectStmt marks each comm statement with the select's shape, then
+// walks clauses normally: the comm's own endpoint picks up the context.
+func (b *concBuilder) selectStmt(pkgRel string, x *ast.SelectStmt, ctx walkCtx) {
+	hasDefault := selectHasDefault(x)
+	inner := ctx
+	inner.comm = make(map[ast.Node]commCtx, len(ctx.comm)+4)
+	for k, v := range ctx.comm {
+		inner.comm[k] = v
+	}
+	if x.Body != nil {
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				inner.comm[cc.Comm] = commCtx{inSelect: true, hasDefault: hasDefault}
+			}
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				b.stmt(pkgRel, cc.Comm, inner)
+				for _, st := range cc.Body {
+					b.stmt(pkgRel, st, ctx)
+				}
+			}
+		}
+	}
+}
+
+func (b *concBuilder) commCtxFor(st ast.Stmt, ctx walkCtx) commCtx {
+	return ctx.comm[st]
+}
+
+// expr walks an expression, recording receive endpoints, close calls,
+// unions for calls, and nested func literals. cc carries select-comm
+// context for a direct receive.
+func (b *concBuilder) expr(pkgRel string, e ast.Expr, ctx walkCtx, cc commCtx) {
+	if e == nil {
+		return
+	}
+	switch x := unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			b.endpoint(pkgRel, epRecv, x.OpPos, x.X, ctx, cc)
+			return
+		}
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+	case *ast.BinaryExpr:
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+		b.expr(pkgRel, x.Y, ctx, commCtx{})
+	case *ast.CallExpr:
+		b.call(pkgRel, x, ctx)
+	case *ast.FuncLit:
+		// A literal not behind `go`: runs on some goroutine at some
+		// time; endpoints are recorded in the enclosing function's
+		// context (they still count as counterparts).
+		b.walkBody(pkgRel, x.Body, ctx)
+	case *ast.CompositeLit:
+		b.compositeLit(pkgRel, x, ctx)
+	case *ast.KeyValueExpr:
+		b.expr(pkgRel, x.Value, ctx, commCtx{})
+	case *ast.StarExpr:
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+	case *ast.IndexExpr:
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+		b.expr(pkgRel, x.Index, ctx, commCtx{})
+	case *ast.SliceExpr:
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+	case *ast.SelectorExpr, *ast.Ident, *ast.BasicLit:
+		// Leaves: no channel operation by themselves.
+	case *ast.TypeAssertExpr:
+		b.expr(pkgRel, x.X, ctx, commCtx{})
+	}
+}
+
+// assign handles unions and make sites on x := / x = forms.
+func (b *concBuilder) assign(pkgRel string, x *ast.AssignStmt, ctx walkCtx) {
+	// Receives and calls on the RHS first.
+	for _, r := range x.Rhs {
+		b.expr(pkgRel, r, ctx, b.commCtxFor(x, ctx))
+	}
+	if len(x.Lhs) == len(x.Rhs) {
+		for i := range x.Lhs {
+			b.flow(pkgRel, x.Lhs[i], x.Rhs[i])
+		}
+		return
+	}
+	// Multi-value: x, y := f() — union each chan-typed lhs with the
+	// callee's result carrier.
+	if len(x.Rhs) == 1 {
+		if call, ok := unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+			fn := calleeFunc(b.m.Info, call)
+			for i, lhs := range x.Lhs {
+				if !b.chanTyped(lhs) {
+					continue
+				}
+				lk := b.carrier(lhs)
+				if lk == nil {
+					continue
+				}
+				if fn != nil && b.m.Graph != nil && b.m.Graph.Node(fn) != nil {
+					b.union(lk, resultCarrier{fn, i})
+				} else {
+					b.markOpen(lk, "assigned from an unresolved call")
+				}
+			}
+		}
+	}
+}
+
+func (b *concBuilder) valueSpec(pkgRel string, vs *ast.ValueSpec, ctx walkCtx) {
+	for _, v := range vs.Values {
+		b.expr(pkgRel, v, ctx, commCtx{})
+	}
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		if name == nil {
+			continue
+		}
+		b.flow(pkgRel, name, vs.Values[i])
+	}
+}
+
+// flow records the dataflow lhs ← rhs for channel-typed values: a make
+// site, a carrier union, or an open escape.
+func (b *concBuilder) flow(pkgRel string, lhs, rhs ast.Expr) {
+	if !b.chanTyped(rhs) && !b.chanTyped(lhs) {
+		return
+	}
+	if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return // discarding a channel is not an escape
+	}
+	lk := b.carrier(lhs)
+	if mk, buffered, ok := b.makeChan(rhs); ok {
+		if lk == nil {
+			// make assigned to an unnamed location (map element, …):
+			// the class exists but is open from birth.
+			k := resultCarrier{nil, int(mk)}
+			b.find(k)
+			c := b.class[b.find(k)]
+			c.makes = append(c.makes, mk)
+			c.buffered = c.buffered || buffered
+			b.markOpen(k, "made into an unnamed location")
+			return
+		}
+		c := b.class[b.find(lk)]
+		c.makes = append(c.makes, mk)
+		c.buffered = c.buffered || buffered
+		return
+	}
+	rk := b.carrier(rhs)
+	switch {
+	case lk != nil && rk != nil:
+		b.union(lk, rk)
+	case lk != nil:
+		// RHS is a call / index / assert we cannot name.
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+			if fn := calleeFunc(b.m.Info, call); fn != nil && b.m.Graph != nil && b.m.Graph.Node(fn) != nil {
+				b.union(lk, resultCarrier{fn, 0})
+				return
+			}
+		}
+		if b.chanTyped(rhs) {
+			b.markOpen(lk, "assigned from an untracked source")
+		}
+	case rk != nil:
+		if b.chanTyped(rhs) {
+			b.markOpen(rk, "stored into an untracked location")
+		}
+	}
+}
+
+// compositeLit unions channel-typed struct fields with their values;
+// channels in map/slice literals go open.
+func (b *concBuilder) compositeLit(pkgRel string, x *ast.CompositeLit, ctx walkCtx) {
+	t := b.m.Info.TypeOf(x)
+	var st *types.Struct
+	if t != nil {
+		u := t.Underlying()
+		if p, ok := u.(*types.Pointer); ok {
+			u = p.Elem().Underlying()
+		}
+		st, _ = u.(*types.Struct)
+	}
+	for i, el := range x.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			b.expr(pkgRel, kv.Value, ctx, commCtx{})
+			if !b.chanTyped(kv.Value) {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && st != nil {
+				if fv, ok := b.m.Info.Uses[key].(*types.Var); ok && fv.IsField() {
+					b.flow(pkgRel, kv.Key, kv.Value)
+					_ = fv
+					continue
+				}
+			}
+			if k := b.carrier(kv.Value); k != nil {
+				b.markOpen(k, "stored in a composite literal")
+			}
+			continue
+		}
+		b.expr(pkgRel, el, ctx, commCtx{})
+		if !b.chanTyped(el) {
+			continue
+		}
+		if st != nil && i < st.NumFields() {
+			if k := b.carrier(el); k != nil {
+				b.union(k, st.Field(i))
+				continue
+			}
+		}
+		if k := b.carrier(el); k != nil {
+			b.markOpen(k, "stored in a composite literal")
+		}
+	}
+}
+
+// call handles close(), builtin exemptions, argument↔parameter unions,
+// and unresolved-callee escapes.
+func (b *concBuilder) call(pkgRel string, call *ast.CallExpr, ctx walkCtx) {
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := b.m.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "close":
+				if len(call.Args) == 1 {
+					b.endpoint(pkgRel, epClose, call.Pos(), call.Args[0], ctx, commCtx{})
+				}
+				return
+			case "len", "cap":
+				return
+			case "append":
+				for _, a := range call.Args {
+					b.expr(pkgRel, a, ctx, commCtx{})
+					if b.chanTyped(a) {
+						if k := b.carrier(a); k != nil {
+							b.markOpen(k, "appended into a slice")
+						}
+					}
+				}
+				return
+			default:
+				for _, a := range call.Args {
+					b.expr(pkgRel, a, ctx, commCtx{})
+				}
+				return
+			}
+		}
+	}
+	// Conversions carry the value through untouched.
+	if tv, ok := b.m.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			b.expr(pkgRel, a, ctx, commCtx{})
+		}
+		return
+	}
+
+	fn := calleeFunc(b.m.Info, call)
+	resolved := fn != nil && b.m.Graph != nil && len(b.m.Graph.resolve(fn)) > 0
+	if fn == nil {
+		// Call through a func value: bodies we cannot see.
+		b.noteUnresolved(ctx)
+	}
+
+	b.expr(pkgRel, call.Fun, ctx, commCtx{})
+	for i, a := range call.Args {
+		b.expr(pkgRel, a, ctx, commCtx{})
+		if !b.chanTyped(a) {
+			continue
+		}
+		k := b.carrier(a)
+		if k == nil {
+			continue
+		}
+		if !resolved {
+			b.markOpen(k, "passed to an external or unresolved call")
+			continue
+		}
+		for _, target := range b.m.Graph.resolve(fn) {
+			sig, ok := target.Type().(*types.Signature)
+			if !ok {
+				b.markOpen(k, "passed through an untyped signature")
+				continue
+			}
+			params := sig.Params()
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				b.markOpen(k, "passed variadically")
+			case i < params.Len():
+				b.union(k, params.At(i))
+			}
+		}
+	}
+}
+
+// noteUnresolved records a func-value call in the enclosing context, so
+// chanleak knows the spawned body's blocking set is incomplete.
+func (b *concBuilder) noteUnresolved(ctx walkCtx) {
+	if ctx.goSite != token.NoPos {
+		b.litUnresolved[ctx.goSite] = true
+		return
+	}
+	if ctx.fn != nil {
+		b.unresolvedCall[ctx.fn] = true
+	}
+}
+
+func (b *concBuilder) returnStmt(pkgRel string, x *ast.ReturnStmt, ctx walkCtx) {
+	for i, r := range x.Results {
+		b.expr(pkgRel, r, ctx, commCtx{})
+		if !b.chanTyped(r) {
+			continue
+		}
+		k := b.carrier(r)
+		if k == nil {
+			continue
+		}
+		if ctx.fn != nil && ctx.goSite == token.NoPos {
+			b.union(k, resultCarrier{ctx.fn, i})
+		} else {
+			b.markOpen(k, "returned from a literal")
+		}
+	}
+}
+
+func (b *concBuilder) goStmt(pkgRel string, x *ast.GoStmt, ctx walkCtx) {
+	if x.Call == nil {
+		return
+	}
+	s := &SpawnSite{Pos: x.Go, PkgRel: pkgRel, Caller: ctx.fn}
+	directLit, _ := unparen(x.Call.Fun).(*ast.FuncLit)
+	switch {
+	case directLit != nil:
+		s.Lit = directLit
+	default:
+		if fn := calleeFunc(b.m.Info, x.Call); fn != nil {
+			s.Callee = fn
+		} else if fn := b.chaseFuncValue(x.Call.Fun, ctx); fn != nil {
+			s.Callee = fn
+		} else if lit := b.chaseFuncLit(x.Call.Fun, ctx); lit != nil {
+			s.Lit, s.LitChased = lit, true
+		} else {
+			s.Unresolved = true
+		}
+	}
+	b.spawns = append(b.spawns, s)
+
+	if directLit != nil {
+		// Arguments evaluate in the spawner; chan args union with the
+		// literal's parameters. The generic call handler is bypassed so
+		// the body is walked exactly once, in spawn context.
+		params := b.litParamVars(directLit)
+		for i, a := range x.Call.Args {
+			b.expr(pkgRel, a, ctx, commCtx{})
+			if !b.chanTyped(a) {
+				continue
+			}
+			k := b.carrier(a)
+			if k == nil {
+				continue
+			}
+			if i < len(params) && params[i] != nil {
+				b.union(k, params[i])
+			} else {
+				b.markOpen(k, "passed into a spawned literal")
+			}
+		}
+		inner := ctx
+		inner.goSite = x.Go
+		inner.loop = false
+		b.walkBody(pkgRel, directLit.Body, inner)
+		// Record resolved calls out of the literal for closure walks.
+		b.collectLitCalls(x.Go, directLit)
+		return
+	}
+
+	// Non-literal spawn: the generic call handler records arg↔param
+	// unions (or conservative escapes) and unresolved-call notes. A
+	// chased closure's body was already walked at its assignment site —
+	// spawnOps recovers its endpoints by source range, never re-walks.
+	b.call(pkgRel, x.Call, ctx)
+	if s.Lit != nil {
+		b.collectLitCalls(x.Go, s.Lit)
+	}
+}
+
+// litParamVars resolves a func literal's parameter objects, positional.
+func (b *concBuilder) litParamVars(lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	if lit.Type == nil || lit.Type.Params == nil {
+		return out
+	}
+	for _, f := range lit.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			v, _ := b.m.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// chaseFuncValue resolves `go f()` where f is a local assigned exactly
+// once from a method value or declared function (the "method value"
+// spawn shape).
+func (b *concBuilder) chaseFuncValue(fun ast.Expr, ctx walkCtx) *types.Func {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || ctx.fn == nil {
+		return nil
+	}
+	v, ok := b.m.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	node := b.m.Graph.Node(ctx.fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil
+	}
+	var resolved *types.Func
+	assignments := 0
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if lid, ok := unparen(lhs).(*ast.Ident); ok && b.identVar(lid) == v && i < len(x.Rhs) {
+					assignments++
+					if sel, ok := unparen(x.Rhs[i]).(*ast.SelectorExpr); ok && sel.Sel != nil {
+						if fn, ok := b.m.Info.Uses[sel.Sel].(*types.Func); ok {
+							resolved = fn
+						}
+					}
+					if rid, ok := unparen(x.Rhs[i]).(*ast.Ident); ok {
+						if fn, ok := b.m.Info.Uses[rid].(*types.Func); ok {
+							resolved = fn
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if assignments != 1 {
+		return nil
+	}
+	return resolved
+}
+
+// chaseFuncLit resolves `go f()` where f is a local assigned exactly
+// once from a func literal (closure with captured state).
+func (b *concBuilder) chaseFuncLit(fun ast.Expr, ctx walkCtx) *ast.FuncLit {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || ctx.fn == nil {
+		return nil
+	}
+	v, ok := b.m.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	node := b.m.Graph.Node(ctx.fn)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil
+	}
+	var lit *ast.FuncLit
+	assignments := 0
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if x, ok := n.(*ast.AssignStmt); ok {
+			for i, lhs := range x.Lhs {
+				if lid, ok := unparen(lhs).(*ast.Ident); ok && b.identVar(lid) == v && i < len(x.Rhs) {
+					assignments++
+					if fl, ok := unparen(x.Rhs[i]).(*ast.FuncLit); ok {
+						lit = fl
+					}
+				}
+			}
+		}
+		return true
+	})
+	if assignments != 1 {
+		return nil
+	}
+	return lit
+}
+
+func (b *concBuilder) identVar(id *ast.Ident) *types.Var {
+	if v, ok := b.m.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := b.m.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// collectLitCalls records the declared functions a go-literal's body
+// calls directly (outside nested go statements and literals).
+func (b *concBuilder) collectLitCalls(goPos token.Pos, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			if n != ast.Node(lit) {
+				_ = x
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(b.m.Info, x); fn != nil {
+				b.litCalls[goPos] = append(b.litCalls[goPos], fn)
+			}
+		}
+		return true
+	})
+}
+
+// endpoint records one channel operation on the carrier of e.
+func (b *concBuilder) endpoint(pkgRel string, kind endpointKind, pos token.Pos, e ast.Expr, ctx walkCtx, cc commCtx) {
+	// Nested channel expressions (index into a chan slice, call results)
+	// still get walked for receives and calls.
+	b.expr(pkgRel, e, ctx, commCtx{})
+	ep := &ChanEndpoint{
+		Kind:     kind,
+		Pos:      pos,
+		PkgRel:   pkgRel,
+		Fn:       ctx.fn,
+		InSpawn:  ctx.goSite != token.NoPos,
+		GoSite:   ctx.goSite,
+		NonBlock: cc.inSelect && cc.hasDefault,
+		InSelect: cc.inSelect,
+		InLoop:   ctx.loop,
+	}
+	b.endpoints = append(b.endpoints, ep)
+	k := b.carrier(e)
+	if k == nil {
+		// Operation on an unnameable channel (index, call result):
+		// attach to a fresh open class keyed by position.
+		k = resultCarrier{nil, int(pos)}
+		b.find(k)
+		b.markOpen(k, "operation on an unnamed channel expression")
+	}
+	c := b.class[b.find(k)]
+	c.eps = append(c.eps, ep)
+}
+
+// carrier resolves e to an alias-class key: a local/param/field/global
+// *types.Var. Anything else returns nil.
+func (b *concBuilder) carrier(e ast.Expr) any {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return nil
+		}
+		if v := b.identVar(x); v != nil {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if x.Sel != nil {
+			if v, ok := b.m.Info.Uses[x.Sel].(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func (b *concBuilder) chanTyped(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	t := b.m.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// makeChan matches make(chan T[, cap]), returning the site and whether
+// the capacity is provably non-zero.
+func (b *concBuilder) makeChan(e ast.Expr) (pos token.Pos, buffered, ok bool) {
+	call, isCall := unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return token.NoPos, false, false
+	}
+	id, isIdent := unparen(call.Fun).(*ast.Ident)
+	if !isIdent || id.Name != "make" {
+		return token.NoPos, false, false
+	}
+	if _, isBuiltin := b.m.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return token.NoPos, false, false
+	}
+	t := b.m.Info.TypeOf(call)
+	if t == nil {
+		return token.NoPos, false, false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return token.NoPos, false, false
+	}
+	buffered = false
+	if len(call.Args) >= 2 {
+		// A non-constant capacity may still be zero at runtime; counting
+		// it as buffered errs toward silence (buffered classes are
+		// exempt from the leak rules).
+		tv, okTV := b.m.Info.Types[call.Args[1]]
+		if !okTV || tv.Value == nil || tv.Value.String() != "0" {
+			buffered = true
+		}
+	}
+	return call.Pos(), buffered, true
+}
+
+// ---- freeze ----
+
+func (b *concBuilder) freeze() *ConcModel {
+	cm := &ConcModel{
+		Spawns:         b.spawns,
+		byFn:           make(map[*types.Func][]*ChanEndpoint),
+		bySpawn:        make(map[token.Pos][]*ChanEndpoint),
+		spawnReach:     make(map[*types.Func]bool),
+		unresolvedCall: b.unresolvedCall,
+		litUnresolved:  b.litUnresolved,
+		litCalls:       b.litCalls,
+	}
+	sort.Slice(cm.Spawns, func(i, j int) bool { return cm.Spawns[i].Pos < cm.Spawns[j].Pos })
+
+	// Materialize classes deterministically: sort members, order classes
+	// by their earliest position.
+	var roots []any
+	for k, p := range b.parent {
+		if k == p {
+			roots = append(roots, k)
+		}
+	}
+	classes := make([]*ChanClass, 0, len(roots))
+	for _, r := range roots {
+		acc := b.class[r]
+		c := &ChanClass{
+			Makes:    acc.makes,
+			Buffered: acc.buffered,
+			Carriers: acc.carriers,
+			Open:     acc.open,
+			OpenWhy:  acc.openWhy,
+		}
+		c.Endpoints = acc.eps
+		sort.Slice(c.Makes, func(i, j int) bool { return c.Makes[i] < c.Makes[j] })
+		sort.Slice(c.Endpoints, func(i, j int) bool { return c.Endpoints[i].Pos < c.Endpoints[j].Pos })
+		sort.Slice(c.Carriers, func(i, j int) bool { return c.Carriers[i].Pos() < c.Carriers[j].Pos() })
+		if len(c.Makes) == 0 && len(c.Endpoints) == 0 {
+			continue // pure plumbing (params never made or operated on)
+		}
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classFirstPos(classes[i]) < classFirstPos(classes[j]) })
+	for i, c := range classes {
+		c.ID = i
+		for _, ep := range c.Endpoints {
+			ep.Class = c
+			if ep.InSpawn {
+				cm.bySpawn[ep.GoSite] = append(cm.bySpawn[ep.GoSite], ep)
+			} else if ep.Fn != nil {
+				cm.byFn[ep.Fn] = append(cm.byFn[ep.Fn], ep)
+			}
+		}
+	}
+	cm.Classes = classes
+
+	// Spawn-reachability closure: resolved spawn callees plus functions
+	// called from go-literal bodies, chased through the call graph.
+	var queue []*types.Func
+	push := func(fn *types.Func) {
+		for _, t := range b.m.Graph.resolve(fn) {
+			if !cm.spawnReach[t] {
+				cm.spawnReach[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	for _, s := range cm.Spawns {
+		if s.Callee != nil {
+			push(s.Callee)
+		}
+		for _, fn := range b.litCalls[s.Pos] {
+			push(fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := b.m.Graph.Node(fn)
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Calls {
+			push(e.Callee)
+		}
+	}
+	return cm
+}
+
+func classFirstPos(c *ChanClass) token.Pos {
+	p := token.Pos(1 << 62)
+	if len(c.Makes) > 0 && c.Makes[0] < p {
+		p = c.Makes[0]
+	}
+	if len(c.Endpoints) > 0 && c.Endpoints[0].Pos < p {
+		p = c.Endpoints[0].Pos
+	}
+	return p
+}
+
+// SpawnedIn reports whether fn may execute on a goroutine spawned by a
+// `go` statement (directly spawned or reachable from one).
+func (cm *ConcModel) SpawnedIn(fn *types.Func) bool {
+	return fn != nil && cm.spawnReach[fn]
+}
+
+// spawnOps collects the channel endpoints a spawn's goroutine may
+// execute: the go-literal's lexical endpoints (for literal spawns) or
+// the callee's endpoints, plus endpoints of resolved callees chased
+// depth levels into the call graph. complete is false when a func-value
+// call hides part of the body — the leak rules then stay silent.
+func (cm *ConcModel) spawnOps(m *Module, s *SpawnSite, depth int) (ops []*ChanEndpoint, complete bool) {
+	complete = !s.Unresolved
+	seen := make(map[*types.Func]bool)
+	var chase func(fn *types.Func, d int)
+	chase = func(fn *types.Func, d int) {
+		for _, t := range m.Graph.resolve(fn) {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			if cm.unresolvedCall[t] {
+				complete = false
+			}
+			ops = append(ops, cm.byFn[t]...)
+			node := m.Graph.Node(t)
+			if node == nil {
+				// Interface method with no module implementation, or an
+				// external function: its body is invisible.
+				continue
+			}
+			if d >= depth {
+				// Call edges beyond the bound may hide blocking ops;
+				// treat the set as incomplete rather than guessing.
+				if len(node.Calls) > 0 {
+					complete = false
+				}
+				continue
+			}
+			for _, e := range node.Calls {
+				chase(e.Callee, d+1)
+			}
+		}
+	}
+	switch {
+	case s.Lit != nil && s.LitChased:
+		// Closure chased through a local: its endpoints were recorded
+		// under the spawner at the assignment site — recover them by
+		// source range.
+		for _, ep := range cm.byFn[s.Caller] {
+			if ep.Pos >= s.Lit.Pos() && ep.Pos <= s.Lit.End() {
+				ops = append(ops, ep)
+			}
+		}
+		if cm.unresolvedCall[s.Caller] {
+			complete = false
+		}
+		for _, fn := range cm.litCalls[s.Pos] {
+			chase(fn, 1)
+		}
+	case s.Lit != nil:
+		ops = append(ops, cm.bySpawn[s.Pos]...)
+		if cm.litUnresolved[s.Pos] {
+			complete = false
+		}
+		for _, fn := range cm.litCalls[s.Pos] {
+			chase(fn, 1)
+		}
+	case s.Callee != nil:
+		chase(s.Callee, 0)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Pos < ops[j].Pos })
+	return ops, complete
+}

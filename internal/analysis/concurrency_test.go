@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// concFixture packs every carrier and spawn shape the topology model
+// distinguishes into one package: direct literal spawns, named and
+// method-value spawns, chased closures, unresolved func values,
+// struct-field and package-level carriers, result carriers, escapes
+// into maps/slices, buffered makes, and select comms.
+const concFixture = `package tp
+
+var feed = make(chan int, 8)
+
+type hub struct {
+	in  chan int
+	out chan int
+}
+
+func newHub() *hub {
+	return &hub{in: make(chan int), out: make(chan int, 4)}
+}
+
+func (h *hub) run() {
+	for v := range h.in {
+		h.out <- v
+	}
+	close(h.out)
+}
+
+func (h *hub) stopIn() { close(h.in) }
+
+func pump(src chan int) {
+	for v := range src {
+		feed <- v
+	}
+}
+
+func wire() {
+	h := newHub()
+	go h.run()
+	go pump(h.out)
+	h.in <- 1
+	h.stopIn()
+}
+
+func methodValueSpawn() {
+	h := newHub()
+	r := h.run
+	go r()
+	h.in <- 2
+	h.stopIn()
+}
+
+func chasedClosure() {
+	ch := make(chan int)
+	f := func() { ch <- 3 }
+	go f()
+	<-ch
+}
+
+func unresolvedSpawn(f func()) {
+	go f()
+}
+
+var sinkSlice []chan int
+
+func escapes() chan int {
+	a := make(chan int)
+	sinkSlice = append(sinkSlice, a)
+	m := map[int]chan int{}
+	m[0] = make(chan int)
+	return a
+}
+
+func selector(a, b chan int, done chan struct{}) {
+	for {
+		select {
+		case v := <-a:
+			b <- v
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+`
+
+// checkConcInvariants asserts the structural contract of the frozen
+// topology (DESIGN.md §6.1): deterministic ordering, exactly-one class
+// per endpoint, disjoint carriers, and consistent open/spawn metadata.
+func checkConcInvariants(t *testing.T, m *Module, cm *ConcModel) {
+	t.Helper()
+
+	// Spawns sorted, each in exactly one resolution state.
+	for i, s := range cm.Spawns {
+		if i > 0 && cm.Spawns[i-1].Pos >= s.Pos {
+			t.Errorf("spawns not strictly sorted at %d: %v >= %v", i, cm.Spawns[i-1].Pos, s.Pos)
+		}
+		states := 0
+		if s.Callee != nil {
+			states++
+		}
+		if s.Lit != nil {
+			states++
+		}
+		if s.Unresolved {
+			states++
+		}
+		if states != 1 {
+			t.Errorf("spawn at %s: want exactly one of Callee/Lit/Unresolved, got %d", m.Fset.Position(s.Pos), states)
+		}
+		if s.LitChased && s.Lit == nil {
+			t.Errorf("spawn at %s: LitChased without a Lit", m.Fset.Position(s.Pos))
+		}
+	}
+
+	// Classes sorted by first position; members sorted; IDs sequential.
+	for i, c := range cm.Classes {
+		if c.ID != i {
+			t.Errorf("class %d carries ID %d", i, c.ID)
+		}
+		if i > 0 && classFirstPos(cm.Classes[i-1]) >= classFirstPos(c) {
+			t.Errorf("classes not sorted at %d", i)
+		}
+		if len(c.Makes) == 0 && len(c.Endpoints) == 0 {
+			t.Errorf("class %d is empty plumbing and should have been dropped", i)
+		}
+		for j := 1; j < len(c.Makes); j++ {
+			if c.Makes[j-1] >= c.Makes[j] {
+				t.Errorf("class %d makes not sorted", i)
+			}
+		}
+		for j := 1; j < len(c.Endpoints); j++ {
+			if c.Endpoints[j-1].Pos > c.Endpoints[j].Pos {
+				t.Errorf("class %d endpoints not sorted", i)
+			}
+		}
+		for j := 1; j < len(c.Carriers); j++ {
+			if c.Carriers[j-1].Pos() >= c.Carriers[j].Pos() {
+				t.Errorf("class %d carriers not sorted", i)
+			}
+		}
+		if c.Open && c.OpenWhy == "" {
+			t.Errorf("class %d (%s) is open with no reason", i, c.Name())
+		}
+		if !c.Open && c.OpenWhy != "" {
+			t.Errorf("class %d (%s) carries OpenWhy %q while closed", i, c.Name(), c.OpenWhy)
+		}
+	}
+
+	// Every endpoint belongs to exactly one class, and its Class pointer
+	// is that class. Carriers are disjoint across classes.
+	epClassCount := make(map[*ChanEndpoint]int)
+	carrierClass := make(map[string]int)
+	spawnAt := make(map[token.Pos]bool)
+	for _, s := range cm.Spawns {
+		spawnAt[s.Pos] = true
+	}
+	for i, c := range cm.Classes {
+		for _, ep := range c.Endpoints {
+			epClassCount[ep]++
+			if ep.Class != c {
+				t.Errorf("endpoint at %s in class %d points at class %v", m.Fset.Position(ep.Pos), i, ep.Class)
+			}
+			if ep.InSpawn != (ep.GoSite != token.NoPos) {
+				t.Errorf("endpoint at %s: InSpawn=%v but GoSite=%v", m.Fset.Position(ep.Pos), ep.InSpawn, ep.GoSite)
+			}
+			if ep.InSpawn && !spawnAt[ep.GoSite] {
+				t.Errorf("endpoint at %s names GoSite %v with no recorded spawn", m.Fset.Position(ep.Pos), ep.GoSite)
+			}
+			if ep.NonBlock && !ep.InSelect {
+				t.Errorf("endpoint at %s: NonBlock outside a select", m.Fset.Position(ep.Pos))
+			}
+			if ep.PkgRel == "" {
+				t.Errorf("endpoint at %s has no package", m.Fset.Position(ep.Pos))
+			}
+		}
+		for _, v := range c.Carriers {
+			key := m.Fset.Position(v.Pos()).String() + "/" + v.Name()
+			if prev, ok := carrierClass[key]; ok && prev != i {
+				t.Errorf("carrier %s appears in classes %d and %d", key, prev, i)
+			}
+			carrierClass[key] = i
+		}
+	}
+	for ep, n := range epClassCount {
+		if n != 1 {
+			t.Errorf("endpoint at %s appears in %d classes", m.Fset.Position(ep.Pos), n)
+		}
+	}
+}
+
+// renderConcModel flattens the topology to position-keyed lines so two
+// independent builds of the same tree can be compared byte-for-byte.
+func renderConcModel(m *Module, cm *ConcModel) string {
+	var b strings.Builder
+	for _, s := range cm.Spawns {
+		state := "unresolved"
+		switch {
+		case s.Callee != nil:
+			state = "callee=" + s.Callee.Name()
+		case s.LitChased:
+			state = "lit-chased"
+		case s.Lit != nil:
+			state = "lit"
+		}
+		fmt.Fprintf(&b, "spawn %s %s\n", m.Fset.Position(s.Pos), state)
+	}
+	for _, c := range cm.Classes {
+		fmt.Fprintf(&b, "class %d name=%s open=%v buffered=%v makes=%d\n",
+			c.ID, c.Name(), c.Open, c.Buffered, len(c.Makes))
+		for _, ep := range c.Endpoints {
+			fmt.Fprintf(&b, "  ep %s %s spawn=%v select=%v loop=%v nonblock=%v\n",
+				ep.Kind, m.Fset.Position(ep.Pos), ep.InSpawn, ep.InSelect, ep.InLoop, ep.NonBlock)
+		}
+	}
+	return b.String()
+}
+
+// TestConcModelInvariants builds the topology over a package exercising
+// every spawn and carrier shape and checks the structural contract,
+// then builds it a second time from scratch and requires the frozen
+// models to render identically (map iteration inside the builder must
+// never leak into the output).
+func TestConcModelInvariants(t *testing.T) {
+	t.Parallel()
+	files := map[string]string{"internal/core/tp/tp.go": concFixture}
+
+	mod := buildFixtureModule(t, files)
+	cm := mod.ConcModel()
+	checkConcInvariants(t, mod, cm)
+
+	if len(cm.Spawns) != 5 {
+		t.Errorf("want 5 spawn sites, got %d", len(cm.Spawns))
+	}
+	var unresolved, chased, callees int
+	for _, s := range cm.Spawns {
+		switch {
+		case s.Unresolved:
+			unresolved++
+		case s.LitChased:
+			chased++
+		case s.Callee != nil:
+			callees++
+		}
+	}
+	if unresolved != 1 || chased != 1 || callees != 3 {
+		t.Errorf("spawn resolution mix = %d callees, %d chased, %d unresolved; want 3/1/1",
+			callees, chased, unresolved)
+	}
+
+	// The escapes must all be open; the hub plumbing must not be.
+	var openSeen bool
+	for _, c := range cm.Classes {
+		if c.Open {
+			openSeen = true
+		}
+	}
+	if !openSeen {
+		t.Error("escape shapes produced no open class")
+	}
+
+	mod2 := buildFixtureModule(t, files)
+	checkConcInvariants(t, mod2, mod2.ConcModel())
+	got := strings.ReplaceAll(renderConcModel(mod, cm), mod.Root, "")
+	got2 := strings.ReplaceAll(renderConcModel(mod2, mod2.ConcModel()), mod2.Root, "")
+	if got != got2 {
+		t.Errorf("two builds of the same tree rendered differently:\n--- first\n%s\n--- second\n%s", got, got2)
+	}
+}

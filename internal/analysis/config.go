@@ -54,6 +54,25 @@ type Config struct {
 	// probes instead).
 	AllocFreeScope []string
 
+	// DetSurfaces lists the deterministic-surface packages (rule
+	// detsource): everything reachable from them inside DetScope must be
+	// free of nondeterminism sources, or seeded replay stops being
+	// byte-identical.
+	DetSurfaces []string
+
+	// DetSinks names the ordering comparators whose direct callers join
+	// the deterministic surface even outside DetSurfaces — code feeding
+	// market's ordering decisions must itself be deterministic. Entries
+	// use the HotPathRoot shape: {Pkg: "internal/market", Func:
+	// "(Ordering).Less"}.
+	DetSinks []HotPathRoot
+
+	// DetScope bounds the detsource taint walk exactly like
+	// AllocFreeScope bounds allocfree: edges into packages outside these
+	// prefixes are not traversed (external callees are vouched for by
+	// the replay tests).
+	DetScope []string
+
 	// EnabledRules selects which rules run (nil or empty = all). The
 	// driver's -rules flag and CI's incremental gating set this; the
 	// bad-ignore/unused-ignore directive pseudo-rules always run, except
@@ -163,6 +182,32 @@ func Default() *Config {
 			{Pkg: "internal/wire", Func: "AppendTrade"},
 			{Pkg: "internal/wire", Func: "AppendHeartbeat"},
 			{Pkg: "internal/wire", Func: "AppendMarketData"},
+		},
+		DetSurfaces: []string{
+			// The seeded replay pipeline: identical seeds must produce
+			// byte-identical traces and oracle verdicts.
+			"internal/sim",
+			"internal/check",
+			"internal/flight",
+		},
+		DetSinks: []HotPathRoot{
+			// The canonical delivery-clock comparators: anything that
+			// feeds an ordering decision must be deterministic.
+			{Pkg: "internal/market", Func: "(Ordering).Less"},
+			{Pkg: "internal/market", Func: "(DeliveryClock).Less"},
+			{Pkg: "internal/market", Func: "(DeliveryClock).Compare"},
+		},
+		DetScope: []string{
+			// The deterministic pipeline: sim/check/flight plus the pure
+			// ordering/clock machinery they call into. The wall-clock
+			// packages (rt, transport, node) are deliberately outside —
+			// they are allowed to be timing-driven.
+			"internal/sim",
+			"internal/check",
+			"internal/flight",
+			"internal/market",
+			"internal/core",
+			"internal/clock",
 		},
 		AllocFreeScope: []string{
 			// internal/flight is deliberately outside the scope: flight

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DetSource is the interprocedural nondeterminism-taint rule: byte-
+// identical seeded replay (the flight recorder's core promise, §6) only
+// holds if nothing on the deterministic surfaces consumes a source of
+// nondeterminism. The rule walks the static call graph from two kinds
+// of roots — every function in a Config.DetSurfaces package, and every
+// function that directly calls a Config.DetSinks comparator (the code
+// feeding market's ordering decisions) — bounded to Config.DetScope,
+// and reports three source shapes in any reachable body:
+//
+//   - a call to a package-level math/rand or math/rand/v2 function
+//     (other than the New* constructors): those draw from the global,
+//     unseeded source. Methods on a *rand.Rand are the seeded path and
+//     are fine.
+//   - a `range` over a map: iteration order is randomized per run. A
+//     function that also sorts (sort.*, slices.Sort*) is exempt — the
+//     collect-then-sort idiom is the sanctioned fix.
+//   - a `select` with two or more communication cases: when several are
+//     ready the runtime picks uniformly at random.
+//
+// Soundness bounds: the walk stops at DetScope edges (external callees
+// and out-of-scope packages are vouched for by the replay tests), and
+// dynamic calls through func values are invisible to the call graph.
+var DetSource = &ModuleAnalyzer{
+	Name: "detsource",
+	Doc:  "nondeterminism source (map range, multi-ready select, unseeded rand) reaches a deterministic surface",
+	Run:  runDetSource,
+}
+
+func runDetSource(mp *ModulePass) {
+	m := mp.Mod
+	if m.Graph == nil {
+		return
+	}
+	cfg := mp.Cfg
+	if len(cfg.DetSurfaces) == 0 && len(cfg.DetSinks) == 0 {
+		return
+	}
+
+	// Deterministic worklist: every declared function, by source order.
+	var fns []*types.Func
+	for fn := range m.Graph.nodes {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	// Roots: surface members, and direct callers of a sink.
+	reason := make(map[*types.Func]string) // fn → why it is on the surface
+	var queue []*types.Func
+	add := func(fn *types.Func, why string) {
+		if _, ok := reason[fn]; ok {
+			return
+		}
+		reason[fn] = why
+		queue = append(queue, fn)
+	}
+	for _, fn := range fns {
+		rel := moduleRel(m, fn)
+		if underAny(rel, cfg.DetSurfaces) {
+			add(fn, "deterministic surface "+rel)
+			continue
+		}
+		node := m.Graph.nodes[fn]
+		for _, e := range node.Calls {
+			for _, callee := range m.Graph.resolve(e.Callee) {
+				if sinkFor(m, cfg, callee) != "" {
+					add(fn, "feeds "+sinkFor(m, cfg, callee))
+				}
+			}
+		}
+	}
+
+	// Closure over the call graph, bounded to DetScope.
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := m.Graph.Node(fn)
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Calls {
+			for _, callee := range m.Graph.resolve(e.Callee) {
+				if !underAny(moduleRel(m, callee), cfg.DetScope) {
+					continue
+				}
+				add(callee, reason[fn])
+			}
+		}
+	}
+
+	// Scan every reachable body, in source order.
+	var surface []*types.Func
+	for fn := range reason {
+		surface = append(surface, fn)
+	}
+	sort.Slice(surface, func(i, j int) bool { return surface[i].Pos() < surface[j].Pos() })
+	for _, fn := range surface {
+		node := m.Graph.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		scanDetSources(mp, moduleRel(m, fn), fn, reason[fn], node.Decl.Body)
+	}
+}
+
+// sinkFor matches fn against the configured sinks, returning its
+// display name ("" when not a sink).
+func sinkFor(m *Module, cfg *Config, fn *types.Func) string {
+	rel := moduleRel(m, fn)
+	disp := FuncDisplay(fn)
+	for _, s := range cfg.DetSinks {
+		if s.Pkg == rel && s.Func == disp {
+			return rel + "." + disp
+		}
+	}
+	return ""
+}
+
+// scanDetSources reports each nondeterminism source in body.
+func scanDetSources(mp *ModulePass, pkgRel string, fn *types.Func, why string, body *ast.BlockStmt) {
+	m := mp.Mod
+	sorts := callsSort(m, body)
+	where := FuncDisplay(fn) + " (" + why + ")"
+	report := func(pos token.Pos, format string, args ...any) {
+		mp.Reportf(pkgRel, pos, "detsource", "%s: "+format,
+			append([]any{where}, args...)...)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if t := m.Info.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && !sorts {
+					report(x.For, "map iteration order is randomized per run: collect the keys and sort, or keep a parallel slice")
+				}
+			}
+		case *ast.SelectStmt:
+			comms := 0
+			if x.Body != nil {
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comms++
+					}
+				}
+			}
+			if comms >= 2 {
+				report(x.Select, "select with %d communication cases picks uniformly at random when several are ready: order the receives explicitly", comms)
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(m.Info, x); callee != nil {
+				if name := unseededRandCall(callee); name != "" {
+					report(x.Pos(), "%s draws from the global, unseeded source: thread a seeded *rand.Rand (rand.New(rand.NewPCG(seed, …))) instead", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// unseededRandCall matches package-level math/rand(/v2) functions other
+// than the New* constructors; methods on a *rand.Rand pass.
+func unseededRandCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	if strings.HasPrefix(fn.Name(), "New") {
+		return ""
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// callsSort reports whether body calls into sort or slices — the
+// collect-then-sort idiom that makes a map range order-insensitive.
+func callsSort(m *Module, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(m.Info, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

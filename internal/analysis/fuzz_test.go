@@ -45,6 +45,15 @@ func FuzzVetParse(f *testing.F) {
 	f.Add([]byte("package p\nimport \"sync\"\nvar a, b sync.Mutex\nfunc f() { a.Lock(); b.Lock(); b.Unlock(); a.Unlock() }\nfunc g() { b.Lock(); a.Lock(); a.Unlock(); b.Unlock() }"))
 	f.Add([]byte("package p\nimport \"sync\"\ntype s struct{ mu, mv sync.Mutex }\nfunc (x *s) f() { x.mu.Lock(); defer x.mu.Unlock(); x.g() }\nfunc (x *s) g() { x.mv.Lock(); x.mu.Lock(); x.mu.Unlock(); x.mv.Unlock() }"))
 	f.Add([]byte("package p\ntype pool struct{}\nfunc (pool) Get() *int { return nil }\nfunc (pool) Put(*int) {}\nfunc f(p pool) {\nloop:\n\tfor {\n\t\tt := p.Get()\n\t\tselect {\n\t\tdefault:\n\t\t\tp.Put(t)\n\t\t\tcontinue loop\n\t\t}\n\t}\n}"))
+	// Concurrency-topology seeds: a leaked goroutine (orphan receive), a
+	// double-close/send-after-close shape, a chased-closure spawn, a
+	// method-value spawn, and a multi-comm select over escaped channels —
+	// the shapes the chanleak/closeliveness/detsource walkers chew on.
+	f.Add([]byte("package p\nfunc f() { ch := make(chan int); go func() { <-ch }() }"))
+	f.Add([]byte("package p\nfunc f() { ch := make(chan int, 1); close(ch); ch <- 1; close(ch) }"))
+	f.Add([]byte("package p\nfunc f() { ch := make(chan int); g := func() { ch <- 1 }; go g(); <-ch }"))
+	f.Add([]byte("package p\ntype h struct{ in chan int }\nfunc (x *h) run() { for v := range x.in { _ = v } }\nfunc f(x *h) { r := x.run; go r(); x.in <- 1 }"))
+	f.Add([]byte("package p\nvar m = map[int]chan int{}\nfunc f(a, b chan int, k int) int {\n\tm[k] = a\n\tselect {\n\tcase v := <-a:\n\t\treturn v\n\tcase v := <-b:\n\t\treturn v\n\t}\n}"))
 
 	f.Fuzz(func(t *testing.T, src []byte) {
 		// Two package paths: one rule-scoped, one allowlisted — both

@@ -1,0 +1,90 @@
+// Fixture for rule chanleak, analyzed as package path
+// "internal/node/cl" in a compiled mini-module. The bug shape is a
+// spawned goroutine whose only blocking channel operations have no
+// counterpart endpoint anywhere else in the module: it blocks forever,
+// pinning its stack and everything it captured.
+package cl
+
+func orphanSend() {
+	ch := make(chan int)
+	go func() { // want "chanleak.*blocks on send on .ch.*no receive or range anywhere"
+		ch <- 1
+	}()
+}
+
+func orphanRecv() {
+	ch := make(chan int)
+	go func() { // want "chanleak.*blocks on receive on .ch.*no send or close anywhere"
+		<-ch
+	}()
+}
+
+// worker blocks on its parameter; the spawn below is the leak, chased
+// through the call graph rather than a literal body.
+func worker(in chan int) {
+	v := <-in
+	_ = v
+}
+
+func spawnWorker() {
+	ch := make(chan int)
+	go worker(ch) // want "chanleak.*blocks on receive on .in.*no send or close anywhere"
+}
+
+// cleanPaired: the parent provides the counterpart receive.
+func cleanPaired() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+
+// cleanBuffered: a buffered send may complete without a receiver.
+func cleanBuffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// cleanSelectDefault: a select with a default case never blocks.
+func cleanSelectDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// cleanEscaped: the channel is stored in a map element, so its alias
+// class goes open and the rule assumes live counterparts (documented
+// soundness bound: imprecision degrades to silence).
+var registry = map[string]chan int{}
+
+func cleanEscaped() {
+	ch := make(chan int)
+	registry["x"] = ch
+	go func() {
+		ch <- 1
+	}()
+}
+
+// cleanChased: `go f()` through a local closure variable. The chase
+// resolves the body, and the parent drains the channel.
+func cleanChased() {
+	ch := make(chan int)
+	f := func() { ch <- 2 }
+	go f()
+	<-ch
+}
+
+func suppressed() {
+	ch := make(chan int)
+	//dbo:vet-ignore chanleak fixture proves the escape hatch silences a deliberate leak
+	go func() {
+		ch <- 9
+	}()
+}

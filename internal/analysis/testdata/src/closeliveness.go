@@ -1,0 +1,95 @@
+// Fixture for rule closeliveness, analyzed as package path
+// "internal/node/clv" in a compiled mini-module. Two halves: the
+// class-level liveness check (a spawned consumer that ranges or
+// loop-receives a channel nobody closes can never observe
+// end-of-stream) and the flow-sensitive safety check (definite
+// double-close and send-after-close panic at runtime).
+package clv
+
+func rangeNoClose() {
+	jobs := make(chan int, 4)
+	go func() {
+		for v := range jobs { // want "closeliveness.*ranges over .jobs.*never closed"
+			_ = v
+		}
+	}()
+	jobs <- 1
+}
+
+func loopRecvNoClose() {
+	q := make(chan int)
+	go func() {
+		for {
+			v := <-q // want "closeliveness.*receives in a loop from .q.*never closed"
+			_ = v
+		}
+	}()
+	q <- 2
+}
+
+// cleanClosed: the producer closes, so the consumer's range terminates.
+func cleanClosed() {
+	jobs := make(chan int, 4)
+	go func() {
+		for v := range jobs {
+			_ = v
+		}
+	}()
+	jobs <- 3
+	close(jobs)
+}
+
+// cleanLifecycle: never closed, but the carrier names shutdown
+// machinery (done/stop/quit/ctx) — a lifecycle tie the topology model
+// cannot always see, so the rule gives it the benefit of the doubt.
+func cleanLifecycle() {
+	done := make(chan struct{})
+	go func() {
+		for range done {
+		}
+	}()
+	done <- struct{}{}
+}
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "closeliveness.*closed twice.*close of a closed channel panics"
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "closeliveness.*send on .ch. after close"
+}
+
+// cleanGuardedClose: a close on one branch joins to maybe-closed, and
+// only definite states report — guarded close idioms stay silent.
+func cleanGuardedClose(c bool) {
+	ch := make(chan int, 1)
+	if c {
+		close(ch)
+	}
+	ch <- 4
+}
+
+// cleanReopen: reassignment makes the local definitely open again.
+func cleanReopen() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// cleanDeferClose: the deferred close runs at exit, after the send.
+func cleanDeferClose() {
+	ch := make(chan int, 2)
+	defer close(ch)
+	ch <- 5
+}
+
+func suppressed() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) //dbo:vet-ignore closeliveness fixture proves the escape hatch silences a deliberate double close
+}

@@ -1,0 +1,69 @@
+// Fixture for rule detsource, analyzed as package path
+// "internal/sim/ds" in a compiled mini-module — internal/sim is a
+// deterministic surface in the default config, so every function here
+// is a taint root. The three source shapes: map ranges (iteration
+// order is randomized per run), multi-ready selects (the runtime picks
+// uniformly at random), and the global unseeded math/rand source.
+package ds
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func sumWeights(w map[int]int) int {
+	s := 0
+	for k := range w { // want "detsource.*sumWeights.*deterministic surface internal/sim/ds.*map iteration order is randomized"
+		s += w[k]
+	}
+	return s
+}
+
+// sortedKeys: the sanctioned collect-then-sort idiom is exempt.
+func sortedKeys(w map[int]int) []int {
+	keys := make([]int, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func merge(a, b chan int) int {
+	select { // want "detsource.*merge.*select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll: one communication case plus default never races two ready
+// channels — only multi-comm selects are nondeterministic.
+func poll(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func jitter(d int) int {
+	return d + rand.Intn(3) // want "detsource.*math/rand.Intn draws from the global, unseeded source"
+}
+
+// seededJitter: methods on an explicit *rand.Rand are the seeded,
+// replayable path.
+func seededJitter(r *rand.Rand, d int) int {
+	return d + r.Intn(3)
+}
+
+func suppressed(w map[int]int) int {
+	s := 0
+	//dbo:vet-ignore detsource fixture proves the escape hatch silences a deliberate map range
+	for k := range w {
+		s += w[k]
+	}
+	return s
+}

@@ -41,6 +41,9 @@ type Module struct {
 	files    map[*ast.File]bool        // files covered by Info
 	checking map[string]bool           // cycle guard
 	stdImp   types.Importer
+
+	concOnce sync.Once  // guards conc (module analyzers run in parallel)
+	conc     *ConcModel // lazily built concurrency topology
 }
 
 var moduleLineRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
@@ -243,6 +246,29 @@ func (m *Module) Run(cfg *Config, patterns []string, workers int) []Diagnostic {
 	}
 
 	perPkg := make([][]Diagnostic, len(selected))
+	m.runPackagesParallel(cfg, selected, perPkg, nil, workers)
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	diags = append(diags, m.runModuleAnalyzers(cfg, selectedRel)...)
+
+	var dirs []*directive
+	for _, p := range selected {
+		dirs = append(dirs, collectDirectives(p)...)
+	}
+	diags = applyDirectives(cfg, dirs, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPackagesParallel fills perPkg with runPackage results using a
+// worker pool, skipping indexes marked done (cache-reused packages).
+func (m *Module) runPackagesParallel(cfg *Config, selected []*Package, perPkg [][]Diagnostic, done []bool, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -255,32 +281,41 @@ func (m *Module) Run(cfg *Config, patterns []string, workers int) []Diagnostic {
 		}()
 	}
 	for i := range selected {
-		jobs <- i
+		if done == nil || !done[i] {
+			jobs <- i
+		}
 	}
 	close(jobs)
 	wg.Wait()
+}
 
-	var diags []Diagnostic
-	for _, d := range perPkg {
-		diags = append(diags, d...)
-	}
-
-	// Module-level analyzers see the whole module but report only into
-	// the selected packages.
-	mp := &ModulePass{Mod: m, Cfg: cfg, Selected: selectedRel, diags: &diags}
-	for _, a := range AllModule() {
-		if cfg.ruleEnabled(a.Name) {
-			a.Run(mp)
+// runModuleAnalyzers runs every enabled module-level analyzer, each on
+// its own goroutine (they share the Module read-only; the concurrency
+// topology is built once behind a sync.Once). Results are merged in
+// registration order so the output is deterministic.
+func (m *Module) runModuleAnalyzers(cfg *Config, selected map[string]bool) []Diagnostic {
+	mas := AllModule()
+	per := make([][]Diagnostic, len(mas))
+	var wg sync.WaitGroup
+	for i, a := range mas {
+		if !cfg.ruleEnabled(a.Name) {
+			continue
 		}
+		wg.Add(1)
+		go func(i int, a *ModuleAnalyzer) {
+			defer wg.Done()
+			var diags []Diagnostic
+			mp := &ModulePass{Mod: m, Cfg: cfg, Selected: selected, diags: &diags}
+			a.Run(mp)
+			per[i] = diags
+		}(i, a)
 	}
-
-	var dirs []*directive
-	for _, p := range selected {
-		dirs = append(dirs, collectDirectives(p)...)
+	wg.Wait()
+	var out []Diagnostic
+	for _, d := range per {
+		out = append(out, d...)
 	}
-	diags = applyDirectives(cfg, dirs, diags)
-	SortDiagnostics(diags)
-	return diags
+	return out
 }
 
 // runPackage runs the per-package analyzers over one package with the

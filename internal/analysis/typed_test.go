@@ -78,6 +78,9 @@ var typedFixtures = []struct {
 	{"poolowner.go", "internal/core/po"},
 	{"allocfree.go", "internal/wire"},
 	{"lockorder.go", "internal/node/lo"},
+	{"chanleak.go", "internal/node/cl"},
+	{"closeliveness.go", "internal/node/clv"},
+	{"detsource.go", "internal/sim/ds"},
 }
 
 // buildFixtureModule assembles a compiled temp module ("module dbo")
@@ -308,6 +311,33 @@ func DecodeInto(dst, buf []byte) []byte {
 	return make([]byte, len(buf))
 }
 `},
+		"chanleak": {"internal/node/clx", `package clx
+
+func f() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+}
+`},
+		"closeliveness": {"internal/node/clvx", `package clvx
+
+func f() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+`},
+		"detsource": {"internal/sim/dsx", `package dsx
+
+func f(w map[int]int) int {
+	s := 0
+	for k := range w {
+		s += w[k]
+	}
+	return s
+}
+`},
 	}
 	for rule, tc := range cases {
 		rule, tc := rule, tc
@@ -464,6 +494,20 @@ func TestVetModuleClean(t *testing.T) {
 	}
 	if dfElapsed > dfBudget {
 		t.Errorf("dataflow pass took %v, over the %v budget", dfElapsed, dfBudget)
+	}
+
+	// So do the concurrency-topology rules: building the spawn graph and
+	// channel-endpoint classes plus all three rules must fit the same
+	// fraction of the budget.
+	cfg = Default()
+	cfg.EnabledRules = []string{"chanleak", "closeliveness", "detsource"}
+	start = time.Now()
+	if diags := mod.Run(cfg, []string{"./..."}, 4); len(diags) != 0 {
+		t.Errorf("concurrency rules not clean on the swept tree: %v", diags)
+	}
+	ccElapsed := time.Since(start)
+	if ccElapsed > dfBudget {
+		t.Errorf("concurrency pass took %v, over the %v budget", ccElapsed, dfBudget)
 	}
 }
 

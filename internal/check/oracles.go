@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"dbo/internal/clock"
 	"dbo/internal/core"
@@ -261,7 +262,15 @@ func (c *checker) checkLRTF(log []*market.Trade) {
 				t.Key(), t.DC.Elapsed, t.RT, c.rtEps)
 		}
 	}
-	for trig, ts := range groups {
+	// Violation messages must come out in a replay-stable order: map
+	// iteration would shuffle them per run, so sort the trigger points.
+	trigs := make([]market.PointID, 0, len(groups))
+	for trig := range groups {
+		trigs = append(trigs, trig)
+	}
+	sort.Slice(trigs, func(i, j int) bool { return trigs[i] < trigs[j] })
+	for _, trig := range trigs {
+		ts := groups[trig]
 		for i := 0; i < len(ts); i++ {
 			for j := i + 1; j < len(ts); j++ {
 				a, b := ts[i], ts[j]

@@ -6,13 +6,12 @@ import (
 	"dbo/internal/sim"
 )
 
-//dbo:vet-ignore naketime fuzz corpora only carry primitive types; converted to sim.Time on the next line
-func orderingFrom(point uint64, elapsed int64, mp int32, seq uint64) Ordering {
+func orderingFrom(point uint64, elapsed sim.Time, mp int32, seq uint64) Ordering {
 	if elapsed < 0 {
 		elapsed = -elapsed
 	}
 	return Ordering{
-		DC:  DeliveryClock{Point: PointID(point), Elapsed: sim.Time(elapsed)},
+		DC:  DeliveryClock{Point: PointID(point), Elapsed: elapsed},
 		MP:  ParticipantID(mp),
 		Seq: TradeSeq(seq),
 	}
@@ -37,9 +36,9 @@ func FuzzOrderingLess(f *testing.F) {
 		p1 uint64, e1 int64, m1 int32, s1 uint64,
 		p2 uint64, e2 int64, m2 int32, s2 uint64,
 		p3 uint64, e3 int64, m3 int32, s3 uint64) {
-		a := orderingFrom(p1, e1, m1, s1)
-		b := orderingFrom(p2, e2, m2, s2)
-		c := orderingFrom(p3, e3, m3, s3)
+		a := orderingFrom(p1, sim.Time(e1), m1, s1)
+		b := orderingFrom(p2, sim.Time(e2), m2, s2)
+		c := orderingFrom(p3, sim.Time(e3), m3, s3)
 
 		for _, o := range []Ordering{a, b, c} {
 			if o.Less(o) {
