@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"dbo"
+	"dbo/internal/audit"
 	"dbo/internal/flight"
+	"dbo/internal/metrics"
 )
 
 func main() {
@@ -30,9 +33,11 @@ func main() {
 	kappa := flag.Float64("kappa", 0.25, "κ batching gain")
 	tau := flag.Duration("tau", 500*time.Microsecond, "τ heartbeat/maintenance period")
 	straggler := flag.Duration("straggler", 0, "straggler RTT threshold (0 = off)")
-	httpAddr := flag.String("http", "", "serve /metrics, /metrics/prom and /debug/flight here")
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics/prom, /debug/flight and /debug/audit here")
 	flightOut := flag.String("flight", "", "write the flight trace to this NDJSON file on exit")
 	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ and Go runtime gauges on -http")
+	rttDir := flag.String("rtt-dir", "", "capture per-MP probe RTTs and write replayable CSV traces here on exit (implies probing at τ)")
 	flag.Parse()
 
 	var addrs []dbo.ParticipantAddr
@@ -61,7 +66,10 @@ func main() {
 	if *flightOut != "" || *httpAddr != "" {
 		rec = dbo.NewFlightRecorder(*flightBuf)
 	}
-	ex, err := dbo.NewExchange(dbo.ExchangeConfig{
+	// The live fairness auditor watches every forwarded trade in-process
+	// (δ-gap and atomicity are participant-side checks; see dbo-mp).
+	auditor := audit.New(audit.Config{})
+	cfg := dbo.ExchangeConfig{
 		Listen:       *listen,
 		TickInterval: *tick,
 		Ticks:        *ticks,
@@ -70,22 +78,33 @@ func main() {
 		Tau:          *tau,
 		StragglerRTT: *straggler,
 		Flight:       rec,
-	})
+		Auditor:      auditor,
+	}
+	if *rttDir != "" {
+		cfg.CaptureRTT = *tau
+	}
+	ex, err := dbo.NewExchange(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	auditor.Register(ex.Metrics())
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", ex.Metrics().Handler())
 		mux.Handle("/metrics/prom", ex.Metrics().PromHandler())
 		mux.Handle("/debug/flight", flight.Handler(rec))
+		mux.Handle("/debug/audit", audit.Handler(auditor))
+		if *pprofOn {
+			metrics.MountPprof(mux)
+			metrics.RegisterRuntime(ex.Metrics())
+		}
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "http:", err)
 			}
 		}()
-		fmt.Printf("serving /metrics and /debug/flight on %s\n", *httpAddr)
+		fmt.Printf("serving /metrics, /debug/flight and /debug/audit on %s\n", *httpAddr)
 	}
 	fmt.Printf("CES listening on %s (udp) / %s (tcp reverse path), %d participants, %d ticks every %v\n",
 		ex.Addr(), ex.TCPAddr(), len(addrs), *ticks, *tick)
@@ -126,4 +145,33 @@ func main() {
 		}
 		fmt.Printf("flight: %d events to %s (%d dropped)\n", len(events), *flightOut, rec.Dropped())
 	}
+	if *rttDir != "" {
+		if err := os.MkdirAll(*rttDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, a := range addrs {
+			tr := ex.RTTTrace(a.ID)
+			if tr == nil {
+				continue // no valid probe replies from this MP
+			}
+			path := filepath.Join(*rttDir, fmt.Sprintf("rtt-mp%d.csv", a.ID))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tr.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("rtt: %d samples to %s (replay with dbo-sim -trace)\n", len(tr.RTT), path)
+		}
+	}
+	s := auditor.Stats()
+	fmt.Printf("audit: fairness %.4f over %d pairs (%d unfair)\n", s.Fairness, s.Pairs, s.UnfairPairs)
 }

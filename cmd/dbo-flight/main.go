@@ -9,6 +9,19 @@
 //	dbo-flight -blockers trace.ndjson       # attribution leaderboard
 //	dbo-flight -pacing 20us trace.ndjson    # δ pacing check
 //	dbo-flight -check trace.ndjson          # CI mode: exit 1 on anomalies
+//
+// Traces recorded on different nodes (each event stamped with its
+// recording node) merge into one causally-ordered cross-node trace:
+//
+//	dbo-flight -merge merged.ndjson ces.ndjson mp1.ndjson mp2.ndjson
+//	dbo-flight -timeline 3:17 merged.ndjson # + per-hop latency breakdown
+//	dbo-flight -pacing 20us -check merged.ndjson
+//
+// On a merged trace, -check switches to the cross-node checks: δ-gap
+// pacing recomputed from timestamps (catching an RB whose self-reported
+// gaps lie), batch atomicity across participants, and reversed
+// lifecycle incompleteness (a CES-side event whose node-side cause is
+// missing — ring-drop evidence).
 package main
 
 import (
@@ -29,8 +42,16 @@ func main() {
 	blockers := flag.Bool("blockers", false, "print only the blocker leaderboard")
 	pacing := flag.Duration("pacing", 0, "check inter-batch delivery gaps against this δ")
 	check := flag.Bool("check", false, "CI mode: exit non-zero unless the trace is sane and every held release is attributed")
+	merge := flag.String("merge", "", "merge per-node traces into this file ('-' for stdout): -merge out.ndjson node1.ndjson node2.ndjson ...")
 	top := flag.Int("top", 10, "rows to show in leaderboards")
 	flag.Parse()
+
+	if *merge != "" {
+		if err := mergeTraces(*merge, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	events, err := load(flag.Arg(0))
 	if err != nil {
@@ -48,9 +69,14 @@ func main() {
 			fatal(fmt.Errorf("trade %d:%d not in trace", mp, seq))
 		}
 		printTimeline(tl)
+		if flight.IsMerged(events) {
+			if ha, ok := flight.AttributeHops(events, mp, seq); ok {
+				printHops(ha)
+			}
+		}
 	case *blockers:
 		printBlockers(flight.Blockers(events), *top)
-	case *pacing > 0:
+	case *pacing > 0 && !*check:
 		p := flight.CheckPacing(events, sim.FromDuration(*pacing))
 		fmt.Printf("deliveries  %d\n", p.Deliveries)
 		fmt.Printf("min gap     %v (δ = %v)\n", p.MinGap, sim.FromDuration(*pacing))
@@ -68,8 +94,21 @@ func main() {
 		}
 		os.Exit(1)
 	case *check:
+		if flight.IsMerged(events) {
+			if err := checkMerged(events, sim.FromDuration(*pacing)); err != nil {
+				fatal(err)
+			}
+			fmt.Println("merged trace OK")
+			return
+		}
 		if err := checkTrace(events); err != nil {
 			fatal(err)
+		}
+		if *pacing > 0 {
+			if p := flight.CheckPacing(events, sim.FromDuration(*pacing)); len(p.Violations) > 0 {
+				fatal(fmt.Errorf("check: %d pacing violations (min gap %v < δ %v)",
+					len(p.Violations), p.MinGap, sim.FromDuration(*pacing)))
+			}
 		}
 		fmt.Println("flight trace OK")
 	default:
@@ -194,6 +233,90 @@ func checkTrace(events []flight.Event) error {
 	fmt.Printf("check: %d events, %d trades, %d held releases all attributed, %d still queued at capture end\n",
 		s.Events, len(tls), s.Held, incomplete)
 	return nil
+}
+
+// mergeTraces joins per-node trace files into one causally-ordered
+// trace, reporting the clock alignment on stderr so stdout stays clean
+// when writing to "-".
+func mergeTraces(out string, inputs []string) error {
+	if len(inputs) < 2 {
+		return fmt.Errorf("merge: need at least two per-node traces, got %d", len(inputs))
+	}
+	perNode := make([][]flight.Event, 0, len(inputs))
+	for _, path := range inputs {
+		events, err := load(path)
+		if err != nil {
+			return fmt.Errorf("merge: %s: %w", path, err)
+		}
+		perNode = append(perNode, events)
+	}
+	merged, rep, err := flight.Merge(perNode)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := flight.Write(w, merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d events from %d nodes (ref node %d)\n", rep.Events, len(rep.Nodes), rep.Ref)
+	for _, n := range rep.Nodes {
+		if n == rep.Ref {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  node %d: offset %v (%d fwd / %d rev edges)\n",
+			n, rep.Offset[n], rep.FwdEdges[n], rep.RevEdges[n])
+	}
+	return nil
+}
+
+// checkMerged is the CI gate for cross-node traces: timestamp-derived
+// δ-gap pacing (when δ is given), batch atomicity, and lifecycle
+// completeness with ring-drop evidence treated as an error.
+func checkMerged(events []flight.Event, delta sim.Time) error {
+	if delta > 0 {
+		p := flight.CheckCrossPacing(events, delta)
+		if len(p.Violations) > 0 {
+			v := p.Violations[0]
+			return fmt.Errorf("check: %d cross-node pacing violations (first: MP %d batch %d gap %v < δ %v)",
+				len(p.Violations), v.MP, v.Batch, v.Gap, delta)
+		}
+	}
+	if breaks := flight.CheckBatchAtomicity(events); len(breaks) > 0 {
+		b := breaks[0]
+		return fmt.Errorf("check: %d batch-atomicity breaks (first: batch %d, MP %d saw last=%d count=%d vs last=%d count=%d)",
+			len(breaks), b.Batch, b.MP, b.Point, b.Count, b.RefPoint, b.RefCount)
+	}
+	cs := flight.CheckCrossLifecycle(events)
+	if cs.EnqueueNoSubmit > 0 || cs.MatchNoRelease > 0 || cs.DeliverNoSeal > 0 {
+		return fmt.Errorf("check: reversed incompleteness — %d enqueues without submit, %d matches without release, %d deliveries of unsealed batches: recorder ring drops or a missing per-node file",
+			cs.EnqueueNoSubmit, cs.MatchNoRelease, cs.DeliverNoSeal)
+	}
+	fmt.Printf("check: %d events, %d trades (%d cross-node complete)\n", len(events), cs.Trades, cs.Complete)
+	return nil
+}
+
+func printHops(ha flight.HopAttribution) {
+	fmt.Printf("per-hop attribution (trigger %d, batch %d):\n", ha.Trigger, ha.Batch)
+	stage := func(name string, d sim.Time) {
+		if d == flight.TimeUnset {
+			fmt.Printf("  %-22s -\n", name)
+			return
+		}
+		fmt.Printf("  %-22s %v\n", name, d)
+	}
+	stage("seal -> deliver", ha.SealToDeliver)
+	stage("deliver -> submit", ha.DeliverToSubmit)
+	stage("submit -> enqueue", ha.SubmitToEnqueue)
+	stage("enqueue -> release", ha.EnqueueToRelease)
+	stage("release -> match", ha.ReleaseToMatch)
 }
 
 func fatal(err error) {

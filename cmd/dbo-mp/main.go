@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"dbo"
+	"dbo/internal/audit"
 	"dbo/internal/flight"
+	"dbo/internal/metrics"
 )
 
 func main() {
@@ -31,8 +33,10 @@ func main() {
 	jitter := flag.Duration("jitter", 100*time.Microsecond, "uniform response jitter")
 	prob := flag.Float64("prob", 1.0, "probability of trading per data point")
 	seed := flag.Uint64("seed", 0, "strategy seed (0 = participant id)")
-	httpAddr := flag.String("http", "", "serve /metrics, /metrics/prom and /debug/flight here")
+	httpAddr := flag.String("http", "", "serve /metrics, /metrics/prom, /debug/flight and /debug/audit here")
 	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ and Go runtime gauges on -http")
+	slack := flag.Duration("audit-slack", 50*time.Microsecond, "δ-gap audit slack (absorbs scheduler jitter on live nodes)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -58,6 +62,9 @@ func main() {
 	if *httpAddr != "" {
 		rec = dbo.NewFlightRecorder(*flightBuf)
 	}
+	// δ-gap pacing and batch atomicity are audited where delivery
+	// happens — here, on the participant's own clock.
+	auditor := audit.New(audit.Config{Delta: dbo.Time(*delta), Slack: dbo.Time(*slack)})
 	mp, err := dbo.NewParticipant(dbo.ParticipantConfig{
 		ID:       dbo.ParticipantID(*id),
 		Listen:   *listen,
@@ -67,23 +74,30 @@ func main() {
 		Tau:      *tau,
 		Strategy: strategy,
 		Flight:   rec,
+		Auditor:  auditor,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer mp.Stop()
+	auditor.Register(mp.Metrics())
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", mp.Metrics().Handler())
 		mux.Handle("/metrics/prom", mp.Metrics().PromHandler())
 		mux.Handle("/debug/flight", flight.Handler(rec))
+		mux.Handle("/debug/audit", audit.Handler(auditor))
+		if *pprofOn {
+			metrics.MountPprof(mux)
+			metrics.RegisterRuntime(mp.Metrics())
+		}
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "http:", err)
 			}
 		}()
-		fmt.Printf("serving /metrics and /debug/flight on %s\n", *httpAddr)
+		fmt.Printf("serving /metrics, /debug/flight and /debug/audit on %s\n", *httpAddr)
 	}
 	fmt.Printf("MP %d listening on %s, trading towards %s (rt %v±%v)\n",
 		*id, mp.Addr(), *ces, *rt, *jitter)

@@ -8,16 +8,30 @@
 //	dbo-sim -scheme direct -env lab -n 2
 //	dbo-sim -chaos latency-attack
 //	dbo-sim -chaos list
+//
+// Observability extras:
+//
+//	-flight-dir d    per-node traces (d/ces.ndjson, d/mp1.ndjson, ...)
+//	                 for dbo-flight -merge
+//	-audit           run the live fairness auditor alongside the sim
+//	-audit-expect X  CI gate: exit non-zero unless the auditor saw what
+//	                 X says ("clean" or "violations")
+//	-trace f.csv     replay a captured RTT trace (dbo-trace -record)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"dbo"
+	"dbo/internal/audit"
 	"dbo/internal/check"
 	"dbo/internal/flight"
+	"dbo/internal/market"
+	"dbo/internal/trace"
 )
 
 func main() {
@@ -39,11 +53,25 @@ func main() {
 	rtmax := flag.Int64("rtmax", 20, "max response time in µs")
 	flightOut := flag.String("flight", "", "write a flight-recorder NDJSON trace here (dbo scheme)")
 	flightBuf := flag.Int("flight-buf", 0, "flight recorder ring capacity (0 = default)")
+	flightDir := flag.String("flight-dir", "", "write one NDJSON trace per node into this directory (ces.ndjson, mp<i>.ndjson) for dbo-flight -merge")
+	auditOn := flag.Bool("audit", false, "run the live fairness auditor alongside the sim")
+	auditExpect := flag.String("audit-expect", "", "exit non-zero unless the auditor outcome matches: clean|violations (implies -audit)")
+	traceFile := flag.String("trace", "", "replay a captured RTT trace (CSV from dbo-trace -record) instead of the synthetic -env trace")
 	chaos := flag.String("chaos", "", "run a named hostile-network scenario from the chaos library ('list' to enumerate); overrides the workload flags")
 	flag.Parse()
 
+	opts := obsOpts{
+		flightOut: *flightOut, flightBuf: *flightBuf, flightDir: *flightDir,
+		audit: *auditOn || *auditExpect != "", expect: *auditExpect,
+		traceFile: *traceFile,
+	}
+	if opts.expect != "" && opts.expect != "clean" && opts.expect != "violations" {
+		fmt.Fprintf(os.Stderr, "bad -audit-expect %q (want clean or violations)\n", opts.expect)
+		os.Exit(2)
+	}
+
 	if *chaos != "" {
-		runChaos(*chaos, *flightOut, *flightBuf)
+		runChaos(*chaos, opts)
 		return
 	}
 
@@ -84,23 +112,127 @@ func main() {
 		cfg.Trace = dbo.LabTrace(*seed)
 		cfg.Skew = dbo.DefaultSkew(*n, 0.14)
 	}
-	var rec *dbo.FlightRecorder
-	if *flightOut != "" {
-		rec = dbo.NewFlightRecorder(*flightBuf)
-		cfg.Flight = rec
-	}
-
+	ob := setupObs(&cfg, opts)
 	r := dbo.Simulate(cfg)
-	if rec != nil {
-		writeFlight(rec, *flightOut)
-	}
+	ob.finish()
 	report(r, *n, *seed, *ms)
+	ob.gate()
+}
+
+// obsOpts carries the observability flags shared by the workload and
+// chaos paths.
+type obsOpts struct {
+	flightOut string
+	flightBuf int
+	flightDir string
+	audit     bool
+	expect    string // "", "clean", "violations"
+	traceFile string
+}
+
+// obsState is the live observability plane attached to one run.
+type obsState struct {
+	opts      obsOpts
+	rec       *dbo.FlightRecorder                   // single shared recorder (-flight)
+	perNode   map[market.NodeID]*dbo.FlightRecorder // per-node recorders (-flight-dir)
+	auditor   *audit.Auditor
+	callbacks int // OnViolation invocations (live detection)
+}
+
+// setupObs wires recorders, the auditor, and a replayed RTT trace into
+// cfg according to opts.
+func setupObs(cfg *dbo.SimConfig, opts obsOpts) *obsState {
+	ob := &obsState{opts: opts}
+	if opts.traceFile != "" {
+		f, err := os.Open(opts.traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", opts.traceFile, err))
+		}
+		cfg.Trace = tr
+	}
+	if opts.flightOut != "" {
+		ob.rec = dbo.NewFlightRecorder(opts.flightBuf)
+		cfg.Flight = ob.rec
+	}
+	if opts.flightDir != "" {
+		if err := os.MkdirAll(opts.flightDir, 0o755); err != nil {
+			fatal(err)
+		}
+		ob.perNode = make(map[market.NodeID]*dbo.FlightRecorder)
+		cfg.FlightFor = func(node market.NodeID) *dbo.FlightRecorder {
+			r, ok := ob.perNode[node]
+			if !ok {
+				r = dbo.NewFlightRecorder(opts.flightBuf)
+				ob.perNode[node] = r
+			}
+			return r
+		}
+	}
+	if opts.audit {
+		ob.auditor = audit.New(audit.Config{
+			Delta:       cfg.Delta,
+			OnViolation: func(audit.Violation) { ob.callbacks++ },
+		})
+		cfg.Auditor = ob.auditor
+	}
+	return ob
+}
+
+// finish writes trace files and prints the audit summary.
+func (ob *obsState) finish() {
+	if ob.rec != nil {
+		writeFlight(ob.rec, ob.opts.flightOut)
+	}
+	if ob.perNode != nil {
+		nodes := make([]market.NodeID, 0, len(ob.perNode))
+		for n := range ob.perNode {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			name := "ces.ndjson"
+			if n != market.NodeCES {
+				name = fmt.Sprintf("mp%d.ndjson", n-1)
+			}
+			writeFlight(ob.perNode[n], filepath.Join(ob.opts.flightDir, name))
+		}
+	}
+	if ob.auditor != nil {
+		s := ob.auditor.Stats()
+		fmt.Printf("audit       fairness %.4f (%d/%d pairs), %d pacing, %d atomicity, %d callbacks\n",
+			s.Fairness, s.Pairs-s.UnfairPairs, s.Pairs, s.PacingViolations, s.AtomicityBreaks, ob.callbacks)
+	}
+}
+
+// gate enforces -audit-expect after the report is printed.
+func (ob *obsState) gate() {
+	if ob.auditor == nil || ob.opts.expect == "" {
+		return
+	}
+	v := ob.auditor.Stats().Violations()
+	switch ob.opts.expect {
+	case "clean":
+		if v != 0 || ob.callbacks != 0 {
+			fatal(fmt.Errorf("audit-expect clean: auditor saw %d violations (%d callbacks)", v, ob.callbacks))
+		}
+	case "violations":
+		if v == 0 || ob.callbacks == 0 {
+			fatal(fmt.Errorf("audit-expect violations: auditor saw none live (%d recorded, %d callbacks)", v, ob.callbacks))
+		}
+	}
 }
 
 // runChaos replays one hand-built hostile-network scenario from the
 // conformance chaos library; the scenario fixes the whole deployment,
-// so the workload flags are ignored (flight output still applies).
-func runChaos(name, flightOut string, flightBuf int) {
+// so the workload flags are ignored (observability flags still apply —
+// -audit-expect violations is how CI asserts the auditor detects an
+// attack live).
+func runChaos(name string, opts obsOpts) {
 	if name == "list" {
 		for _, s := range check.Chaos() {
 			fmt.Printf("%-16s %s\n", s.Name, s)
@@ -113,17 +245,18 @@ func runChaos(name, flightOut string, flightBuf int) {
 		os.Exit(2)
 	}
 	cfg := s.Config()
-	var rec *dbo.FlightRecorder
-	if flightOut != "" {
-		rec = dbo.NewFlightRecorder(flightBuf)
-		cfg.Flight = rec
-	}
+	opts.traceFile = "" // the scenario owns its network
+	ob := setupObs(&cfg, opts)
 	fmt.Printf("chaos       %s\n", s)
 	r := dbo.Simulate(cfg)
-	if rec != nil {
-		writeFlight(rec, flightOut)
-	}
+	ob.finish()
 	report(r, s.N, s.Seed, int64(s.Duration/dbo.Millisecond))
+	ob.gate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func writeFlight(rec *dbo.FlightRecorder, path string) {

@@ -1,8 +1,16 @@
-// Command dbo-trace generates, summarizes, and converts the synthetic
+// Command dbo-trace generates, summarizes, captures, and replays the
 // network RTT traces that drive the simulations.
 //
 //	dbo-trace -env cloud -seed 1 -ms 2000 -o trace.csv   # generate
 //	dbo-trace -summarize trace.csv                        # inspect
+//	dbo-trace -record -ms 200 -o live.csv                 # capture (loopback TWAMP)
+//	dbo-trace -replay live.csv -seed 7                    # drive a sim with it
+//
+// -record runs a real TWAMP-light session over a loopback UDP socket —
+// transport.Prober mints probes, a reflector echoes them, and every
+// valid RTT persists through the capture pipeline into a replayable
+// CSV. -replay closes the loop: the measured distribution drives a DBO
+// simulation on the same footing as the synthetic generators.
 package main
 
 import (
@@ -21,7 +29,24 @@ func main() {
 	ms := flag.Int64("ms", 2000, "trace length in milliseconds")
 	out := flag.String("o", "", "write CSV to this file (default stdout)")
 	summarize := flag.String("summarize", "", "read a CSV trace and print statistics instead of generating")
+	record := flag.Bool("record", false, "capture a live RTT trace over loopback UDP instead of generating")
+	step := flag.Duration("step", 0, "capture grid step for -record (default 1ms)")
+	replay := flag.String("replay", "", "read a CSV trace and drive a short DBO simulation with it")
+	n := flag.Int("n", 4, "participants for -replay")
 	flag.Parse()
+
+	if *record {
+		tr, err := recordLoopback(*ms, *step)
+		if err != nil {
+			fatal(err)
+		}
+		writeTrace(tr, *out)
+		return
+	}
+	if *replay != "" {
+		replayTrace(*replay, *seed, *n, *ms)
+		return
+	}
 
 	if *summarize != "" {
 		f, err := os.Open(*summarize)
@@ -48,10 +73,13 @@ func main() {
 	}
 	g.Length = sim.Time(*ms) * sim.Millisecond
 	tr := g.Generate()
+	writeTrace(tr, *out)
+}
 
+func writeTrace(tr *trace.Trace, out string) {
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fatal(err)
 		}
@@ -61,8 +89,8 @@ func main() {
 	if err := tr.WriteCSV(w); err != nil {
 		fatal(err)
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(tr.RTT), *out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(tr.RTT), out)
 		describe(tr)
 	}
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"dbo"
+	"dbo/internal/sim"
+	"dbo/internal/trace"
+	"dbo/internal/transport"
+	"dbo/internal/wire"
+)
+
+// recordLoopback runs a live TWAMP-light session against a loopback UDP
+// reflector for ms milliseconds and returns the captured RTT trace.
+// This is the real capture pipeline end to end — prober, wire encoding,
+// a kernel round trip, reflector stamps, capture regularization — just
+// pointed at 127.0.0.1, so the numbers are loopback-sized. Against a
+// remote reflector only the dial address would change.
+func recordLoopback(ms int64, step time.Duration) (*trace.Trace, error) {
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	refl, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	defer refl.Close()
+
+	// The reflector: stamp receive (T2) and transmit (T3) on its own
+	// clock, echo the reply. It dies with the socket.
+	reflStart := time.Now()
+	go func() {
+		buf := make([]byte, 2048)
+		var m wire.Msg
+		for {
+			n, addr, err := refl.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			t2 := sim.Time(time.Since(reflStart))
+			if wire.DecodeInto(&m, buf[:n]) != nil || m.Type != wire.TProbe {
+				continue
+			}
+			t3 := sim.Time(time.Since(reflStart))
+			out := wire.AppendProbeReply(nil, transport.Reflect(m.Probe, t2, t3))
+			if _, err := refl.WriteToUDP(out, addr); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn, err := net.DialUDP("udp", nil, refl.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	pr := transport.NewProber(1, 0)
+	pr.EnableCapture(sim.FromDuration(step))
+	start := time.Now()
+	deadline := start.Add(time.Duration(ms) * time.Millisecond)
+	buf := make([]byte, 2048)
+	var m wire.Msg
+	sent, got := 0, 0
+	for time.Now().Before(deadline) {
+		t1 := sim.Time(time.Since(start))
+		out := wire.AppendProbe(nil, pr.Next(t1))
+		if _, err := conn.Write(out); err != nil {
+			return nil, err
+		}
+		sent++
+		_ = conn.SetReadDeadline(time.Now().Add(step))
+		n, err := conn.Read(buf)
+		if err == nil && wire.DecodeInto(&m, buf[:n]) == nil && m.Type == wire.TProbeReply {
+			if rtt := pr.Observe(m.ProbeReply, sim.Time(time.Since(start))); rtt >= 0 {
+				got++
+			}
+		}
+		time.Sleep(step)
+	}
+	tr := pr.Trace()
+	if tr == nil {
+		return nil, fmt.Errorf("record: no valid probe replies (%d probes sent)", sent)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d RTTs from %d probes over %dms (step %v)\n", got, sent, ms, step)
+	return tr, nil
+}
+
+// replayTrace drives a short DBO simulation with a captured trace as
+// its network, closing the capture→replay loop.
+func replayTrace(path string, seed uint64, n int, ms int64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	describe(tr)
+	r := dbo.Simulate(dbo.SimConfig{
+		Scheme:   dbo.DBO,
+		Seed:     seed,
+		N:        n,
+		Duration: dbo.Time(ms) * dbo.Millisecond,
+		Trace:    tr,
+	})
+	fmt.Printf("replay      %s as network for scheme %s (%d MPs, seed %d, %dms)\n", path, r.Scheme, n, seed, ms)
+	fmt.Printf("fairness    %.4f (%d/%d competing pairs)\n", r.Fairness, r.FairRatio.Correct, r.FairRatio.Total)
+	fmt.Printf("latency     %s\n", r.Latency)
+}

@@ -138,6 +138,7 @@ func Default() *Config {
 			"internal/clock",  // the per-participant tracker
 		},
 		GoExitScope: []string{
+			"internal/audit", // the live auditor runs unattended: a leaked goroutine is a slow leak on a 24/5 node
 			"internal/core",
 			"internal/exchange",
 			"internal/gateway",
@@ -146,6 +147,7 @@ func Default() *Config {
 			"internal/wire",   // zero-alloc decode paths must stay single-owner
 		},
 		ErrDropScope: []string{
+			"internal/audit", // violation reporting must never silently fail
 			"internal/core",
 			"internal/exchange",
 			"internal/gateway",

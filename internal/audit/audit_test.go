@@ -1,0 +1,221 @@
+package audit
+
+import (
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/metrics"
+	"dbo/internal/sim"
+)
+
+func batch(id market.BatchID, points ...market.PointID) *market.Batch {
+	b := &market.Batch{ID: id}
+	for i, p := range points {
+		b.Points = append(b.Points, market.DataPoint{ID: p, Batch: id, Last: i == len(points)-1})
+	}
+	return b
+}
+
+func trade(mp market.ParticipantID, seq market.TradeSeq, trig market.PointID, rt sim.Time, pos int) *market.Trade {
+	return &market.Trade{MP: mp, Seq: seq, Trigger: trig, RT: rt, FinalPos: pos, Submitted: 1000}
+}
+
+func TestPacingCheck(t *testing.T) {
+	var got []Violation
+	a := New(Config{Delta: 100, OnViolation: func(v Violation) { got = append(got, v) }})
+	a.OnDeliver(1, batch(1, 1), 1000) // first delivery: exempt
+	a.OnDeliver(1, batch(2, 2), 1100) // gap 100 = δ: ok
+	a.OnDeliver(2, batch(2, 2), 1150) // other MP's first: exempt
+	a.OnDeliver(1, batch(3, 3), 1199) // gap 99 < δ: violation
+	if len(got) != 1 || got[0].Kind != Pacing || got[0].MP != 1 || got[0].Gap != 99 || got[0].Batch != 3 {
+		t.Fatalf("violations = %+v, want one pacing gap 99 on mp 1", got)
+	}
+	if s := a.Stats(); s.PacingViolations != 1 || s.Deliveries != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPacingSlack(t *testing.T) {
+	a := New(Config{Delta: 100, Slack: 5})
+	a.OnDeliver(1, batch(1, 1), 1000)
+	a.OnDeliver(1, batch(2, 2), 1096) // gap 96, within slack
+	a.OnDeliver(1, batch(3, 3), 1190) // gap 94, beyond slack
+	if s := a.Stats(); s.PacingViolations != 1 {
+		t.Fatalf("stats = %+v, want exactly one pacing violation", s)
+	}
+}
+
+func TestAtomicityCheck(t *testing.T) {
+	var got []Violation
+	a := New(Config{OnViolation: func(v Violation) { got = append(got, v) }})
+	a.OnDeliver(1, batch(7, 10, 11), 1000)
+	a.OnDeliver(2, batch(7, 10, 11), 1010) // same composition: ok
+	a.OnDeliver(3, batch(7, 10), 1020)     // truncated batch: break
+	if len(got) != 1 || got[0].Kind != Atomicity || got[0].MP != 3 || got[0].Batch != 7 {
+		t.Fatalf("violations = %+v, want one atomicity break on mp 3", got)
+	}
+}
+
+func TestFairnessScoring(t *testing.T) {
+	var got []Violation
+	a := New(Config{OnViolation: func(v Violation) { got = append(got, v) }})
+	// Trigger 5: mp 1 faster (rt 10) executed pos 0, mp 2 slower (rt 20)
+	// pos 1 — fair.
+	a.OnForward(trade(1, 1, 5, 10, 0), 2000)
+	a.OnForward(trade(2, 1, 5, 20, 1), 2001)
+	// Trigger 6: mp 1 faster but executed *after* mp 2 — unfair, charged
+	// to the faster trade's participant.
+	a.OnForward(trade(2, 2, 6, 20, 2), 2002)
+	a.OnForward(trade(1, 2, 6, 10, 3), 2003)
+	// Same participant twice and equal RTs score no pair.
+	a.OnForward(trade(1, 3, 6, 30, 6), 2004) // vs (1,2): same mp — skip; vs (2,2): pair, fair
+	a.OnForward(trade(3, 1, 6, 20, 5), 2005) // vs (2,2): equal rt — skip; vs (1,2) and (1,3): pairs, fair
+	if len(got) != 1 || got[0].Kind != Unfair {
+		t.Fatalf("violations = %+v, want one unfair pair", got)
+	}
+	v := got[0]
+	if v.MP != 1 || v.FasterSeq != 2 || v.SlowerMP != 2 || v.SlowerSeq != 2 {
+		t.Fatalf("unfair pair = %+v", v)
+	}
+	s := a.Stats()
+	if s.Pairs != 5 || s.UnfairPairs != 1 {
+		t.Fatalf("stats = %+v, want 5 pairs 1 unfair", s)
+	}
+	if want := 0.8; s.Fairness != want {
+		t.Fatalf("fairness = %v, want %v", s.Fairness, want)
+	}
+}
+
+func TestWarmupFilter(t *testing.T) {
+	a := New(Config{Warmup: 5000})
+	early := trade(1, 1, 5, 10, 0)
+	early.Submitted = 100
+	a.OnForward(early, 2000)
+	a.OnForward(trade(2, 1, 5, 20, 1), 6000) // competitor evaporated with warmup
+	if s := a.Stats(); s.Pairs != 0 || s.Forwards != 2 {
+		t.Fatalf("stats = %+v, want 0 pairs 2 forwards", s)
+	}
+}
+
+func TestFairnessDefaultsToOne(t *testing.T) {
+	a := New(Config{})
+	if s := a.Stats(); s.Fairness != 1 {
+		t.Fatalf("zero-pair fairness = %v, want 1", s.Fairness)
+	}
+}
+
+// Bounded memory: the auditor must never hold more than Window race
+// groups or batch signatures, no matter how long the run.
+func TestWindowEviction(t *testing.T) {
+	a := New(Config{Window: 4})
+	for i := 1; i <= 100; i++ {
+		a.OnForward(trade(1, market.TradeSeq(i), market.PointID(i), 10, i), sim.Time(i))
+		a.OnDeliver(1, batch(market.BatchID(i), market.PointID(i)), sim.Time(i))
+	}
+	a.mu.Lock()
+	races, batches := len(a.races), len(a.batches)
+	a.mu.Unlock()
+	if races > 4 || batches > 4 {
+		t.Fatalf("retained %d races / %d batches, window 4", races, batches)
+	}
+	if s := a.Stats(); s.Evicted != 96+96 {
+		t.Fatalf("evicted = %d, want 192", s.Evicted)
+	}
+	if s := a.Stats(); s.OpenRaces != 4 {
+		t.Fatalf("open races = %d, want 4", s.OpenRaces)
+	}
+}
+
+// The callback contract: OnViolation runs outside the auditor's lock,
+// so a callback may re-enter the auditor (Stats, Recent, even Register)
+// without deadlocking. A deadlock here fails via test timeout.
+func TestCallbackReentrant(t *testing.T) {
+	r := metrics.NewRegistry()
+	var a *Auditor
+	calls := 0
+	a = New(Config{Delta: 100, OnViolation: func(v Violation) {
+		calls++
+		_ = a.Stats()
+		_ = a.Recent()
+		_, _ = a.GapSnapshot()
+		a.Register(r) // re-registering under callback must not deadlock
+		_ = r.Snapshot()
+	}})
+	a.Register(r)
+	a.OnDeliver(1, batch(1, 1), 1000)
+	a.OnDeliver(1, batch(2, 2), 1010)
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want 1", calls)
+	}
+}
+
+func TestRecentRing(t *testing.T) {
+	a := New(Config{Delta: 100, Recent: 3})
+	at := sim.Time(1000)
+	a.OnDeliver(1, batch(1, 1), at)
+	for i := 2; i <= 6; i++ { // five violations through a ring of three
+		at += 10
+		a.OnDeliver(1, batch(market.BatchID(i), market.PointID(i)), at)
+	}
+	got := a.Recent()
+	if len(got) != 3 {
+		t.Fatalf("recent = %d violations, want 3", len(got))
+	}
+	// Oldest first: the last three of five, at 1030/1040/1050.
+	for i, want := range []sim.Time{1030, 1040, 1050} {
+		if got[i].At != want {
+			t.Fatalf("recent[%d].At = %v, want %v", i, got[i].At, want)
+		}
+	}
+}
+
+func TestRegisterGauges(t *testing.T) {
+	a := New(Config{Delta: 100})
+	r := metrics.NewRegistry()
+	a.Register(r)
+	a.OnDeliver(1, batch(1, 1), 1000)
+	a.OnDeliver(1, batch(2, 2), 1050) // gap 50 < δ
+	a.OnForward(trade(1, 1, 5, 10, 1), 2000)
+	a.OnForward(trade(2, 1, 5, 20, 0), 2001) // slower first: unfair
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"audit_fairness_ppm":      0, // 0 of 1 pairs fair
+		"audit_pairs":             1,
+		"audit_unfair_pairs":      1,
+		"audit_pacing_violations": 1,
+		"audit_atomicity_breaks":  0,
+		"audit_deliveries":        2,
+		"audit_forwards":          2,
+	}
+	for name, v := range want {
+		if got := snap[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	// The delivery-gap histogram observed one gap of 50.
+	h := r.Histogram("audit_delivery_gap_ns").Snapshot()
+	if h.Count != 1 || h.Sum != 50 {
+		t.Fatalf("gap hist = count %d sum %d, want 1/50", h.Count, h.Sum)
+	}
+}
+
+func TestGapSnapshotMerge(t *testing.T) {
+	a := New(Config{})
+	a.OnDeliver(2, batch(1, 1), 1000)
+	a.OnDeliver(2, batch(2, 2), 1100)
+	a.OnDeliver(1, batch(1, 1), 1000)
+	a.OnDeliver(1, batch(3, 3), 1300)
+	merged, mps := a.GapSnapshot()
+	if merged.Count != 2 || merged.Sum != 100+300 {
+		t.Fatalf("merged = count %d sum %d, want 2/400", merged.Count, merged.Sum)
+	}
+	if len(mps) != 2 || mps[0] != 1 || mps[1] != 2 {
+		t.Fatalf("mps = %v, want [1 2]", mps)
+	}
+}
+
+func TestNilAuditor(t *testing.T) {
+	var a *Auditor
+	a.OnDeliver(1, batch(1, 1), 1000) // must not panic
+	a.OnForward(trade(1, 1, 5, 10, 0), 2000)
+}

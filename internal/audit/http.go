@@ -1,0 +1,59 @@
+package audit
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// snapshot is the /debug/audit JSON document.
+type snapshot struct {
+	Stats  Stats       `json:"stats"`
+	Recent []violation `json:"recent_violations"`
+	// DeliveryGapNs summarizes the merged inter-delivery gap
+	// distribution across every participant.
+	DeliveryGapNs gapSummary `json:"delivery_gap_ns"`
+	Participants  []int32    `json:"participants"`
+}
+
+type violation struct {
+	Kind   string `json:"kind"`
+	At     int64  `json:"at"`
+	MP     int32  `json:"mp"`
+	Detail string `json:"detail"`
+}
+
+type gapSummary struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// Handler serves the auditor's state as JSON — mount it at
+// /debug/audit. All auditor reads happen through the public snapshot
+// accessors, so no user code runs under the auditor's lock while a
+// response is being encoded.
+func Handler(a *Auditor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := snapshot{Stats: a.Stats(), Recent: []violation{}}
+		for _, v := range a.Recent() {
+			doc.Recent = append(doc.Recent, violation{
+				Kind: v.Kind.String(), At: int64(v.At), MP: int32(v.MP), Detail: v.String(),
+			})
+		}
+		gaps, mps := a.GapSnapshot()
+		doc.DeliveryGapNs = gapSummary{
+			Count: gaps.Count, Sum: gaps.Sum,
+			P50: gaps.Quantile(0.50), P99: gaps.Quantile(0.99), Max: gaps.Max(),
+		}
+		doc.Participants = make([]int32, 0, len(mps))
+		for _, mp := range mps {
+			doc.Participants = append(doc.Participants, int32(mp))
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc) //dbo:vet-ignore errdrop best-effort debug dump; a vanished client is not actionable
+	})
+}

@@ -222,6 +222,7 @@ func (ob *OrderingBuffer) OnTrade(t *market.Trade) {
 		f.Emit(flight.Event{
 			At: t.Enqueued, Kind: flight.KindEnqueue,
 			MP: t.MP, Seq: t.Seq, DC: t.DC, Point: t.Trigger,
+			Hop: t.Ctx.Hop,
 		})
 	}
 	ob.drain(t.MP)
@@ -249,6 +250,7 @@ func (ob *OrderingBuffer) OnHeartbeat(h market.Heartbeat) {
 		f.Emit(flight.Event{
 			At: now, Kind: flight.KindWatermark,
 			MP: h.MP, DC: h.DC, Aux: int64(staleness), Aux2: int64(h.Origin),
+			Hop: h.Ctx.Hop,
 		})
 	}
 	old := ob.contribution(st)
@@ -505,6 +507,7 @@ func (ob *OrderingBuffer) forward(t *market.Trade, cause market.ParticipantID) {
 			At: now, Kind: flight.KindRelease,
 			MP: t.MP, Seq: t.Seq, DC: t.DC,
 			Aux: int64(hold), Aux2: int64(t.Blocker),
+			Hop: t.Ctx.Hop,
 		})
 	}
 	ob.Forwarded++

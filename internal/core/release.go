@@ -150,7 +150,10 @@ func (rb *ReleaseBuffer) Resume() {
 }
 
 func (rb *ReleaseBuffer) sendHeartbeat() {
-	rb.cfg.Send(market.Heartbeat{MP: rb.cfg.MP, DC: rb.dc.Read(rb.localNow()), Sent: rb.localNow()})
+	rb.cfg.Send(market.Heartbeat{
+		MP: rb.cfg.MP, DC: rb.dc.Read(rb.localNow()), Sent: rb.localNow(),
+		Ctx: market.TraceCtx{Origin: market.NodeOfMP(rb.cfg.MP)},
+	})
 }
 
 // Clock returns the current delivery clock reading.
@@ -293,10 +296,15 @@ func (rb *ReleaseBuffer) release() {
 		if rb.released {
 			gap = now - rb.lastRelease // measured on the RB's own clock
 		}
+		var hop uint16
+		if len(b.Points) > 0 {
+			hop = b.Points[0].Ctx.Hop
+		}
 		f.Emit(flight.Event{
 			At: rb.cfg.Sched.Now(), Kind: flight.KindDeliver,
 			MP: rb.cfg.MP, Batch: b.ID, Point: b.LastPoint(),
 			Aux: int64(gap), Aux2: int64(len(b.Points)),
+			Hop: hop,
 		})
 	}
 	// Update the clock before handing data to the MP: a trade submitted
@@ -323,6 +331,7 @@ func (rb *ReleaseBuffer) OnTrade(t *market.Trade) {
 		return
 	}
 	t.DC = rb.dc.Read(rb.localNow())
+	t.Ctx = market.TraceCtx{Origin: market.NodeOfMP(rb.cfg.MP)}
 	if f := rb.cfg.Flight; f.Enabled() {
 		f.Emit(flight.Event{
 			At: rb.cfg.Sched.Now(), Kind: flight.KindSubmit,

@@ -119,6 +119,7 @@ func (s *OBShard) OnHeartbeat(h market.Heartbeat) {
 		f.Emit(flight.Event{
 			At: now, Kind: flight.KindWatermark,
 			MP: h.MP, DC: h.DC, Aux: int64(staleness),
+			Hop: h.Ctx.Hop,
 		})
 	}
 	if st.wm.Less(h.DC) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dbo/internal/audit"
 	"dbo/internal/clock"
 	"dbo/internal/core"
 	"dbo/internal/flight"
@@ -135,6 +136,20 @@ type Config struct {
 	// All events are stamped with virtual time, so a seeded run's trace
 	// is byte-identical across runs.
 	Flight *flight.Recorder
+
+	// FlightFor, when non-nil, overrides Flight with one recorder per
+	// node — the multi-node deployment shape: market.NodeCES gets the
+	// CES/OB/ME events, market.NodeOfMP(i) each RB's deliver/submit
+	// events. Return nil to leave a node unrecorded. The harness stamps
+	// each recorder's node id, so the per-node NDJSON exports feed
+	// `dbo-flight -merge` directly.
+	FlightFor func(node market.NodeID) *flight.Recorder
+
+	// Auditor, when non-nil, receives the conformance stream live: every
+	// batch delivery (OnDeliver) and every matched trade (OnForward),
+	// stamped with kernel time. (The replay audit log writer above is
+	// the unrelated Audit field.)
+	Auditor *audit.Auditor
 }
 
 // PartitionDir selects which direction(s) of a participant's path a

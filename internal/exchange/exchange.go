@@ -107,6 +107,12 @@ type harness struct {
 	extIDs   map[market.PointID]bool     // serialized points that are external
 	extCount int
 
+	// Per-node flight recorders (resolved from cfg.FlightFor, falling
+	// back to the shared cfg.Flight): cesFlight records CES-side events
+	// (gen/seal, OB, ME), rbFlight[i] participant i+1's RB events.
+	cesFlight *flight.Recorder
+	rbFlight  []*flight.Recorder
+
 	audit      *replay.Recorder
 	tracker    *fairness.Tracker
 	extTracker *fairness.Tracker
@@ -148,6 +154,20 @@ func newHarness(cfg Config) *harness {
 	}
 	if cfg.Audit != nil {
 		h.audit = replay.NewRecorder(cfg.Audit)
+	}
+	h.cesFlight = cfg.Flight
+	h.rbFlight = make([]*flight.Recorder, cfg.N)
+	for i := range h.rbFlight {
+		h.rbFlight[i] = cfg.Flight
+	}
+	if cfg.FlightFor != nil {
+		h.cesFlight = cfg.FlightFor(market.NodeCES)
+		h.cesFlight.SetNode(market.NodeCES)
+		for i := range h.rbFlight {
+			node := market.NodeOfMP(market.ParticipantID(i + 1))
+			h.rbFlight[i] = cfg.FlightFor(node)
+			h.rbFlight[i].SetNode(node)
+		}
 	}
 	h.buildMPs()
 	h.buildNetwork()
@@ -274,7 +294,7 @@ func (h *harness) buildScheme() {
 				SyncOffset: h.cfg.SyncOffset,
 				Sched:      h.k,
 				Local:      h.mps[i].local,
-				Flight:     h.cfg.Flight,
+				Flight:     h.rbFlight[i],
 				Deliver:    func(b *market.Batch) { h.mps[i].onBatch(b) },
 				Send: func(v any) {
 					h.countBeat(v)
@@ -295,7 +315,7 @@ func (h *harness) buildScheme() {
 				Threshold:    policy,
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
-				Flight:       h.cfg.Flight,
+				Flight:       h.cesFlight,
 				Queue:        h.cfg.OBQueue,
 			})
 		} else {
@@ -307,7 +327,7 @@ func (h *harness) buildScheme() {
 				Threshold:    policy,
 				GenTime:      genTime,
 				OnStraggler:  h.cfg.Hooks.OnStraggler,
-				Flight:       h.cfg.Flight,
+				Flight:       h.cesFlight,
 				Queue:        h.cfg.OBQueue,
 			})
 		}
@@ -375,6 +395,7 @@ func (h *harness) start() {
 			Price:   price,
 			Qty:     qty,
 			BidSide: q.BidMoved,
+			Ctx:     market.TraceCtx{Origin: market.NodeCES},
 		}
 		if h.batcher != nil {
 			id, batch, last := h.batcher.Next(gen, nextGen)
@@ -392,7 +413,7 @@ func (h *harness) start() {
 		if h.audit != nil {
 			h.audit.Gen(gen, dp)
 		}
-		if f := h.cfg.Flight; f.Enabled() {
+		if f := h.cesFlight; f.Enabled() {
 			f.Emit(flight.Event{At: gen, Kind: flight.KindGen, Point: dp.ID, Batch: dp.Batch})
 			if dp.Last {
 				f.Emit(flight.Event{At: gen, Kind: flight.KindSeal, Point: dp.ID, Batch: dp.Batch})
@@ -481,6 +502,7 @@ func (h *harness) start() {
 
 // onMarketData dispatches a point arriving at participant i's edge.
 func (h *harness) onMarketData(i int, dp market.DataPoint) {
+	dp.Ctx.Hop++ // network ingress at the RB node
 	switch {
 	case h.rbs != nil:
 		h.rbs[i].OnData(dp)
@@ -498,6 +520,7 @@ func (h *harness) onUpstream(v any) {
 	}
 	switch m := v.(type) {
 	case *market.Trade:
+		m.Ctx.Hop++ // network ingress at the CES node
 		if h.audit != nil {
 			h.audit.Recv(h.k.Now(), m)
 		}
@@ -516,6 +539,7 @@ func (h *harness) onUpstream(v any) {
 			h.libra.OnTrade(m)
 		}
 	case market.Heartbeat:
+		m.Ctx.Hop++ // network ingress at the CES node
 		if h.ob != nil {
 			h.ob.OnHeartbeat(m)
 		} else if h.shardOB != nil {
@@ -541,6 +565,7 @@ func (m *mpSim) onBatch(b *market.Batch) {
 	if h.cfg.Hooks.OnBatch != nil {
 		h.cfg.Hooks.OnBatch(m.idx, b, h.k.Now())
 	}
+	h.cfg.Auditor.OnDeliver(m.id, b, h.k.Now())
 	for _, dp := range b.Points {
 		if m.rng.Float64() >= h.cfg.TradeProb {
 			continue
@@ -611,12 +636,14 @@ func (h *harness) onForward(t *market.Trade) {
 	if err != nil {
 		panic(err)
 	}
-	if f := h.cfg.Flight; f.Enabled() {
+	if f := h.cesFlight; f.Enabled() {
 		f.Emit(flight.Event{
 			At: h.k.Now(), Kind: flight.KindMatch,
 			MP: t.MP, Seq: t.Seq, Aux: int64(t.FinalPos),
+			Hop: t.Ctx.Hop,
 		})
 	}
+	h.cfg.Auditor.OnForward(t, h.k.Now())
 	delete(h.submitted, t.Key())
 	if h.cfg.KeepTrades {
 		h.tradeLog = append(h.tradeLog, t)

@@ -136,6 +136,15 @@ type Event struct {
 	DC    market.DeliveryClock
 	Aux   int64
 	Aux2  int64
+
+	// Node is the recording node (market.NodeCES, market.NodeOfMP(i), or
+	// 0 in a legacy single-process trace). Emit stamps it from the
+	// recorder when the emitter leaves it zero.
+	Node market.NodeID
+	// Hop is the causal hop count of the message that caused the event:
+	// the number of network transmissions since the message's origin
+	// (market.TraceCtx). Zero for locally-originated events.
+	Hop uint16
 }
 
 // Recorder is a bounded drop-oldest ring of events. A nil *Recorder is
@@ -146,6 +155,7 @@ type Event struct {
 type Recorder struct {
 	enabled atomic.Bool
 	dropped atomic.Int64
+	node    atomic.Int32 // market.NodeID stamped onto events (0 = unset)
 
 	mu   sync.Mutex
 	buf  []Event
@@ -177,6 +187,22 @@ func (r *Recorder) SetEnabled(v bool) {
 	}
 }
 
+// SetNode sets the node id stamped onto events whose emitter left
+// Event.Node zero. No-op on nil.
+func (r *Recorder) SetNode(n market.NodeID) {
+	if r != nil {
+		r.node.Store(int32(n))
+	}
+}
+
+// Node reports the recorder's node id (0 when unset or nil).
+func (r *Recorder) Node() market.NodeID {
+	if r == nil {
+		return 0
+	}
+	return market.NodeID(r.node.Load())
+}
+
 // Emit records one event. On a nil or disabled recorder this is a
 // single (nil-or-)atomic check — the whole disabled-path overhead
 // contract. When the ring is full the oldest event is overwritten and
@@ -184,6 +210,9 @@ func (r *Recorder) SetEnabled(v bool) {
 func (r *Recorder) Emit(ev Event) {
 	if r == nil || !r.enabled.Load() {
 		return
+	}
+	if ev.Node == 0 {
+		ev.Node = market.NodeID(r.node.Load())
 	}
 	r.mu.Lock()
 	if r.next >= uint64(len(r.buf)) {

@@ -1,0 +1,405 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// This file stitches per-node traces into one causally-ordered
+// cross-node trace. Every node records on its own monotonic clock, so
+// the merge must first estimate each node's clock offset against a
+// reference frame. The anchors are the hybrid send/recv edges the
+// protocol itself provides:
+//
+//	fwd: seal(batch B) @ CES      → deliver(B)   @ RB node
+//	rev: submit(mp,a)  @ RB node  → enqueue(mp,a) @ CES
+//
+// With o = node_clock − ref_clock, A = min(deliver − seal) over
+// matched fwd edges estimates o + (min forward latency) and
+// B = min(enqueue − submit) estimates (min reverse latency) − o. The
+// midpoint (A−B)/2 is the TWAMP-light offset estimate; any offset in
+// [−B, A] preserves send ≤ recv on every matched edge, and the
+// midpoint always lies in that interval (A+B ≥ 0 whenever real
+// latencies are non-negative), so the rebased trace is causally
+// consistent even when forward and reverse latencies differ — the
+// residual error is bounded by their asymmetry, exactly TWAMP's.
+//
+// Rebased events merge into one stream sorted by (At, Node, original
+// per-node position). Every tie-break is deterministic, so two merges
+// of the same input are byte-identical.
+
+// MergeReport describes how a merge aligned its inputs.
+type MergeReport struct {
+	Ref    market.NodeID // reference node (the one holding gen events)
+	Nodes  []market.NodeID
+	Events int
+
+	// Per non-reference node: the estimated clock offset subtracted
+	// from its timestamps, and how many anchoring edges were matched.
+	Offset   map[market.NodeID]sim.Time
+	FwdEdges map[market.NodeID]int
+	RevEdges map[market.NodeID]int
+}
+
+// Merge joins per-node traces into one causally-ordered trace in the
+// reference node's clock frame. Inputs may be in any order; each event
+// must carry a node stamp (legacy traces without them don't merge).
+func Merge(perNode [][]Event) ([]Event, *MergeReport, error) {
+	type tagged struct {
+		ev  Event
+		idx int // original per-node position, for a stable tie-break
+	}
+	byNode := make(map[market.NodeID][]tagged)
+	for _, events := range perNode {
+		for _, e := range events {
+			if e.Node == 0 {
+				return nil, nil, fmt.Errorf("flight: merge: event without node stamp (kind %v at %v): legacy single-node trace?", e.Kind, e.At)
+			}
+			byNode[e.Node] = append(byNode[e.Node], tagged{ev: e, idx: len(byNode[e.Node])})
+		}
+	}
+	if len(byNode) == 0 {
+		return nil, nil, fmt.Errorf("flight: merge: no events")
+	}
+	nodes := make([]market.NodeID, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	// The reference frame is the node that generated the market data.
+	ref := market.NodeID(0)
+	for _, n := range nodes {
+		for _, t := range byNode[n] {
+			if t.ev.Kind == KindGen {
+				if ref != 0 && ref != n {
+					return nil, nil, fmt.Errorf("flight: merge: gen events on nodes %d and %d — more than one CES?", ref, n)
+				}
+				ref = n
+				break
+			}
+		}
+	}
+	if ref == 0 {
+		return nil, nil, fmt.Errorf("flight: merge: no gen events — cannot pick a reference node")
+	}
+
+	// Reference-side anchor points.
+	sealAt := make(map[market.BatchID]sim.Time)
+	enqueueAt := make(map[market.TradeKey]sim.Time)
+	for _, t := range byNode[ref] {
+		switch t.ev.Kind {
+		case KindSeal:
+			if _, ok := sealAt[t.ev.Batch]; !ok {
+				sealAt[t.ev.Batch] = t.ev.At
+			}
+		case KindEnqueue:
+			k := market.TradeKey{MP: t.ev.MP, Seq: t.ev.Seq}
+			if _, ok := enqueueAt[k]; !ok {
+				enqueueAt[k] = t.ev.At
+			}
+		}
+	}
+
+	rep := &MergeReport{
+		Ref: ref, Nodes: nodes,
+		Offset:   make(map[market.NodeID]sim.Time),
+		FwdEdges: make(map[market.NodeID]int),
+		RevEdges: make(map[market.NodeID]int),
+	}
+	var merged []tagged
+	merged = append(merged, byNode[ref]...)
+	for _, n := range nodes {
+		if n == ref {
+			continue
+		}
+		var a, b sim.Time // A = min(deliver−seal), B = min(enqueue−submit)
+		fwd, rev := 0, 0
+		for _, t := range byNode[n] {
+			switch t.ev.Kind {
+			case KindDeliver:
+				s, ok := sealAt[t.ev.Batch]
+				if !ok {
+					continue
+				}
+				if d := t.ev.At - s; fwd == 0 || d < a {
+					a = d
+				}
+				fwd++
+			case KindSubmit:
+				e, ok := enqueueAt[market.TradeKey{MP: t.ev.MP, Seq: t.ev.Seq}]
+				if !ok {
+					continue
+				}
+				if d := e - t.ev.At; rev == 0 || d < b {
+					b = d
+				}
+				rev++
+			}
+		}
+		var off sim.Time
+		switch {
+		case fwd > 0 && rev > 0:
+			off = (a - b) / 2
+		case fwd > 0:
+			// No reverse edges: align the tightest forward edge exactly
+			// (assume zero minimum latency — the most conservative
+			// causally-consistent choice, off = A ≤ A).
+			off = a
+		case rev > 0:
+			off = -b
+		default:
+			return nil, nil, fmt.Errorf("flight: merge: node %d shares no anchoring edges with node %d", n, ref)
+		}
+		rep.Offset[n] = off
+		rep.FwdEdges[n] = fwd
+		rep.RevEdges[n] = rev
+		for _, t := range byNode[n] {
+			t.ev.At -= off
+			merged = append(merged, t)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		ei, ej := merged[i], merged[j]
+		if ei.ev.At != ej.ev.At {
+			return ei.ev.At < ej.ev.At
+		}
+		if ei.ev.Node != ej.ev.Node {
+			return ei.ev.Node < ej.ev.Node
+		}
+		return ei.idx < ej.idx
+	})
+	out := make([]Event, len(merged))
+	for i, t := range merged {
+		out[i] = t.ev
+	}
+	rep.Events = len(out)
+	return out, rep, nil
+}
+
+// IsMerged reports whether a trace spans more than one recording node —
+// the signal for dbo-flight to switch to the cross-node checks.
+func IsMerged(events []Event) bool {
+	var seen market.NodeID
+	for _, e := range events {
+		if e.Node == 0 {
+			continue
+		}
+		if seen == 0 {
+			seen = e.Node
+		} else if e.Node != seen {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckCrossPacing recomputes every RB's inter-delivery gap from the
+// merged trace's timestamps rather than the RB's self-reported Aux
+// (CheckPacing). Per-participant gaps are differences of same-node
+// timestamps, so the merge offsets cancel: the check is exact
+// regardless of offset estimation error — and it catches an RB whose
+// self-measured gaps claim conformance its actual deliveries violate.
+func CheckCrossPacing(events []Event, delta sim.Time) Pacing {
+	var p Pacing
+	last := make(map[market.ParticipantID]sim.Time)
+	seen := make(map[market.ParticipantID]bool)
+	for _, e := range events {
+		if e.Kind != KindDeliver {
+			continue
+		}
+		p.Deliveries++
+		if seen[e.MP] {
+			gap := e.At - last[e.MP]
+			if p.MinGap == 0 || gap < p.MinGap {
+				p.MinGap = gap
+			}
+			if gap < delta {
+				p.Violations = append(p.Violations, PacingViolation{
+					MP: e.MP, Batch: e.Batch, At: e.At, Gap: gap,
+				})
+			}
+		}
+		seen[e.MP] = true
+		last[e.MP] = e.At
+	}
+	return p
+}
+
+// AtomicityBreak is a batch whose delivered composition differed
+// between two participants.
+type AtomicityBreak struct {
+	Batch    market.BatchID
+	MP       market.ParticipantID // the participant that diverged
+	Point    market.PointID       // what it saw (last point)
+	Count    int64                // what it saw (points in batch)
+	RefPoint market.PointID       // what the first observer saw
+	RefCount int64
+}
+
+// CheckBatchAtomicity verifies that every participant saw the same
+// composition (last point, point count) for each batch — §4.1.2's
+// atomic-delivery obligation, checkable only across nodes.
+func CheckBatchAtomicity(events []Event) []AtomicityBreak {
+	type sig struct {
+		point market.PointID
+		count int64
+		mp    market.ParticipantID
+	}
+	seen := make(map[market.BatchID]sig)
+	var out []AtomicityBreak
+	for _, e := range events {
+		if e.Kind != KindDeliver {
+			continue
+		}
+		s, ok := seen[e.Batch]
+		if !ok {
+			seen[e.Batch] = sig{point: e.Point, count: e.Aux2, mp: e.MP}
+			continue
+		}
+		if s.point != e.Point || s.count != e.Aux2 {
+			out = append(out, AtomicityBreak{
+				Batch: e.Batch, MP: e.MP, Point: e.Point, Count: e.Aux2,
+				RefPoint: s.point, RefCount: s.count,
+			})
+		}
+	}
+	return out
+}
+
+// CrossStats summarizes cross-node lifecycle completeness. Reversed
+// incompleteness — a CES-side event whose node-side cause is missing —
+// is evidence the node's recorder ring dropped events (or a file is
+// missing from the merge), so the merged check treats it as
+// alert-worthy rather than the benign tail truncation of a
+// capture-window boundary.
+type CrossStats struct {
+	Trades          int // distinct trade keys seen
+	Complete        int // submit → enqueue → release → match all present
+	EnqueueNoSubmit int // enqueue without its RB-side submit (ring drop?)
+	MatchNoRelease  int // match without its release (ring drop?)
+	DeliverNoSeal   int // deliver of a batch the CES never sealed
+}
+
+// CheckCrossLifecycle folds a merged trace into per-trade completeness
+// counters.
+func CheckCrossLifecycle(events []Event) CrossStats {
+	var cs CrossStats
+	sealed := make(map[market.BatchID]bool)
+	for _, e := range events {
+		if e.Kind == KindSeal {
+			sealed[e.Batch] = true
+		}
+	}
+	for _, e := range events {
+		if e.Kind == KindDeliver && !sealed[e.Batch] {
+			cs.DeliverNoSeal++
+		}
+	}
+	for _, tl := range Timelines(events) {
+		cs.Trades++
+		if tl.Submitted != TimeUnset && tl.Enqueued != TimeUnset &&
+			tl.Released != TimeUnset && tl.Matched != TimeUnset {
+			cs.Complete++
+		}
+		if tl.Enqueued != TimeUnset && tl.Submitted == TimeUnset {
+			cs.EnqueueNoSubmit++
+		}
+		if tl.Matched != TimeUnset && tl.Released == TimeUnset {
+			cs.MatchNoRelease++
+		}
+	}
+	return cs
+}
+
+// HopAttribution is one trade's per-hop latency breakdown across the
+// merged trace — the first-class "where did the time go" query:
+//
+//	seal → deliver   forward network + RB pacing hold
+//	deliver → submit the participant's own response time
+//	submit → enqueue reverse network
+//	enqueue → release ordering-buffer hold (gate wait)
+//	release → match  matching-engine handoff
+//
+// Stages that span nodes (SealToDeliver, SubmitToEnqueue) are measured
+// in the merged frame and inherit the offset-estimation error bound;
+// same-node stages are exact. TimeUnset marks a stage whose endpoint
+// is missing from the trace.
+type HopAttribution struct {
+	MP  market.ParticipantID
+	Seq market.TradeSeq
+
+	Trigger market.PointID // trigger point (0 when unknown)
+	Batch   market.BatchID // batch that delivered the trigger
+
+	SealToDeliver    sim.Time
+	DeliverToSubmit  sim.Time
+	SubmitToEnqueue  sim.Time
+	EnqueueToRelease sim.Time
+	ReleaseToMatch   sim.Time
+}
+
+// AttributeHops computes the per-hop breakdown for one trade in a
+// merged trace. The trigger's delivery is located via the trade's
+// submit event (trigger point → the deliver event at the same MP whose
+// batch covers it).
+func AttributeHops(events []Event, mp market.ParticipantID, seq market.TradeSeq) (HopAttribution, bool) {
+	ha := HopAttribution{
+		MP: mp, Seq: seq,
+		SealToDeliver: TimeUnset, DeliverToSubmit: TimeUnset,
+		SubmitToEnqueue: TimeUnset, EnqueueToRelease: TimeUnset,
+		ReleaseToMatch: TimeUnset,
+	}
+	tl, ok := Lookup(events, mp, seq)
+	if !ok {
+		return ha, false
+	}
+	// Locate the trigger's batch: the submit event records the trigger
+	// point; find the deliver event at this MP covering that point.
+	var trigger market.PointID
+	for _, e := range events {
+		if e.Kind == KindSubmit && e.MP == mp && e.Seq == seq {
+			trigger = e.Point
+			break
+		}
+	}
+	ha.Trigger = trigger
+	var deliverAt, sealAt sim.Time = TimeUnset, TimeUnset
+	if trigger != 0 {
+		// The covering batch is the first deliver at this MP whose last
+		// point is ≥ the trigger (batches deliver in order).
+		for _, e := range events {
+			if e.Kind == KindDeliver && e.MP == mp && e.Point >= trigger {
+				deliverAt, ha.Batch = e.At, e.Batch
+				break
+			}
+		}
+		if ha.Batch != 0 {
+			for _, e := range events {
+				if e.Kind == KindSeal && e.Batch == ha.Batch {
+					sealAt = e.At
+					break
+				}
+			}
+		}
+	}
+	if sealAt != TimeUnset && deliverAt != TimeUnset {
+		ha.SealToDeliver = deliverAt - sealAt
+	}
+	if deliverAt != TimeUnset && tl.Submitted != TimeUnset {
+		ha.DeliverToSubmit = tl.Submitted - deliverAt
+	}
+	if tl.Submitted != TimeUnset && tl.Enqueued != TimeUnset {
+		ha.SubmitToEnqueue = tl.Enqueued - tl.Submitted
+	}
+	if tl.Enqueued != TimeUnset && tl.Released != TimeUnset {
+		ha.EnqueueToRelease = tl.Released - tl.Enqueued
+	}
+	if tl.Released != TimeUnset && tl.Matched != TimeUnset {
+		ha.ReleaseToMatch = tl.Matched - tl.Released
+	}
+	return ha, true
+}

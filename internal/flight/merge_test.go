@@ -1,0 +1,215 @@
+package flight
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbo/internal/market"
+	"dbo/internal/sim"
+)
+
+// A hand-built two-node trace: the CES (node 1) and one RB/MP pair
+// (node 2) whose clock runs `skew` ahead of the CES's.
+func twoNodeTrace(skew sim.Time) [][]Event {
+	ces := []Event{
+		{At: 0, Kind: KindGen, Node: 1, Point: 1},
+		{At: 100, Kind: KindSeal, Node: 1, Point: 1, Batch: 1, Aux2: 1},
+		{At: 1400, Kind: KindEnqueue, Node: 1, MP: 1, Seq: 1, Hop: 1},
+		{At: 1500, Kind: KindRelease, Node: 1, MP: 1, Seq: 1, Hop: 1},
+		{At: 1550, Kind: KindMatch, Node: 1, MP: 1, Seq: 1, Aux: 1, Hop: 1},
+	}
+	mp := []Event{
+		{At: 300 + skew, Kind: KindDeliver, Node: 2, MP: 1, Point: 1, Batch: 1, Aux2: 1, Hop: 1},
+		{At: 1200 + skew, Kind: KindSubmit, Node: 2, MP: 1, Point: 1, Seq: 1},
+	}
+	return [][]Event{ces, mp}
+}
+
+func TestMergeOffsetRecovery(t *testing.T) {
+	const skew = 5000
+	merged, rep, err := Merge(twoNodeTrace(skew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ref != 1 {
+		t.Fatalf("ref node = %d, want 1", rep.Ref)
+	}
+	// fwd: deliver − seal = (300+skew) − 100 = skew+200, rev:
+	// enqueue − submit = 1400 − (1200+skew) = 200−skew. Midpoint
+	// recovers skew exactly when forward and reverse latencies match.
+	if got := rep.Offset[2]; got != skew {
+		t.Fatalf("offset = %d, want %d", got, skew)
+	}
+	if rep.FwdEdges[2] != 1 || rep.RevEdges[2] != 1 {
+		t.Fatalf("edges = %d fwd / %d rev, want 1/1", rep.FwdEdges[2], rep.RevEdges[2])
+	}
+	// Rebased trace must be causally consistent: seal ≤ deliver ≤
+	// submit ≤ enqueue, in sorted order.
+	at := make(map[Kind]sim.Time)
+	for _, e := range merged {
+		at[e.Kind] = e.At
+	}
+	if !(at[KindSeal] <= at[KindDeliver] && at[KindDeliver] <= at[KindSubmit] && at[KindSubmit] <= at[KindEnqueue]) {
+		t.Fatalf("merged trace not causal: seal=%d deliver=%d submit=%d enqueue=%d",
+			at[KindSeal], at[KindDeliver], at[KindSubmit], at[KindEnqueue])
+	}
+	cs := CheckCrossLifecycle(merged)
+	if cs.Trades != 1 || cs.Complete != 1 || cs.DeliverNoSeal != 0 {
+		t.Fatalf("lifecycle = %+v, want 1 complete trade", cs)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	render := func(perNode [][]Event) []byte {
+		merged, _, err := Merge(perNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, merged); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	in := twoNodeTrace(7777)
+	a := render(in)
+	// Same events, inputs presented in the opposite order.
+	b := render([][]Event{in[1], in[0]})
+	if !bytes.Equal(a, b) {
+		t.Fatal("merge output depends on input file order")
+	}
+	if !bytes.Equal(a, render(in)) {
+		t.Fatal("merge output differs between identical runs")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, _, err := Merge(nil); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, _, err := Merge([][]Event{{{At: 1, Kind: KindGen}}}); err == nil {
+		t.Error("unstamped events: want error")
+	}
+	// No gen events anywhere: no reference frame.
+	if _, _, err := Merge([][]Event{{{At: 1, Kind: KindDeliver, Node: 2, MP: 1, Batch: 1}}}); err == nil {
+		t.Error("no gen events: want error")
+	}
+	// Gen events on two nodes: ambiguous reference.
+	if _, _, err := Merge([][]Event{
+		{{At: 1, Kind: KindGen, Node: 1, Point: 1}},
+		{{At: 1, Kind: KindGen, Node: 2, Point: 2}},
+	}); err == nil {
+		t.Error("two gen nodes: want error")
+	}
+	// A node with no matched edges cannot be aligned.
+	if _, _, err := Merge([][]Event{
+		{{At: 1, Kind: KindGen, Node: 1, Point: 1}},
+		{{At: 9, Kind: KindDeliver, Node: 2, MP: 1, Batch: 42}},
+	}); err == nil {
+		t.Error("no shared edges: want error")
+	}
+}
+
+func TestIsMerged(t *testing.T) {
+	single := []Event{{Kind: KindGen, Node: 1}, {Kind: KindSeal, Node: 1}}
+	if IsMerged(single) {
+		t.Error("single-node trace reported as merged")
+	}
+	if IsMerged(nil) {
+		t.Error("empty trace reported as merged")
+	}
+	multi := []Event{{Kind: KindGen, Node: 1}, {Kind: KindDeliver, Node: 2}}
+	if !IsMerged(multi) {
+		t.Error("two-node trace not reported as merged")
+	}
+}
+
+func TestCheckBatchAtomicity(t *testing.T) {
+	events := []Event{
+		{At: 1, Kind: KindDeliver, Node: 2, MP: 1, Batch: 1, Point: 5, Aux2: 3},
+		{At: 2, Kind: KindDeliver, Node: 3, MP: 2, Batch: 1, Point: 5, Aux2: 3},
+		{At: 3, Kind: KindDeliver, Node: 2, MP: 1, Batch: 2, Point: 9, Aux2: 4},
+		{At: 4, Kind: KindDeliver, Node: 3, MP: 2, Batch: 2, Point: 8, Aux2: 3}, // diverged
+	}
+	breaks := CheckBatchAtomicity(events)
+	if len(breaks) != 1 {
+		t.Fatalf("breaks = %d, want 1", len(breaks))
+	}
+	b := breaks[0]
+	if b.Batch != 2 || b.MP != 2 || b.Point != 8 || b.RefPoint != 9 {
+		t.Fatalf("break = %+v", b)
+	}
+}
+
+// The satellite regression: two MP streams whose self-reported pacing
+// gaps (deliver Aux) claim conformance, so each per-node check passes —
+// but the merged trace's timestamps show MP 1's actual inter-delivery
+// gap under δ. Only the cross-node check catches it.
+func TestCrossGapFixture(t *testing.T) {
+	const delta = 1000
+	load := func(name string) []Event {
+		f, err := os.Open(filepath.Join("testdata", "crossgap", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		events, err := Read(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	ces, mp1, mp2 := load("ces.ndjson"), load("mp1.ndjson"), load("mp2.ndjson")
+
+	// Per-node view: every self-reported gap ≥ δ.
+	for _, perNode := range [][]Event{ces, mp1, mp2} {
+		if p := CheckPacing(perNode, delta); len(p.Violations) != 0 {
+			t.Fatalf("per-node check should pass, got %d violations", len(p.Violations))
+		}
+	}
+
+	merged, _, err := Merge([][]Event{ces, mp1, mp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := CheckCrossPacing(merged, delta)
+	if len(p.Violations) != 1 {
+		t.Fatalf("cross check: %d violations, want 1", len(p.Violations))
+	}
+	v := p.Violations[0]
+	if v.MP != 1 || v.Gap != 800 {
+		t.Fatalf("violation = %+v, want MP 1 gap 800", v)
+	}
+	if ab := CheckBatchAtomicity(merged); len(ab) != 0 {
+		t.Fatalf("unexpected atomicity breaks: %+v", ab)
+	}
+	if cs := CheckCrossLifecycle(merged); cs.Complete != cs.Trades {
+		t.Fatalf("lifecycle incomplete: %+v", cs)
+	}
+}
+
+func TestAttributeHops(t *testing.T) {
+	merged, _, err := Merge(twoNodeTrace(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, ok := AttributeHops(merged, 1, 1)
+	if !ok {
+		t.Fatal("trade (1,1) not found")
+	}
+	// With skew recovered exactly: seal@100 deliver@300 submit@1200
+	// enqueue@1400 release@1500 match@1550.
+	want := HopAttribution{
+		MP: 1, Seq: 1, Trigger: 1, Batch: 1,
+		SealToDeliver: 200, DeliverToSubmit: 900,
+		SubmitToEnqueue: 200, EnqueueToRelease: 100, ReleaseToMatch: 50,
+	}
+	if ha != want {
+		t.Fatalf("attribution = %+v, want %+v", ha, want)
+	}
+	if _, ok := AttributeHops(merged, market.ParticipantID(9), 1); ok {
+		t.Fatal("unknown trade should not attribute")
+	}
+}

@@ -25,6 +25,10 @@ func AppendNDJSON(b []byte, e Event) []byte {
 	b = append(b, `,"kind":"`...)
 	b = append(b, e.Kind.String()...)
 	b = append(b, '"')
+	if e.Node != 0 {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendInt(b, int64(e.Node), 10)
+	}
 	if e.MP != 0 {
 		b = append(b, `,"mp":`...)
 		b = strconv.AppendInt(b, int64(e.MP), 10)
@@ -54,6 +58,10 @@ func AppendNDJSON(b []byte, e Event) []byte {
 	if e.Aux2 != 0 {
 		b = append(b, `,"aux2":`...)
 		b = strconv.AppendInt(b, e.Aux2, 10)
+	}
+	if e.Hop != 0 {
+		b = append(b, `,"hop":`...)
+		b = strconv.AppendUint(b, uint64(e.Hop), 10)
 	}
 	b = append(b, '}', '\n')
 	return b
@@ -182,6 +190,10 @@ func parseLine(raw []byte) (Event, error) {
 			ev.Aux = ival
 		case "aux2":
 			ev.Aux2 = ival
+		case "node":
+			ev.Node = market.NodeID(ival)
+		case "hop":
+			ev.Hop = uint16(uval)
 		default:
 			return ev, fmt.Errorf("unknown key %q", key)
 		}

@@ -1,0 +1,43 @@
+package flight
+
+import "testing"
+
+// The recorder sits on the hot tag→enqueue→release path, so its
+// enabled-path cost is a budgeted contract, not an aspiration: ~35 ns
+// and zero allocations per event (the ring is preallocated; Emit only
+// stamps and stores). The ns ceiling is set far above the measured
+// figure — it exists to catch a regression that adds an allocation, a
+// syscall, or a clock read, not to flake on a noisy runner.
+func TestRecorderOverheadBudget(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	r.SetNode(1)
+	e := Event{At: 1, Kind: KindRelease, MP: 3, Seq: 9, Hop: 1}
+	if allocs := testing.AllocsPerRun(2000, func() { r.Emit(e) }); allocs != 0 {
+		t.Fatalf("enabled Emit allocates %.1f per call, want 0", allocs)
+	}
+	r.SetEnabled(false)
+	if allocs := testing.AllocsPerRun(2000, func() {
+		if r.Enabled() {
+			r.Emit(e)
+		}
+	}); allocs != 0 {
+		t.Fatalf("disabled gate allocates %.1f per call, want 0", allocs)
+	}
+	if testing.Short() || raceEnabled {
+		return // timing is meaningless under -short batching or the race detector
+	}
+	r.SetEnabled(true)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r.Enabled() {
+				r.Emit(e)
+			}
+		}
+	})
+	// 20× the ~35 ns contract: generous headroom for shared CI runners,
+	// still far below any path that allocates or syscalls.
+	const budget = 700
+	if ns := res.NsPerOp(); ns > budget {
+		t.Fatalf("enabled path costs %d ns/op, budget %d (contract ~35 ns)", ns, budget)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package flight
+
+// raceEnabled relaxes overhead budgets when the race detector is on.
+const raceEnabled = false

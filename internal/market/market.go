@@ -17,6 +17,30 @@ import (
 // release buffer (RB).
 type ParticipantID int32
 
+// NodeID identifies a recording node in a deployment, for cross-node
+// trace stitching: 0 means "unset" (a legacy single-process trace),
+// NodeCES is the central exchange server, and NodeOfMP(i) is the node
+// hosting participant i's release buffer and execution engine.
+type NodeID int32
+
+// NodeCES is the central exchange server's node id.
+const NodeCES NodeID = 1
+
+// NodeOfMP returns the node id of the participant's RB/MP host.
+func NodeOfMP(p ParticipantID) NodeID { return NodeID(p) + 1 }
+
+// TraceCtx is the compact causal context carried by every wire message:
+// the node where the message's causal chain originated and the number
+// of network transmissions it has traversed so far. Receivers bump Hop
+// at network ingress, so a flight event stamped with a message's
+// context records how many hops separated it from the origin — enough,
+// together with batch/trade ids, to stitch per-node traces into one
+// cross-node lifecycle.
+type TraceCtx struct {
+	Origin NodeID
+	Hop    uint16
+}
+
 // PointID identifies a market data point in generation order, starting
 // at 1 (0 means "no point delivered yet").
 type PointID uint64
@@ -37,6 +61,10 @@ type DataPoint struct {
 	Price   int64    // fixed-point price (1e-4 units)
 	Qty     int64    // displayed size
 	BidSide bool     // whether the update moved the bid (vs the ask)
+
+	// Ctx is the causal trace context: origin NodeCES, hop count bumped
+	// at each network ingress.
+	Ctx TraceCtx
 }
 
 // Batch is a group of data points the CES generated within one
@@ -102,6 +130,12 @@ type Trade struct {
 	// the wire; both are local diagnostics for hold-time attribution.
 	Enqueued sim.Time
 	Blocker  ParticipantID
+
+	// Ctx is the causal trace context, set by the RB at tag time
+	// (origin = the submitting MP's node, hop 0) and bumped at each
+	// network ingress. It crosses the wire so the CES-side lifecycle
+	// events carry the trade's hop distance from its origin.
+	Ctx TraceCtx
 }
 
 // Key uniquely identifies a trade.
@@ -173,6 +207,11 @@ type Heartbeat struct {
 	// a real participant instead of a shard id. Zero on ordinary RB
 	// heartbeats; never crosses the wire (shards are in-process).
 	Origin ParticipantID
+
+	// Ctx is the causal trace context (origin = the reporting RB's
+	// node, hop 0 at send); synthetic shard-minimum heartbeats keep the
+	// zero value (they never cross a network).
+	Ctx TraceCtx
 }
 
 // Ordering is a trade's position assigned by a scheme; the ME executes

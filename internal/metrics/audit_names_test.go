@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The live auditor registers its gauges under these names; the
+// Prometheus surface must keep them legal, sorted, and re-entrancy
+// safe (PR 1 contract: no user code under the registry lock).
+
+var auditNames = []string{
+	"audit_fairness_ppm",
+	"audit_pairs",
+	"audit_unfair_pairs",
+	"audit_pacing_violations",
+	"audit_atomicity_breaks",
+	"audit_open_races",
+	"audit_evicted",
+	"audit_deliveries",
+	"audit_forwards",
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"audit_fairness_ppm":    "audit_fairness_ppm", // already legal
+		"audit_delivery_gap_ns": "audit_delivery_gap_ns",
+		"audit.fairness":        "audit_fairness",
+		"audit fairness %":      "audit_fairness__",
+		"9audit":                "_audit", // leading digit illegal
+		"audit:ns":              "audit:ns",
+		"":                      "_",
+		"δ_gap":                 "___gap", // multi-byte rune: one '_' per byte
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrometheusAuditGaugesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range auditNames {
+		n := n
+		r.Func(n, func() int64 { return 1 })
+	}
+	r.Histogram("audit_delivery_gap_ns").Observe(100)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Every audit gauge appears, and metric lines within each section
+	// are sorted.
+	var gaugeLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "audit_") && !strings.HasPrefix(line, "# ") &&
+			!strings.Contains(line, "_bucket") && !strings.Contains(line, "gap_ns") {
+			gaugeLines = append(gaugeLines, line)
+		}
+	}
+	if len(gaugeLines) != len(auditNames) {
+		t.Fatalf("found %d audit gauge lines, want %d:\n%s", len(gaugeLines), len(auditNames), out)
+	}
+	if !sort.StringsAreSorted(gaugeLines) {
+		t.Fatalf("gauge lines not sorted:\n%s", strings.Join(gaugeLines, "\n"))
+	}
+	for _, frag := range []string{
+		"# TYPE audit_delivery_gap_ns histogram",
+		"audit_delivery_gap_ns_sum 100",
+		"audit_delivery_gap_ns_count 1",
+		`audit_delivery_gap_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+	// Byte-identical across scrapes of an idle registry.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("consecutive idle scrapes differ")
+	}
+}
+
+// A Func gauge that re-enters the registry mid-scrape — the shape the
+// auditor's gauges have (they take the auditor lock, and the auditor's
+// callback may touch the registry). Deadlocks fail via test timeout.
+func TestWritePrometheusReentrantFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Func("audit_reentrant", func() int64 {
+		r.Counter("scrapes").Inc() // takes the registry lock mid-scrape
+		return r.Counter("scrapes").Value()
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "audit_reentrant 1") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for _, v := range []int64{1, 10, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{5, 1000} {
+		b.Observe(v)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 5 || m.Sum != 1116 {
+		t.Fatalf("merged = count %d sum %d, want 5/1116", m.Count, m.Sum)
+	}
+	// Merge is commutative.
+	m2 := b.Snapshot().Merge(a.Snapshot())
+	if m2.Count != m.Count || m2.Sum != m.Sum || m2.Quantile(0.5) != m.Quantile(0.5) {
+		t.Fatal("merge not commutative")
+	}
+	// Bucket totals add: +Inf cumulative equals combined count.
+	var cum int64
+	m.Buckets(func(_, _ int64, count int64) { cum += count })
+	if cum != 5 {
+		t.Fatalf("bucket total = %d, want 5", cum)
+	}
+}
+
+func TestHistSnapshotMergeZeroValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	// Zero-value operands on either side behave as identity.
+	left := (HistSnapshot{}).Merge(h.Snapshot())
+	right := h.Snapshot().Merge(HistSnapshot{})
+	for _, m := range []HistSnapshot{left, right} {
+		if m.Count != 1 || m.Sum != 42 {
+			t.Fatalf("merge with zero value = count %d sum %d, want 1/42", m.Count, m.Sum)
+		}
+	}
+	both := (HistSnapshot{}).Merge(HistSnapshot{})
+	if both.Count != 0 || both.Sum != 0 {
+		t.Fatal("zero merge not zero")
+	}
+}

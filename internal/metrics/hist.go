@@ -121,6 +121,22 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	return s.Max()
 }
 
+// Merge returns the bucket-wise sum of two snapshots — the combined
+// distribution, exact because both use the same fixed bucket layout.
+// Either operand may be the zero HistSnapshot.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count:   s.Count + o.Count,
+		Sum:     s.Sum + o.Sum,
+		buckets: make([]int64, numBuckets),
+	}
+	copy(out.buckets, s.buckets)
+	for i, c := range o.buckets {
+		out.buckets[i] += c
+	}
+	return out
+}
+
 // Max returns the lower bound of the highest non-empty bucket.
 func (s HistSnapshot) Max() int64 {
 	for i := len(s.buckets) - 1; i >= 0; i-- {

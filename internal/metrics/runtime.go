@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// RegisterRuntime exposes Go runtime health on the registry, scraped
+// on demand (no background goroutine):
+//
+//	go_goroutines           live goroutines
+//	go_heap_alloc_bytes     bytes of allocated heap objects
+//	go_heap_objects         live heap objects
+//	go_gc_cycles            completed GC cycles
+//	go_gc_pause_total_ns    cumulative stop-the-world pause
+//
+// ReadMemStats stops the world briefly; the registry invokes Func
+// callbacks outside its lock, so a slow scrape never blocks writers.
+func RegisterRuntime(r *Registry) {
+	r.Func("go_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	mem := func(pick func(*runtime.MemStats) int64) func() int64 {
+		return func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	r.Func("go_heap_alloc_bytes", mem(func(ms *runtime.MemStats) int64 { return int64(ms.HeapAlloc) }))
+	r.Func("go_heap_objects", mem(func(ms *runtime.MemStats) int64 { return int64(ms.HeapObjects) }))
+	r.Func("go_gc_cycles", mem(func(ms *runtime.MemStats) int64 { return int64(ms.NumGC) }))
+	r.Func("go_gc_pause_total_ns", mem(func(ms *runtime.MemStats) int64 { return int64(ms.PauseTotalNs) }))
+}
+
+// MountPprof mounts the standard net/http/pprof handlers on mux under
+// /debug/pprof/ without importing its package-global side effects into
+// http.DefaultServeMux — nodes opt in per-mux behind a flag.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

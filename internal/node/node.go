@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"dbo/internal/audit"
 	"dbo/internal/core"
 	"dbo/internal/feed"
 	"dbo/internal/flight"
@@ -23,6 +24,7 @@ import (
 	"dbo/internal/metrics"
 	"dbo/internal/rt"
 	"dbo/internal/sim"
+	"dbo/internal/trace"
 	"dbo/internal/transport"
 	"dbo/internal/wire"
 )
@@ -58,6 +60,11 @@ type CESConfig struct {
 	// the threshold policy alongside the OB's heartbeat measurements.
 	ProbeInterval time.Duration
 
+	// CaptureRTT, when positive, persists each MP's measured probe RTTs
+	// as a replayable trace regularized at this step (RTTTrace). It
+	// implies probing: ProbeInterval defaults to CaptureRTT when unset.
+	CaptureRTT time.Duration
+
 	// Adaptive switches straggler mitigation to an adaptive threshold
 	// learned from measured RTTs; StragglerRTT (required > 0) stays the
 	// hard cap. See core.AdaptiveConfig.
@@ -72,6 +79,12 @@ type CESConfig struct {
 	// hold attribution, straggler transitions, ME matches). Events are
 	// stamped with the node's monotonic loop clock.
 	Flight *flight.Recorder
+
+	// Auditor, if non-nil, receives every forwarded trade (OnForward,
+	// loop clock) so the live fairness check runs in-process on the
+	// exchange node. Register it on Metrics() and mount audit.Handler
+	// to serve /debug/audit.
+	Auditor *audit.Auditor
 }
 
 // CES is a running central exchange server node.
@@ -89,8 +102,9 @@ type CES struct {
 
 	// RTT probing (loop goroutine only, except the Prober internals
 	// which are safe anywhere).
-	policy  *core.AdaptiveThreshold
-	probers []*transport.Prober
+	policy   *core.AdaptiveThreshold
+	probers  []*transport.Prober
+	proberOf map[market.ParticipantID]*transport.Prober
 
 	// lastHB tracks per-MP heartbeat arrival for the staleness histogram
 	// (loop goroutine only).
@@ -120,6 +134,9 @@ func NewCES(cfg CESConfig) (*CES, error) {
 			cfg.ProbeInterval = cfg.Tau
 		}
 	}
+	if cfg.CaptureRTT > 0 && cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = cfg.CaptureRTT
+	}
 	if cfg.Kappa <= 0 {
 		cfg.Kappa = 0.25
 	}
@@ -132,8 +149,13 @@ func NewCES(cfg CESConfig) (*CES, error) {
 	}
 	c := &CES{
 		cfg: cfg, loop: rt.NewLoop(), ep: ep, engine: lob.NewEngine(),
-		reg:    metrics.NewRegistry(),
-		lastHB: make(map[market.ParticipantID]sim.Time),
+		reg:      metrics.NewRegistry(),
+		lastHB:   make(map[market.ParticipantID]sim.Time),
+		proberOf: make(map[market.ParticipantID]*transport.Prober),
+	}
+	cfg.Flight.SetNode(market.NodeCES)
+	if cfg.Flight != nil {
+		c.reg.Func("flight_ring_dropped", cfg.Flight.Dropped)
 	}
 	c.batch = core.NewBatcher(sim.FromDuration(cfg.Delta), cfg.Kappa)
 	c.quotes = feed.New(feed.Config{Seed: cfg.FeedSeed ^ 0xfeed, Symbols: cfg.Symbols})
@@ -247,7 +269,12 @@ func (c *CES) Start(mps []MPAddr) error {
 	c.scheduleOBTick()
 	if c.cfg.ProbeInterval > 0 {
 		for _, p := range parts {
-			c.probers = append(c.probers, transport.NewProber(p, 0))
+			pr := transport.NewProber(p, 0)
+			if c.cfg.CaptureRTT > 0 {
+				pr.EnableCapture(sim.FromDuration(c.cfg.CaptureRTT))
+			}
+			c.probers = append(c.probers, pr)
+			c.proberOf[p] = pr
 		}
 		c.scheduleProbes()
 	}
@@ -316,6 +343,17 @@ func StartCES(cfg CESConfig) (*CES, error) {
 // Addr returns the CES socket address (for MPs to dial).
 func (c *CES) Addr() *net.UDPAddr { return c.ep.LocalAddr() }
 
+// RTTTrace returns the replayable RTT trace captured for mp (nil when
+// CaptureRTT was off, the participant is unknown, or no valid probe
+// reply ever arrived). Safe to call while the node runs and after Stop.
+func (c *CES) RTTTrace(mp market.ParticipantID) *trace.Trace {
+	pr := c.proberOf[mp] // map is read-only after Start
+	if pr == nil {
+		return nil
+	}
+	return pr.Trace()
+}
+
 // Stop shuts the node down.
 func (c *CES) Stop() {
 	c.stop.Do(func() {
@@ -362,6 +400,7 @@ func (c *CES) tick(i int) {
 	dp := market.DataPoint{
 		ID: id, Batch: batch, Last: last, Gen: now,
 		Symbol: q.Symbol, BidSide: q.BidMoved,
+		Ctx: market.TraceCtx{Origin: market.NodeCES},
 	}
 	if q.BidMoved {
 		dp.Price, dp.Qty = q.Bid, q.BidSize
@@ -394,9 +433,11 @@ func (c *CES) tick(i int) {
 func (c *CES) onMessage(v any) {
 	switch m := v.(type) {
 	case *market.Trade:
+		m.Ctx.Hop++ // network ingress at the CES node
 		c.reg.Counter("trades_received").Inc()
 		c.ob.OnTrade(m)
 	case market.Heartbeat:
+		m.Ctx.Hop++ // network ingress at the CES node
 		c.reg.Counter("heartbeats_received").Inc()
 		now := c.loop.Now()
 		if prev, ok := c.lastHB[m.MP]; ok {
@@ -409,7 +450,12 @@ func (c *CES) onMessage(v any) {
 		c.retransmit(core.RetxRequest{MP: m.MP, From: m.From, To: m.To})
 	case wire.ProbeReply:
 		now := c.loop.Now()
-		rtt := transport.ProbeRTT(m, now)
+		var rtt sim.Time
+		if pr := c.proberOf[m.MP]; pr != nil {
+			rtt = pr.Observe(m, now) // records into the RTT capture when enabled
+		} else {
+			rtt = transport.ProbeRTT(m, now)
+		}
 		if rtt < 0 {
 			c.reg.Counter("probe_rtt_invalid").Inc()
 			return
@@ -465,8 +511,10 @@ func (c *CES) onForward(t *market.Trade) {
 		f.Emit(flight.Event{
 			At: c.loop.Now(), Kind: flight.KindMatch,
 			MP: t.MP, Seq: t.Seq, DC: t.DC, Aux: int64(t.FinalPos),
+			Hop: t.Ctx.Hop,
 		})
 	}
+	c.cfg.Auditor.OnForward(t, c.loop.Now())
 	// Execution reports go back to both counterparties (the market data
 	// stream is the public side; these are the private fills).
 	for _, e := range execs {
@@ -551,6 +599,11 @@ type MPConfig struct {
 	// with pacing gap, trade submission with delivery-clock tag) stamped
 	// with this node's monotonic loop clock.
 	Flight *flight.Recorder
+
+	// Auditor, if non-nil, observes every batch delivery (OnDeliver,
+	// loop clock) so δ-gap pacing and batch atomicity are audited live
+	// where delivery actually happens — on the participant's node.
+	Auditor *audit.Auditor
 }
 
 // MP is a running market participant node.
@@ -590,6 +643,10 @@ func StartMP(cfg MPConfig) (*MP, error) {
 		return nil, fmt.Errorf("node: CES addr %q: %w", cfg.CES, err)
 	}
 	m := &MP{cfg: cfg, loop: rt.NewLoop(), ep: ep, ces: ces, reg: metrics.NewRegistry()}
+	cfg.Flight.SetNode(market.NodeOfMP(cfg.ID))
+	if cfg.Flight != nil {
+		m.reg.Func("flight_ring_dropped", cfg.Flight.Dropped)
+	}
 	if cfg.CESTCP != "" {
 		tcp, err := transport.DialTCP(cfg.CESTCP)
 		if err != nil {
@@ -653,6 +710,7 @@ func (m *MP) send(v any) {
 func (m *MP) onMessage(v any) {
 	switch msg := v.(type) {
 	case market.DataPoint:
+		msg.Ctx.Hop++ // network ingress at the RB node
 		m.rb.OnData(msg)
 	case wire.Probe:
 		// TWAMP-light reflection: stamp receive and transmit on this
@@ -693,6 +751,7 @@ func (m *MP) onBatch(b *market.Batch) {
 		m.reg.Histogram("delivery_gap_ns").Observe(int64(deliveredAt - m.lastDeliver))
 	}
 	m.lastDeliver, m.delivered = deliveredAt, true
+	m.cfg.Auditor.OnDeliver(m.cfg.ID, b, deliveredAt)
 	if m.cfg.OnDeliver != nil {
 		m.cfg.OnDeliver(b)
 	}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"sync"
+
+	"dbo/internal/sim"
+)
+
+// Capture accumulates irregularly-timed RTT samples — TWAMP-light
+// probe measurements from a live run — and regularizes them into a
+// replayable Trace. The ROADMAP item 5 follow-on: measured
+// distributions feed back into the simulator on the same footing as
+// the synthetic generators.
+//
+// Samples must carry the observer's own monotonic clock; Capture never
+// reads one. Safe for concurrent use.
+type Capture struct {
+	mu      sync.Mutex
+	step    sim.Time
+	samples []sample
+}
+
+type sample struct {
+	at  sim.Time
+	rtt sim.Time
+}
+
+// NewCapture returns an empty capture that will regularize onto a grid
+// of the given step (panics if step <= 0).
+func NewCapture(step sim.Time) *Capture {
+	if step <= 0 {
+		panic("trace: capture step must be positive")
+	}
+	return &Capture{step: step}
+}
+
+// Add records one measurement taken at time at (observer clock).
+// Negative RTTs (invalid probe replies) are ignored. Samples may
+// arrive out of order; Trace sorts by time.
+func (c *Capture) Add(at, rtt sim.Time) {
+	if rtt < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.samples = append(c.samples, sample{at: at, rtt: rtt})
+	c.mu.Unlock()
+}
+
+// Len reports samples recorded so far.
+func (c *Capture) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.samples)
+}
+
+// Trace regularizes the samples onto the capture's step grid, from the
+// first sample to the last: each grid cell takes the most recent
+// sample at or before its start (last-observation-carried-forward —
+// RTT processes are step-like between measurements, so holding the
+// last reading is the honest interpolation). Returns nil when no
+// samples were recorded. The capture itself is unchanged.
+func (c *Capture) Trace() *Trace {
+	c.mu.Lock()
+	samples := make([]sample, len(c.samples))
+	copy(samples, c.samples)
+	step := c.step
+	c.mu.Unlock()
+	if len(samples) == 0 {
+		return nil
+	}
+	// Stable sort by time; insertion sort is fine for the mostly-sorted
+	// series a periodic prober produces.
+	for i := 1; i < len(samples); i++ {
+		for j := i; j > 0 && samples[j].at < samples[j-1].at; j-- {
+			samples[j], samples[j-1] = samples[j-1], samples[j]
+		}
+	}
+	first, last := samples[0].at, samples[len(samples)-1].at
+	n := int((last-first)/step) + 1
+	out := &Trace{Step: step, RTT: make([]sim.Time, n)}
+	si := 0
+	cur := samples[0].rtt
+	for i := 0; i < n; i++ {
+		cellStart := first + sim.Time(i)*step
+		for si < len(samples) && samples[si].at <= cellStart {
+			cur = samples[si].rtt
+			si++
+		}
+		out.RTT[i] = cur
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"dbo/internal/sim"
+)
+
+func TestCaptureEmpty(t *testing.T) {
+	c := NewCapture(100)
+	if tr := c.Trace(); tr != nil {
+		t.Fatalf("empty capture produced a trace: %+v", tr)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestCaptureStepValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCapture(0) did not panic")
+		}
+	}()
+	NewCapture(0)
+}
+
+func TestCaptureLOCF(t *testing.T) {
+	c := NewCapture(100)
+	c.Add(1000, 50)
+	c.Add(1250, 80) // lands mid-grid: cell 3 (starting 1300) carries it
+	c.Add(1400, 60)
+	tr := c.Trace()
+	if tr == nil || tr.Step != 100 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// Grid from first (1000) to last (1400): 5 cells. The 1250 sample
+	// is held from the first cell at or after it (1300).
+	want := []sim.Time{50, 50, 50, 80, 60}
+	if len(tr.RTT) != len(want) {
+		t.Fatalf("len = %d, want %d", len(tr.RTT), len(want))
+	}
+	for i, w := range want {
+		if tr.RTT[i] != w {
+			t.Fatalf("cell %d = %v, want %v (full: %v)", i, tr.RTT[i], w, tr.RTT)
+		}
+	}
+}
+
+func TestCaptureOutOfOrder(t *testing.T) {
+	a, b := NewCapture(100), NewCapture(100)
+	samples := [][2]sim.Time{{1000, 10}, {1100, 20}, {1200, 30}}
+	for _, s := range samples {
+		a.Add(s[0], s[1])
+	}
+	for i := len(samples) - 1; i >= 0; i-- {
+		b.Add(samples[i][0], samples[i][1])
+	}
+	ta, tb := a.Trace(), b.Trace()
+	if len(ta.RTT) != len(tb.RTT) {
+		t.Fatalf("lengths differ: %d vs %d", len(ta.RTT), len(tb.RTT))
+	}
+	for i := range ta.RTT {
+		if ta.RTT[i] != tb.RTT[i] {
+			t.Fatalf("cell %d differs: %v vs %v", i, ta.RTT[i], tb.RTT[i])
+		}
+	}
+}
+
+func TestCaptureIgnoresInvalid(t *testing.T) {
+	c := NewCapture(100)
+	c.Add(1000, -1) // ProbeRTT's invalid marker
+	if c.Len() != 0 {
+		t.Fatal("negative RTT recorded")
+	}
+	c.Add(1000, 70)
+	if c.Len() != 1 {
+		t.Fatal("valid RTT dropped")
+	}
+}
+
+func TestCaptureSingleSample(t *testing.T) {
+	c := NewCapture(100)
+	c.Add(5000, 42)
+	tr := c.Trace()
+	if len(tr.RTT) != 1 || tr.RTT[0] != 42 {
+		t.Fatalf("trace = %+v, want one cell of 42", tr.RTT)
+	}
+	// A replayable trace: At wraps.
+	if tr.At(123456) != 42 {
+		t.Fatal("single-cell trace should replay 42 everywhere")
+	}
+}
+
+func TestCaptureConcurrent(t *testing.T) {
+	c := NewCapture(10)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Add(sim.Time(g*1000+i*10), sim.Time(50+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 400 {
+		t.Fatalf("len = %d, want 400", c.Len())
+	}
+	if tr := c.Trace(); tr == nil || len(tr.RTT) == 0 {
+		t.Fatal("no trace from concurrent capture")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"dbo/internal/market"
 	"dbo/internal/sim"
+	"dbo/internal/trace"
 	"dbo/internal/wire"
 )
 
@@ -25,6 +26,11 @@ type Prober struct {
 	mp  market.ParticipantID
 	seq atomic.Uint64
 	pad []byte
+
+	// cap, when non-nil, persists every valid RTT observed through
+	// Observe as a replayable trace (set once via EnableCapture before
+	// probing starts).
+	cap *trace.Capture
 }
 
 // NewProber builds a prober whose probes carry mp (the *target*
@@ -59,4 +65,30 @@ func ProbeRTT(r wire.ProbeReply, t4 sim.Time) sim.Time {
 		return -1
 	}
 	return rtt
+}
+
+// EnableCapture starts persisting RTTs observed through Observe into a
+// replayable trace regularized at step. Call before probing begins.
+func (p *Prober) EnableCapture(step sim.Time) {
+	p.cap = trace.NewCapture(step)
+}
+
+// Observe computes the RTT of a reply received at t4 (ProbeRTT) and,
+// when capture is enabled, records valid measurements. Returns -1 for
+// invalid replies, which are never recorded.
+func (p *Prober) Observe(r wire.ProbeReply, t4 sim.Time) sim.Time {
+	rtt := ProbeRTT(r, t4)
+	if rtt >= 0 && p.cap != nil {
+		p.cap.Add(t4, rtt)
+	}
+	return rtt
+}
+
+// Trace returns the captured RTT series as a replayable trace, or nil
+// when capture was never enabled or no valid reply arrived.
+func (p *Prober) Trace() *trace.Trace {
+	if p.cap == nil {
+		return nil
+	}
+	return p.cap.Trace()
 }

@@ -28,11 +28,16 @@ const (
 	TProbeReply
 )
 
+// CtxSize is the trailing causal trace context every market-data,
+// trade, and heartbeat message carries: origin node id (u32) plus hop
+// counter (u16). See market.TraceCtx.
+const CtxSize = 4 + 2
+
 // Sizes of the fixed-layout messages (including the type byte).
 const (
-	MarketDataSize = 1 + 8 + 8 + 1 + 8 + 4 + 8 + 8
-	TradeSize      = 1 + 4 + 8 + 4 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8
-	HeartbeatSize  = 1 + 4 + 8 + 8 + 8
+	MarketDataSize = 1 + 8 + 8 + 1 + 8 + 4 + 8 + 8 + CtxSize
+	TradeSize      = 1 + 4 + 8 + 4 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + CtxSize
+	HeartbeatSize  = 1 + 4 + 8 + 8 + 8 + CtxSize
 	RetxSize       = 1 + 4 + 8 + 8
 	CloseSize      = 1 + 8 + 8 + 4
 	ExecSize       = 1 + 8 + 8 + 4 + 4 + 8 + 8 + 8
@@ -55,6 +60,21 @@ const MaxSize = TradeSize
 
 var le = binary.LittleEndian
 
+// appendCtx encodes the trailing causal trace context.
+func appendCtx(buf []byte, c market.TraceCtx) []byte {
+	buf = le.AppendUint32(buf, uint32(c.Origin))
+	return le.AppendUint16(buf, c.Hop)
+}
+
+// ctxAt decodes a trace context at offset off (the caller has already
+// length-checked the message).
+func ctxAt(buf []byte, off int) market.TraceCtx {
+	return market.TraceCtx{
+		Origin: market.NodeID(le.Uint32(buf[off:])),
+		Hop:    le.Uint16(buf[off+4:]),
+	}
+}
+
 // AppendMarketData encodes a data point.
 func AppendMarketData(buf []byte, dp market.DataPoint) []byte {
 	buf = append(buf, TMarketData)
@@ -72,7 +92,7 @@ func AppendMarketData(buf []byte, dp market.DataPoint) []byte {
 	buf = le.AppendUint32(buf, dp.Symbol)
 	buf = le.AppendUint64(buf, uint64(dp.Price))
 	buf = le.AppendUint64(buf, uint64(dp.Qty))
-	return buf
+	return appendCtx(buf, dp.Ctx)
 }
 
 // AppendTrade encodes a (tagged) trade.
@@ -89,7 +109,7 @@ func AppendTrade(buf []byte, t *market.Trade) []byte {
 	buf = le.AppendUint64(buf, uint64(t.RT))
 	buf = le.AppendUint64(buf, uint64(t.DC.Point))
 	buf = le.AppendUint64(buf, uint64(t.DC.Elapsed))
-	return buf
+	return appendCtx(buf, t.Ctx)
 }
 
 // AppendHeartbeat encodes a heartbeat.
@@ -99,7 +119,7 @@ func AppendHeartbeat(buf []byte, h market.Heartbeat) []byte {
 	buf = le.AppendUint64(buf, uint64(h.DC.Point))
 	buf = le.AppendUint64(buf, uint64(h.DC.Elapsed))
 	buf = le.AppendUint64(buf, uint64(h.Sent))
-	return buf
+	return appendCtx(buf, h.Ctx)
 }
 
 // Retx is a retransmission request (Appendix D).
@@ -236,6 +256,7 @@ func DecodeTradeInto(t *market.Trade, buf []byte) error {
 		Point:   market.PointID(le.Uint64(buf[58:])),
 		Elapsed: sim.Time(le.Uint64(buf[66:])),
 	}
+	t.Ctx = ctxAt(buf, 74)
 	return nil
 }
 
@@ -263,6 +284,7 @@ func DecodeInto(m *Msg, buf []byte) error {
 			Symbol:  le.Uint32(buf[26:]),
 			Price:   int64(le.Uint64(buf[30:])),
 			Qty:     int64(le.Uint64(buf[38:])),
+			Ctx:     ctxAt(buf, 46),
 		}
 		return nil
 	case TTrade:
@@ -278,6 +300,7 @@ func DecodeInto(m *Msg, buf []byte) error {
 				Elapsed: sim.Time(le.Uint64(buf[13:])),
 			},
 			Sent: sim.Time(le.Uint64(buf[21:])),
+			Ctx:  ctxAt(buf, 29),
 		}
 		return nil
 	case TRetx:
